@@ -1,0 +1,42 @@
+//! Criterion bench for the Figure 15 experiment (inbound streaming,
+//! Queries 1-6) plus the placement ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scsq_bench::{ablation, fig15, Scale};
+use scsq_core::HardwareSpec;
+use std::hint::black_box;
+
+fn bench_fig15(c: &mut Criterion) {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale::quick();
+
+    let mut group = c.benchmark_group("fig15_inbound");
+    group.sample_size(10);
+    for n in [1u32, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let series = fig15::run(&spec, scale, &[n]).expect("fig15 runs");
+                black_box(series)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_placement");
+    group.sample_size(10);
+    group.bench_function("n4", |b| {
+        b.iter(|| {
+            let series = ablation::run(&spec, scale, &[4]).expect("ablation runs");
+            black_box(series)
+        });
+    });
+    group.finish();
+
+    let series = fig15::run(&spec, scale, &[4]).expect("fig15 runs");
+    for s in &series {
+        println!("fig15 {}: {:?}", s.label(), s.points());
+    }
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Figure 6 experiment (intra-BlueGene
+//! point-to-point streaming).
+//!
+//! The simulation itself is deterministic; this bench measures the host
+//! cost of regenerating figure points at representative buffer sizes,
+//! and prints the simulated bandwidths so `cargo bench` doubles as a
+//! smoke regeneration of the figure at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scsq_bench::{fig6, Scale};
+use scsq_core::HardwareSpec;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale::quick();
+
+    let mut group = c.benchmark_group("fig6_p2p");
+    group.sample_size(10);
+    for buffer in [100u64, 1_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    let series = fig6::run(&spec, scale, &[buffer]).expect("fig6 runs");
+                    black_box(series)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Print the reduced-scale figure once for eyeballing.
+    let series = fig6::run(&spec, scale, &[100, 1_000, 100_000]).expect("fig6 runs");
+    for s in &series {
+        println!("fig6 {}: {:?}", s.label(), s.points());
+    }
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

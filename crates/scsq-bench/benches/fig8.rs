@@ -1,0 +1,40 @@
+//! Criterion bench for the Figure 8 experiment (intra-BlueGene stream
+//! merging, sequential vs balanced node selections).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scsq_bench::{fig8, Scale};
+use scsq_core::HardwareSpec;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale::quick();
+
+    let mut group = c.benchmark_group("fig8_merge");
+    group.sample_size(10);
+    for buffer in [1_000u64, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    let series = fig8::run(&spec, scale, &[buffer]).expect("fig8 runs");
+                    black_box(series)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let series = fig8::run(&spec, scale, &[1_000, 100_000]).expect("fig8 runs");
+    for s in &series {
+        println!("fig8 {}: {:?}", s.label(), s.points());
+    }
+    println!(
+        "fig8 balanced-over-sequential gain: {:.2}x",
+        fig8::best_balanced_gain(&series)
+    );
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §5's other open item: continuous queries with expensive functions.
+//! Compares a single-node FFT pipeline with the paper's radix2
+//! distribution over the array-size sweep.
+//!
+//! Usage: `expensive_functions [--quick] [--csv]`
+
+use scsq_bench::{expensive, print_figure, series_to_csv, Scale};
+use scsq_core::HardwareSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick {
+        Scale {
+            arrays: 20,
+            ..Scale::quick()
+        }
+    } else {
+        Scale::paper()
+    };
+    let sizes = [10_000u64, 50_000, 200_000, 500_000, 1_000_000, 3_000_000];
+    let spec = HardwareSpec::lofar();
+    let series = expensive::run(&spec, scale, &sizes).unwrap_or_else(|e| {
+        eprintln!("expensive-function study failed: {e}");
+        std::process::exit(1);
+    });
+    if csv {
+        print!("{}", series_to_csv(&series));
+        return;
+    }
+    print!(
+        "{}",
+        print_figure(
+            "Expensive functions (paper §5): single-node fft vs distributed radix2",
+            "array (B)",
+            "query time (ms, lower is better)",
+            &series,
+        )
+    );
+    for (x, s) in expensive::speedups(&series) {
+        println!("# {x:>9.0} B arrays: radix2 speedup {s:.2}x");
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates paper Figure 15: BlueGene inbound streaming bandwidth of
+//! Queries 1–6 vs the number of back-end generator RPs.
+//!
+//! Usage: `fig15_inbound [--quick] [--csv]`
+
+use scsq_bench::{fig15, print_figure, series_to_csv, Scale};
+use scsq_core::HardwareSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let ns: Vec<u32> = (1..=8).collect();
+    let spec = HardwareSpec::lofar();
+    let series = fig15::run(&spec, scale, &ns).unwrap_or_else(|e| {
+        eprintln!("fig15 failed: {e}");
+        std::process::exit(1);
+    });
+    if csv {
+        print!("{}", series_to_csv(&series));
+    } else {
+        print!(
+            "{}",
+            print_figure(
+                "Figure 15: BG inbound streaming bandwidth, Queries 1-6",
+                "n",
+                "total inbound streaming bandwidth (Mbps)",
+                &series,
+            )
+        );
+        let q5 = &series[4];
+        if let Some((x, y)) = q5.peak() {
+            println!("# Query 5 peaks at {y:.0} Mbps (n={x:.0}); paper: ~920 Mbps");
+        }
+        if let (Some(a), Some(b)) = (q5.y_at(4.0), q5.y_at(5.0)) {
+            println!(
+                "# Query 5 dip at n=5: {a:.0} -> {b:.0} Mbps (paper: significant dip, 4 I/O nodes)"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
+//! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
+//!
+//! Usage: `fig8_merge [--quick] [--csv]`
+
+use scsq_bench::{buffer_sweep, fig8, print_figure, series_to_csv, Scale};
+use scsq_core::HardwareSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let spec = HardwareSpec::lofar();
+    let series = fig8::run(&spec, scale, &buffer_sweep()).unwrap_or_else(|e| {
+        eprintln!("fig8 failed: {e}");
+        std::process::exit(1);
+    });
+    if csv {
+        print!("{}", series_to_csv(&series));
+    } else {
+        print!(
+            "{}",
+            print_figure(
+                "Figure 8: intra-BG stream merging, sequential vs balanced node selection",
+                "buffer (B)",
+                "total streaming input bandwidth at node c (MB/s)",
+                &series,
+            )
+        );
+        println!(
+            "# balanced beats sequential by up to {:.0}% (paper §5: up to 60%)",
+            (fig8::best_balanced_gain(&series) - 1.0) * 100.0
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The §5 open question, answered by the model: inbound streaming at
+//! 2× and 4× the paper's partition size, for both sender strategies,
+//! plus the sender-host sweep that quantifies "co-locate back-end RPs
+//! until saturation".
+//!
+//! Usage: `futurework_scaling [--quick] [--csv]`
+
+use scsq_bench::{print_figure, scaling, series_to_csv, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::quick() } else { Scale::paper() };
+
+    let ns: Vec<u32> = vec![1, 2, 4, 8, 16];
+    let series = scaling::run(scale, &ns).unwrap_or_else(|e| {
+        eprintln!("scaling study failed: {e}");
+        std::process::exit(1);
+    });
+    let hosts = scaling::run_host_sweep(scale, &[1, 2, 4, 8, 16]).unwrap_or_else(|e| {
+        eprintln!("host sweep failed: {e}");
+        std::process::exit(1);
+    });
+
+    if csv {
+        print!("{}", series_to_csv(&series));
+        print!("{}", series_to_csv(std::slice::from_ref(&hosts)));
+        return;
+    }
+    print!(
+        "{}",
+        print_figure(
+            "Future work (paper §5): inbound bandwidth vs partition size",
+            "n",
+            "aggregate inbound bandwidth (Mbps)",
+            &series,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        print_figure(
+            "Future work: sender hosts for 16 streams on the quad partition",
+            "hosts",
+            "aggregate inbound bandwidth (Mbps)",
+            std::slice::from_ref(&hosts),
+        )
+    );
+    if let Some((k, y)) = hosts.peak() {
+        println!("# optimum: {k:.0} sender hosts -> {y:.0} Mbps (co-locate until saturation, then add hosts)");
+    }
+}

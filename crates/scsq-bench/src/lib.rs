@@ -1,0 +1,126 @@
+//! # scsq-bench — the figure-regeneration harness
+//!
+//! One module per result figure of the paper's evaluation (§3), plus the
+//! node-selection ablation motivated by §5. Each module builds the
+//! paper's SCSQL query texts, sweeps the paper's parameter, repeats each
+//! point under jittered hardware specs (the paper's five-repetition
+//! protocol), and returns labeled [`scsq_sim::Series`] values ready to
+//! print as the figure's rows.
+//!
+//! Binaries:
+//!
+//! * `fig6_p2p` — intra-BlueGene point-to-point bandwidth vs stream
+//!   buffer size, single vs double buffering (paper Fig 6).
+//! * `fig8_merge` — stream-merging bandwidth for the sequential vs
+//!   balanced node selections of Fig 7, vs buffer size (paper Fig 8).
+//! * `fig15_inbound` — inbound streaming bandwidth of Queries 1–6 vs the
+//!   number of back-end generator RPs (paper Fig 15).
+//! * `ablation_placement` — naïve vs topology-aware node selection on an
+//!   unconstrained inbound workload (§5 future work).
+
+pub mod ablation;
+pub mod expensive;
+pub mod fig15;
+pub mod fig6;
+pub mod fig8;
+pub mod report;
+pub mod scaling;
+
+pub use report::{print_figure, series_to_csv};
+
+use scsq_core::{HardwareSpec, QueryResult, RunOptions, Scsq, ScsqError, Value};
+
+/// Shared experiment scale knobs. The paper streams 100 × 3 MB arrays
+/// per generator and repeats five times; tests use smaller scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Bytes per generated array (paper: 3_000_000).
+    pub array_bytes: u64,
+    /// Arrays per generator (paper: 100).
+    pub arrays: u64,
+    /// Repetitions per point (paper: 5).
+    pub reps: u64,
+    /// Jitter amplitude applied to hardware rates across repetitions.
+    pub jitter: f64,
+}
+
+impl Scale {
+    /// The paper's full experiment scale.
+    pub fn paper() -> Scale {
+        Scale {
+            array_bytes: 3_000_000,
+            arrays: 100,
+            reps: 5,
+            jitter: 0.02,
+        }
+    }
+
+    /// A reduced scale for fast tests and criterion runs.
+    pub fn quick() -> Scale {
+        Scale {
+            array_bytes: 300_000,
+            arrays: 10,
+            reps: 1,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Runs `query` once per repetition on jittered hardware and returns the
+/// mean of `metric` over the repetitions.
+///
+/// # Errors
+///
+/// Propagates the first query error.
+pub fn mean_metric(
+    base: &HardwareSpec,
+    options: &RunOptions,
+    scale: Scale,
+    query: &str,
+    bindings: &[(&str, Value)],
+    metric: impl Fn(&QueryResult) -> f64,
+) -> Result<f64, ScsqError> {
+    let mut acc = 0.0;
+    for rep in 0..scale.reps {
+        let spec = if scale.jitter > 0.0 {
+            base.jittered(0xC0FFEE ^ rep, scale.jitter)
+        } else {
+            base.clone()
+        };
+        let mut scsq = Scsq::with_spec(spec);
+        *scsq.options_mut() = options.clone();
+        let result = scsq.run_with(query, bindings)?;
+        acc += metric(&result);
+    }
+    Ok(acc / scale.reps as f64)
+}
+
+/// The buffer-size sweep used by Figures 6 and 8.
+pub fn buffer_sweep() -> Vec<u64> {
+    vec![
+        100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+        1_000_000,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        let p = Scale::paper();
+        assert_eq!(p.array_bytes, 3_000_000);
+        assert_eq!(p.arrays, 100);
+        assert_eq!(p.reps, 5);
+        let q = Scale::quick();
+        assert!(q.array_bytes < p.array_bytes);
+    }
+
+    #[test]
+    fn buffer_sweep_is_monotone() {
+        let s = buffer_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.contains(&1_000), "the paper's optimal point is swept");
+    }
+}

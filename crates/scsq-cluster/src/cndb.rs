@@ -1,0 +1,347 @@
+//! The compute node database (CNDB) and node-selection algorithm.
+//!
+//! §2.2: "Each cluster coordinator maintains an internal compute node
+//! database (CNDB) containing the properties and status of the possibly
+//! thousands of compute nodes in its cluster. A node selection algorithm
+//! in the cluster coordinator starts the new RP on a suitable compute
+//! node by querying its CNDB. Currently, a naïve node selection algorithm
+//! is used, returning the next available node."
+//!
+//! §2.4 adds *allocation sequences*: the user may constrain the allowed
+//! nodes with a node allocation query; "the node selection algorithm will
+//! choose the first available node in the allocation sequence. (In case
+//! the stream contains no available node, the query will fail.)" The
+//! allocation-sequence vocabulary used in the paper's experiments is
+//! captured by [`AllocSeq`]: explicit node numbers, `urr(cluster)`,
+//! `inPset(k)`, and `psetrr()`.
+
+use crate::ids::{ClusterName, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of the CNDB: a node's properties and status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeEntry {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Hardware kind (determines capacity and reachability).
+    pub kind: NodeKind,
+    /// Number of RPs currently running on the node.
+    pub running: usize,
+}
+
+impl NodeEntry {
+    /// Whether another RP may be placed here.
+    pub fn available(&self) -> bool {
+        self.kind.schedulable() && self.running < self.kind.capacity()
+    }
+}
+
+/// An allocation sequence: the user-specified constraint on node
+/// selection (§2.4), or [`AllocSeq::Any`] for the naïve default.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocSeq {
+    /// No constraint: the naïve algorithm returns the next available
+    /// node in index order.
+    Any,
+    /// Explicit node numbers in preference order (e.g. the literal `0`
+    /// and `1` in the intra-BG queries of §3.1).
+    Explicit(Vec<usize>),
+    /// `urr(cluster)`: "a stream ... of compute node identifiers where
+    /// each identifier represents a new available node in the cluster in
+    /// a round-robin fashion" (§3.2, Query 2). Consecutive selections
+    /// advance a persistent cursor so parallel SPs land on different
+    /// nodes.
+    UniformRoundRobin,
+    /// `inPset(k)`: "returns a stream of compute node identifiers in
+    /// pset number k" (§3.2, Query 3). `k` is 0-based here; SCSQL's
+    /// 1-based argument is converted by the engine.
+    InPset(usize),
+    /// `psetrr()`: "a stream of BlueGene compute node numbers, where each
+    /// succeeding node number belongs to a new pset in a round-robin
+    /// fashion" (§3.2, Query 5).
+    PsetRoundRobin,
+}
+
+/// Errors from CNDB queries and node selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CndbError {
+    /// The allocation sequence contained no available node; the paper
+    /// specifies "the query will fail" in this case.
+    NoAvailableNode {
+        /// Cluster in which selection was attempted.
+        cluster: ClusterName,
+        /// The allocation constraint that could not be satisfied.
+        seq: AllocSeq,
+    },
+    /// A node index referenced a row that does not exist.
+    UnknownNode {
+        /// Cluster searched.
+        cluster: ClusterName,
+        /// Offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CndbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CndbError::NoAvailableNode { cluster, seq } => write!(
+                f,
+                "no available node in cluster `{cluster}` for allocation sequence {seq:?}"
+            ),
+            CndbError::UnknownNode { cluster, index } => {
+                write!(f, "node {index} does not exist in cluster `{cluster}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CndbError {}
+
+/// The compute node database of one cluster coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cndb {
+    cluster: ClusterName,
+    nodes: Vec<NodeEntry>,
+    rr_cursor: usize,
+    pset_cursor: usize,
+    psets: usize,
+    pset_size: usize,
+}
+
+impl Cndb {
+    /// Builds a CNDB for `cluster` whose node `i` has kind `kinds[i]`.
+    /// `pset_size` partitions BlueGene compute nodes for `inPset` /
+    /// `psetrr` queries; Linux clusters pass 0 psets.
+    pub fn new(cluster: ClusterName, kinds: Vec<NodeKind>, psets: usize, pset_size: usize) -> Self {
+        let nodes = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(index, kind)| NodeEntry {
+                id: NodeId::new(cluster, index),
+                kind,
+                running: 0,
+            })
+            .collect();
+        Cndb {
+            cluster,
+            nodes,
+            rr_cursor: 0,
+            pset_cursor: 0,
+            psets,
+            pset_size,
+        }
+    }
+
+    /// The owning cluster.
+    pub fn cluster(&self) -> ClusterName {
+        self.cluster
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The row for node `index`.
+    pub fn node(&self, index: usize) -> Result<&NodeEntry, CndbError> {
+        self.nodes.get(index).ok_or(CndbError::UnknownNode {
+            cluster: self.cluster,
+            index,
+        })
+    }
+
+    /// Iterates over all rows.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeEntry> {
+        self.nodes.iter()
+    }
+
+    /// Number of RPs currently running in the cluster.
+    pub fn total_running(&self) -> usize {
+        self.nodes.iter().map(|n| n.running).sum()
+    }
+
+    /// Selects a node satisfying `seq`, marks it allocated, and returns
+    /// its index. Implements the paper's node-selection algorithm: "the
+    /// first available node in the allocation sequence".
+    ///
+    /// # Errors
+    ///
+    /// [`CndbError::NoAvailableNode`] when the sequence has no available
+    /// node (the paper: "the query will fail").
+    pub fn select(&mut self, seq: &AllocSeq) -> Result<usize, CndbError> {
+        let chosen = match seq {
+            AllocSeq::Any => self.first_available(0..self.nodes.len()),
+            AllocSeq::Explicit(order) => order
+                .iter()
+                .copied()
+                .find(|&i| self.nodes.get(i).is_some_and(NodeEntry::available)),
+            AllocSeq::UniformRoundRobin => {
+                let n = self.nodes.len();
+                let found = (0..n)
+                    .map(|k| (self.rr_cursor + k) % n)
+                    .find(|&i| self.nodes[i].available());
+                if let Some(i) = found {
+                    self.rr_cursor = (i + 1) % n;
+                }
+                found
+            }
+            AllocSeq::InPset(pset) => {
+                let lo = pset * self.pset_size;
+                let hi = ((pset + 1) * self.pset_size).min(self.nodes.len());
+                self.first_available(lo..hi)
+            }
+            AllocSeq::PsetRoundRobin => {
+                let mut found = None;
+                for k in 0..self.psets.max(1) {
+                    let pset = (self.pset_cursor + k) % self.psets.max(1);
+                    let lo = pset * self.pset_size;
+                    let hi = ((pset + 1) * self.pset_size).min(self.nodes.len());
+                    if let Some(i) = self.first_available(lo..hi) {
+                        self.pset_cursor = (pset + 1) % self.psets.max(1);
+                        found = Some(i);
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        let index = chosen.ok_or_else(|| CndbError::NoAvailableNode {
+            cluster: self.cluster,
+            seq: seq.clone(),
+        })?;
+        self.nodes[index].running += 1;
+        Ok(index)
+    }
+
+    /// Releases one RP slot on node `index` (RP termination, §2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no running RP (double release is a runtime
+    /// accounting bug).
+    pub fn release(&mut self, index: usize) {
+        let entry = &mut self.nodes[index];
+        assert!(entry.running > 0, "release of idle node {}", entry.id);
+        entry.running -= 1;
+    }
+
+    fn first_available(&self, range: std::ops::Range<usize>) -> Option<usize> {
+        range.into_iter().find(|&i| self.nodes[i].available())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bg_cndb() -> Cndb {
+        // 16 compute nodes, psets of 4 → 4 psets.
+        let kinds = (0..16)
+            .map(|i| NodeKind::BgCompute { pset: i / 4 })
+            .collect();
+        Cndb::new(ClusterName::BlueGene, kinds, 4, 4)
+    }
+
+    fn be_cndb() -> Cndb {
+        let kinds = (0..4).map(|i| NodeKind::Linux { ether_host: i }).collect();
+        Cndb::new(ClusterName::BackEnd, kinds, 0, 0)
+    }
+
+    #[test]
+    fn naive_selection_returns_next_available() {
+        let mut db = bg_cndb();
+        assert_eq!(db.select(&AllocSeq::Any).unwrap(), 0);
+        assert_eq!(db.select(&AllocSeq::Any).unwrap(), 1);
+        assert_eq!(db.total_running(), 2);
+    }
+
+    #[test]
+    fn explicit_sequence_takes_first_available() {
+        let mut db = bg_cndb();
+        assert_eq!(db.select(&AllocSeq::Explicit(vec![5])).unwrap(), 5);
+        // Node 5 is now busy (CNK: one RP per node): falls through to 7.
+        assert_eq!(db.select(&AllocSeq::Explicit(vec![5, 7])).unwrap(), 7);
+    }
+
+    #[test]
+    fn explicit_sequence_fails_when_exhausted() {
+        let mut db = bg_cndb();
+        db.select(&AllocSeq::Explicit(vec![3])).unwrap();
+        let err = db.select(&AllocSeq::Explicit(vec![3])).unwrap_err();
+        assert!(matches!(err, CndbError::NoAvailableNode { .. }));
+        assert!(err.to_string().contains("bg"));
+    }
+
+    #[test]
+    fn linux_nodes_accept_many_rps() {
+        let mut db = be_cndb();
+        for _ in 0..100 {
+            // Query 1's allocation: every generator on back-end node 1.
+            assert_eq!(db.select(&AllocSeq::Explicit(vec![1])).unwrap(), 1);
+        }
+        assert_eq!(db.total_running(), 100);
+    }
+
+    #[test]
+    fn urr_spreads_over_distinct_nodes() {
+        let mut db = be_cndb();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| db.select(&AllocSeq::UniformRoundRobin).unwrap())
+            .collect();
+        // Query 2 semantics: each identifier is a *new* node round-robin.
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn in_pset_confines_selection() {
+        let mut db = bg_cndb();
+        for expected in 4..8 {
+            assert_eq!(db.select(&AllocSeq::InPset(1)).unwrap(), expected);
+        }
+        // Pset 1 is now full.
+        assert!(db.select(&AllocSeq::InPset(1)).is_err());
+    }
+
+    #[test]
+    fn psetrr_takes_one_node_per_pset() {
+        let mut db = bg_cndb();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| db.select(&AllocSeq::PsetRoundRobin).unwrap())
+            .collect();
+        // First four land in psets 0..3; the fifth wraps to pset 0's next
+        // free node — exactly the paper's n=5 sharing situation.
+        assert_eq!(picks, vec![0, 4, 8, 12, 1, 5]);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut db = bg_cndb();
+        let i = db.select(&AllocSeq::Any).unwrap();
+        db.release(i);
+        assert_eq!(db.select(&AllocSeq::Explicit(vec![i])).unwrap(), i);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of idle node")]
+    fn double_release_panics() {
+        let mut db = bg_cndb();
+        db.release(0);
+    }
+
+    #[test]
+    fn unknown_node_lookup_is_an_error() {
+        let db = bg_cndb();
+        assert!(matches!(
+            db.node(99),
+            Err(CndbError::UnknownNode { index: 99, .. })
+        ));
+        assert!(db.node(3).is_ok());
+    }
+}

@@ -1,0 +1,652 @@
+//! The live hardware environment: networks, CPUs, I/O nodes, CNDBs.
+//!
+//! [`Environment`] owns one instance of every contended resource in the
+//! paper's Figure 1 dataflow and exposes the timing primitives the stream
+//! carriers ([`scsq_transport`](../scsq_transport/index.html)) compose:
+//! marshal/demarshal CPU time, torus MPI transmission, and the
+//! cross-cluster TCP path (Ethernet → I/O node → tree network).
+//!
+//! The I/O-node forwarding step implements the two coordination penalties
+//! calibrated in [`HardwareSpec`]: a per-I/O-node stream-count factor and
+//! a global external-host factor. Inbound flows must be registered via
+//! [`Environment::register_inbound`] so these counts are known.
+
+use crate::cndb::{AllocSeq, Cndb, CndbError};
+use crate::ids::{ClusterName, NodeId, NodeKind};
+use crate::specs::HardwareSpec;
+use scsq_net::torus::TransmitOutcome;
+use scsq_net::{Ethernet, FlowId, TorusDims, TorusNet, TreeNet};
+use scsq_sim::{FifoServer, SimDur, SimTime, SwitchingServer};
+use std::collections::HashMap;
+
+/// Which stream carrier a buffer traveled on; the receiving compute
+/// node's de-marshal cost depends on it (torus DMA vs CIOD-proxied TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CarrierClass {
+    /// MPI over the torus (intra-BlueGene).
+    Mpi,
+    /// TCP between clusters.
+    Tcp,
+}
+
+/// Timeline of a cross-cluster (TCP) segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpOutcome {
+    /// When the sending NIC released the segment (send buffer reusable).
+    pub sent: SimTime,
+    /// When the segment was fully delivered at the receiving node
+    /// (before de-marshaling).
+    pub delivered: SimTime,
+}
+
+/// The heterogeneous hardware environment of the paper's Figure 1.
+#[derive(Debug)]
+pub struct Environment {
+    spec: HardwareSpec,
+    torus: TorusNet,
+    tree: TreeNet,
+    ether: Ethernet,
+    /// Marshal CPU per BlueGene compute node (the "compute" core).
+    cn_tx: Vec<FifoServer>,
+    /// De-marshal CPU per BlueGene compute node, with per-flow switch
+    /// penalty (single-threaded CNK alternating between input streams).
+    cn_rx: Vec<SwitchingServer>,
+    /// Marshal CPU per Linux node (front-end then back-end, see
+    /// `linux_slot`).
+    linux_tx: Vec<FifoServer>,
+    /// De-marshal CPU per Linux node.
+    linux_rx: Vec<FifoServer>,
+    /// Forwarding processor of each I/O node (CIOD).
+    io_forward: Vec<FifoServer>,
+    /// CNDB per cluster.
+    cndbs: HashMap<ClusterName, Cndb>,
+    /// Registered inbound flows: flow → (external ether host, pset).
+    inbound: HashMap<FlowId, (usize, usize)>,
+    /// Inbound flow count per I/O node (indexed by pset).
+    io_streams: Vec<usize>,
+    /// Refcount of inbound flows per external host.
+    host_flows: HashMap<usize, usize>,
+}
+
+impl Environment {
+    /// Builds an idle environment from a hardware specification.
+    pub fn new(spec: HardwareSpec) -> Self {
+        let dims = TorusDims::new(spec.torus_x, spec.torus_y, spec.torus_z);
+        let cn_count = spec.bg_compute_nodes();
+        let psets = spec.psets();
+        let linux_count = spec.front_end_nodes + spec.back_end_nodes;
+        // Ethernet host layout: [front-end | back-end | I/O nodes].
+        let ether_hosts = linux_count + psets;
+
+        let bg_kinds = (0..cn_count)
+            .map(|rank| NodeKind::BgCompute {
+                pset: spec.pset_of(rank),
+            })
+            .collect();
+        let fe_kinds = (0..spec.front_end_nodes)
+            .map(|i| NodeKind::Linux { ether_host: i })
+            .collect();
+        let be_kinds = (0..spec.back_end_nodes)
+            .map(|i| NodeKind::Linux {
+                ether_host: spec.front_end_nodes + i,
+            })
+            .collect();
+
+        let mut cndbs = HashMap::new();
+        cndbs.insert(
+            ClusterName::BlueGene,
+            Cndb::new(ClusterName::BlueGene, bg_kinds, psets, spec.pset_size),
+        );
+        cndbs.insert(
+            ClusterName::FrontEnd,
+            Cndb::new(ClusterName::FrontEnd, fe_kinds, 0, 0),
+        );
+        cndbs.insert(
+            ClusterName::BackEnd,
+            Cndb::new(ClusterName::BackEnd, be_kinds, 0, 0),
+        );
+
+        Environment {
+            torus: TorusNet::new(dims, spec.torus.clone()),
+            tree: TreeNet::new(psets, spec.tree.clone()),
+            ether: Ethernet::new(ether_hosts, spec.ether.clone()),
+            cn_tx: vec![FifoServer::new(); cn_count],
+            cn_rx: (0..cn_count)
+                .map(|_| SwitchingServer::new(spec.cn_recv_switch))
+                .collect(),
+            linux_tx: vec![FifoServer::new(); linux_count],
+            linux_rx: vec![FifoServer::new(); linux_count],
+            io_forward: vec![FifoServer::new(); psets],
+            cndbs,
+            inbound: HashMap::new(),
+            io_streams: vec![0; psets],
+            host_flows: HashMap::new(),
+            spec,
+        }
+    }
+
+    /// The standard LOFAR configuration ([`HardwareSpec::lofar`]).
+    pub fn lofar() -> Self {
+        Environment::new(HardwareSpec::lofar())
+    }
+
+    /// The hardware specification in effect.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    /// The CNDB of `cluster`.
+    pub fn cndb(&self, cluster: ClusterName) -> &Cndb {
+        &self.cndbs[&cluster]
+    }
+
+    /// Mutable CNDB access (node selection allocates).
+    pub fn cndb_mut(&mut self, cluster: ClusterName) -> &mut Cndb {
+        self.cndbs.get_mut(&cluster).expect("cluster exists")
+    }
+
+    /// Selects and allocates a node in `cluster` per the allocation
+    /// sequence, returning its [`NodeId`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CndbError`] when the sequence has no available node.
+    pub fn place(&mut self, cluster: ClusterName, seq: &AllocSeq) -> Result<NodeId, CndbError> {
+        let index = self.cndb_mut(cluster).select(seq)?;
+        Ok(NodeId::new(cluster, index))
+    }
+
+    /// The Ethernet host index of a node, if it has a NIC (Linux nodes
+    /// do; BlueGene compute nodes do not — they reach Ethernet through
+    /// their pset's I/O node).
+    pub fn ether_host_of(&self, node: NodeId) -> Option<usize> {
+        match node.cluster {
+            ClusterName::FrontEnd => Some(node.index),
+            ClusterName::BackEnd => Some(self.spec.front_end_nodes + node.index),
+            ClusterName::BlueGene => None,
+        }
+    }
+
+    /// The Ethernet host index of pset `pset`'s I/O node.
+    pub fn io_host(&self, pset: usize) -> usize {
+        self.spec.front_end_nodes + self.spec.back_end_nodes + pset
+    }
+
+    /// The pset of a BlueGene compute node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a BlueGene node.
+    pub fn pset_of(&self, node: NodeId) -> usize {
+        assert_eq!(
+            node.cluster,
+            ClusterName::BlueGene,
+            "pset_of called on {node}"
+        );
+        self.spec.pset_of(node.index)
+    }
+
+    // ----- CPU primitives ---------------------------------------------
+
+    /// Charges element-generation CPU time on `node` for `bytes` of
+    /// output ready at `ready`; returns when generation completes.
+    pub fn generate(&mut self, node: NodeId, bytes: u64, ready: SimTime) -> SimTime {
+        let (server, rate) = self.tx_server(node, true);
+        server.serve(ready, SimDur::for_bytes(bytes, rate)).finish
+    }
+
+    /// Charges marshaling CPU time (§2.3 step ii) on `node`.
+    pub fn marshal(&mut self, node: NodeId, bytes: u64, ready: SimTime) -> SimTime {
+        let (server, rate) = self.tx_server(node, false);
+        server.serve(ready, SimDur::for_bytes(bytes, rate)).finish
+    }
+
+    /// Charges general stream-operator compute time on `node`'s compute
+    /// CPU, expressed as `bytes_equiv` bytes of memory traffic (used for
+    /// `fft` and other expensive functions in SQEPs).
+    pub fn compute(&mut self, node: NodeId, bytes_equiv: u64, ready: SimTime) -> SimTime {
+        if bytes_equiv == 0 {
+            return ready;
+        }
+        let (server, rate) = self.tx_server(node, false);
+        server
+            .serve(ready, SimDur::for_bytes(bytes_equiv, rate))
+            .finish
+    }
+
+    /// Charges de-marshaling CPU time (§2.3 step v) on `node` for a
+    /// buffer of `flow` received over `carrier`; BlueGene compute nodes
+    /// pay a switch penalty when alternating between flows, and TCP
+    /// buffers cost far more per byte than MPI ones (CIOD-proxied socket
+    /// reads vs torus DMA).
+    pub fn demarshal(
+        &mut self,
+        node: NodeId,
+        flow: FlowId,
+        bytes: u64,
+        ready: SimTime,
+        carrier: CarrierClass,
+    ) -> SimTime {
+        match node.cluster {
+            ClusterName::BlueGene => {
+                let (rate, switch) = match carrier {
+                    // Torus DMA: alternation is penalized at the
+                    // co-processor, not on the compute CPU.
+                    CarrierClass::Mpi => (self.spec.cn_demarshal_mpi.bytes_per_sec(), SimDur::ZERO),
+                    CarrierClass::Tcp => (
+                        self.spec.cn_demarshal_tcp.bytes_per_sec(),
+                        self.spec.cn_recv_switch,
+                    ),
+                };
+                let service = SimDur::for_bytes(bytes, rate);
+                self.cn_rx[node.index]
+                    .serve_from_with_cost(flow.0, ready, service, switch)
+                    .finish
+            }
+            _ => {
+                let slot = self.linux_slot(node);
+                let service =
+                    SimDur::for_bytes(bytes, self.spec.linux_demarshal.bytes_per_sec());
+                self.linux_rx[slot].serve(ready, service).finish
+            }
+        }
+    }
+
+    fn tx_server(&mut self, node: NodeId, generating: bool) -> (&mut FifoServer, f64) {
+        match node.cluster {
+            ClusterName::BlueGene => {
+                let rate = if generating {
+                    self.spec.cn_generate.bytes_per_sec()
+                } else {
+                    self.spec.cn_marshal.bytes_per_sec()
+                };
+                (&mut self.cn_tx[node.index], rate)
+            }
+            _ => {
+                let rate = if generating {
+                    self.spec.linux_generate.bytes_per_sec()
+                } else {
+                    self.spec.linux_marshal.bytes_per_sec()
+                };
+                let slot = self.linux_slot(node);
+                (&mut self.linux_tx[slot], rate)
+            }
+        }
+    }
+
+    fn linux_slot(&self, node: NodeId) -> usize {
+        match node.cluster {
+            ClusterName::FrontEnd => node.index,
+            ClusterName::BackEnd => self.spec.front_end_nodes + node.index,
+            ClusterName::BlueGene => unreachable!("BlueGene nodes have no Linux CPU slot"),
+        }
+    }
+
+    // ----- network primitives -----------------------------------------
+
+    /// Transmits an MPI buffer between two BlueGene compute nodes over
+    /// the torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not a BlueGene compute node.
+    pub fn mpi_transmit(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        ready: SimTime,
+    ) -> TransmitOutcome {
+        assert_eq!(src.cluster, ClusterName::BlueGene, "MPI src must be bg");
+        assert_eq!(dst.cluster, ClusterName::BlueGene, "MPI dst must be bg");
+        self.torus.transmit(flow, src.index, dst.index, bytes, ready)
+    }
+
+    /// Transmits a TCP segment between clusters. Supported paths:
+    /// Linux → Linux (Ethernet), Linux → BlueGene compute node (Ethernet
+    /// → I/O node → tree), and BlueGene compute node → Linux (tree → I/O
+    /// node → Ethernet).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a BlueGene → BlueGene pair (those streams use MPI; §2.3:
+    /// "MPI is always used inside the BlueGene ... TCP is always used
+    /// when communicating between clusters").
+    pub fn tcp_transmit(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        ready: SimTime,
+    ) -> TcpOutcome {
+        match (src.cluster, dst.cluster) {
+            (ClusterName::BlueGene, ClusterName::BlueGene) => {
+                panic!("intra-BlueGene streams must use the MPI carrier")
+            }
+            (_, ClusterName::BlueGene) => {
+                // Inbound: sender NIC → switch → I/O node NIC → CIOD
+                // forward → tree network → compute node.
+                let src_host = self
+                    .ether_host_of(src)
+                    .expect("linux sender has a NIC");
+                let pset = self.pset_of(dst);
+                let io = self.io_host(pset);
+                let e = self.ether.transmit(flow, src_host, io, bytes, ready);
+                let fwd = self.io_forward_serve(pset, bytes, e.delivered);
+                let delivered = self.tree.transfer(flow, pset, bytes, fwd);
+                TcpOutcome {
+                    sent: e.sent,
+                    delivered,
+                }
+            }
+            (ClusterName::BlueGene, _) => {
+                // Outbound: compute node → tree → CIOD → Ethernet.
+                let pset = self.pset_of(src);
+                let io = self.io_host(pset);
+                let dst_host = self
+                    .ether_host_of(dst)
+                    .expect("linux receiver has a NIC");
+                let t = self.tree.transfer(flow, pset, bytes, ready);
+                let fwd = self.io_forward_serve(pset, bytes, t);
+                let e = self.ether.transmit(flow, io, dst_host, bytes, fwd);
+                TcpOutcome {
+                    sent: t,
+                    delivered: e.delivered,
+                }
+            }
+            _ => {
+                let src_host = self.ether_host_of(src).expect("linux sender");
+                let dst_host = self.ether_host_of(dst).expect("linux receiver");
+                if src_host == dst_host {
+                    // Loopback between co-located RPs: a kernel memory
+                    // copy, no NIC involved.
+                    let done = ready
+                        + SimDur::from_micros(10)
+                        + SimDur::for_bytes(bytes, 2e9);
+                    return TcpOutcome {
+                        sent: done,
+                        delivered: done,
+                    };
+                }
+                let e = self.ether.transmit(flow, src_host, dst_host, bytes, ready);
+                TcpOutcome {
+                    sent: e.sent,
+                    delivered: e.delivered,
+                }
+            }
+        }
+    }
+
+    /// Transmits a UDP datagram between clusters. Same path as
+    /// [`Environment::tcp_transmit`], but with no flow control: when the
+    /// I/O node's forwarding backlog exceeds
+    /// [`HardwareSpec::udp_drop_backlog`], the datagram is dropped.
+    ///
+    /// Returns when the sending NIC released the datagram, and the
+    /// delivery time — `None` if it was dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a BlueGene → BlueGene pair (intra-BlueGene streams use
+    /// MPI).
+    pub fn udp_transmit(
+        &mut self,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        ready: SimTime,
+    ) -> (SimTime, Option<SimTime>) {
+        match (src.cluster, dst.cluster) {
+            (ClusterName::BlueGene, ClusterName::BlueGene) => {
+                panic!("intra-BlueGene streams must use the MPI carrier")
+            }
+            (_, ClusterName::BlueGene) => {
+                let src_host = self.ether_host_of(src).expect("linux sender has a NIC");
+                let pset = self.pset_of(dst);
+                let io = self.io_host(pset);
+                let e = self.ether.transmit(flow, src_host, io, bytes, ready);
+                // Bounded forwarder buffer: datagrams arriving into a
+                // deep backlog are dropped.
+                let backlog_clears = self.io_forward[pset].busy_until();
+                if backlog_clears > e.delivered
+                    && backlog_clears.since(e.delivered) > self.spec.udp_drop_backlog
+                {
+                    return (e.sent, None);
+                }
+                let fwd = self.io_forward_serve(pset, bytes, e.delivered);
+                let delivered = self.tree.transfer(flow, pset, bytes, fwd);
+                (e.sent, Some(delivered))
+            }
+            _ => {
+                // Paths not involving the I/O nodes behave like TCP
+                // minus the flow control (the switch is non-blocking).
+                let out = self.tcp_transmit(flow, src, dst, bytes, ready);
+                (out.sent, Some(out.delivered))
+            }
+        }
+    }
+
+    fn io_forward_serve(&mut self, pset: usize, bytes: u64, ready: SimTime) -> SimTime {
+        let streams = self.io_streams[pset].max(1);
+        let hosts = self.host_flows.len().max(1);
+        let factor = self.spec.io_stream_factor(streams) * self.spec.io_host_factor(hosts);
+        let base = SimDur::for_bytes(bytes, self.spec.io_forward.bytes_per_sec());
+        self.io_forward[pset].serve(ready, base * factor).finish
+    }
+
+    // ----- inbound flow registration ----------------------------------
+
+    /// Registers an inbound stream (external host → BlueGene) so the
+    /// I/O-node coordination penalties see it. Channels crossing into the
+    /// BlueGene must call this before their first segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is already registered.
+    pub fn register_inbound(&mut self, flow: FlowId, ext_host: usize, pset: usize) {
+        let prev = self.inbound.insert(flow, (ext_host, pset));
+        assert!(prev.is_none(), "flow {flow:?} registered twice");
+        self.io_streams[pset] += 1;
+        *self.host_flows.entry(ext_host).or_insert(0) += 1;
+    }
+
+    /// Unregisters an inbound stream (stream end / RP termination).
+    /// Unknown flows are ignored (idempotent teardown).
+    pub fn unregister_inbound(&mut self, flow: FlowId) {
+        if let Some((host, pset)) = self.inbound.remove(&flow) {
+            self.io_streams[pset] -= 1;
+            if let Some(count) = self.host_flows.get_mut(&host) {
+                *count -= 1;
+                if *count == 0 {
+                    self.host_flows.remove(&host);
+                }
+            }
+        }
+    }
+
+    /// Number of registered inbound flows through pset `pset`'s I/O node.
+    pub fn inbound_streams(&self, pset: usize) -> usize {
+        self.io_streams[pset]
+    }
+
+    /// Number of distinct external hosts currently streaming inbound.
+    pub fn inbound_hosts(&self) -> usize {
+        self.host_flows.len()
+    }
+
+    /// Total CPU busy time accumulated on a node (marshal/compute core
+    /// plus de-marshal accounting; for Linux nodes this is the whole
+    /// node, which may host several RPs).
+    pub fn cpu_busy(&self, node: NodeId) -> scsq_sim::SimDur {
+        match node.cluster {
+            ClusterName::BlueGene => {
+                self.cn_tx[node.index].busy_total() + self.cn_rx[node.index].busy_total()
+            }
+            _ => {
+                let slot = self.linux_slot(node);
+                self.linux_tx[slot].busy_total() + self.linux_rx[slot].busy_total()
+            }
+        }
+    }
+
+    /// Read access to the torus (statistics, tests).
+    pub fn torus(&self) -> &TorusNet {
+        &self.torus
+    }
+
+    /// Read access to the Ethernet fabric (statistics, tests).
+    pub fn ether(&self) -> &Ethernet {
+        &self.ether
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lofar_layout_is_consistent() {
+        let env = Environment::lofar();
+        assert_eq!(env.cndb(ClusterName::BlueGene).len(), 32);
+        assert_eq!(env.cndb(ClusterName::BackEnd).len(), 4);
+        assert_eq!(env.cndb(ClusterName::FrontEnd).len(), 2);
+        // Hosts: 2 fe + 4 be + 4 io.
+        assert_eq!(env.ether().hosts(), 10);
+        assert_eq!(env.ether_host_of(NodeId::fe(0)), Some(0));
+        assert_eq!(env.ether_host_of(NodeId::be(0)), Some(2));
+        assert_eq!(env.ether_host_of(NodeId::bg(0)), None);
+        assert_eq!(env.io_host(0), 6);
+        assert_eq!(env.io_host(3), 9);
+    }
+
+    #[test]
+    fn placement_allocates_through_cndb() {
+        let mut env = Environment::lofar();
+        let a = env.place(ClusterName::BlueGene, &AllocSeq::Any).unwrap();
+        let b = env.place(ClusterName::BlueGene, &AllocSeq::Any).unwrap();
+        assert_eq!(a, NodeId::bg(0));
+        assert_eq!(b, NodeId::bg(1));
+    }
+
+    #[test]
+    fn mpi_transmit_uses_torus() {
+        let mut env = Environment::lofar();
+        let out = env.mpi_transmit(FlowId(1), NodeId::bg(1), NodeId::bg(0), 4096, SimTime::ZERO);
+        assert!(out.delivered > SimTime::ZERO);
+        assert_eq!(env.torus().messages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI src must be bg")]
+    fn mpi_rejects_linux_nodes() {
+        let mut env = Environment::lofar();
+        env.mpi_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 4096, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tcp_inbound_crosses_ether_io_tree() {
+        let mut env = Environment::lofar();
+        env.register_inbound(FlowId(1), 2, 0);
+        let out = env.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        assert!(out.delivered > out.sent);
+        assert_eq!(env.ether().messages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must use the MPI carrier")]
+    fn tcp_rejects_intra_bg() {
+        let mut env = Environment::lofar();
+        env.tcp_transmit(FlowId(1), NodeId::bg(0), NodeId::bg(1), 1024, SimTime::ZERO);
+    }
+
+    #[test]
+    fn inbound_registration_counts_hosts_and_streams() {
+        let mut env = Environment::lofar();
+        env.register_inbound(FlowId(1), 2, 0);
+        env.register_inbound(FlowId(2), 2, 0);
+        env.register_inbound(FlowId(3), 3, 1);
+        assert_eq!(env.inbound_streams(0), 2);
+        assert_eq!(env.inbound_streams(1), 1);
+        assert_eq!(env.inbound_hosts(), 2);
+        env.unregister_inbound(FlowId(2));
+        assert_eq!(env.inbound_streams(0), 1);
+        assert_eq!(env.inbound_hosts(), 2, "host 2 still has flow 1");
+        env.unregister_inbound(FlowId(1));
+        assert_eq!(env.inbound_hosts(), 1, "only host 3 remains");
+        env.unregister_inbound(FlowId(3));
+        assert_eq!(env.inbound_hosts(), 0);
+        // Idempotent teardown.
+        env.unregister_inbound(FlowId(3));
+        assert_eq!(env.inbound_hosts(), 0);
+    }
+
+    #[test]
+    fn host_coordination_slows_io_forwarding() {
+        // Same segment through the same I/O node, but with more external
+        // hosts registered, takes longer — the Query 5 vs Query 6
+        // mechanism.
+        let mut one_host = Environment::lofar();
+        one_host.register_inbound(FlowId(1), 2, 0);
+        let a = one_host.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+
+        let mut four_hosts = Environment::lofar();
+        four_hosts.register_inbound(FlowId(1), 2, 0);
+        for (i, host) in [(2u64, 3usize), (3, 4), (4, 5)] {
+            four_hosts.register_inbound(FlowId(i), host, (i as usize) % 4);
+        }
+        let b = four_hosts.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        assert!(b.delivered > a.delivered);
+    }
+
+    #[test]
+    fn stream_sharing_slows_io_forwarding() {
+        let mut shared = Environment::lofar();
+        shared.register_inbound(FlowId(1), 2, 0);
+        shared.register_inbound(FlowId(2), 2, 0);
+        let b = shared.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+
+        let mut single = Environment::lofar();
+        single.register_inbound(FlowId(1), 2, 0);
+        let a = single.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        assert!(b.delivered > a.delivered);
+    }
+
+    #[test]
+    fn demarshal_switching_penalizes_interleaved_flows_on_cn() {
+        let mut env = Environment::lofar();
+        let node = NodeId::bg(0);
+        // Interleaved flows.
+        let mut t_inter = SimTime::ZERO;
+        for i in 0..6u64 {
+            t_inter = env.demarshal(node, FlowId(i % 2), 65_536, SimTime::ZERO, CarrierClass::Tcp);
+        }
+        let mut env2 = Environment::lofar();
+        let mut t_same = SimTime::ZERO;
+        for _ in 0..6u64 {
+            t_same = env2.demarshal(node, FlowId(1), 65_536, SimTime::ZERO, CarrierClass::Tcp);
+        }
+        assert!(t_inter > t_same);
+        // MPI de-marshal of the same buffers is far cheaper than TCP.
+        let mut env3 = Environment::lofar();
+        let mut t_mpi = SimTime::ZERO;
+        for _ in 0..6u64 {
+            t_mpi = env3.demarshal(node, FlowId(1), 65_536, SimTime::ZERO, CarrierClass::Mpi);
+        }
+        assert!(t_mpi.as_nanos() < t_same.as_nanos() / 4);
+    }
+
+    #[test]
+    fn generation_is_charged_on_the_right_cpu() {
+        let mut env = Environment::lofar();
+        let t1 = env.generate(NodeId::be(1), 3_000_000, SimTime::ZERO);
+        // Second generator RP on the same node shares that node's CPU.
+        let t2 = env.generate(NodeId::be(1), 3_000_000, SimTime::ZERO);
+        // A generator on a different node does not.
+        let t3 = env.generate(NodeId::be(2), 3_000_000, SimTime::ZERO);
+        assert!(t2 > t1);
+        assert_eq!(t3, t1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Typed identities for clusters and compute nodes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the three clusters of the LOFAR environment (paper Fig 1).
+///
+/// SCSQL refers to clusters by the short names used in the paper's
+/// queries: `'fe'`, `'be'`, and `'bg'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ClusterName {
+    /// The Linux front-end cluster (client manager, post-processing).
+    FrontEnd,
+    /// The Linux back-end cluster (stream reception, pre-processing).
+    BackEnd,
+    /// The BlueGene (compute nodes + I/O nodes).
+    BlueGene,
+}
+
+impl ClusterName {
+    /// All clusters, in Fig 1 dataflow order.
+    pub const ALL: [ClusterName; 3] = [
+        ClusterName::FrontEnd,
+        ClusterName::BackEnd,
+        ClusterName::BlueGene,
+    ];
+
+    /// The short name used in SCSQL queries (`"fe"`, `"be"`, `"bg"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ClusterName::FrontEnd => "fe",
+            ClusterName::BackEnd => "be",
+            ClusterName::BlueGene => "bg",
+        }
+    }
+}
+
+/// Error returned when parsing a cluster name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClusterError(pub String);
+
+impl fmt::Display for ParseClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cluster name `{}` (expected fe, be, or bg)", self.0)
+    }
+}
+
+impl std::error::Error for ParseClusterError {}
+
+impl FromStr for ClusterName {
+    type Err = ParseClusterError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fe" => Ok(ClusterName::FrontEnd),
+            "be" => Ok(ClusterName::BackEnd),
+            "bg" => Ok(ClusterName::BlueGene),
+            other => Err(ParseClusterError(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for ClusterName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A node within a specific cluster. `index` is the node number SCSQL
+/// allocation sequences use (e.g. the explicit `0` and `1` in the
+/// intra-BG queries of §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId {
+    /// The owning cluster.
+    pub cluster: ClusterName,
+    /// Node number within the cluster (for BlueGene compute nodes this is
+    /// the torus rank).
+    pub index: usize,
+}
+
+impl NodeId {
+    /// Convenience constructor.
+    pub fn new(cluster: ClusterName, index: usize) -> Self {
+        NodeId { cluster, index }
+    }
+
+    /// A BlueGene compute node by torus rank.
+    pub fn bg(index: usize) -> Self {
+        NodeId::new(ClusterName::BlueGene, index)
+    }
+
+    /// A back-end cluster node.
+    pub fn be(index: usize) -> Self {
+        NodeId::new(ClusterName::BackEnd, index)
+    }
+
+    /// A front-end cluster node.
+    pub fn fe(index: usize) -> Self {
+        NodeId::new(ClusterName::FrontEnd, index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.cluster, self.index)
+    }
+}
+
+/// What kind of hardware a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// BlueGene compute node: runs the CNK, accepts exactly one RP
+    /// (§2.2: "BlueGene compute nodes can execute only one process"),
+    /// communicates over the torus, reached from outside through its
+    /// pset's I/O node.
+    BgCompute {
+        /// The pset (0-based) this node belongs to.
+        pset: usize,
+    },
+    /// BlueGene I/O node: "I/O nodes are only used for communication,
+    /// and cannot be used for computations" (§2.1).
+    BgIo {
+        /// The pset (0-based) this I/O node serves.
+        pset: usize,
+        /// Host index on the Ethernet fabric.
+        ether_host: usize,
+    },
+    /// A Linux cluster node (front-end or back-end JS20).
+    Linux {
+        /// Host index on the Ethernet fabric.
+        ether_host: usize,
+    },
+}
+
+impl NodeKind {
+    /// Whether RPs may be placed on this node.
+    pub fn schedulable(self) -> bool {
+        !matches!(self, NodeKind::BgIo { .. })
+    }
+
+    /// Maximum concurrent RPs: one for a CNK compute node, effectively
+    /// unbounded for Linux nodes.
+    pub fn capacity(self) -> usize {
+        match self {
+            NodeKind::BgCompute { .. } => 1,
+            NodeKind::BgIo { .. } => 0,
+            NodeKind::Linux { .. } => usize::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_names_round_trip() {
+        for c in ClusterName::ALL {
+            assert_eq!(c.as_str().parse::<ClusterName>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn unknown_cluster_is_an_error() {
+        let err = "xy".parse::<ClusterName>().unwrap_err();
+        assert!(err.to_string().contains("xy"));
+    }
+
+    #[test]
+    fn node_display_is_cluster_qualified() {
+        assert_eq!(NodeId::bg(3).to_string(), "bg:3");
+        assert_eq!(NodeId::be(1).to_string(), "be:1");
+    }
+
+    #[test]
+    fn capacities_match_cnk_semantics() {
+        assert_eq!(NodeKind::BgCompute { pset: 0 }.capacity(), 1);
+        assert_eq!(NodeKind::BgIo { pset: 0, ether_host: 0 }.capacity(), 0);
+        assert!(NodeKind::Linux { ether_host: 0 }.capacity() > 1000);
+        assert!(!NodeKind::BgIo { pset: 0, ether_host: 0 }.schedulable());
+    }
+}

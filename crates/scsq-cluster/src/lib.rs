@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # scsq-cluster — the heterogeneous LOFAR hardware environment
+//!
+//! §2.1 of the paper describes three clusters joined in one stream
+//! dataflow (its Figure 1): a Linux **front-end** cluster where users
+//! interact with SCSQ, a Linux **back-end** cluster receiving and
+//! pre-processing sensor streams, and a **BlueGene/L** doing the heavy
+//! stream computations. This crate builds that environment:
+//!
+//! * [`ids`] — typed identities for clusters and nodes.
+//! * [`specs`] — every calibrated hardware constant, each documented with
+//!   the paper sentence that motivates it.
+//! * [`cndb`] — the per-cluster *compute node database* (§2.2) holding
+//!   node properties and status, with the allocation-sequence queries the
+//!   paper uses (`urr`, `inPset`, `psetrr`, explicit node ids).
+//! * [`mod@env`] — the live [`env::Environment`]: torus + tree + Ethernet
+//!   instances, per-node CPUs, I/O-node forwarding with the coordination
+//!   penalties behind the paper's Fig 15 observations.
+
+pub mod cndb;
+pub mod env;
+pub mod ids;
+pub mod specs;
+
+pub use cndb::{AllocSeq, Cndb, CndbError, NodeEntry};
+pub use env::{CarrierClass, Environment, TcpOutcome};
+pub use ids::{ClusterName, NodeId, NodeKind};
+pub use specs::HardwareSpec;

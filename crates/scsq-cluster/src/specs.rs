@@ -1,0 +1,267 @@
+//! Calibrated hardware constants for the LOFAR environment.
+//!
+//! Every constant is annotated with the paper statement that motivates
+//! it. Absolute values are calibrated so the reproduction matches the
+//! *shape* of the paper's three result figures (who wins, where the
+//! crossovers and peaks fall), not the authors' exact testbed numbers;
+//! `EXPERIMENTS.md` discusses the calibration in detail.
+
+use scsq_net::{Bandwidth, EtherParams, TorusParams, TreeParams};
+use scsq_sim::SimDur;
+use serde::{Deserialize, Serialize};
+
+/// The complete constant set for one [`crate::Environment`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// BlueGene partition shape: X extent of the torus.
+    pub torus_x: usize,
+    /// BlueGene partition shape: Y extent of the torus.
+    pub torus_y: usize,
+    /// BlueGene partition shape: Z extent of the torus.
+    pub torus_z: usize,
+    /// Compute nodes per pset; §2.1: "processing sets of 8 compute nodes
+    /// and one I/O node".
+    pub pset_size: usize,
+    /// Number of back-end Linux nodes; §5: "we have only four ... nodes
+    /// in the back-end cluster".
+    pub back_end_nodes: usize,
+    /// Number of front-end Linux nodes.
+    pub front_end_nodes: usize,
+
+    /// Torus model constants (1.4 Gbps links, co-processor behaviour).
+    pub torus: TorusParams,
+    /// Tree network constants (2.8 Gbps per pset channel).
+    pub tree: TreeParams,
+    /// Gigabit Ethernet constants. The per-segment overhead is tuned so a
+    /// single saturated NIC delivers ≈920 Mbps, the peak the paper
+    /// reports for Query 5.
+    pub ether: EtherParams,
+
+    /// Rate at which a BlueGene compute node's *compute* CPU marshals
+    /// objects into send buffers (the co-processor does the injection;
+    /// §2.1: "one is used for computation and the other one for
+    /// communication").
+    pub cn_marshal: Bandwidth,
+    /// Rate at which a compute node de-marshals buffers received over
+    /// **MPI** (§2.3 step v): torus DMA lands data in local memory, so
+    /// materialization is a fast copy.
+    pub cn_demarshal_mpi: Bandwidth,
+    /// Rate at which a compute node de-marshals buffers received over
+    /// **TCP** through its I/O node: socket reads proxied by CIOD plus
+    /// object materialization. This is the Query 1 bottleneck: a single
+    /// 700 MHz PPC440 materializing a ~1 Gbps TCP stream cannot keep up.
+    pub cn_demarshal_tcp: Bandwidth,
+    /// Extra cost when a compute node's de-marshaler alternates between
+    /// **TCP** buffers of different input flows (CIOD-proxied socket
+    /// switching on the single-threaded CNK). MPI flow alternation is
+    /// already penalized at the communication co-processor
+    /// ([`scsq_net::TorusParams::switch_cost`]), not here.
+    pub cn_recv_switch: SimDur,
+    /// Rate at which a compute node generates stream elements.
+    /// `gen_array` is a synthetic driver source — its arrays are not
+    /// computed, so the rate is set near memory speed ("we are primarily
+    /// interested in communication performance", §3).
+    pub cn_generate: Bandwidth,
+
+    /// Linux (JS20, dual PPC970 2.2 GHz) marshal rate.
+    pub linux_marshal: Bandwidth,
+    /// Linux de-marshal rate.
+    pub linux_demarshal: Bandwidth,
+    /// Linux element generation rate.
+    pub linux_generate: Bandwidth,
+
+    /// Base store-and-forward rate of an I/O node relaying external TCP
+    /// traffic onto the tree network (CIOD proxying). Calibrated to the
+    /// single-I/O-node plateau of Queries 3/4 (~450 Mbps).
+    pub io_forward: Bandwidth,
+    /// Per-additional-stream coordination coefficient at one I/O node:
+    /// the forward service is scaled by `1 + c·(streams-1)^p`. This is
+    /// what produces the Query 5 dip at n=5 ("compute nodes have to share
+    /// I/O nodes and therefore the bandwidth decreases", §3.2 obs. 5).
+    pub io_stream_coeff: f64,
+    /// Exponent `p` of the stream coordination term (sub-linear so a
+    /// single I/O node can still serve the many streams of Query 3).
+    pub io_stream_pow: f64,
+    /// Per-additional-external-host coordination coefficient, applied to
+    /// every I/O node's forward service as `1 + c·(hosts-1)` where
+    /// `hosts` counts distinct external machines currently streaming into
+    /// the partition. Models §3.2 obs. 3/4: "coordination problems in the
+    /// I/O node when communicating with many outside nodes" — why Query 1
+    /// beats Query 2 and Query 5 beats Query 6.
+    pub io_host_coeff: f64,
+
+    /// TCP segment size used by the stream carrier between clusters
+    /// (§3.2: "we rely on the buffering of the TCP stack").
+    pub tcp_segment: u64,
+    /// UDP datagram payload size (jumbo frames, as on LOFAR's links).
+    /// §2.1: the I/O nodes "provide TCP or UDP".
+    pub udp_segment: u64,
+    /// How much backlog an I/O node tolerates before dropping UDP
+    /// datagrams (no flow control: senders overrun slow forwarders).
+    pub udp_drop_backlog: SimDur,
+}
+
+impl HardwareSpec {
+    /// The LOFAR configuration used throughout the paper's evaluation:
+    /// a 32-node BlueGene partition (4×4×2 torus, 4 psets, 4 I/O nodes —
+    /// §3.2 obs. 5: "there were only four I/O nodes available on the
+    /// BlueGene partition"), four back-end nodes and two front-end nodes.
+    pub fn lofar() -> Self {
+        HardwareSpec {
+            torus_x: 4,
+            torus_y: 4,
+            torus_z: 2,
+            pset_size: 8,
+            back_end_nodes: 4,
+            front_end_nodes: 2,
+            torus: TorusParams::default(),
+            tree: TreeParams::default(),
+            ether: EtherParams {
+                nic: Bandwidth::from_gbps(1.0),
+                latency: SimDur::from_micros(50),
+                per_msg_overhead: SimDur::from_micros(45),
+            },
+            cn_marshal: Bandwidth::from_mbytes_per_sec(400.0),
+            cn_demarshal_mpi: Bandwidth::from_mbytes_per_sec(280.0),
+            cn_demarshal_tcp: Bandwidth::from_mbps(250.0),
+            cn_recv_switch: SimDur::from_micros(600),
+            cn_generate: Bandwidth::from_mbytes_per_sec(4000.0),
+            linux_marshal: Bandwidth::from_mbytes_per_sec(800.0),
+            linux_demarshal: Bandwidth::from_mbytes_per_sec(600.0),
+            linux_generate: Bandwidth::from_mbytes_per_sec(4000.0),
+            io_forward: Bandwidth::from_mbps(450.0),
+            io_stream_coeff: 0.5,
+            io_stream_pow: 0.75,
+            io_host_coeff: 0.5,
+            tcp_segment: 65_536,
+            udp_segment: 8_192,
+            udp_drop_backlog: SimDur::from_millis(20),
+        }
+    }
+
+    /// A copy of this spec with its service rates perturbed by up to
+    /// ±`amp` (multiplicatively), deterministically from `seed`.
+    ///
+    /// The paper performs each experiment five times "to achieve low
+    /// variance in the measurements"; benchmarks reproduce that protocol
+    /// by running each point under several jittered specs and averaging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amp` is not in `[0, 1)`.
+    pub fn jittered(&self, seed: u64, amp: f64) -> HardwareSpec {
+        use scsq_sim::SplitMix64;
+        let mut rng = SplitMix64::new(seed);
+        let mut spec = self.clone();
+        let mut j = |b: &mut Bandwidth| {
+            *b = b.scaled(rng.jitter(amp));
+        };
+        j(&mut spec.torus.inject);
+        j(&mut spec.torus.receive);
+        j(&mut spec.cn_marshal);
+        j(&mut spec.cn_demarshal_mpi);
+        j(&mut spec.cn_demarshal_tcp);
+        j(&mut spec.linux_marshal);
+        j(&mut spec.linux_demarshal);
+        j(&mut spec.io_forward);
+        spec
+    }
+
+    /// Number of compute nodes in the BlueGene partition.
+    pub fn bg_compute_nodes(&self) -> usize {
+        self.torus_x * self.torus_y * self.torus_z
+    }
+
+    /// Number of psets (and I/O nodes) in the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compute-node count is not a multiple of the pset
+    /// size.
+    pub fn psets(&self) -> usize {
+        let cn = self.bg_compute_nodes();
+        assert!(
+            cn.is_multiple_of(self.pset_size),
+            "compute nodes ({cn}) must tile into psets of {}",
+            self.pset_size
+        );
+        cn / self.pset_size
+    }
+
+    /// The pset of a compute node rank.
+    pub fn pset_of(&self, rank: usize) -> usize {
+        rank / self.pset_size
+    }
+
+    /// I/O-node coordination factor for `streams` concurrent flows
+    /// through one I/O node.
+    pub fn io_stream_factor(&self, streams: usize) -> f64 {
+        if streams <= 1 {
+            1.0
+        } else {
+            1.0 + self.io_stream_coeff * ((streams - 1) as f64).powf(self.io_stream_pow)
+        }
+    }
+
+    /// I/O-node coordination factor for `hosts` distinct external
+    /// machines streaming into the partition.
+    pub fn io_host_factor(&self, hosts: usize) -> f64 {
+        if hosts <= 1 {
+            1.0
+        } else {
+            1.0 + self.io_host_coeff * (hosts - 1) as f64
+        }
+    }
+}
+
+impl Default for HardwareSpec {
+    fn default() -> Self {
+        HardwareSpec::lofar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lofar_partition_shape() {
+        let s = HardwareSpec::lofar();
+        assert_eq!(s.bg_compute_nodes(), 32);
+        assert_eq!(s.psets(), 4);
+        assert_eq!(s.pset_of(0), 0);
+        assert_eq!(s.pset_of(7), 0);
+        assert_eq!(s.pset_of(8), 1);
+        assert_eq!(s.pset_of(31), 3);
+    }
+
+    #[test]
+    fn coordination_factors_are_monotone() {
+        let s = HardwareSpec::lofar();
+        assert_eq!(s.io_stream_factor(1), 1.0);
+        assert_eq!(s.io_host_factor(1), 1.0);
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let f = s.io_stream_factor(k);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!(s.io_host_factor(4) > s.io_host_factor(2));
+    }
+
+    #[test]
+    fn stream_factor_is_sublinear() {
+        let s = HardwareSpec::lofar();
+        // Sub-linear growth: factor(4) < 2 * factor(2) - 1 would fail for
+        // linear; check the power shape directly.
+        let f2 = s.io_stream_factor(2) - 1.0;
+        let f5 = s.io_stream_factor(5) - 1.0;
+        assert!(f5 / f2 < 4.0, "stream penalty must grow sub-linearly");
+    }
+
+    #[test]
+    fn single_host_single_stream_io_rate_is_450mbps() {
+        let s = HardwareSpec::lofar();
+        assert!((s.io_forward.as_mbps() - 450.0).abs() < 1e-9);
+    }
+}

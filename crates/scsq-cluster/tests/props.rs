@@ -1,0 +1,149 @@
+//! Property-based tests for the CNDB, node selection, and the
+//! environment's accounting.
+
+use proptest::prelude::*;
+use scsq_cluster::{AllocSeq, Cndb, ClusterName, Environment, HardwareSpec, NodeId, NodeKind};
+use scsq_net::FlowId;
+use scsq_sim::SimTime;
+
+fn bg_cndb(nodes: usize, pset_size: usize) -> Cndb {
+    let kinds = (0..nodes)
+        .map(|i| NodeKind::BgCompute { pset: i / pset_size })
+        .collect();
+    Cndb::new(
+        ClusterName::BlueGene,
+        kinds,
+        nodes.div_ceil(pset_size),
+        pset_size,
+    )
+}
+
+fn arb_seq(nodes: usize, psets: usize) -> impl Strategy<Value = AllocSeq> {
+    prop_oneof![
+        Just(AllocSeq::Any),
+        Just(AllocSeq::UniformRoundRobin),
+        Just(AllocSeq::PsetRoundRobin),
+        (0..psets).prop_map(AllocSeq::InPset),
+        proptest::collection::vec(0..nodes, 1..4).prop_map(AllocSeq::Explicit),
+    ]
+}
+
+proptest! {
+    /// Whatever mix of allocation sequences is used, the CNDB never
+    /// double-books a CNK compute node, and successful selections always
+    /// return in-range indices.
+    #[test]
+    fn cnk_nodes_are_never_double_booked(
+        seqs in proptest::collection::vec(arb_seq(16, 4), 1..40)
+    ) {
+        let mut db = bg_cndb(16, 4);
+        let mut taken = std::collections::HashSet::new();
+        for seq in &seqs {
+            // Exhaustion (Err) is legal; double-booking is not.
+            if let Ok(i) = db.select(seq) {
+                prop_assert!(i < 16);
+                prop_assert!(taken.insert(i), "node {i} allocated twice");
+            }
+        }
+        prop_assert_eq!(db.total_running(), taken.len());
+    }
+
+    /// Selection + release is an inverse pair: after releasing
+    /// everything, the CNDB is back to its initial availability.
+    #[test]
+    fn release_restores_availability(
+        seqs in proptest::collection::vec(arb_seq(8, 4), 1..20)
+    ) {
+        let mut db = bg_cndb(8, 4);
+        let mut allocated = Vec::new();
+        for seq in &seqs {
+            if let Ok(i) = db.select(seq) {
+                allocated.push(i);
+            }
+        }
+        for i in allocated {
+            db.release(i);
+        }
+        prop_assert_eq!(db.total_running(), 0);
+        // All 8 nodes selectable again.
+        for expected in 0..8 {
+            prop_assert_eq!(db.select(&AllocSeq::Any).expect("free"), expected);
+        }
+    }
+
+    /// urr visits all nodes before repeating any (on an all-free Linux
+    /// cluster).
+    #[test]
+    fn urr_is_fair_over_linux_nodes(n in 2usize..10, rounds in 1usize..4) {
+        let kinds = (0..n).map(|i| NodeKind::Linux { ether_host: i }).collect();
+        let mut db = Cndb::new(ClusterName::BackEnd, kinds, 0, 0);
+        let picks: Vec<usize> = (0..n * rounds)
+            .map(|_| db.select(&AllocSeq::UniformRoundRobin).expect("linux"))
+            .collect();
+        for chunk in picks.chunks(n) {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// psetrr assigns the first `psets` selections to pairwise different
+    /// psets.
+    #[test]
+    fn psetrr_covers_psets_first(pset_size in 2usize..6, psets in 2usize..5) {
+        let mut db = bg_cndb(pset_size * psets, pset_size);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..psets {
+            let i = db.select(&AllocSeq::PsetRoundRobin).expect("free");
+            prop_assert!(seen.insert(i / pset_size), "pset revisited early");
+        }
+    }
+
+    /// Inbound registration counts are exact under arbitrary
+    /// register/unregister interleavings.
+    #[test]
+    fn inbound_accounting_is_exact(ops in proptest::collection::vec((0u64..12, 0usize..4, any::<bool>()), 1..60)) {
+        let mut env = Environment::lofar();
+        let mut live: std::collections::HashMap<u64, (usize, usize)> = Default::default();
+        for (flow, pset, register) in ops {
+            let host = 2 + (flow as usize) % 4;
+            if register && !live.contains_key(&flow) {
+                env.register_inbound(FlowId(flow), host, pset);
+                live.insert(flow, (host, pset));
+            } else if !register {
+                env.unregister_inbound(FlowId(flow));
+                live.remove(&flow);
+            }
+        }
+        let hosts: std::collections::HashSet<usize> =
+            live.values().map(|&(h, _)| h).collect();
+        prop_assert_eq!(env.inbound_hosts(), hosts.len());
+        for pset in 0..4 {
+            let expect = live.values().filter(|&&(_, p)| p == pset).count();
+            prop_assert_eq!(env.inbound_streams(pset), expect);
+        }
+    }
+
+    /// Spec jitter is bounded and deterministic.
+    #[test]
+    fn jittered_specs_are_bounded_and_deterministic(seed in any::<u64>()) {
+        let base = HardwareSpec::lofar();
+        let a = base.jittered(seed, 0.05);
+        let b = base.jittered(seed, 0.05);
+        prop_assert_eq!(&a, &b);
+        let ratio = a.io_forward.bytes_per_sec() / base.io_forward.bytes_per_sec();
+        prop_assert!((0.95..=1.05).contains(&ratio));
+    }
+
+    /// CPU charging is per-node: work on one node never delays another.
+    #[test]
+    fn cpu_charges_are_per_node(bytes in 1u64..10_000_000) {
+        let mut env = Environment::lofar();
+        let t1 = env.generate(NodeId::be(0), bytes, SimTime::ZERO);
+        let t2 = env.generate(NodeId::be(1), bytes, SimTime::ZERO);
+        prop_assert_eq!(t1, t2);
+        // Same node serializes.
+        let t3 = env.generate(NodeId::be(0), bytes, SimTime::ZERO);
+        prop_assert!(t3 > t1);
+    }
+}

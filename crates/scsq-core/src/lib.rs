@@ -1,0 +1,248 @@
+#![warn(missing_docs)]
+//! # scsq-core — the public face of the SCSQ reproduction
+//!
+//! [`Scsq`] is the system object a downstream user holds: it owns the
+//! client manager (with the persistent function catalog), the hardware
+//! specification of the simulated LOFAR environment, and the execution
+//! options (MPI buffer size / single vs double buffering — the knobs the
+//! paper's §3.1 sweeps).
+//!
+//! ```
+//! use scsq_core::prelude::*;
+//!
+//! # fn main() -> Result<(), ScsqError> {
+//! let mut scsq = Scsq::lofar();
+//! let result = scsq.run(
+//!     "select extract(b) \
+//!      from sp a, sp b \
+//!      where b=sp(streamof(count(extract(a))), 'bg', 0) \
+//!      and a=sp(gen_array(100000, 10), 'bg', 1);",
+//! )?;
+//! assert_eq!(result.values(), &[Value::Integer(10)]);
+//! println!("query time: {}", result.total_time());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! For multi-client use (SCSQ's client manager serves many users on the
+//! front-end cluster), [`service::ScsqService`] runs a client manager on
+//! a background thread and accepts queries from any number of threads.
+
+pub mod service;
+
+pub use scsq_cluster::{AllocSeq, ClusterName, Environment, HardwareSpec, NodeId};
+pub use scsq_engine::{
+    ChannelReport, EngineError as ScsqError, PlacementPolicy, QueryResult, QueryStats, RpReport,
+    RunOptions,
+};
+pub use scsq_ql::{ArrayData, Catalog, SpHandle, Value};
+pub use scsq_sim::{SimDur, SimTime};
+pub use service::ScsqService;
+
+use scsq_engine::ClientManager;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::{
+        ClusterName, HardwareSpec, NodeId, QueryResult, RunOptions, Scsq, ScsqError, ScsqService,
+        SimDur, SimTime, Value,
+    };
+}
+
+/// The SCSQ system: client manager + hardware environment + options.
+///
+/// Each query statement executes against a freshly-idle instance of the
+/// configured hardware (matching the paper's per-experiment runs);
+/// `create function` definitions persist in the catalog across
+/// statements.
+#[derive(Debug, Default)]
+pub struct Scsq {
+    manager: ClientManager,
+    spec: HardwareSpec,
+    options: RunOptions,
+}
+
+impl Scsq {
+    /// An SCSQ system on the paper's LOFAR configuration: a 32-node
+    /// BlueGene partition (4 psets / 4 I/O nodes), four back-end and two
+    /// front-end Linux nodes.
+    pub fn lofar() -> Scsq {
+        Scsq::with_spec(HardwareSpec::lofar())
+    }
+
+    /// An SCSQ system on custom hardware.
+    pub fn with_spec(spec: HardwareSpec) -> Scsq {
+        Scsq {
+            manager: ClientManager::new(),
+            spec,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// The hardware specification in effect.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    /// Mutable access to the hardware specification (takes effect on the
+    /// next query).
+    pub fn spec_mut(&mut self) -> &mut HardwareSpec {
+        &mut self.spec
+    }
+
+    /// The execution options in effect.
+    pub fn options(&self) -> &RunOptions {
+        &self.options
+    }
+
+    /// Mutable access to the execution options (MPI buffer size, double
+    /// buffering, …).
+    pub fn options_mut(&mut self) -> &mut RunOptions {
+        &mut self.options
+    }
+
+    /// The function catalog (built-ins plus user definitions).
+    pub fn catalog(&self) -> &Catalog {
+        self.manager.catalog()
+    }
+
+    /// Executes an SCSQL program and returns the result of its last
+    /// query statement. `create function` statements extend the catalog.
+    ///
+    /// # Errors
+    ///
+    /// Parse, binder, placement, or runtime errors; an error if the
+    /// program defines functions but contains no query.
+    pub fn run(&mut self, src: &str) -> Result<QueryResult, ScsqError> {
+        self.manager.execute(&self.spec, src, &self.options)
+    }
+
+    /// Like [`Scsq::run`], with pre-bound query variables — the paper's
+    /// "altering a query variable n" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scsq::run`].
+    pub fn run_with(
+        &mut self,
+        src: &str,
+        bindings: &[(&str, Value)],
+    ) -> Result<QueryResult, ScsqError> {
+        let owned: Vec<(String, Value)> = bindings
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        self.manager
+            .execute_with(&self.spec, src, &self.options, &owned)
+    }
+
+    /// Explains a query's set-up without executing it: the stream
+    /// processes it would create, the nodes their RPs land on, and the
+    /// MPI/TCP streams connecting them (the paper's Figure 2 picture).
+    ///
+    /// # Errors
+    ///
+    /// Parse, binder, or placement errors.
+    pub fn explain(&self, src: &str) -> Result<String, ScsqError> {
+        self.manager.explain(&self.spec, src, &self.options)
+    }
+
+    /// Registers function definitions without running a query.
+    ///
+    /// # Errors
+    ///
+    /// Parse or catalog errors; also an error if `src` contains anything
+    /// other than `create function` statements.
+    pub fn define(&mut self, src: &str) -> Result<(), ScsqError> {
+        use scsq_ql::{parse_program, Statement};
+        let statements = parse_program(src)?;
+        let mut defs = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            match stmt {
+                Statement::CreateFunction(def) => defs.push(def),
+                _ => {
+                    return Err(ScsqError::Bind(
+                        "define() accepts only `create function` statements; use run() for \
+                         queries"
+                            .to_string(),
+                    ))
+                }
+            }
+        }
+        for def in defs {
+            self.manager.define(def)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_counts_arrays() {
+        let mut scsq = Scsq::lofar();
+        let r = scsq
+            .run(
+                "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(100000,10),'bg',1);",
+            )
+            .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(10)]);
+    }
+
+    #[test]
+    fn catalog_persists_across_runs() {
+        let mut scsq = Scsq::lofar();
+        scsq.define(
+            "create function gen2(integer sz) -> stream as gen_array(sz, 2);",
+        )
+        .unwrap();
+        let r = scsq
+            .run(
+                "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen2(50000),'bg',1);",
+            )
+            .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(2)]);
+        assert_eq!(scsq.catalog().len(), 1);
+    }
+
+    #[test]
+    fn define_rejects_query_statements() {
+        let mut scsq = Scsq::lofar();
+        let err = scsq.define("merge({});").unwrap_err();
+        assert!(err.to_string().contains("create function"));
+    }
+
+    #[test]
+    fn run_with_overrides_n() {
+        let mut scsq = Scsq::lofar();
+        let q = "select extract(b) from bag of sp a, sp b, integer n
+                 where b=sp(count(merge(a)), 'bg')
+                 and a=spv((select gen_array(10000,3)
+                            from integer i where i in iota(1,n)), 'be', 1)
+                 and n=2;";
+        let r = scsq.run(q).unwrap();
+        assert_eq!(r.values(), &[Value::Integer(6)]);
+        let r = scsq.run_with(q, &[("n", Value::Integer(5))]).unwrap();
+        assert_eq!(r.values(), &[Value::Integer(15)]);
+    }
+
+    #[test]
+    fn options_control_buffering() {
+        let mut scsq = Scsq::lofar();
+        scsq.options_mut().mpi_buffer = 100_000;
+        scsq.options_mut().mpi_double = false;
+        let q = "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(1000000,5),'bg',1);";
+        let single = scsq.run(q).unwrap();
+        scsq.options_mut().mpi_double = true;
+        let double = scsq.run(q).unwrap();
+        assert!(double.finished() < single.finished());
+    }
+}

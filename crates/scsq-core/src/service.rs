@@ -1,0 +1,190 @@
+//! A threaded client-manager service.
+//!
+//! In the paper, "users interact with SCSQ on a Linux front-end cluster"
+//! (§2.1) — the client manager serves multiple users concurrently.
+//! [`ScsqService`] reproduces that shape for embedding SCSQ in a host
+//! application: one worker thread owns the [`Scsq`] system (queries on
+//! one catalog must serialize anyway), and any number of caller threads
+//! submit SCSQL and wait on tickets.
+
+use crate::{QueryResult, RunOptions, Scsq, ScsqError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use scsq_cluster::HardwareSpec;
+use scsq_ql::Value;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Job {
+    src: String,
+    bindings: Vec<(String, Value)>,
+    reply: Sender<Result<QueryResult, ScsqError>>,
+}
+
+/// A pending query submitted to the service.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<QueryResult, ScsqError>>,
+}
+
+impl Ticket {
+    /// Blocks until the query completes.
+    ///
+    /// # Errors
+    ///
+    /// The query's own error, or [`ScsqError::Runtime`] if the service
+    /// shut down before answering.
+    pub fn wait(self) -> Result<QueryResult, ScsqError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ScsqError::Runtime("service shut down".to_string())))
+    }
+}
+
+/// A background SCSQ client manager accepting queries from any thread.
+#[derive(Debug)]
+pub struct ScsqService {
+    tx: Option<Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+    history: Arc<Mutex<Vec<String>>>,
+}
+
+impl ScsqService {
+    /// Spawns the service on the given hardware with the given options.
+    pub fn spawn(spec: HardwareSpec, options: RunOptions) -> ScsqService {
+        let (tx, rx) = unbounded::<Job>();
+        let history = Arc::new(Mutex::new(Vec::new()));
+        let worker_history = Arc::clone(&history);
+        let worker = std::thread::spawn(move || {
+            let mut scsq = Scsq::with_spec(spec);
+            *scsq.options_mut() = options;
+            for job in rx {
+                worker_history.lock().push(job.src.clone());
+                let bindings: Vec<(&str, Value)> = job
+                    .bindings
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.clone()))
+                    .collect();
+                let result = scsq.run_with(&job.src, &bindings);
+                // A dropped ticket is fine; the result is discarded.
+                let _ = job.reply.send(result);
+            }
+        });
+        ScsqService {
+            tx: Some(tx),
+            worker: Some(worker),
+            history,
+        }
+    }
+
+    /// Spawns the service on the paper's LOFAR configuration.
+    pub fn lofar() -> ScsqService {
+        ScsqService::spawn(HardwareSpec::lofar(), RunOptions::default())
+    }
+
+    /// Submits a query; returns a ticket to wait on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ScsqService::shutdown`].
+    pub fn submit(&self, src: &str) -> Ticket {
+        self.submit_with(src, &[])
+    }
+
+    /// Submits a query with pre-bound variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ScsqService::shutdown`].
+    pub fn submit_with(&self, src: &str, bindings: &[(&str, Value)]) -> Ticket {
+        let (reply, rx) = unbounded();
+        let job = Job {
+            src: src.to_string(),
+            bindings: bindings
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            reply,
+        };
+        self.tx
+            .as_ref()
+            .expect("service is running")
+            .send(job)
+            .expect("worker alive while sender exists");
+        Ticket { rx }
+    }
+
+    /// Convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ticket::wait`].
+    pub fn run(&self, src: &str) -> Result<QueryResult, ScsqError> {
+        self.submit(src).wait()
+    }
+
+    /// The query texts executed so far, in execution order.
+    pub fn history(&self) -> Vec<String> {
+        self.history.lock().clone()
+    }
+
+    /// Stops the worker after draining queued queries.
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScsqService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: &str = "select extract(b) from sp a, sp b
+                     where b=sp(streamof(count(extract(a))), 'bg', 0)
+                     and a=sp(gen_array(10000,4),'bg',1);";
+
+    #[test]
+    fn submits_and_waits() {
+        let svc = ScsqService::lofar();
+        let r = svc.run(Q).unwrap();
+        assert_eq!(r.values(), &[Value::Integer(4)]);
+        assert_eq!(svc.history().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_all_answer() {
+        let svc = Arc::new(ScsqService::lofar());
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let svc = Arc::clone(&svc);
+            joins.push(std::thread::spawn(move || svc.run(Q).unwrap()));
+        }
+        for j in joins {
+            let r = j.join().unwrap();
+            assert_eq!(r.values(), &[Value::Integer(4)]);
+        }
+        assert_eq!(svc.history().len(), 4);
+    }
+
+    #[test]
+    fn errors_propagate_through_tickets() {
+        let svc = ScsqService::lofar();
+        let err = svc.run("select nope;").unwrap_err();
+        assert!(err.to_string().contains("syntax error"));
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut svc = ScsqService::lofar();
+        svc.shutdown();
+        svc.shutdown();
+    }
+}

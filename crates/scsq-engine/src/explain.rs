@@ -1,0 +1,171 @@
+//! Query explanation: the set-up of a CQ, rendered as text.
+//!
+//! The paper's Figure 2 shows "the set-up of a CQ for execution in
+//! SCSQ": which stream processes exist, where their RPs run, and which
+//! streams connect them. [`explain_graph`] renders exactly that picture
+//! for any query, without running it — the placement side effects (CNDB
+//! allocations) happen against a scratch environment.
+
+use crate::builder::QueryGraph;
+use crate::ops::{InputKind, Pipeline, Stage};
+use scsq_cluster::ClusterName;
+use scsq_ql::SpHandle;
+use std::fmt::Write;
+
+/// Renders a query graph as a human-readable set-up report.
+pub fn explain_graph(graph: &QueryGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "continuous query set-up ({} stream processes):", graph.sps.len());
+    for sp in &graph.sps {
+        let _ = writeln!(
+            out,
+            "  sp#{} @ {:<6} {}",
+            sp.handle.0,
+            sp.node.to_string(),
+            describe_pipeline(&sp.pipeline)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  client @ {:<6} {}",
+        graph.client_node.to_string(),
+        describe_pipeline(&graph.client)
+    );
+    let mut streams = Vec::new();
+    let mut collect = |producers: &[SpHandle], dst: String, dst_cluster: ClusterName| {
+        for p in producers {
+            let src = graph
+                .sps
+                .iter()
+                .find(|s| s.handle == *p)
+                .expect("producer exists");
+            let carrier = if src.node.cluster == ClusterName::BlueGene
+                && dst_cluster == ClusterName::BlueGene
+            {
+                "mpi"
+            } else {
+                "tcp"
+            };
+            streams.push(format!(
+                "  sp#{} ({}) ={}=> {}",
+                p.0, src.node, carrier, dst
+            ));
+        }
+    };
+    for sp in &graph.sps {
+        collect(
+            sp.pipeline.producers(),
+            format!("sp#{} ({})", sp.handle.0, sp.node),
+            sp.node.cluster,
+        );
+    }
+    collect(
+        graph.client.producers(),
+        format!("client ({})", graph.client_node),
+        graph.client_node.cluster,
+    );
+    let _ = writeln!(out, "streams ({}):", streams.len());
+    for s in streams {
+        let _ = writeln!(out, "{s}");
+    }
+    out
+}
+
+/// One-line description of a compiled SQEP.
+pub fn describe_pipeline(p: &Pipeline) -> String {
+    let mut s = match &p.input {
+        InputKind::Gen { bytes, count } => format!("gen_array({bytes} B x {count})"),
+        InputKind::Receive { producers } => {
+            let ids: Vec<String> = producers.iter().map(|h| format!("sp#{}", h.0)).collect();
+            format!("receive[{}]", ids.join(", "))
+        }
+        InputKind::Const { values } => format!("const[{} values]", values.len()),
+        InputKind::Receiver { name, arrays, samples } => {
+            format!("receiver('{name}', {arrays} x {samples} samples)")
+        }
+        InputKind::Grep { pattern, file } => format!("grep('{pattern}', '{file}')"),
+    };
+    for stage in &p.stages {
+        s.push_str(" | ");
+        s.push_str(&match stage {
+            Stage::Map(f) => format!("{f:?}").to_lowercase(),
+            Stage::Agg(k) => format!("{k:?}").to_lowercase(),
+            Stage::StreamOf => "streamof".to_string(),
+            Stage::RadixCombine { first, second } => {
+                format!("radixcombine(sp#{}, sp#{})", first.0, second.0)
+            }
+            Stage::Window(w) => format!(
+                "winagg({}, {}, {:?})",
+                w.size,
+                w.slide,
+                w.agg
+            )
+            .to_lowercase(),
+            Stage::Take { limit } => format!("take({limit})"),
+        });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::placement::PlacementPolicy;
+    use crate::runtime::RunOptions;
+    use scsq_cluster::Environment;
+    use scsq_ql::{parse_statement, Catalog};
+
+    fn explain(src: &str) -> String {
+        let mut env = Environment::lofar();
+        let catalog = Catalog::new();
+        let options = RunOptions::default();
+        let stmt = parse_statement(src).expect("parses");
+        let graph = QueryBuilder::new(&mut env, &catalog, PlacementPolicy::Naive, &options)
+            .build(&stmt, &[])
+            .expect("builds");
+        explain_graph(&graph)
+    }
+
+    #[test]
+    fn explains_the_p2p_query() {
+        let text = explain(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(3000000,100),'bg',1);",
+        );
+        assert!(text.contains("2 stream processes"), "{text}");
+        assert!(text.contains("sp#0 @ bg:1   gen_array(3000000 B x 100)"), "{text}");
+        assert!(text.contains("receive[sp#0] | count | streamof"), "{text}");
+        assert!(text.contains("=mpi=>"), "{text}");
+        assert!(text.contains("=tcp=> client (fe:0)"), "{text}");
+    }
+
+    #[test]
+    fn explains_inbound_topology() {
+        let text = explain(
+            "select extract(c) from bag of sp a, sp b, sp c, integer n
+             where c=sp(extract(b), 'bg')
+             and b=sp(count(merge(a)), 'bg')
+             and a=spv((select gen_array(1000,1)
+                        from integer i where i in iota(1,n)), 'be', 1)
+             and n=3;",
+        );
+        assert!(text.contains("5 stream processes"), "{text}");
+        assert!(text.contains("receive[sp#0, sp#1, sp#2] | count"), "{text}");
+        // Three TCP streams cross be -> bg.
+        assert_eq!(text.matches("=tcp=> sp#3").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn describes_every_stage_kind() {
+        let text = explain(
+            "select extract(w) from sp src, sp w
+             where w=sp(winagg(take(extract(src), 5), 2, 2, 'sum'), 'bg')
+             and src=sp(streamof(iota(1,9)), 'be');",
+        );
+        assert!(text.contains("take(5)"), "{text}");
+        assert!(text.contains("winagg(2, 2, sum)"), "{text}");
+        assert!(text.contains("const[9 values] | streamof"), "{text}");
+    }
+}

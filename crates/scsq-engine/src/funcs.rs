@@ -1,0 +1,300 @@
+//! Implementations of SCSQL's elementwise and source functions.
+//!
+//! These are the *semantics* behind the operator vocabulary: `odd`,
+//! `even`, and `fft` transform array objects (backing the paper's radix2
+//! function); `grep`/`filename` read a deterministic synthetic corpus
+//! (backing the mapreduce example); `receiver` produces signal arrays.
+
+use crate::error::EngineError;
+use crate::ops::MapFunc;
+use scsq_fft::{combine, fft, fft_real, Complex};
+use scsq_ql::{ArrayData, Value};
+
+/// Applies `odd` / `even` / `fft` to one stream element.
+///
+/// Synthetic arrays (pure-accounting payloads) transform symbolically:
+/// decimation halves the byte size, `fft` preserves it — so the
+/// benchmark workloads can flow through any pipeline.
+///
+/// # Errors
+///
+/// Type error if the element is not an array, or an FFT error for
+/// non-power-of-two materialized arrays.
+pub fn apply_map(f: MapFunc, value: Value) -> Result<Value, EngineError> {
+    let Value::Array(data) = value else {
+        return Err(EngineError::type_error("array", &value, map_name(f)));
+    };
+    let out = match (f, data) {
+        (MapFunc::Odd, ArrayData::Real(v)) => {
+            ArrayData::Real(v.into_iter().skip(1).step_by(2).collect())
+        }
+        (MapFunc::Even, ArrayData::Real(v)) => {
+            ArrayData::Real(v.into_iter().step_by(2).collect())
+        }
+        (MapFunc::Odd, ArrayData::Complex(v)) => {
+            ArrayData::Complex(v.into_iter().skip(1).step_by(2).collect())
+        }
+        (MapFunc::Even, ArrayData::Complex(v)) => {
+            ArrayData::Complex(v.into_iter().step_by(2).collect())
+        }
+        (MapFunc::Odd | MapFunc::Even, ArrayData::Synthetic { bytes }) => {
+            ArrayData::Synthetic { bytes: bytes / 2 }
+        }
+        (MapFunc::Fft, ArrayData::Real(v)) => {
+            let spectrum = fft_real(&v).map_err(|e| EngineError::Runtime(e.to_string()))?;
+            ArrayData::Complex(spectrum.into_iter().map(|c| (c.re, c.im)).collect())
+        }
+        (MapFunc::Fft, ArrayData::Complex(v)) => {
+            let input: Vec<Complex> = v.into_iter().map(Complex::from).collect();
+            let spectrum = fft(&input).map_err(|e| EngineError::Runtime(e.to_string()))?;
+            ArrayData::Complex(spectrum.into_iter().map(|c| (c.re, c.im)).collect())
+        }
+        (MapFunc::Fft, ArrayData::Synthetic { bytes }) => ArrayData::Synthetic { bytes },
+        (MapFunc::Power, ArrayData::Real(v)) => {
+            ArrayData::Real(v.into_iter().map(|x| x * x).collect())
+        }
+        (MapFunc::Power, ArrayData::Complex(v)) => {
+            ArrayData::Real(v.into_iter().map(|(re, im)| re * re + im * im).collect())
+        }
+        // Complex bins (16 B) collapse to real powers (8 B); synthetic
+        // payloads carry no element type, so the size is left unchanged.
+        (MapFunc::Power, ArrayData::Synthetic { bytes }) => ArrayData::Synthetic { bytes },
+    };
+    Ok(Value::Array(out))
+}
+
+fn map_name(f: MapFunc) -> &'static str {
+    match f {
+        MapFunc::Odd => "odd()",
+        MapFunc::Even => "even()",
+        MapFunc::Fft => "fft()",
+        MapFunc::Power => "power()",
+    }
+}
+
+/// The `radixcombine` pairing step: combines the FFT of the even samples
+/// with the FFT of the odd samples into the FFT of the full signal.
+///
+/// # Errors
+///
+/// Type errors for non-complex-array inputs; FFT errors for mismatched
+/// halves. Synthetic pairs combine symbolically (byte sizes add).
+pub fn radix_combine(even_fft: Value, odd_fft: Value) -> Result<Value, EngineError> {
+    match (even_fft, odd_fft) {
+        (
+            Value::Array(ArrayData::Synthetic { bytes: b1 }),
+            Value::Array(ArrayData::Synthetic { bytes: b2 }),
+        ) => Ok(Value::Array(ArrayData::Synthetic { bytes: b1 + b2 })),
+        (Value::Array(ArrayData::Complex(e)), Value::Array(ArrayData::Complex(o))) => {
+            let e: Vec<Complex> = e.into_iter().map(Complex::from).collect();
+            let o: Vec<Complex> = o.into_iter().map(Complex::from).collect();
+            let full = combine(&e, &o).map_err(|err| EngineError::Runtime(err.to_string()))?;
+            Ok(Value::Array(ArrayData::Complex(
+                full.into_iter().map(|c| (c.re, c.im)).collect(),
+            )))
+        }
+        (e, o) => Err(EngineError::Runtime(format!(
+            "radixcombine expects two complex arrays, got {} and {}",
+            e.type_name(),
+            o.type_name()
+        ))),
+    }
+}
+
+/// Compute-time charged (in bytes of equivalent memory traffic) for
+/// applying a stage function to an element of `bytes` size. Decimation
+/// is one pass; `fft` is O(n log n): half a pass per butterfly level
+/// over the array's `bytes/8` scalar elements.
+pub fn map_cost_bytes(f: MapFunc, bytes: u64) -> u64 {
+    match f {
+        MapFunc::Odd | MapFunc::Even | MapFunc::Power => bytes,
+        MapFunc::Fft => {
+            let len = (bytes / 8).max(4);
+            let levels = u64::from(len.ilog2());
+            bytes.saturating_mul(levels) / 2
+        }
+    }
+}
+
+// ----- synthetic grep corpus ------------------------------------------
+
+/// Words used to build the deterministic corpus.
+const WORDS: &[&str] = &[
+    "stream", "query", "torus", "antenna", "signal", "buffer", "process", "node", "pulsar",
+    "cluster", "bandwidth", "telescope", "lofar", "merge", "extract",
+];
+
+/// The i-th file name of the corpus table — the paper's `filename(i)`.
+pub fn filename(i: i64) -> String {
+    format!("lofar_log_{i:04}.txt")
+}
+
+/// Deterministic lines of a synthetic corpus file. Each file has 100
+/// lines of pseudo-random words derived from the file name, so grep
+/// results are stable across runs and machines.
+pub fn file_lines(file: &str) -> Vec<String> {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..100)
+        .map(|lineno| {
+            let n_words = 4 + (next() % 5) as usize;
+            let words: Vec<&str> = (0..n_words)
+                .map(|_| WORDS[(next() % WORDS.len() as u64) as usize])
+                .collect();
+            format!("{lineno}: {}", words.join(" "))
+        })
+        .collect()
+}
+
+/// `grep(pattern, file)`: the matching lines, as string values.
+pub fn grep(pattern: &str, file: &str) -> Vec<Value> {
+    file_lines(file)
+        .into_iter()
+        .filter(|line| line.contains(pattern))
+        .map(Value::Str)
+        .collect()
+}
+
+// ----- the receiver() signal source -----------------------------------
+
+/// Signal arrays produced by `receiver(name)`: a deterministic mix of
+/// tones whose fundamental frequency is derived from the source name, so
+/// examples can assert on the resulting spectrum.
+pub fn receiver_array(name: &str, index: u64, samples: usize) -> Value {
+    let base = 3 + (name.len() as u64 + index) % 13;
+    let signal = scsq_fft::sine(samples, base as f64, 1.0);
+    let overtone = scsq_fft::sine(samples, (base * 2) as f64, 0.25);
+    let mixed: Vec<f64> = signal
+        .iter()
+        .zip(&overtone)
+        .map(|(a, b)| a + b)
+        .collect();
+    Value::Array(ArrayData::Real(mixed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_even_partition_real_arrays() {
+        let v = Value::from(vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        let even = apply_map(MapFunc::Even, v.clone()).unwrap();
+        let odd = apply_map(MapFunc::Odd, v).unwrap();
+        assert_eq!(even, Value::from(vec![0.0, 2.0, 4.0]));
+        assert_eq!(odd, Value::from(vec![1.0, 3.0]));
+    }
+
+    #[test]
+    fn synthetic_arrays_transform_symbolically() {
+        let v = Value::synthetic_array(1000);
+        let half = apply_map(MapFunc::Odd, v.clone()).unwrap();
+        assert_eq!(half, Value::synthetic_array(500));
+        let f = apply_map(MapFunc::Fft, v).unwrap();
+        assert_eq!(f, Value::synthetic_array(1000));
+        let combined =
+            radix_combine(Value::synthetic_array(500), Value::synthetic_array(500)).unwrap();
+        assert_eq!(combined, Value::synthetic_array(1000));
+    }
+
+    #[test]
+    fn fft_map_produces_complex_spectrum() {
+        let v = Value::from(scsq_fft::sine(64, 4.0, 1.0));
+        let out = apply_map(MapFunc::Fft, v).unwrap();
+        let Value::Array(ArrayData::Complex(spec)) = out else {
+            panic!("expected complex");
+        };
+        assert_eq!(spec.len(), 64);
+        let peak = spec
+            .iter()
+            .take(32)
+            .enumerate()
+            .max_by(|a, b| {
+                let ma = a.1 .0.hypot(a.1 .1);
+                let mb = b.1 .0.hypot(b.1 .1);
+                ma.total_cmp(&mb)
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak, 4);
+    }
+
+    #[test]
+    fn power_squares_magnitudes() {
+        let real = Value::from(vec![1.0, -2.0, 3.0]);
+        assert_eq!(
+            apply_map(MapFunc::Power, real).unwrap(),
+            Value::from(vec![1.0, 4.0, 9.0])
+        );
+        let complex = Value::Array(ArrayData::Complex(vec![(3.0, 4.0), (0.0, 2.0)]));
+        assert_eq!(
+            apply_map(MapFunc::Power, complex).unwrap(),
+            Value::from(vec![25.0, 4.0])
+        );
+        assert_eq!(
+            apply_map(MapFunc::Power, Value::synthetic_array(64)).unwrap(),
+            Value::synthetic_array(64)
+        );
+    }
+
+    #[test]
+    fn map_rejects_non_arrays() {
+        let err = apply_map(MapFunc::Fft, Value::Integer(1)).unwrap_err();
+        assert!(err.to_string().contains("expected array"));
+    }
+
+    #[test]
+    fn radix_combine_rejects_mixed_types() {
+        let err = radix_combine(Value::Integer(1), Value::synthetic_array(4)).unwrap_err();
+        assert!(err.to_string().contains("complex arrays"));
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_distinct_per_file() {
+        assert_eq!(file_lines("a.txt"), file_lines("a.txt"));
+        assert_ne!(file_lines("a.txt"), file_lines("b.txt"));
+        assert_eq!(file_lines("a.txt").len(), 100);
+    }
+
+    #[test]
+    fn grep_finds_only_matching_lines() {
+        let hits = grep("pulsar", &filename(3));
+        assert!(!hits.is_empty(), "the corpus should contain pulsar lines");
+        for hit in &hits {
+            assert!(hit.as_str().unwrap().contains("pulsar"));
+        }
+        let total = file_lines(&filename(3)).len();
+        assert!(hits.len() < total, "grep must filter");
+    }
+
+    #[test]
+    fn grep_with_no_match_is_empty() {
+        assert!(grep("zebra", &filename(1)).is_empty());
+    }
+
+    #[test]
+    fn receiver_arrays_are_deterministic_power_of_two() {
+        let a = receiver_array("s", 0, 1024);
+        let b = receiver_array("s", 0, 1024);
+        assert_eq!(a, b);
+        let Value::Array(data) = &a else { panic!() };
+        assert_eq!(data.len(), 1024);
+        assert_ne!(a, receiver_array("s", 1, 1024));
+    }
+
+    #[test]
+    fn fft_cost_exceeds_decimation_cost() {
+        assert!(map_cost_bytes(MapFunc::Fft, 1000) > map_cost_bytes(MapFunc::Odd, 1000));
+    }
+}

@@ -1,0 +1,237 @@
+//! Query results and the bandwidth bookkeeping behind the paper's
+//! figures.
+//!
+//! §3: "The bandwidth is computed by measuring the total time to
+//! communicate a finite stream of 3MB arrays between stream processes."
+//! [`QueryResult`] therefore reports the query completion time along with
+//! per-channel transfer statistics, from which the figure harnesses
+//! compute exactly that quotient.
+
+use scsq_cluster::{ClusterName, NodeId};
+use scsq_sim::{SimDur, SimTime};
+use scsq_ql::Value;
+use serde::{Deserialize, Serialize};
+
+/// One stream channel's transfer summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelReport {
+    /// Producing node.
+    pub src: NodeId,
+    /// Subscribing node.
+    pub dst: NodeId,
+    /// `"mpi"` or `"tcp"`.
+    pub carrier: String,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+    /// When the first buffer began marshaling.
+    pub first_send: Option<SimTime>,
+    /// When the last buffer finished de-marshaling.
+    pub last_delivery: SimTime,
+}
+
+/// One running process's execution monitor (§2.3: an RP is responsible
+/// for "monitoring the execution of its SQEP").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpReport {
+    /// Where the RP ran.
+    pub node: NodeId,
+    /// Elements that entered the RP's SQEP (received or self-generated).
+    pub elements_in: u64,
+    /// Elements the SQEP emitted downstream (or to the client log).
+    pub elements_out: u64,
+    /// CPU busy time accumulated on the RP's node over the query (for
+    /// Linux nodes, shared by all co-located RPs).
+    pub node_cpu_busy: SimDur,
+    /// Whether this is the client manager's RP.
+    pub is_client: bool,
+}
+
+/// Aggregate statistics of one query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// All stream channels of the query.
+    pub channels: Vec<ChannelReport>,
+    /// Per-RP execution monitors, in stream-process creation order (the
+    /// client's RP last).
+    pub rp_reports: Vec<RpReport>,
+    /// Simulator events executed.
+    pub events: u64,
+    /// Number of running processes (including the client's).
+    pub rps: usize,
+}
+
+/// The outcome of executing one continuous query to completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    values: Vec<Value>,
+    first_result: Option<SimTime>,
+    finished: SimTime,
+    stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Assembles a result (used by the runtime).
+    pub fn new(
+        values: Vec<Value>,
+        first_result: Option<SimTime>,
+        finished: SimTime,
+        stats: QueryStats,
+    ) -> QueryResult {
+        QueryResult {
+            values,
+            first_result,
+            finished,
+            stats,
+        }
+    }
+
+    /// When the first result value reached the client manager (`None`
+    /// for empty result streams) — the query's result latency, as
+    /// opposed to its completion time.
+    pub fn first_result(&self) -> Option<SimTime> {
+        self.first_result
+    }
+
+    /// The values delivered to the client manager, in arrival order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// When the query completed (client received end-of-stream).
+    pub fn finished(&self) -> SimTime {
+        self.finished
+    }
+
+    /// Total query execution time.
+    pub fn total_time(&self) -> SimDur {
+        self.finished.since(SimTime::ZERO)
+    }
+
+    /// The per-channel statistics.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Payload bytes that crossed from `src` cluster to `dst` cluster.
+    pub fn bytes_between(&self, src: ClusterName, dst: ClusterName) -> u64 {
+        self.stats
+            .channels
+            .iter()
+            .filter(|c| c.src.cluster == src && c.dst.cluster == dst)
+            .map(|c| c.bytes)
+            .sum()
+    }
+
+    /// Mean bandwidth (bytes/s) of all traffic from `src` cluster to
+    /// `dst` cluster over the whole query time — the paper's measurement
+    /// methodology (the query time is dominated by the streaming phase).
+    pub fn bandwidth_between(&self, src: ClusterName, dst: ClusterName) -> f64 {
+        let bytes = self.bytes_between(src, dst);
+        let t = self.total_time().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            bytes as f64 / t
+        }
+    }
+
+    /// Same as [`QueryResult::bandwidth_between`], in megabits/s (the
+    /// unit of the paper's Figure 15 axis).
+    pub fn mbps_between(&self, src: ClusterName, dst: ClusterName) -> f64 {
+        self.bandwidth_between(src, dst) * 8.0 / 1e6
+    }
+
+    /// Payload bytes delivered *into* a specific node.
+    pub fn bytes_into(&self, node: NodeId) -> u64 {
+        self.stats
+            .channels
+            .iter()
+            .filter(|c| c.dst == node)
+            .map(|c| c.bytes)
+            .sum()
+    }
+
+    /// Mean input bandwidth (bytes/s) at a node over the query time —
+    /// the Figure 6/8 measurement ("total streaming input bandwidth at
+    /// node c").
+    pub fn bandwidth_into(&self, node: NodeId) -> f64 {
+        let t = self.total_time().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.bytes_into(node) as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: NodeId, dst: NodeId, bytes: u64) -> ChannelReport {
+        ChannelReport {
+            src,
+            dst,
+            carrier: "tcp".to_string(),
+            bytes,
+            first_send: Some(SimTime::ZERO),
+            last_delivery: SimTime::from_secs(1),
+        }
+    }
+
+    fn sample() -> QueryResult {
+        QueryResult::new(
+            vec![Value::Integer(100)],
+            Some(SimTime::from_secs(2)),
+            SimTime::from_secs(2),
+            QueryStats {
+                channels: vec![
+                    report(NodeId::be(0), NodeId::bg(0), 6_000_000),
+                    report(NodeId::be(1), NodeId::bg(0), 2_000_000),
+                    report(NodeId::bg(0), NodeId::fe(0), 100),
+                ],
+                rp_reports: vec![RpReport {
+                    node: NodeId::bg(0),
+                    elements_in: 3,
+                    elements_out: 1,
+                    node_cpu_busy: SimDur::from_millis(5),
+                    is_client: false,
+                }],
+                events: 10,
+                rps: 4,
+            },
+        )
+    }
+
+    #[test]
+    fn cross_cluster_accounting() {
+        let r = sample();
+        assert_eq!(
+            r.bytes_between(ClusterName::BackEnd, ClusterName::BlueGene),
+            8_000_000
+        );
+        assert_eq!(
+            r.bytes_between(ClusterName::BlueGene, ClusterName::FrontEnd),
+            100
+        );
+        // 8 MB over 2 s = 4 MB/s = 32 Mbps.
+        assert!((r.bandwidth_between(ClusterName::BackEnd, ClusterName::BlueGene) - 4e6).abs() < 1.0);
+        assert!((r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_node_accounting() {
+        let r = sample();
+        assert_eq!(r.bytes_into(NodeId::bg(0)), 8_000_000);
+        assert!((r.bandwidth_into(NodeId::bg(0)) - 4e6).abs() < 1.0);
+        assert_eq!(r.bytes_into(NodeId::bg(5)), 0);
+    }
+
+    #[test]
+    fn values_and_time_are_exposed() {
+        let r = sample();
+        assert_eq!(r.values(), &[Value::Integer(100)]);
+        assert_eq!(r.total_time(), SimDur::from_secs(2));
+        assert_eq!(r.stats().rps, 4);
+    }
+}

@@ -1,0 +1,496 @@
+//! SQEP operators: the compiled form of a stream process's sub-query and
+//! the element-level execution logic.
+//!
+//! §2.3: each RP compiles its sub-query into a local Stream Query
+//! Execution Plan (SQEP) and interprets it as data arrives. A
+//! [`Pipeline`] is that plan: one input ([`InputKind`]), a chain of
+//! [`Stage`]s, each either per-element (map, radix combine, window) or a
+//! terminal aggregate that emits when the finite stream ends.
+
+use crate::error::EngineError;
+use crate::funcs;
+use crate::window::{WindowSpec, WindowState};
+use scsq_ql::{SpHandle, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Where a pipeline's elements come from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InputKind {
+    /// `gen_array(bytes, count)` — the paper's workload generator: a
+    /// finite stream of `count` synthetic arrays of `bytes` bytes.
+    Gen {
+        /// Bytes per array.
+        bytes: u64,
+        /// Number of arrays.
+        count: u64,
+    },
+    /// `extract(p)` / `merge(bag)` — subscribe to one or more producer
+    /// SPs. `merge` "terminates when (if ever) the last stream process
+    /// terminates" (§2.4).
+    Receive {
+        /// Producer stream processes, in query order.
+        producers: Vec<SpHandle>,
+    },
+    /// `streamof(v)` over an already-evaluated value: emit the value(s)
+    /// once and terminate.
+    Const {
+        /// The values to emit.
+        values: Vec<Value>,
+    },
+    /// `receiver(name)` — a named external signal source (the paper's
+    /// radix2 input): a finite stream of signal arrays.
+    Receiver {
+        /// Source name.
+        name: String,
+        /// Number of arrays to emit.
+        arrays: u64,
+        /// Samples per array (power of two for the FFT pipeline).
+        samples: usize,
+    },
+    /// `grep(pattern, file)` — emit the matching lines of a (synthetic)
+    /// file; the mapreduce example's map task.
+    Grep {
+        /// Substring to search for.
+        pattern: String,
+        /// File name in the synthetic corpus.
+        file: String,
+    },
+}
+
+/// Per-element transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapFunc {
+    /// `odd(x)` — odd-indexed samples of each array.
+    Odd,
+    /// `even(x)` — even-indexed samples of each array.
+    Even,
+    /// `fft(x)` — FFT of each array.
+    Fft,
+    /// `power(x)` — per-bin squared magnitude of each array.
+    Power,
+}
+
+/// Terminal aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// `count(b)` — number of elements.
+    Count,
+    /// `sum(b)` — numeric sum of elements.
+    Sum,
+    /// `max(b)` — numeric maximum.
+    Max,
+    /// `min(b)` — numeric minimum.
+    Min,
+    /// `avg(b)` — numeric mean.
+    Avg,
+}
+
+impl AggKind {
+    /// Whether elements must be numbers.
+    pub fn numeric(self) -> bool {
+        !matches!(self, AggKind::Count)
+    }
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Elementwise function.
+    Map(MapFunc),
+    /// Terminal aggregate: accumulates, emits one value at end of
+    /// stream.
+    Agg(AggKind),
+    /// `streamof(e)` — identity on stream contents (it only changes the
+    /// static type).
+    StreamOf,
+    /// `radixcombine(merge({o, e}))` — pair the i-th elements of the two
+    /// producers and run the radix-2 combine; `first` is the odd-half
+    /// FFT stream, `second` the even-half, matching the paper's radix2
+    /// function text.
+    RadixCombine {
+        /// Producer of odd-half FFTs.
+        first: SpHandle,
+        /// Producer of even-half FFTs.
+        second: SpHandle,
+    },
+    /// Sliding window aggregate (`winagg`).
+    Window(WindowSpec),
+    /// `take(s, k)` — pass the first k elements, drop the rest: a stop
+    /// condition that makes the downstream stream finite (§2.2).
+    Take {
+        /// Number of elements to pass.
+        limit: u64,
+    },
+}
+
+/// A compiled SQEP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Element source.
+    pub input: InputKind,
+    /// Stage chain, source side first.
+    pub stages: Vec<Stage>,
+}
+
+impl Pipeline {
+    /// A pipeline that just forwards its input (`extract(b)` as a whole
+    /// plan).
+    pub fn relay(producers: Vec<SpHandle>) -> Pipeline {
+        Pipeline {
+            input: InputKind::Receive { producers },
+            stages: Vec::new(),
+        }
+    }
+
+    /// The producers this pipeline subscribes to (empty for sources).
+    pub fn producers(&self) -> &[SpHandle] {
+        match &self.input {
+            InputKind::Receive { producers } => producers,
+            _ => &[],
+        }
+    }
+}
+
+/// Runtime state of one stage.
+#[derive(Debug)]
+enum StageState {
+    Map(MapFunc),
+    Agg {
+        kind: AggKind,
+        count: i64,
+        sum_int: i64,
+        sum_real: f64,
+        saw_real: bool,
+        /// Best element so far (max/min), kept as the original value.
+        best: Option<Value>,
+    },
+    StreamOf,
+    RadixCombine {
+        first: SpHandle,
+        second: SpHandle,
+        q_first: VecDeque<Value>,
+        q_second: VecDeque<Value>,
+    },
+    Window(WindowState),
+    Take {
+        remaining: u64,
+    },
+}
+
+/// Runtime interpreter for a [`Pipeline`]'s stage chain.
+#[derive(Debug)]
+pub struct StageChain {
+    stages: Vec<StageState>,
+}
+
+impl StageChain {
+    /// Instantiates runtime state for a pipeline's stages.
+    pub fn new(pipeline: &Pipeline) -> StageChain {
+        let stages = pipeline
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Map(f) => StageState::Map(*f),
+                Stage::Agg(kind) => StageState::Agg {
+                    kind: *kind,
+                    count: 0,
+                    sum_int: 0,
+                    sum_real: 0.0,
+                    saw_real: false,
+                    best: None,
+                },
+                Stage::StreamOf => StageState::StreamOf,
+                Stage::RadixCombine { first, second } => StageState::RadixCombine {
+                    first: *first,
+                    second: *second,
+                    q_first: VecDeque::new(),
+                    q_second: VecDeque::new(),
+                },
+                Stage::Window(spec) => StageState::Window(WindowState::new(*spec)),
+                Stage::Take { limit } => StageState::Take { remaining: *limit },
+            })
+            .collect();
+        StageChain { stages }
+    }
+
+    /// Feeds one element (from producer `from`, if any) through the
+    /// chain; returns the elements that fall out the end.
+    ///
+    /// # Errors
+    ///
+    /// Type errors when an elementwise function meets an incompatible
+    /// value.
+    pub fn process(
+        &mut self,
+        value: Value,
+        from: Option<SpHandle>,
+    ) -> Result<Vec<Value>, EngineError> {
+        Self::feed(&mut self.stages, 0, value, from)
+    }
+
+    fn feed(
+        stages: &mut [StageState],
+        idx: usize,
+        value: Value,
+        from: Option<SpHandle>,
+    ) -> Result<Vec<Value>, EngineError> {
+        let Some((stage, rest)) = stages[idx..].split_first_mut() else {
+            return Ok(vec![value]);
+        };
+        let outputs: Vec<Value> = match stage {
+            StageState::Map(f) => vec![funcs::apply_map(*f, value)?],
+            StageState::StreamOf => vec![value],
+            StageState::Agg {
+                kind,
+                count,
+                sum_int,
+                sum_real,
+                saw_real,
+                best,
+            } => {
+                *count += 1;
+                if kind.numeric() {
+                    let Some(x) = value.as_real() else {
+                        return Err(EngineError::type_error("number", &value, "aggregate"));
+                    };
+                    match kind {
+                        AggKind::Count => unreachable!("count is not numeric"),
+                        AggKind::Sum | AggKind::Avg => match &value {
+                            Value::Integer(i) => *sum_int += i,
+                            _ => {
+                                *saw_real = true;
+                                *sum_real += x;
+                            }
+                        },
+                        AggKind::Max => {
+                            let better = best
+                                .as_ref()
+                                .and_then(Value::as_real)
+                                .is_none_or(|b| x > b);
+                            if better {
+                                *best = Some(value);
+                            }
+                        }
+                        AggKind::Min => {
+                            let better = best
+                                .as_ref()
+                                .and_then(Value::as_real)
+                                .is_none_or(|b| x < b);
+                            if better {
+                                *best = Some(value);
+                            }
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            StageState::RadixCombine {
+                first,
+                second,
+                q_first,
+                q_second,
+            } => {
+                match from {
+                    Some(h) if h == *first => q_first.push_back(value),
+                    Some(h) if h == *second => q_second.push_back(value),
+                    _ => {
+                        return Err(EngineError::Runtime(format!(
+                            "radixcombine received an element from an unexpected producer {from:?}"
+                        )))
+                    }
+                }
+                let mut out = Vec::new();
+                while !q_first.is_empty() && !q_second.is_empty() {
+                    let odd = q_first.pop_front().expect("non-empty");
+                    let even = q_second.pop_front().expect("non-empty");
+                    out.push(funcs::radix_combine(even, odd)?);
+                }
+                out
+            }
+            StageState::Window(w) => w.push(value)?,
+            StageState::Take { remaining } => {
+                if *remaining > 0 {
+                    *remaining -= 1;
+                    vec![value]
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        let next = idx + 1;
+        let _ = rest;
+        let mut result = Vec::new();
+        for v in outputs {
+            result.extend(Self::feed(stages, next, v, from)?);
+        }
+        Ok(result)
+    }
+
+    /// Signals end of stream; aggregates flush. Returns the final
+    /// elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates type errors from downstream stages processing flushed
+    /// values.
+    pub fn finish(&mut self) -> Result<Vec<Value>, EngineError> {
+        let mut result = Vec::new();
+        for idx in 0..self.stages.len() {
+            let flushed: Vec<Value> = match &mut self.stages[idx] {
+                StageState::Agg {
+                    kind,
+                    count,
+                    sum_int,
+                    sum_real,
+                    saw_real,
+                    best,
+                } => match kind {
+                    AggKind::Count => vec![Value::Integer(*count)],
+                    AggKind::Sum => {
+                        if *saw_real {
+                            vec![Value::Real(*sum_real + *sum_int as f64)]
+                        } else {
+                            vec![Value::Integer(*sum_int)]
+                        }
+                    }
+                    AggKind::Avg => {
+                        if *count == 0 {
+                            Vec::new()
+                        } else {
+                            vec![Value::Real(
+                                (*sum_real + *sum_int as f64) / *count as f64,
+                            )]
+                        }
+                    }
+                    // Empty streams have no extremum; emit nothing, like
+                    // SQL's NULL-free aggregates over empty inputs.
+                    AggKind::Max | AggKind::Min => best.take().into_iter().collect(),
+                },
+                StageState::Window(w) => w.finish(),
+                _ => Vec::new(),
+            };
+            for v in flushed {
+                result.extend(Self::feed(&mut self.stages, idx + 1, v, None)?);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scsq_ql::ArrayData;
+
+    fn chain(stages: Vec<Stage>) -> StageChain {
+        StageChain::new(&Pipeline {
+            input: InputKind::Const { values: vec![] },
+            stages,
+        })
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut c = chain(vec![]);
+        let out = c.process(Value::Integer(5), None).unwrap();
+        assert_eq!(out, vec![Value::Integer(5)]);
+        assert!(c.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn count_emits_once_at_eos() {
+        let mut c = chain(vec![Stage::Agg(AggKind::Count)]);
+        for i in 0..7 {
+            assert!(c.process(Value::synthetic_array(100 + i), None).unwrap().is_empty());
+        }
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(7)]);
+    }
+
+    #[test]
+    fn sum_of_integers_stays_integer() {
+        let mut c = chain(vec![Stage::Agg(AggKind::Sum)]);
+        for i in 1..=4i64 {
+            c.process(Value::Integer(i), None).unwrap();
+        }
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(10)]);
+    }
+
+    #[test]
+    fn sum_widens_to_real_when_needed() {
+        let mut c = chain(vec![Stage::Agg(AggKind::Sum)]);
+        c.process(Value::Integer(1), None).unwrap();
+        c.process(Value::Real(0.5), None).unwrap();
+        assert_eq!(c.finish().unwrap(), vec![Value::Real(1.5)]);
+    }
+
+    #[test]
+    fn sum_rejects_non_numbers() {
+        let mut c = chain(vec![Stage::Agg(AggKind::Sum)]);
+        let err = c.process(Value::from("x"), None).unwrap_err();
+        assert!(err.to_string().contains("expected number"));
+    }
+
+    #[test]
+    fn streamof_then_count_composes() {
+        // streamof(count(...)): identity after the aggregate.
+        let mut c = chain(vec![Stage::Agg(AggKind::Count), Stage::StreamOf]);
+        c.process(Value::Integer(0), None).unwrap();
+        c.process(Value::Integer(0), None).unwrap();
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(2)]);
+    }
+
+    #[test]
+    fn map_feeds_aggregate() {
+        // count(odd(x)) — count arrays after decimation.
+        let mut c = chain(vec![Stage::Map(MapFunc::Odd), Stage::Agg(AggKind::Count)]);
+        c.process(Value::from(vec![1.0, 2.0, 3.0, 4.0]), None).unwrap();
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(1)]);
+    }
+
+    #[test]
+    fn radixcombine_pairs_in_order() {
+        use scsq_fft::{fft_real, Complex};
+        let a = SpHandle(1); // odd-half FFTs
+        let b = SpHandle(2); // even-half FFTs
+        let mut c = chain(vec![Stage::RadixCombine { first: a, second: b }]);
+
+        let signal: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos()).collect();
+        let odd: Vec<f64> = signal.iter().copied().skip(1).step_by(2).collect();
+        let even: Vec<f64> = signal.iter().copied().step_by(2).collect();
+        let fft_of = |v: &[f64]| {
+            Value::Array(ArrayData::Complex(
+                fft_real(v).unwrap().into_iter().map(|c| (c.re, c.im)).collect(),
+            ))
+        };
+
+        // Odd-half arrives first; nothing emitted until its partner.
+        assert!(c.process(fft_of(&odd), Some(a)).unwrap().is_empty());
+        let out = c.process(fft_of(&even), Some(b)).unwrap();
+        assert_eq!(out.len(), 1);
+        let Value::Array(ArrayData::Complex(spectrum)) = &out[0] else {
+            panic!("expected complex array")
+        };
+        let direct = fft_real(&signal).unwrap();
+        for (got, want) in spectrum.iter().zip(&direct) {
+            assert!((Complex::new(got.0, got.1) - *want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radixcombine_rejects_unknown_producer() {
+        let mut c = chain(vec![Stage::RadixCombine {
+            first: SpHandle(1),
+            second: SpHandle(2),
+        }]);
+        let err = c.process(Value::Integer(1), Some(SpHandle(9))).unwrap_err();
+        assert!(err.to_string().contains("unexpected producer"));
+    }
+
+    #[test]
+    fn relay_pipeline_has_producers() {
+        let p = Pipeline::relay(vec![SpHandle(3)]);
+        assert_eq!(p.producers(), &[SpHandle(3)]);
+        assert!(p.stages.is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Node-selection policies.
+//!
+//! §2.2: "Currently, a naïve node selection algorithm is used, returning
+//! the next available node." §3.2 and §5 derive five observations about
+//! better placement and state: "we are currently experimenting with
+//! refinements of the node selection algorithm for the BlueGene based on
+//! the results of this paper." [`PlacementPolicy::TopologyAware`] is that
+//! refinement, built from the paper's own observations:
+//!
+//! 1. spread receiving BlueGene compute nodes over psets so inbound
+//!    streams use many I/O nodes (obs. 1/3 — Queries 5/6 beat 1–4);
+//! 2. co-locate back-end sender RPs on one node until saturation
+//!    (obs. 3/4 — Query 1 beats Query 2, Query 5 beats Query 6).
+//!
+//! A user-supplied allocation sequence always wins over the policy — the
+//! policy only decides what an unconstrained `sp(q, c)` means.
+
+use scsq_cluster::AllocSeq;
+use scsq_cluster::ClusterName;
+use serde::{Deserialize, Serialize};
+
+/// How unconstrained stream processes are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's baseline: next available node in index order.
+    #[default]
+    Naive,
+    /// The refinement motivated by §3.2's observations.
+    TopologyAware,
+}
+
+impl PlacementPolicy {
+    /// Resolves the allocation sequence actually used for a placement
+    /// request: explicit user constraints pass through; `Any` is
+    /// interpreted per policy.
+    pub fn effective(self, cluster: ClusterName, requested: &AllocSeq) -> AllocSeq {
+        if !matches!(requested, AllocSeq::Any) {
+            return requested.clone();
+        }
+        match (self, cluster) {
+            (PlacementPolicy::Naive, _) => AllocSeq::Any,
+            // Observation 1/3: use many I/O nodes — one compute node per
+            // pset, round-robin.
+            (PlacementPolicy::TopologyAware, ClusterName::BlueGene) => AllocSeq::PsetRoundRobin,
+            // Observation 3/4: co-locate back-end RPs on the same node
+            // (node 0) until saturation; Linux nodes accept many RPs so
+            // an explicit single-node sequence cannot fail.
+            (PlacementPolicy::TopologyAware, ClusterName::BackEnd) => {
+                AllocSeq::Explicit(vec![0])
+            }
+            (PlacementPolicy::TopologyAware, ClusterName::FrontEnd) => AllocSeq::Any,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_constraints_always_win() {
+        let user = AllocSeq::Explicit(vec![7]);
+        for policy in [PlacementPolicy::Naive, PlacementPolicy::TopologyAware] {
+            for cluster in ClusterName::ALL {
+                assert_eq!(policy.effective(cluster, &user), user);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_leaves_any_alone() {
+        assert_eq!(
+            PlacementPolicy::Naive.effective(ClusterName::BlueGene, &AllocSeq::Any),
+            AllocSeq::Any
+        );
+    }
+
+    #[test]
+    fn aware_spreads_bluegene_and_colocates_backend() {
+        assert_eq!(
+            PlacementPolicy::TopologyAware.effective(ClusterName::BlueGene, &AllocSeq::Any),
+            AllocSeq::PsetRoundRobin
+        );
+        assert_eq!(
+            PlacementPolicy::TopologyAware.effective(ClusterName::BackEnd, &AllocSeq::Any),
+            AllocSeq::Explicit(vec![0])
+        );
+        assert_eq!(
+            PlacementPolicy::TopologyAware.effective(ClusterName::FrontEnd, &AllocSeq::Any),
+            AllocSeq::Any
+        );
+    }
+}

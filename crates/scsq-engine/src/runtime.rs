@@ -1,0 +1,891 @@
+//! Discrete-event execution of a query graph.
+//!
+//! Each stream process runs as an RP (§2.3): source RPs (gen_array,
+//! receiver, grep) pace element production on their node's CPU; stream
+//! channels (from `scsq-transport`) marshal elements into buffers and
+//! move them over the simulated MPI/TCP carriers one buffer per event;
+//! receiving RPs de-marshal, run their SQEP stages (charging compute
+//! time for expensive functions), and forward results to their
+//! subscribers. End-of-stream control messages propagate downstream;
+//! when the client manager's pipeline sees EOS on all inputs, the query
+//! is complete (§2.2: RPs terminate when the stream is finite and
+//! exhausted).
+
+use crate::builder::QueryGraph;
+use crate::error::EngineError;
+use crate::funcs;
+use crate::measure::{ChannelReport, QueryResult, QueryStats};
+use crate::ops::{InputKind, Pipeline, Stage, StageChain};
+use crate::coordinator::Coordinator;
+use scsq_cluster::{ClusterName, Environment, NodeId};
+use scsq_net::FlowId;
+use scsq_sim::{SimTime, Simulator};
+use scsq_transport::{Carrier, ChannelConfig, StreamChannel};
+use scsq_ql::{SpHandle, Value};
+use std::collections::HashMap;
+
+/// Execution knobs for one query run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// MPI stream buffer size in bytes (the Fig 6 / Fig 8 sweep
+    /// variable). §3.1 finds 1000 bytes optimal for point-to-point.
+    pub mpi_buffer: u64,
+    /// Whether the MPI drivers double-buffer (§2.3).
+    pub mpi_double: bool,
+    /// Arrays emitted by `receiver()` sources.
+    pub receiver_arrays: u64,
+    /// Samples per `receiver()` array (power of two for FFT pipelines).
+    pub receiver_samples: usize,
+    /// Simulator event budget (guards against runaway queries).
+    pub event_limit: u64,
+    /// How unconstrained stream processes are placed (§2.2's naïve
+    /// algorithm, or the topology-aware refinement).
+    pub placement: crate::placement::PlacementPolicy,
+    /// Carry inter-cluster streams over UDP instead of TCP (§2.1: the
+    /// I/O nodes "provide TCP or UDP"). UDP has no flow control:
+    /// overloaded I/O nodes drop datagrams and the affected elements are
+    /// lost.
+    pub udp_inter_cluster: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            mpi_buffer: scsq_transport::MPI_DEFAULT_BUFFER,
+            mpi_double: true,
+            receiver_arrays: 8,
+            receiver_samples: 1024,
+            event_limit: 400_000_000,
+            placement: crate::placement::PlacementPolicy::Naive,
+            udp_inter_cluster: false,
+        }
+    }
+}
+
+struct GenRt {
+    bytes: u64,
+    remaining: u64,
+}
+
+struct RpState {
+    node: NodeId,
+    chain: StageChain,
+    /// Static stage list, for compute-cost accounting.
+    stages: Vec<Stage>,
+    /// Output channel indices.
+    outputs: Vec<usize>,
+    /// Input channels still streaming.
+    eos_remaining: usize,
+    gen: Option<GenRt>,
+    /// Non-gen source elements (receiver / grep / const), reversed so we
+    /// can pop from the back.
+    source_items: Vec<Value>,
+    is_client: bool,
+    /// Whether the RP already flushed its aggregates and closed its
+    /// outputs (guards against the EOS event racing the RP's own
+    /// poll-tick start event).
+    finished: bool,
+    /// Monitoring counters (§2.3 step v).
+    elements_in: u64,
+    elements_out: u64,
+}
+
+struct ChannelRt {
+    chan: StreamChannel<Value>,
+    src_sp: SpHandle,
+    dst_rp: usize,
+}
+
+struct World {
+    env: Environment,
+    rps: Vec<RpState>,
+    channels: Vec<ChannelRt>,
+    results: Vec<Value>,
+    first_result_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+    error: Option<EngineError>,
+}
+
+type Sim = Simulator<World>;
+
+/// Executes a query graph on `env` to completion.
+///
+/// # Errors
+///
+/// Runtime type errors inside operators, or an exceeded event budget.
+pub fn run_graph(
+    mut env: Environment,
+    graph: QueryGraph,
+    options: &RunOptions,
+) -> Result<QueryResult, EngineError> {
+    // SpHandle → rp index. The client is the last rp.
+    let mut rp_of: HashMap<SpHandle, usize> = HashMap::new();
+    for (i, sp) in graph.sps.iter().enumerate() {
+        rp_of.insert(sp.handle, i);
+    }
+    let client_rp = graph.sps.len();
+
+    let mut rps: Vec<RpState> = Vec::with_capacity(graph.sps.len() + 1);
+    let mut channels: Vec<ChannelRt> = Vec::new();
+    let mut flow_counter = 0u64;
+
+    let mut make_rp = |pipeline: &Pipeline,
+                       node: NodeId,
+                       dst_rp: usize,
+                       is_client: bool,
+                       env: &mut Environment,
+                       channels: &mut Vec<ChannelRt>,
+                       rp_of: &HashMap<SpHandle, usize>|
+     -> Result<RpState, EngineError> {
+        let producers = pipeline.producers();
+        // One channel per producer.
+        for &p in producers {
+            let src_rp = *rp_of.get(&p).ok_or_else(|| {
+                EngineError::Runtime(format!("subscription to unknown stream process {p:?}"))
+            })?;
+            let src_node = if src_rp < graph.sps.len() {
+                graph.sps[src_rp].node
+            } else {
+                node
+            };
+            let carrier = if src_node.cluster == ClusterName::BlueGene
+                && node.cluster == ClusterName::BlueGene
+            {
+                Carrier::Mpi {
+                    buffer: options.mpi_buffer,
+                    double: options.mpi_double,
+                }
+            } else if options.udp_inter_cluster {
+                Carrier::Udp
+            } else {
+                Carrier::Tcp
+            };
+            let cfg = ChannelConfig {
+                flow: FlowId(flow_counter),
+                src: src_node,
+                dst: node,
+                carrier,
+            };
+            flow_counter += 1;
+            channels.push(ChannelRt {
+                chan: StreamChannel::new(cfg, env),
+                src_sp: p,
+                dst_rp,
+            });
+        }
+        let (gen, source_items) = match &pipeline.input {
+            InputKind::Gen { bytes, count } => (
+                Some(GenRt {
+                    bytes: *bytes,
+                    remaining: *count,
+                }),
+                Vec::new(),
+            ),
+            InputKind::Const { values } => {
+                let mut items = values.clone();
+                items.reverse();
+                (None, items)
+            }
+            InputKind::Grep { pattern, file } => {
+                let mut items = funcs::grep(pattern, file);
+                items.reverse();
+                (None, items)
+            }
+            InputKind::Receiver {
+                name,
+                arrays,
+                samples,
+            } => {
+                let mut items: Vec<Value> = (0..*arrays)
+                    .map(|i| funcs::receiver_array(name, i, *samples))
+                    .collect();
+                items.reverse();
+                (None, items)
+            }
+            InputKind::Receive { .. } => (None, Vec::new()),
+        };
+        Ok(RpState {
+            node,
+            chain: StageChain::new(pipeline),
+            stages: pipeline.stages.clone(),
+            outputs: Vec::new(),
+            eos_remaining: producers.len(),
+            gen,
+            source_items,
+            is_client,
+            finished: false,
+            elements_in: 0,
+            elements_out: 0,
+        })
+    };
+
+    for (i, sp) in graph.sps.iter().enumerate() {
+        let rp = make_rp(
+            &sp.pipeline,
+            sp.node,
+            i,
+            false,
+            &mut env,
+            &mut channels,
+            &rp_of,
+        )?;
+        rps.push(rp);
+    }
+    let client = make_rp(
+        &graph.client,
+        graph.client_node,
+        client_rp,
+        true,
+        &mut env,
+        &mut channels,
+        &rp_of,
+    )?;
+    rps.push(client);
+
+    // Wire producer output lists.
+    for (ci, ch) in channels.iter().enumerate() {
+        let src_rp = rp_of[&ch.src_sp];
+        rps[src_rp].outputs.push(ci);
+    }
+
+    let world = World {
+        env,
+        rps,
+        channels,
+        results: Vec::new(),
+        first_result_at: None,
+        finished_at: None,
+        error: None,
+    };
+    let mut sim = Simulator::new(world).with_event_limit(options.event_limit);
+
+    // Start every RP per its coordinator's discipline: BlueGene RPs wake
+    // at the bgCC's next poll tick (§2.2), Linux RPs immediately.
+    for idx in 0..sim.world().rps.len() {
+        let cluster = sim.world().rps[idx].node.cluster;
+        let start = Coordinator::for_cluster(cluster).rp_start_time(SimTime::ZERO);
+        sim.schedule_at(start, move |w, s| start_rp(w, s, idx));
+    }
+
+    let end = sim.run_to_completion();
+    let events = sim.events_executed();
+    let exceeded = sim.limit_exceeded();
+    let world = sim.into_world();
+    if let Some(err) = world.error {
+        return Err(err);
+    }
+    if exceeded {
+        return Err(EngineError::Runtime(format!(
+            "query exceeded the event budget of {} (RunOptions::event_limit)",
+            options.event_limit
+        )));
+    }
+    let finished = world.finished_at.unwrap_or(end);
+    let reports: Vec<ChannelReport> = world
+        .channels
+        .iter()
+        .map(|c| {
+            let cfg = c.chan.config();
+            ChannelReport {
+                src: cfg.src,
+                dst: cfg.dst,
+                carrier: match cfg.carrier {
+                    Carrier::Mpi { .. } => "mpi".to_string(),
+                    Carrier::Tcp => "tcp".to_string(),
+                    Carrier::Udp => "udp".to_string(),
+                },
+                bytes: c.chan.stats().bytes_delivered,
+                first_send: c.chan.stats().first_send,
+                last_delivery: c.chan.stats().last_delivery,
+            }
+        })
+        .collect();
+    let rp_reports = world
+        .rps
+        .iter()
+        .map(|rp| crate::measure::RpReport {
+            node: rp.node,
+            elements_in: rp.elements_in,
+            elements_out: rp.elements_out,
+            node_cpu_busy: world.env.cpu_busy(rp.node),
+            is_client: rp.is_client,
+        })
+        .collect();
+    Ok(QueryResult::new(
+        world.results,
+        world.first_result_at,
+        finished,
+        QueryStats {
+            channels: reports,
+            rp_reports,
+            events,
+            rps: world.rps.len(),
+        },
+    ))
+}
+
+fn start_rp(world: &mut World, sim: &mut Sim, idx: usize) {
+    if world.error.is_some() {
+        return;
+    }
+    if world.rps[idx].gen.is_some() {
+        produce(world, sim, idx);
+    } else if !world.rps[idx].source_items.is_empty() {
+        drain_source(world, sim, idx);
+    } else if world.rps[idx].eos_remaining == 0 {
+        // A source with no elements at all (e.g. grep with no matches, or
+        // a pure Const that is empty): finish immediately.
+        finish_rp(world, sim, idx);
+    }
+}
+
+/// One gen_array production step: generate the next array, feed it
+/// through the local SQEP, schedule the next step when the CPU is done.
+fn produce(world: &mut World, sim: &mut Sim, idx: usize) {
+    if world.error.is_some() {
+        return;
+    }
+    let node = world.rps[idx].node;
+    let (bytes, exhausted) = {
+        let gen = world.rps[idx].gen.as_mut().expect("produce on non-gen rp");
+        if gen.remaining == 0 {
+            (0, true)
+        } else {
+            gen.remaining -= 1;
+            (gen.bytes, false)
+        }
+    };
+    if exhausted {
+        finish_rp(world, sim, idx);
+        return;
+    }
+    let value = Value::synthetic_array(bytes);
+    let done = world.env.generate(node, bytes, sim.now());
+    process_and_emit(world, sim, idx, value, None, done);
+    sim.schedule_at(done, move |w, s| produce(w, s, idx));
+}
+
+/// Emits all items of a non-gen source (receiver / grep / const), pacing
+/// each on the node CPU, then finishes.
+fn drain_source(world: &mut World, sim: &mut Sim, idx: usize) {
+    if world.error.is_some() {
+        return;
+    }
+    let node = world.rps[idx].node;
+    let mut t = sim.now();
+    while let Some(item) = world.rps[idx].source_items.pop() {
+        t = world.env.generate(node, item.marshaled_size(), t);
+        process_and_emit(world, sim, idx, item, None, t);
+        if world.error.is_some() {
+            return;
+        }
+    }
+    sim.schedule_at(t, move |w, s| finish_rp(w, s, idx));
+}
+
+/// Runs one element through an RP's stage chain and forwards the outputs
+/// to its subscribers (or records them, for the client).
+fn process_and_emit(
+    world: &mut World,
+    sim: &mut Sim,
+    idx: usize,
+    value: Value,
+    from: Option<SpHandle>,
+    at: SimTime,
+) {
+    let elem_bytes = value.marshaled_size();
+    world.rps[idx].elements_in += 1;
+    // Charge compute time for expensive stages (§5: "it is also
+    // important to analyze the performance of continuous queries
+    // involving expensive functions"), tracking how each stage
+    // transforms the element size (decimation halves it, so a
+    // radix2-style plan's FFTs run on half-size arrays). The charge
+    // applies to every element — including ones an aggregate absorbs.
+    let mut bytes = elem_bytes;
+    let mut cost = 0u64;
+    for s in &world.rps[idx].stages {
+        match s {
+            Stage::Map(f) => {
+                cost += funcs::map_cost_bytes(*f, bytes);
+                if matches!(f, crate::ops::MapFunc::Odd | crate::ops::MapFunc::Even) {
+                    bytes /= 2;
+                }
+            }
+            Stage::RadixCombine { .. } => cost += bytes,
+            _ => {}
+        }
+    }
+    let node = world.rps[idx].node;
+    let ready = world.env.compute(node, cost, at);
+    let outputs = match world.rps[idx].chain.process(value, from) {
+        Ok(o) => o,
+        Err(e) => {
+            world.error = Some(e);
+            return;
+        }
+    };
+    if outputs.is_empty() {
+        return;
+    }
+    emit(world, sim, idx, outputs, ready);
+}
+
+fn emit(world: &mut World, sim: &mut Sim, idx: usize, outputs: Vec<Value>, at: SimTime) {
+    world.rps[idx].elements_out += outputs.len() as u64;
+    if world.rps[idx].is_client {
+        if !outputs.is_empty() && world.first_result_at.is_none() {
+            world.first_result_at = Some(sim.now());
+        }
+        world.results.extend(outputs);
+        return;
+    }
+    let out_channels = world.rps[idx].outputs.clone();
+    for v in outputs {
+        for &ci in &out_channels {
+            let size = v.marshaled_size();
+            let when = world.channels[ci].chan.enqueue(v.clone(), size, at);
+            sim.schedule_at(when.max(sim.now()), move |w, s| cycle(w, s, ci));
+        }
+    }
+}
+
+/// End of an RP's own stream: flush aggregates, close output channels.
+fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
+    if world.error.is_some() || world.rps[idx].finished {
+        return;
+    }
+    world.rps[idx].finished = true;
+    let finals = match world.rps[idx].chain.finish() {
+        Ok(f) => f,
+        Err(e) => {
+            world.error = Some(e);
+            return;
+        }
+    };
+    let now = sim.now();
+    emit(world, sim, idx, finals, now);
+    if world.rps[idx].is_client {
+        world.finished_at = Some(now);
+        return;
+    }
+    let out_channels = world.rps[idx].outputs.clone();
+    for ci in out_channels {
+        let when = world.channels[ci].chan.finish(now);
+        sim.schedule_at(when.max(now), move |w, s| cycle(w, s, ci));
+    }
+}
+
+/// One stream-channel buffer cycle.
+fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
+    if world.error.is_some() {
+        return;
+    }
+    let out = {
+        let ch = &mut world.channels[ci];
+        ch.chan.cycle(&mut world.env, sim.now())
+    };
+    if !out.deliveries.is_empty() {
+        let t = out.deliveries[0].0;
+        let items: Vec<Value> = out.deliveries.into_iter().map(|(_, v)| v).collect();
+        sim.schedule_at(t.max(sim.now()), move |w, s| deliver(w, s, ci, items));
+    }
+    if let Some(t) = out.next_cycle {
+        sim.schedule_at(t.max(sim.now()), move |w, s| cycle(w, s, ci));
+    }
+    if let Some(t) = out.eos_at {
+        sim.schedule_at(t.max(sim.now()), move |w, s| eos(w, s, ci));
+    }
+}
+
+/// Elements of one buffer become visible at the subscriber.
+fn deliver(world: &mut World, sim: &mut Sim, ci: usize, items: Vec<Value>) {
+    if world.error.is_some() {
+        return;
+    }
+    let dst = world.channels[ci].dst_rp;
+    let from = world.channels[ci].src_sp;
+    let now = sim.now();
+    for v in items {
+        process_and_emit(world, sim, dst, v, Some(from), now);
+        if world.error.is_some() {
+            return;
+        }
+    }
+}
+
+/// End-of-stream control message arrives at the subscriber (§2.2).
+fn eos(world: &mut World, sim: &mut Sim, ci: usize) {
+    if world.error.is_some() {
+        return;
+    }
+    let dst = world.channels[ci].dst_rp;
+    let rp = &mut world.rps[dst];
+    assert!(rp.eos_remaining > 0, "duplicate EOS on channel {ci}");
+    rp.eos_remaining -= 1;
+    if rp.eos_remaining == 0 {
+        finish_rp(world, sim, dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use crate::placement::PlacementPolicy;
+    use scsq_ql::{parse_statement, Catalog};
+
+    fn run(src: &str) -> Result<QueryResult, EngineError> {
+        run_opts(src, &RunOptions::default())
+    }
+
+    fn run_opts(src: &str, options: &RunOptions) -> Result<QueryResult, EngineError> {
+        let mut env = Environment::lofar();
+        let catalog = Catalog::new();
+        let stmt = parse_statement(src).expect("parses");
+        let graph = QueryBuilder::new(&mut env, &catalog, PlacementPolicy::Naive, options)
+            .build(&stmt, &[])?;
+        run_graph(env, graph, options)
+    }
+
+    #[test]
+    fn p2p_count_reaches_the_client() {
+        // Miniature of the paper's §3.1 point-to-point query: 10 arrays
+        // of 100 KB.
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1);",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(10)]);
+        assert!(r.finished() > SimTime::ZERO);
+        // One MPI channel (a→b) and one TCP channel (b→client).
+        let mpi: Vec<_> = r
+            .stats()
+            .channels
+            .iter()
+            .filter(|c| c.carrier == "mpi")
+            .collect();
+        assert_eq!(mpi.len(), 1);
+        assert_eq!(mpi[0].bytes, 10 * 100_009);
+    }
+
+    #[test]
+    fn merge_counts_both_streams() {
+        let r = run(
+            "select extract(c) from sp a, sp b, sp c
+             where c=sp(count(merge({a,b})), 'bg',0)
+             and a=sp(gen_array(50000,8),'bg',1)
+             and b=sp(gen_array(50000,8),'bg',4);",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(16)]);
+        // Each 50 KB synthetic array marshals to 1 (tag) + 9 (header)
+        // + 50_000 payload bytes.
+        assert_eq!(r.bytes_into(NodeId::bg(0)), 16 * 50_009);
+    }
+
+    #[test]
+    fn inbound_query1_shape_counts_all_arrays() {
+        let r = run(
+            "select extract(c) from
+             bag of sp a, sp b, sp c, integer n
+             where c=sp(extract(b), 'bg')
+             and b=sp(count(merge(a)), 'bg')
+             and a=spv((select gen_array(100000,5)
+                        from integer i where i in iota(1,n)), 'be', 1)
+             and n=3;",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(15)]);
+        // All inbound traffic crossed be → bg.
+        assert_eq!(
+            r.bytes_between(ClusterName::BackEnd, ClusterName::BlueGene),
+            15 * 100_009
+        );
+    }
+
+    #[test]
+    fn sum_of_counts_matches_total() {
+        // Query 3 shape in miniature.
+        let r = run(
+            "select extract(c) from
+             bag of sp a, bag of sp b, sp c, integer n
+             where c=sp(streamof(sum(merge(b))), 'bg')
+             and b=spv((select streamof(count(extract(p)))
+                        from sp p where p in a), 'bg', inPset(1))
+             and a=spv((select gen_array(100000,4)
+                        from integer i where i in iota(1,n)), 'be', 1)
+             and n=3;",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(12)]);
+    }
+
+    #[test]
+    fn grep_mapreduce_delivers_matching_lines() {
+        let r = run(
+            "merge(spv(
+                select grep(\"pulsar\", filename(i))
+                from integer i
+                where i in iota(1,4)));",
+        )
+        .unwrap();
+        let expected: usize = (1..=4)
+            .map(|i| funcs::grep("pulsar", &funcs::filename(i)).len())
+            .sum();
+        assert_eq!(r.values().len(), expected);
+        assert!(expected > 0);
+        for v in r.values() {
+            assert!(v.as_str().unwrap().contains("pulsar"));
+        }
+    }
+
+    #[test]
+    fn empty_grep_still_terminates() {
+        let r = run(
+            "merge(spv(
+                select grep(\"zebra\", filename(i))
+                from integer i where i in iota(1,2)));",
+        )
+        .unwrap();
+        assert!(r.values().is_empty());
+        assert!(r.finished() >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn double_buffering_speeds_up_large_buffer_mpi() {
+        let q = "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(1000000,10),'bg',1);";
+        let single = run_opts(
+            q,
+            &RunOptions {
+                mpi_buffer: 100_000,
+                mpi_double: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let double = run_opts(
+            q,
+            &RunOptions {
+                mpi_buffer: 100_000,
+                mpi_double: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(single.values(), double.values());
+        assert!(double.finished() < single.finished());
+    }
+
+    #[test]
+    fn windowed_aggregate_runs_end_to_end() {
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(winagg(extract(a), 2, 2, 'count'), 'bg', 0)
+             and a=sp(gen_array(10000,6),'bg',1);",
+        )
+        .unwrap();
+        assert_eq!(
+            r.values(),
+            &[Value::Integer(2), Value::Integer(2), Value::Integer(2)]
+        );
+    }
+
+    #[test]
+    fn event_budget_exhaustion_is_an_error_not_a_panic() {
+        let err = run_opts(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000000,100),'bg',1);",
+            &RunOptions {
+                event_limit: 50,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("event budget"), "{err}");
+    }
+
+    #[test]
+    fn first_result_precedes_completion_for_streams() {
+        // A relay query streams many values; the first reaches the
+        // client well before the stream completes.
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(extract(a), 'bg', 0)
+             and a=sp(gen_array(50000,20),'bg',1);",
+        )
+        .unwrap();
+        assert_eq!(r.values().len(), 20);
+        let first = r.first_result().expect("values arrived");
+        assert!(first < r.finished(), "{first} !< {}", r.finished());
+    }
+
+    #[test]
+    fn max_min_avg_aggregates_run_end_to_end() {
+        let q = |agg: &str| {
+            format!(
+                "select extract(b) from sp src, sp b
+                 where b=sp(streamof({agg}(extract(src))), 'bg')
+                 and src=sp(streamof(iota(3,9)), 'be');"
+            )
+        };
+        assert_eq!(run(&q("max")).unwrap().values(), &[Value::Integer(9)]);
+        assert_eq!(run(&q("min")).unwrap().values(), &[Value::Integer(3)]);
+        assert_eq!(run(&q("avg")).unwrap().values(), &[Value::Real(6.0)]);
+        assert_eq!(run(&q("sum")).unwrap().values(), &[Value::Integer(42)]);
+        assert_eq!(run(&q("count")).unwrap().values(), &[Value::Integer(7)]);
+    }
+
+    #[test]
+    fn rp_reports_include_cpu_time() {
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(fft(extract(a)))), 'bg', 0)
+             and a=sp(gen_array(100000,5),'bg',1);",
+        )
+        .unwrap();
+        let b_report = &r.stats().rp_reports[1];
+        assert!(
+            b_report.node_cpu_busy > scsq_sim::SimDur::ZERO,
+            "the fft-running node must show CPU time"
+        );
+    }
+
+    #[test]
+    fn udp_drops_elements_under_overload() {
+        // Four saturating generators into one compute node: TCP's flow
+        // control delivers everything; UDP overruns the I/O node and
+        // loses elements — why SCSQ carries streams over TCP between
+        // clusters.
+        // Elements sized to one datagram each, so partial delivery is
+        // observable.
+        let q = "select extract(b) from bag of sp a, sp b, integer n
+                 where b=sp(count(merge(a)), 'bg')
+                 and a=spv((select gen_array(8000,500)
+                            from integer i where i in iota(1,n)), 'be', urr('be'))
+                 and n=4;";
+        let tcp = run(q).unwrap();
+        assert_eq!(tcp.values(), &[Value::Integer(2000)]);
+
+        let udp = run_opts(
+            q,
+            &RunOptions {
+                udp_inter_cluster: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let delivered = udp.values()[0].as_integer().expect("count");
+        assert!(
+            delivered < 2000,
+            "overload must lose datagrams: delivered {delivered}/2000"
+        );
+        assert!(delivered > 0, "some elements must still arrive");
+        let udp_bytes: u64 = udp
+            .stats()
+            .channels
+            .iter()
+            .filter(|c| c.carrier == "udp")
+            .map(|c| c.bytes)
+            .sum();
+        assert!(
+            udp_bytes < 2000 * 8_009,
+            "delivered bytes reflect the loss: {udp_bytes}"
+        );
+    }
+
+    #[test]
+    fn udp_without_overload_delivers_everything() {
+        // One modest stream: the I/O backlog never exceeds the drop
+        // threshold, so UDP behaves like TCP.
+        let q = "select extract(b) from sp a, sp b
+                 where b=sp(count(extract(a)), 'bg')
+                 and a=sp(gen_array(100000,10), 'be', 1);";
+        let udp = run_opts(
+            q,
+            &RunOptions {
+                udp_inter_cluster: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(udp.values(), &[Value::Integer(10)]);
+    }
+
+    #[test]
+    fn take_truncates_a_stream() {
+        // A stop condition in the query makes the stream finite (§2.2).
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(count(take(extract(a), 3)), 'bg', 0)
+             and a=sp(gen_array(10000,9),'bg',1);",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(3)]);
+    }
+
+    #[test]
+    fn nodes_feeds_allocation_sequences() {
+        // nodes('bg') evaluates against the CNDB; using it as an
+        // allocation sequence is equivalent to AllocSeq::Any.
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', nodes('bg'))
+             and a=sp(gen_array(10000,2),'bg',1);",
+        )
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(2)]);
+        // b landed on node 0 — the first available in the CNDB order.
+        assert!(r.bytes_into(NodeId::bg(0)) > 0);
+    }
+
+    #[test]
+    fn rp_monitors_count_elements() {
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(10000,7),'bg',1);",
+        )
+        .unwrap();
+        let reports = &r.stats().rp_reports;
+        assert_eq!(reports.len(), 3, "a, b, client");
+        // a: generated 7, emitted 7.
+        assert_eq!(reports[0].elements_in, 7);
+        assert_eq!(reports[0].elements_out, 7);
+        assert!(!reports[0].is_client);
+        // b: received 7, emitted the single count.
+        assert_eq!(reports[1].elements_in, 7);
+        assert_eq!(reports[1].elements_out, 1);
+        // client: received the count.
+        assert!(reports[2].is_client);
+        assert_eq!(reports[2].elements_in, 1);
+    }
+
+    #[test]
+    fn bg_rps_start_at_the_poll_tick() {
+        let r = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000,1),'bg',1);",
+        )
+        .unwrap();
+        // The generator cannot start before the bgCC's first poll (1 ms).
+        assert!(r.finished() >= SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn type_error_inside_operator_aborts_the_query() {
+        // sum() over synthetic arrays is a type error at run time.
+        let err = run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(sum(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000,2),'bg',1);",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expected number"), "{err}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Sliding-window aggregation.
+//!
+//! §4 notes that "SCSQ features all common stream operators including
+//! window aggregation"; the evaluation queries do not use it, but the
+//! operator is part of the system. `winagg(s, size, slide, 'fn')`
+//! computes `fn` over each window of `size` elements, advancing by
+//! `slide`.
+
+use crate::error::EngineError;
+use crate::ops::AggKind;
+use scsq_ql::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static description of a window aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Window length in elements.
+    pub size: usize,
+    /// Slide in elements (tumbling when `slide == size`).
+    pub slide: usize,
+    /// Aggregate applied to each window.
+    pub agg: AggKind,
+}
+
+impl WindowSpec {
+    /// Creates a spec, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Bind`] if size or slide is zero.
+    pub fn new(size: usize, slide: usize, agg: AggKind) -> Result<WindowSpec, EngineError> {
+        if size == 0 || slide == 0 {
+            return Err(EngineError::bind(format!(
+                "window size and slide must be positive (got size={size}, slide={slide})"
+            )));
+        }
+        Ok(WindowSpec { size, slide, agg })
+    }
+}
+
+/// Runtime state of a window aggregate.
+#[derive(Debug)]
+pub struct WindowState {
+    spec: WindowSpec,
+    buffer: VecDeque<Value>,
+    /// Elements consumed since the last emitted window.
+    since_emit: usize,
+    emitted_any: bool,
+}
+
+impl WindowState {
+    /// Fresh state for a spec.
+    pub fn new(spec: WindowSpec) -> WindowState {
+        WindowState {
+            spec,
+            buffer: VecDeque::new(),
+            since_emit: 0,
+            emitted_any: false,
+        }
+    }
+
+    /// Feeds one element; returns any completed window aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Type error when summing non-numeric elements.
+    pub fn push(&mut self, value: Value) -> Result<Vec<Value>, EngineError> {
+        self.buffer.push_back(value);
+        if self.buffer.len() > self.spec.size {
+            self.buffer.pop_front();
+        }
+        self.since_emit += 1;
+        let due = if self.emitted_any {
+            self.since_emit >= self.spec.slide
+        } else {
+            self.buffer.len() >= self.spec.size
+        };
+        if due {
+            self.since_emit = 0;
+            self.emitted_any = true;
+            Ok(vec![self.aggregate()?])
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// End of stream: emits a final partial window over the elements
+    /// that arrived since the last emission, if any.
+    pub fn finish(&mut self) -> Vec<Value> {
+        let tail = self.since_emit.min(self.buffer.len());
+        if tail == 0 {
+            return Vec::new();
+        }
+        self.since_emit = 0;
+        let skip = self.buffer.len() - tail;
+        let partial: Vec<Value> = self.buffer.iter().skip(skip).cloned().collect();
+        self.buffer = partial.into();
+        vec![self.aggregate().unwrap_or(Value::Integer(0))]
+    }
+
+    fn aggregate(&self) -> Result<Value, EngineError> {
+        if self.spec.agg == AggKind::Count {
+            return Ok(Value::Integer(self.buffer.len() as i64));
+        }
+        let mut acc = 0.0;
+        let mut all_int = true;
+        let mut int_acc = 0i64;
+        let mut best: Option<&Value> = None;
+        for v in &self.buffer {
+            let x = match v {
+                Value::Integer(i) => {
+                    int_acc += i;
+                    *i as f64
+                }
+                Value::Real(r) => {
+                    all_int = false;
+                    *r
+                }
+                other => return Err(EngineError::type_error("number", other, "winagg")),
+            };
+            acc += if matches!(v, Value::Real(_)) { x } else { 0.0 };
+            let replace = match (self.spec.agg, best.and_then(Value::as_real)) {
+                (AggKind::Max, Some(b)) => x > b,
+                (AggKind::Min, Some(b)) => x < b,
+                (_, None) => true,
+                _ => false,
+            };
+            if replace {
+                best = Some(v);
+            }
+        }
+        let total = acc + int_acc as f64;
+        Ok(match self.spec.agg {
+            AggKind::Count => unreachable!("handled above"),
+            AggKind::Sum => {
+                if all_int {
+                    Value::Integer(int_acc)
+                } else {
+                    Value::Real(total)
+                }
+            }
+            AggKind::Avg => Value::Real(total / self.buffer.len() as f64),
+            AggKind::Max | AggKind::Min => best.expect("non-empty window").clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(state: &mut WindowState, values: &[i64]) -> Vec<Value> {
+        let mut out = Vec::new();
+        for &v in values {
+            out.extend(state.push(Value::Integer(v)).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn tumbling_count_window() {
+        let mut w = WindowState::new(WindowSpec::new(3, 3, AggKind::Count).unwrap());
+        let out = ints(&mut w, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(out, vec![Value::Integer(3), Value::Integer(3)]);
+    }
+
+    #[test]
+    fn sliding_sum_window() {
+        let mut w = WindowState::new(WindowSpec::new(3, 1, AggKind::Sum).unwrap());
+        let out = ints(&mut w, &[1, 2, 3, 4]);
+        // Windows: [1,2,3]=6, [2,3,4]=9.
+        assert_eq!(out, vec![Value::Integer(6), Value::Integer(9)]);
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let mut w = WindowState::new(WindowSpec::new(4, 4, AggKind::Sum).unwrap());
+        assert!(ints(&mut w, &[5, 7]).is_empty());
+        assert_eq!(w.finish(), vec![Value::Integer(12)]);
+        // Second finish is a no-op.
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn finish_covers_only_unemitted_elements() {
+        // Tumbling size 4 over 10 elements: two full windows emit, then
+        // the flush covers only [9, 10], not the window buffer's stale
+        // tail.
+        let mut w = WindowState::new(WindowSpec::new(4, 4, AggKind::Sum).unwrap());
+        let emitted = ints(&mut w, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(emitted, vec![Value::Integer(10), Value::Integer(26)]);
+        assert_eq!(w.finish(), vec![Value::Integer(19)]);
+    }
+
+    #[test]
+    fn real_values_widen_the_sum() {
+        let mut w = WindowState::new(WindowSpec::new(2, 2, AggKind::Sum).unwrap());
+        w.push(Value::Integer(1)).unwrap();
+        let out = w.push(Value::Real(0.25)).unwrap();
+        assert_eq!(out, vec![Value::Real(1.25)]);
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        assert!(WindowSpec::new(0, 1, AggKind::Count).is_err());
+        assert!(WindowSpec::new(1, 0, AggKind::Count).is_err());
+    }
+
+    #[test]
+    fn sum_window_rejects_strings() {
+        let mut w = WindowState::new(WindowSpec::new(1, 1, AggKind::Sum).unwrap());
+        assert!(w.push(Value::from("x")).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the binder: declarative `where` clauses are
+//! order-insensitive, and equivalent formulations produce identical
+//! executions.
+
+use proptest::prelude::*;
+use scsq_cluster::Environment;
+use scsq_engine::{run_graph, PlacementPolicy, QueryBuilder, QueryResult, RunOptions};
+use scsq_ql::{parse_statement, Catalog, Value};
+
+fn run(src: &str) -> QueryResult {
+    let mut env = Environment::lofar();
+    let catalog = Catalog::new();
+    let options = RunOptions::default();
+    let stmt = parse_statement(src).expect("parses");
+    let graph = QueryBuilder::new(&mut env, &catalog, PlacementPolicy::Naive, &options)
+        .build(&stmt, &[])
+        .expect("builds");
+    run_graph(env, graph, &options).expect("runs")
+}
+
+/// The p2p query's three predicates in an arbitrary order.
+fn p2p_with_order(order: &[usize]) -> String {
+    let preds = [
+        "b=sp(streamof(count(extract(a))), 'bg', 0)",
+        "a=sp(gen_array(100000,7),'bg',1)",
+        "n=7",
+    ];
+    let joined: Vec<&str> = order.iter().map(|&i| preds[i]).collect();
+    format!(
+        "select extract(b) from sp a, sp b, integer n where {};",
+        joined.join(" and ")
+    )
+}
+
+proptest! {
+    /// `where` conjuncts bind by dependency, not text order: every
+    /// permutation yields the same values and the same completion time.
+    #[test]
+    fn predicate_order_does_not_matter(perm in Just(()).prop_perturb(|(), mut rng| {
+        let mut idx = vec![0usize, 1, 2];
+        // Fisher-Yates with proptest's rng.
+        for i in (1..idx.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        idx
+    })) {
+        let reference = run(&p2p_with_order(&[0, 1, 2]));
+        let permuted = run(&p2p_with_order(&perm));
+        prop_assert_eq!(reference.values(), permuted.values());
+        prop_assert_eq!(reference.finished(), permuted.finished());
+    }
+
+    /// Literal inlining equals variable indirection: writing `n=K` and
+    /// using `n` is identical to writing `K` in place.
+    #[test]
+    fn variables_are_referentially_transparent(k in 1i64..12) {
+        let with_var = run(&format!(
+            "select extract(b) from bag of sp a, sp b, integer n
+             where b=sp(count(merge(a)), 'bg')
+             and a=spv((select gen_array(50000,4)
+                        from integer i where i in iota(1,n)), 'be', 1)
+             and n={k};"
+        ));
+        let inlined = run(&format!(
+            "select extract(b) from bag of sp a, sp b
+             where b=sp(count(merge(a)), 'bg')
+             and a=spv((select gen_array(50000,4)
+                        from integer i where i in iota(1,{k})), 'be', 1);"
+        ));
+        prop_assert_eq!(with_var.values(), inlined.values());
+        prop_assert_eq!(with_var.finished(), inlined.finished());
+        prop_assert_eq!(with_var.values(), &[Value::Integer(k * 4)]);
+    }
+
+    /// `streamof` is a no-op on stream contents wherever it is inserted.
+    #[test]
+    fn streamof_is_transparent(wrap in any::<bool>()) {
+        let inner = if wrap {
+            "streamof(count(extract(a)))"
+        } else {
+            "count(extract(a))"
+        };
+        let r = run(&format!(
+            "select extract(b) from sp a, sp b
+             where b=sp({inner}, 'bg', 0)
+             and a=sp(gen_array(10000,5),'bg',1);"
+        ));
+        prop_assert_eq!(r.values(), &[Value::Integer(5)]);
+    }
+}

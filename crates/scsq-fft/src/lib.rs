@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # scsq-fft — radix-2 FFT and signal utilities
+//!
+//! §2.4 of the paper shows how SCSQL parallelizes FFT with the `radix2`
+//! query function: a receiver SP splits each signal array into odd and
+//! even samples, two SPs compute FFTs of the halves in parallel, and
+//! `radixcombine()` merges the partial results (the classic radix-2
+//! decimation-in-time step from Kumar et al., the paper's \[12\]).
+//!
+//! This crate supplies the *math* those operators execute: an iterative
+//! radix-2 FFT, its inverse, the odd/even decimation, the combine step,
+//! and deterministic signal generators for the examples and tests.
+
+pub mod complex;
+pub mod radix2;
+pub mod signal;
+
+pub use complex::Complex;
+pub use radix2::{combine, even_samples, fft, fft_real, ifft, odd_samples, FftError};
+pub use signal::{chirp, impulse, sine};

@@ -1,0 +1,280 @@
+//! Iterative radix-2 FFT, the odd/even decimation, and the combine step.
+//!
+//! The decomposition here is exactly the one the paper's `radix2` SCSQL
+//! function distributes over stream processes:
+//!
+//! ```text
+//! X = fft(x)  ==  combine( fft(even_samples(x)), fft(odd_samples(x)) )
+//! ```
+//!
+//! so the test suite can verify that the *distributed* plan computes the
+//! same spectrum as the direct transform.
+
+use crate::complex::Complex;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Errors from transform functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FftError {
+    /// Input length was not a power of two.
+    NotPowerOfTwo(usize),
+    /// The two halves passed to [`combine`] differ in length.
+    MismatchedHalves(usize, usize),
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "input length {n} is not a power of two")
+            }
+            FftError::MismatchedHalves(a, b) => {
+                write!(f, "combine halves differ in length: {a} vs {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+fn check_pow2(n: usize) -> Result<(), FftError> {
+    if n == 0 || !n.is_power_of_two() {
+        Err(FftError::NotPowerOfTwo(n))
+    } else {
+        Ok(())
+    }
+}
+
+/// In-place iterative Cooley–Tukey with bit-reversal permutation.
+/// `sign` is -1 for the forward transform, +1 for the inverse.
+fn transform(data: &mut [Complex], sign: f64) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of a complex signal.
+///
+/// # Errors
+///
+/// [`FftError::NotPowerOfTwo`] unless the length is a power of two.
+///
+/// ```
+/// use scsq_fft::{fft, Complex};
+/// let spectrum = fft(&[Complex::ONE; 4])?;
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12); // DC bin
+/// # Ok::<(), scsq_fft::FftError>(())
+/// ```
+pub fn fft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    check_pow2(input.len())?;
+    let mut data = input.to_vec();
+    transform(&mut data, -1.0);
+    Ok(data)
+}
+
+/// Forward FFT of a real signal.
+///
+/// # Errors
+///
+/// [`FftError::NotPowerOfTwo`] unless the length is a power of two.
+pub fn fft_real(input: &[f64]) -> Result<Vec<Complex>, FftError> {
+    let complex: Vec<Complex> = input.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&complex)
+}
+
+/// Inverse FFT (normalized by 1/N).
+///
+/// # Errors
+///
+/// [`FftError::NotPowerOfTwo`] unless the length is a power of two.
+pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    check_pow2(input.len())?;
+    let mut data = input.to_vec();
+    transform(&mut data, 1.0);
+    let scale = 1.0 / data.len() as f64;
+    for x in &mut data {
+        *x = x.scale(scale);
+    }
+    Ok(data)
+}
+
+/// Even-indexed samples of an array — the paper's `even(x)`.
+pub fn even_samples<T: Copy>(x: &[T]) -> Vec<T> {
+    x.iter().copied().step_by(2).collect()
+}
+
+/// Odd-indexed samples of an array — the paper's `odd(x)`.
+pub fn odd_samples<T: Copy>(x: &[T]) -> Vec<T> {
+    x.iter().copied().skip(1).step_by(2).collect()
+}
+
+/// The radix-2 decimation-in-time combine — the paper's
+/// `radixcombine()`: given the FFT of the even samples and the FFT of the
+/// odd samples, produce the FFT of the full signal.
+///
+/// # Errors
+///
+/// [`FftError::MismatchedHalves`] if the halves differ in length, or
+/// [`FftError::NotPowerOfTwo`] if their length is not a power of two.
+pub fn combine(even_fft: &[Complex], odd_fft: &[Complex]) -> Result<Vec<Complex>, FftError> {
+    if even_fft.len() != odd_fft.len() {
+        return Err(FftError::MismatchedHalves(even_fft.len(), odd_fft.len()));
+    }
+    let half = even_fft.len();
+    check_pow2(half.max(1))?;
+    let n = half * 2;
+    let mut out = vec![Complex::ZERO; n];
+    for k in 0..half {
+        let twiddle = Complex::cis(-2.0 * PI * k as f64 / n as f64);
+        let t = twiddle * odd_fft[k];
+        out[k] = even_fft[k] + t;
+        out[k + half] = even_fft[k] - t;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() < tol,
+                "bin {i}: {x} vs {y} (|Δ|={})",
+                (*x - *y).abs()
+            );
+        }
+    }
+
+    /// O(n²) reference DFT.
+    fn dft(input: &[Complex]) -> Vec<Complex> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &x) in input.iter().enumerate() {
+                    acc += x * Complex::cis(-2.0 * PI * (k * j) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn test_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn fft_matches_reference_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = test_signal(n);
+            assert_close(&fft(&x).unwrap(), &dft(&x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let x = test_signal(128);
+        let back = ifft(&fft(&x).unwrap()).unwrap();
+        assert_close(&back, &x, 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let x = test_signal(256);
+        let spectrum = fft(&x).unwrap();
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 =
+            spectrum.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn odd_even_split_partitions_the_signal() {
+        let x: Vec<i32> = (0..10).collect();
+        assert_eq!(even_samples(&x), vec![0, 2, 4, 6, 8]);
+        assert_eq!(odd_samples(&x), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn radix2_distributed_plan_equals_direct_fft() {
+        // This is the correctness claim behind the paper's radix2 query
+        // function: fft(odd)/fft(even) in parallel + radixcombine equals
+        // fft of the whole signal.
+        for n in [2usize, 8, 64, 512] {
+            let x = test_signal(n);
+            let direct = fft(&x).unwrap();
+            let e = fft(&even_samples(&x)).unwrap();
+            let o = fft(&odd_samples(&x)).unwrap();
+            let combined = combine(&e, &o).unwrap();
+            assert_close(&combined, &direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let s = fft(&x).unwrap();
+        for bin in s {
+            assert!((bin - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        let x = test_signal(12);
+        assert_eq!(fft(&x).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert_eq!(ifft(&x).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert!(fft(&[]).is_err());
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_halves() {
+        let a = vec![Complex::ONE; 4];
+        let b = vec![Complex::ONE; 8];
+        assert_eq!(combine(&a, &b).unwrap_err(), FftError::MismatchedHalves(4, 8));
+    }
+
+    #[test]
+    fn fft_real_matches_complex_path() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let via_real = fft_real(&x).unwrap();
+        let via_complex =
+            fft(&x.iter().map(|&v| Complex::from_real(v)).collect::<Vec<_>>()).unwrap();
+        assert_close(&via_real, &via_complex, 1e-12);
+    }
+}

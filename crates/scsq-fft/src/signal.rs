@@ -1,0 +1,90 @@
+//! Deterministic signal generators for examples and tests.
+//!
+//! LOFAR's receivers digitize antenna voltages into streams of signal
+//! arrays; these generators produce stand-in signals with known spectra
+//! so the `radix2` example can verify its output.
+
+use std::f64::consts::PI;
+
+/// A pure sine: `amp · sin(2π · cycles · i / n)` for `i` in `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn sine(n: usize, cycles: f64, amp: f64) -> Vec<f64> {
+    assert!(n > 0, "signal length must be positive");
+    (0..n)
+        .map(|i| amp * (2.0 * PI * cycles * i as f64 / n as f64).sin())
+        .collect()
+}
+
+/// A linear chirp sweeping from `f0` to `f1` cycles over the window.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn chirp(n: usize, f0: f64, f1: f64) -> Vec<f64> {
+    assert!(n > 0, "signal length must be positive");
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let phase = 2.0 * PI * (f0 * t + 0.5 * (f1 - f0) * t * t);
+            phase.sin()
+        })
+        .collect()
+}
+
+/// A unit impulse at `at`.
+///
+/// # Panics
+///
+/// Panics if `at >= n`.
+pub fn impulse(n: usize, at: usize) -> Vec<f64> {
+    assert!(at < n, "impulse position {at} outside signal of length {n}");
+    let mut v = vec![0.0; n];
+    v[at] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix2::fft_real;
+
+    #[test]
+    fn sine_peaks_at_its_frequency_bin() {
+        let n = 256;
+        let cycles = 12.0;
+        let spectrum = fft_real(&sine(n, cycles, 1.0)).unwrap();
+        let peak_bin = spectrum
+            .iter()
+            .take(n / 2)
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak_bin, 12);
+        // Peak magnitude of a unit sine is n/2.
+        assert!((spectrum[peak_bin].abs() - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn impulse_is_a_single_one() {
+        let v = impulse(8, 3);
+        assert_eq!(v.iter().sum::<f64>(), 1.0);
+        assert_eq!(v[3], 1.0);
+    }
+
+    #[test]
+    fn chirp_has_unit_amplitude() {
+        for x in chirp(128, 1.0, 20.0) {
+            assert!(x.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside signal")]
+    fn impulse_position_is_validated() {
+        impulse(4, 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+use scsq_fft::{combine, even_samples, fft, ifft, odd_samples, Complex};
+
+fn arb_signal(max_pow: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (1u32..=max_pow).prop_flat_map(|p| {
+        let n = 1usize << p;
+        proptest::collection::vec(
+            (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    /// ifft(fft(x)) == x for arbitrary power-of-two signals.
+    #[test]
+    fn fft_round_trips(x in arb_signal(10)) {
+        let back = ifft(&fft(&x).expect("pow2")).expect("pow2");
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn parseval_holds(x in arb_signal(9)) {
+        let spectrum = fft(&x).expect("pow2");
+        let t: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let f: f64 = spectrum.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((t - f).abs() <= 1e-6 * (1.0 + t));
+    }
+
+    /// Linearity: fft(a·x + y) == a·fft(x) + fft(y).
+    #[test]
+    fn fft_is_linear(x in arb_signal(8), scale in -10.0f64..10.0) {
+        let y: Vec<Complex> = x.iter().map(|c| Complex::new(c.im, -c.re)).collect();
+        let lhs_input: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a.scale(scale) + *b)
+            .collect();
+        let lhs = fft(&lhs_input).expect("pow2");
+        let fx = fft(&x).expect("pow2");
+        let fy = fft(&y).expect("pow2");
+        for ((l, a), b) in lhs.iter().zip(&fx).zip(&fy) {
+            let rhs = a.scale(scale) + *b;
+            prop_assert!((*l - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+        }
+    }
+
+    /// The distributed decomposition the paper's radix2 function uses:
+    /// combine(fft(even), fft(odd)) == fft(whole), for any signal.
+    #[test]
+    fn radix_decomposition_is_exact(x in arb_signal(9)) {
+        prop_assume!(x.len() >= 2);
+        let direct = fft(&x).expect("pow2");
+        let e = fft(&even_samples(&x)).expect("pow2");
+        let o = fft(&odd_samples(&x)).expect("pow2");
+        let combined = combine(&e, &o).expect("matched halves");
+        for (a, b) in combined.iter().zip(&direct) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// odd/even decimation partitions the signal: interleaving them back
+    /// reconstructs it.
+    #[test]
+    fn decimation_partitions(x in arb_signal(8)) {
+        let e = even_samples(&x);
+        let o = odd_samples(&x);
+        prop_assert_eq!(e.len() + o.len(), x.len());
+        for (i, v) in x.iter().enumerate() {
+            let from = if i % 2 == 0 { e[i / 2] } else { o[i / 2] };
+            prop_assert_eq!(from, *v);
+        }
+    }
+
+    /// DC bin equals the signal sum.
+    #[test]
+    fn dc_bin_is_the_sum(x in arb_signal(8)) {
+        let spectrum = fft(&x).expect("pow2");
+        let sum = x.iter().fold(Complex::ZERO, |a, b| a + *b);
+        prop_assert!((spectrum[0] - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+    }
+}

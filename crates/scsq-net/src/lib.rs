@@ -1,0 +1,112 @@
+#![warn(missing_docs)]
+//! # scsq-net — network models for the SCSQ reproduction
+//!
+//! This crate models the three interconnects of the LOFAR hardware
+//! environment described in §2.1 of the paper:
+//!
+//! * [`torus`] — the BlueGene/L **3D torus** (1.4 Gbps per link) used for
+//!   compute-node ↔ compute-node MPI streams. Messages are routed
+//!   dimension-ordered; every hop occupies the single-threaded
+//!   *communication co-processor* of the node it traverses, which is what
+//!   makes the paper's "sequential" vs "balanced" node selections perform
+//!   differently (Fig 7/8).
+//! * [`tree`] — the BlueGene **tree network** (2.8 Gbps) connecting the
+//!   compute nodes of a *pset* to their I/O node.
+//! * [`ethernet`] — Gigabit Ethernet NICs and an ideal switch, used
+//!   between the Linux clusters and the BlueGene I/O nodes.
+//!
+//! All models are analytic-queueing on top of [`scsq_sim`]'s
+//! `busy_until` servers: a transfer is a single bookkeeping operation, not
+//! a packet storm, so full 300 MB experiment streams simulate in
+//! milliseconds while still exhibiting contention, pipelining, and
+//! switching penalties.
+
+pub mod ethernet;
+pub mod torus;
+pub mod tree;
+
+pub use ethernet::{EtherParams, Ethernet};
+pub use torus::{TorusCoord, TorusDims, TorusNet, TorusParams, TransmitOutcome};
+pub use tree::{TreeNet, TreeParams};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one logical stream flow end-to-end (one producer RP's
+/// sequence of buffers). Switching penalties key off this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// A bandwidth in bytes per second.
+///
+/// Constructors take the units used in the paper so the hardware constants
+/// read like the text ("1.4 Gbps 3D torus network").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// From gigabits per second (the unit the paper quotes for links).
+    pub fn from_gbps(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "bandwidth must be positive: {gbps}");
+        Bandwidth(gbps * 1e9 / 8.0)
+    }
+
+    /// From megabits per second.
+    pub fn from_mbps(mbps: f64) -> Self {
+        assert!(mbps > 0.0, "bandwidth must be positive: {mbps}");
+        Bandwidth(mbps * 1e6 / 8.0)
+    }
+
+    /// From megabytes per second.
+    pub fn from_mbytes_per_sec(mb: f64) -> Self {
+        assert!(mb > 0.0, "bandwidth must be positive: {mb}");
+        Bandwidth(mb * 1e6)
+    }
+
+    /// Bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Megabits per second (for reporting like the paper's Fig 15 axis).
+    pub fn as_mbps(self) -> f64 {
+        self.0 * 8.0 / 1e6
+    }
+
+    /// Scales the bandwidth by a factor (e.g. an efficiency derating).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid scale factor {factor}"
+        );
+        Bandwidth(self.0 * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_unit_conversions() {
+        assert_eq!(Bandwidth::from_gbps(1.0).bytes_per_sec(), 125e6);
+        assert_eq!(Bandwidth::from_mbps(800.0).bytes_per_sec(), 100e6);
+        assert_eq!(Bandwidth::from_mbytes_per_sec(175.0).bytes_per_sec(), 175e6);
+        assert!((Bandwidth::from_gbps(1.0).as_mbps() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let b = Bandwidth::from_gbps(1.4).scaled(0.5);
+        assert!((b.as_mbps() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        Bandwidth::from_gbps(0.0);
+    }
+}

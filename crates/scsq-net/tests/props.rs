@@ -1,0 +1,111 @@
+//! Property-based tests for the network models.
+
+use proptest::prelude::*;
+use scsq_net::{EtherParams, Ethernet, FlowId, TorusDims, TorusNet, TorusParams};
+use scsq_sim::SimTime;
+
+fn arb_dims() -> impl Strategy<Value = TorusDims> {
+    (1usize..6, 1usize..6, 1usize..4).prop_map(|(x, y, z)| TorusDims::new(x, y, z))
+}
+
+proptest! {
+    /// Dimension-ordered routes have torus-metric length, start at the
+    /// source, end at the destination, and hop only between adjacent
+    /// nodes.
+    #[test]
+    fn routes_are_shortest_and_adjacent(dims in arb_dims(), seed in any::<u64>()) {
+        let n = dims.node_count();
+        let src = (seed as usize) % n;
+        let dst = (seed >> 32) as usize % n;
+        let route = dims.route(src, dst);
+        prop_assert_eq!(route[0], src);
+        prop_assert_eq!(*route.last().expect("non-empty"), dst);
+        prop_assert_eq!(route.len() - 1, dims.distance(src, dst));
+        for w in route.windows(2) {
+            prop_assert_eq!(dims.distance(w[0], w[1]), 1, "route {:?}", route);
+        }
+        // No node is visited twice (minimal routes are simple paths).
+        let mut seen = route.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), route.len());
+    }
+
+    /// The torus distance is a metric: symmetric, zero iff equal, and
+    /// satisfies the triangle inequality.
+    #[test]
+    fn torus_distance_is_a_metric(dims in arb_dims(), seed in any::<u64>()) {
+        let n = dims.node_count();
+        let a = (seed as usize) % n;
+        let b = (seed >> 20) as usize % n;
+        let c = (seed >> 40) as usize % n;
+        prop_assert_eq!(dims.distance(a, b), dims.distance(b, a));
+        prop_assert_eq!(dims.distance(a, a), 0);
+        if a != b {
+            prop_assert!(dims.distance(a, b) > 0);
+        }
+        prop_assert!(dims.distance(a, c) <= dims.distance(a, b) + dims.distance(b, c));
+    }
+
+    /// Torus transmissions are causal and monotone: delivery after
+    /// injection, injection after readiness; a later message of the same
+    /// flow on the same path never arrives earlier.
+    #[test]
+    fn torus_transmissions_are_causal(
+        bytes in proptest::collection::vec(1u64..500_000, 1..30),
+        ready_step in 0u64..50_000,
+    ) {
+        let dims = TorusDims::new(4, 4, 2);
+        let mut net = TorusNet::new(dims, TorusParams::default());
+        let mut prev_delivery = SimTime::ZERO;
+        for (i, &b) in bytes.iter().enumerate() {
+            let ready = SimTime::from_nanos(i as u64 * ready_step);
+            let out = net.transmit(FlowId(1), 5, 0, b, ready);
+            prop_assert!(out.inject_done > ready);
+            prop_assert!(out.delivered > out.inject_done);
+            prop_assert!(out.delivered >= prev_delivery);
+            prev_delivery = out.delivered;
+        }
+        prop_assert_eq!(net.messages(), bytes.len() as u64);
+        prop_assert_eq!(net.bytes(), bytes.iter().sum::<u64>());
+    }
+
+    /// Padding invariant: any message at or below the minimum packet
+    /// size costs exactly as much as a minimum-size one.
+    #[test]
+    fn sub_minimum_messages_cost_the_same(b in 1u64..1024) {
+        let dims = TorusDims::new(4, 4, 2);
+        let params = TorusParams::default();
+        let mut small = TorusNet::new(dims, params.clone());
+        let mut min = TorusNet::new(dims, params);
+        let a = small.transmit(FlowId(1), 1, 0, b, SimTime::ZERO);
+        let c = min.transmit(FlowId(1), 1, 0, 1024, SimTime::ZERO);
+        prop_assert_eq!(a.delivered, c.delivered);
+    }
+
+    /// Ethernet conservation: messages through disjoint host pairs do
+    /// not affect each other.
+    #[test]
+    fn ethernet_disjoint_pairs_are_independent(bytes in 1u64..1_000_000) {
+        let mut alone = Ethernet::new(4, EtherParams::default());
+        let a = alone.transmit(FlowId(1), 0, 1, bytes, SimTime::ZERO);
+
+        let mut shared = Ethernet::new(4, EtherParams::default());
+        shared.transmit(FlowId(2), 2, 3, 1_000_000, SimTime::ZERO);
+        let b = shared.transmit(FlowId(1), 0, 1, bytes, SimTime::ZERO);
+        prop_assert_eq!(a.delivered, b.delivered);
+    }
+
+    /// Ethernet FIFO ordering per sender: deliveries to the same
+    /// destination preserve send order.
+    #[test]
+    fn ethernet_preserves_order(sizes in proptest::collection::vec(1u64..200_000, 1..30)) {
+        let mut net = Ethernet::new(2, EtherParams::default());
+        let mut prev = SimTime::ZERO;
+        for &s in &sizes {
+            let out = net.transmit(FlowId(1), 0, 1, s, SimTime::ZERO);
+            prop_assert!(out.delivered > prev);
+            prev = out.delivered;
+        }
+    }
+}

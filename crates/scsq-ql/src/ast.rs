@@ -1,0 +1,269 @@
+//! Abstract syntax of SCSQL.
+//!
+//! The shapes here mirror the paper's query texts: a select head of
+//! expressions, `from` declarations typed as `sp` / `integer` / … with an
+//! optional `bag of` prefix, and a `where` clause of `=` and `in`
+//! predicates joined by `and`. Function calls are the workhorse — all of
+//! `sp`, `spv`, `extract`, `merge`, `count`, `gen_array`, … are calls.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A declared variable type (§2.4, Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeName {
+    /// A stream process.
+    Sp,
+    /// An integer.
+    Integer,
+    /// A real.
+    Real,
+    /// A string.
+    String,
+    /// A stream object.
+    Stream,
+    /// Any object.
+    Object,
+}
+
+impl TypeName {
+    /// Parses a type name as written in queries.
+    pub fn parse(s: &str) -> Option<TypeName> {
+        Some(match s {
+            "sp" => TypeName::Sp,
+            "integer" => TypeName::Integer,
+            "real" => TypeName::Real,
+            "string" => TypeName::String,
+            "stream" => TypeName::Stream,
+            "object" => TypeName::Object,
+            _ => return None,
+        })
+    }
+
+    /// The query-text spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TypeName::Sp => "sp",
+            TypeName::Integer => "integer",
+            TypeName::Real => "real",
+            TypeName::String => "string",
+            TypeName::Stream => "stream",
+            TypeName::Object => "object",
+        }
+    }
+}
+
+impl fmt::Display for TypeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A `from`-clause variable declaration, e.g. `bag of sp a`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared element type.
+    pub ty: TypeName,
+    /// Whether the variable is a bag of the element type (`bag of sp a`).
+    pub bag: bool,
+}
+
+/// An SCSQL expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal integer / real / string.
+    Literal(Value),
+    /// Variable reference.
+    Var(String),
+    /// Function call `name(args…)`.
+    Call {
+        /// Function name as written.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Set construction `{a, b}` (the merge argument in the radix2
+    /// function).
+    Set(Vec<Expr>),
+    /// A nested select query used as an expression (the subqueries passed
+    /// to `spv`).
+    Select(Box<SelectQuery>),
+}
+
+impl Expr {
+    /// Convenience: a call expression.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.into(),
+            args,
+        }
+    }
+
+    /// Convenience: a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// The free variables referenced by this expression, in first-use
+    /// order without duplicates. Nested select queries hide their own
+    /// declarations.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Var(name) => {
+                if !bound.iter().any(|b| b == name) && !out.iter().any(|o| o == name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    a.collect_free(bound, out);
+                }
+            }
+            Expr::Set(items) => {
+                for i in items {
+                    i.collect_free(bound, out);
+                }
+            }
+            Expr::Select(q) => {
+                let added = q.decls.len();
+                for d in &q.decls {
+                    bound.push(d.name.clone());
+                }
+                for h in &q.head {
+                    h.collect_free(bound, out);
+                }
+                for p in &q.preds {
+                    p.lhs.collect_free(bound, out);
+                    p.rhs.collect_free(bound, out);
+                }
+                bound.truncate(bound.len() - added);
+            }
+        }
+    }
+}
+
+/// The comparison operator of a `where` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredOp {
+    /// `lhs = rhs` — binds a variable to a value.
+    Eq,
+    /// `lhs in rhs` — iterates a variable over a bag/stream, duplicating
+    /// the select head per element (the parallelism driver in the
+    /// paper's `iota` queries).
+    In,
+}
+
+/// One conjunct of a `where` clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Left-hand side (a variable in all the paper's queries).
+    pub lhs: Expr,
+    /// Operator.
+    pub op: PredOp,
+    /// Right-hand side.
+    pub rhs: Expr,
+}
+
+/// A select query: head, declarations, predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    /// Select-head expressions (usually one).
+    pub head: Vec<Expr>,
+    /// `from` declarations.
+    pub decls: Vec<VarDecl>,
+    /// `where` conjuncts (possibly empty).
+    pub preds: Vec<Predicate>,
+}
+
+impl SelectQuery {
+    /// Looks up the declaration of `name`.
+    pub fn decl(&self, name: &str) -> Option<&VarDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+}
+
+/// A user-defined query function (§2.4's `create function radix2 …`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters: (name, type).
+    pub params: Vec<(String, TypeName)>,
+    /// Declared result type.
+    pub returns: TypeName,
+    /// Body expression (a select query or a plain expression).
+    pub body: Expr,
+}
+
+/// A top-level SCSQL statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A continuous query.
+    Select(SelectQuery),
+    /// A function definition.
+    CreateFunction(FunctionDef),
+    /// A bare expression query (like the paper's
+    /// `merge(spv(select grep(...) ...));`).
+    Expr(Expr),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_round_trip() {
+        for ty in [
+            TypeName::Sp,
+            TypeName::Integer,
+            TypeName::Real,
+            TypeName::String,
+            TypeName::Stream,
+            TypeName::Object,
+        ] {
+            assert_eq!(TypeName::parse(ty.as_str()), Some(ty));
+        }
+        assert_eq!(TypeName::parse("blob"), None);
+    }
+
+    #[test]
+    fn free_vars_skip_bound_and_duplicates() {
+        // count(merge(a)) with a free.
+        let e = Expr::call("count", vec![Expr::call("merge", vec![Expr::var("a")])]);
+        assert_eq!(e.free_vars(), vec!["a".to_string()]);
+
+        // {a, b, a} has free a then b once each.
+        let e = Expr::Set(vec![Expr::var("a"), Expr::var("b"), Expr::var("a")]);
+        assert_eq!(e.free_vars(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn free_vars_respect_nested_select_scope() {
+        // select extract(p) from sp p where p in a  — only `a` is free.
+        let inner = SelectQuery {
+            head: vec![Expr::call("extract", vec![Expr::var("p")])],
+            decls: vec![VarDecl {
+                name: "p".into(),
+                ty: TypeName::Sp,
+                bag: false,
+            }],
+            preds: vec![Predicate {
+                lhs: Expr::var("p"),
+                op: PredOp::In,
+                rhs: Expr::var("a"),
+            }],
+        };
+        let e = Expr::Select(Box::new(inner));
+        assert_eq!(e.free_vars(), vec!["a".to_string()]);
+    }
+}

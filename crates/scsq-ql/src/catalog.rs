@@ -1,0 +1,311 @@
+//! The function catalog: SCSQL's built-in vocabulary plus user-defined
+//! query functions.
+//!
+//! §2.4 introduces the built-ins used throughout the paper: `sp(s, c)`
+//! assigns a subquery to a new stream process, `spv(s, c)` does so for a
+//! set of subqueries, `extract(p)` requests elements from an SP,
+//! `merge(p)` generalizes extract over a bag of SPs, `streamof(e)` turns
+//! any expression into a stream, `iota(n, m)` generates integer ranges,
+//! and the node-allocation functions `urr`, `inPset`, `psetrr` feed the
+//! node-selection algorithm. `create function` registers user functions
+//! like the paper's `radix2`.
+
+use crate::ast::FunctionDef;
+use crate::error::QlError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A built-in SCSQL function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Builtin {
+    /// `sp(subquery, cluster?, allocseq?)` — assign a subquery to a new
+    /// stream process (§2.4).
+    Sp,
+    /// `spv(subqueries, cluster?, allocseq?)` — assign each subquery in a
+    /// set to a new stream process; returns a bag of SP handles.
+    Spv,
+    /// `extract(p)` — request elements from an SP's subquery.
+    Extract,
+    /// `merge(p)` — request elements from each SP in a bag; terminates
+    /// when the last one does.
+    Merge,
+    /// `streamof(e)` — turn any expression's output into a stream.
+    Streamof,
+    /// `count(b)` — number of elements in a bag/stream.
+    Count,
+    /// `sum(b)` — sum of the elements in a bag/stream.
+    Sum,
+    /// `max(b)` — maximum of the elements in a bag/stream.
+    Max,
+    /// `min(b)` — minimum of the elements in a bag/stream.
+    Min,
+    /// `avg(b)` — mean of the elements in a bag/stream.
+    Avg,
+    /// `iota(n, m)` — all integers from n to m.
+    Iota,
+    /// `gen_array(size, n)` — finite stream of n synthetic arrays of
+    /// `size` bytes each (§3.1's workload generator).
+    GenArray,
+    /// `urr(cluster)` — round-robin allocation sequence over a cluster's
+    /// available nodes (§3.2 Query 2).
+    Urr,
+    /// `inPset(k)` — allocation sequence confined to pset k (§3.2
+    /// Query 3); `k` is 1-based in queries.
+    InPset,
+    /// `psetrr()` — allocation sequence taking each successive node from
+    /// a new pset (§3.2 Query 5).
+    PsetRr,
+    /// `grep(pattern, file)` — matching lines of a (synthetic) file; the
+    /// paper's mapreduce example.
+    Grep,
+    /// `filename(i)` — the i-th file name of the grep corpus table.
+    Filename,
+    /// `fft(s)` — FFT of each array element of a stream.
+    Fft,
+    /// `power(s)` — per-bin power (squared magnitude) of each array.
+    Power,
+    /// `odd(s)` — odd-indexed elements of each array (radix-2
+    /// decimation).
+    Odd,
+    /// `even(s)` — even-indexed elements of each array.
+    Even,
+    /// `radixcombine(s)` — combine partial FFTs (§2.4's radix2).
+    RadixCombine,
+    /// `receiver(name)` — a named external stream source.
+    Receiver,
+    /// `winagg(s, size, slide, fn)` — sliding-window aggregate over a
+    /// stream ("SCSQ features all common stream operators including
+    /// window aggregation", §4).
+    WindowAgg,
+    /// `take(s, k)` — the first k elements of a stream: a *stop
+    /// condition* "in the query that makes the stream finite" (§2.2).
+    Take,
+    /// `nodes(cluster)` — the currently available node numbers of a
+    /// cluster, from its CNDB; usable as an explicit allocation
+    /// sequence.
+    Nodes,
+}
+
+impl Builtin {
+    /// Catalog spelling → builtin. Names are matched case-sensitively
+    /// except `inPset`, which the paper also spells `inpset`.
+    pub fn lookup(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "sp" => Builtin::Sp,
+            "spv" => Builtin::Spv,
+            "extract" => Builtin::Extract,
+            "merge" => Builtin::Merge,
+            "streamof" => Builtin::Streamof,
+            "count" => Builtin::Count,
+            "sum" => Builtin::Sum,
+            "max" => Builtin::Max,
+            "min" => Builtin::Min,
+            "avg" => Builtin::Avg,
+            "iota" => Builtin::Iota,
+            "gen_array" => Builtin::GenArray,
+            "urr" => Builtin::Urr,
+            "inPset" | "inpset" => Builtin::InPset,
+            "psetrr" => Builtin::PsetRr,
+            "grep" => Builtin::Grep,
+            "filename" => Builtin::Filename,
+            "fft" => Builtin::Fft,
+            "power" => Builtin::Power,
+            "odd" => Builtin::Odd,
+            "even" => Builtin::Even,
+            "radixcombine" => Builtin::RadixCombine,
+            "receiver" => Builtin::Receiver,
+            "winagg" => Builtin::WindowAgg,
+            "take" => Builtin::Take,
+            "nodes" => Builtin::Nodes,
+            _ => return None,
+        })
+    }
+
+    /// Allowed argument counts (inclusive range).
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            Builtin::Sp | Builtin::Spv => (1, 3),
+            Builtin::Extract
+            | Builtin::Merge
+            | Builtin::Streamof
+            | Builtin::Count
+            | Builtin::Sum
+            | Builtin::Max
+            | Builtin::Min
+            | Builtin::Avg
+            | Builtin::Urr
+            | Builtin::InPset
+            | Builtin::Fft
+            | Builtin::Power
+            | Builtin::Odd
+            | Builtin::Even
+            | Builtin::RadixCombine
+            | Builtin::Receiver
+            | Builtin::Nodes
+            | Builtin::Filename => (1, 1),
+            Builtin::Iota | Builtin::GenArray | Builtin::Grep | Builtin::Take => (2, 2),
+            Builtin::PsetRr => (0, 0),
+            Builtin::WindowAgg => (4, 4),
+        }
+    }
+}
+
+/// The catalog: built-ins plus registered user functions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    functions: HashMap<String, FunctionDef>,
+}
+
+impl Catalog {
+    /// An empty catalog (built-ins are always visible).
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a user-defined function.
+    ///
+    /// # Errors
+    ///
+    /// [`QlError::Catalog`] if the name collides with a built-in or an
+    /// existing user function.
+    pub fn define(&mut self, def: FunctionDef) -> Result<(), QlError> {
+        if Builtin::lookup(&def.name).is_some() {
+            return Err(QlError::Catalog(format!(
+                "`{}` is a built-in function and cannot be redefined",
+                def.name
+            )));
+        }
+        if self.functions.contains_key(&def.name) {
+            return Err(QlError::Catalog(format!(
+                "function `{}` is already defined",
+                def.name
+            )));
+        }
+        self.functions.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Looks up a user-defined function.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.get(name)
+    }
+
+    /// Resolves a call-site name: builtin, user function, or unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`QlError::Catalog`] for unknown names or arity mismatches
+    /// (user-function arity is checked by the engine binder, which knows
+    /// the argument values).
+    pub fn resolve(&self, name: &str, argc: usize) -> Result<Resolved<'_>, QlError> {
+        if let Some(b) = Builtin::lookup(name) {
+            let (lo, hi) = b.arity();
+            if argc < lo || argc > hi {
+                return Err(QlError::Catalog(format!(
+                    "`{name}` expects {lo}..={hi} arguments, got {argc}"
+                )));
+            }
+            return Ok(Resolved::Builtin(b));
+        }
+        if let Some(def) = self.functions.get(name) {
+            if def.params.len() != argc {
+                return Err(QlError::Catalog(format!(
+                    "`{name}` expects {} arguments, got {argc}",
+                    def.params.len()
+                )));
+            }
+            return Ok(Resolved::User(def));
+        }
+        Err(QlError::Catalog(format!("unknown function `{name}`")))
+    }
+
+    /// Number of user-defined functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether no user functions are defined.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Result of resolving a call-site name.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resolved<'a> {
+    /// A built-in.
+    Builtin(Builtin),
+    /// A user-defined function.
+    User(&'a FunctionDef),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, TypeName};
+
+    fn dummy_fn(name: &str, params: usize) -> FunctionDef {
+        FunctionDef {
+            name: name.to_string(),
+            params: (0..params)
+                .map(|i| (format!("p{i}"), TypeName::Object))
+                .collect(),
+            returns: TypeName::Stream,
+            body: Expr::var("p0"),
+        }
+    }
+
+    #[test]
+    fn builtins_resolve_with_correct_arity() {
+        let cat = Catalog::new();
+        assert!(matches!(
+            cat.resolve("sp", 3),
+            Ok(Resolved::Builtin(Builtin::Sp))
+        ));
+        assert!(matches!(
+            cat.resolve("sp", 1),
+            Ok(Resolved::Builtin(Builtin::Sp))
+        ));
+        assert!(cat.resolve("sp", 4).is_err());
+        assert!(matches!(
+            cat.resolve("psetrr", 0),
+            Ok(Resolved::Builtin(Builtin::PsetRr))
+        ));
+        assert!(cat.resolve("psetrr", 1).is_err());
+    }
+
+    #[test]
+    fn in_pset_accepts_paper_spelling() {
+        assert_eq!(Builtin::lookup("inPset"), Some(Builtin::InPset));
+        assert_eq!(Builtin::lookup("inpset"), Some(Builtin::InPset));
+    }
+
+    #[test]
+    fn user_functions_register_and_resolve() {
+        let mut cat = Catalog::new();
+        cat.define(dummy_fn("radix2", 1)).unwrap();
+        assert!(matches!(cat.resolve("radix2", 1), Ok(Resolved::User(_))));
+        assert!(cat.resolve("radix2", 2).is_err());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn builtin_names_cannot_be_shadowed() {
+        let mut cat = Catalog::new();
+        let err = cat.define(dummy_fn("merge", 1)).unwrap_err();
+        assert!(err.to_string().contains("built-in"));
+    }
+
+    #[test]
+    fn duplicate_definition_is_rejected() {
+        let mut cat = Catalog::new();
+        cat.define(dummy_fn("f", 1)).unwrap();
+        assert!(cat.define(dummy_fn("f", 1)).is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let err = Catalog::new().resolve("nope", 0).unwrap_err();
+        assert_eq!(err.to_string(), "catalog error: unknown function `nope`");
+    }
+}

@@ -1,0 +1,403 @@
+//! Lexer for SCSQL.
+//!
+//! Tokenizes the SQL-like surface syntax of §2.4. Strings accept both
+//! single quotes (`'bg'`, as in the paper's cluster arguments) and double
+//! quotes (`"pattern"`, as in the mapreduce-grep example). `--` starts a
+//! line comment.
+
+use crate::error::QlError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kinds of SCSQL tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier or function name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (quotes stripped).
+    Str(String),
+    /// `select`
+    Select,
+    /// `from`
+    From,
+    /// `where`
+    Where,
+    /// `and`
+    And,
+    /// `in`
+    In,
+    /// `create`
+    Create,
+    /// `function`
+    Function,
+    /// `as`
+    As,
+    /// `bag`
+    Bag,
+    /// `of`
+    Of,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Real(r) => write!(f, "real `{r}`"),
+            TokenKind::Str(s) => write!(f, "string '{s}'"),
+            TokenKind::Select => f.write_str("`select`"),
+            TokenKind::From => f.write_str("`from`"),
+            TokenKind::Where => f.write_str("`where`"),
+            TokenKind::And => f.write_str("`and`"),
+            TokenKind::In => f.write_str("`in`"),
+            TokenKind::Create => f.write_str("`create`"),
+            TokenKind::Function => f.write_str("`function`"),
+            TokenKind::As => f.write_str("`as`"),
+            TokenKind::Bag => f.write_str("`bag`"),
+            TokenKind::Of => f.write_str("`of`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Eq => f.write_str("`=`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Streaming tokenizer over SCSQL source text.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Tokenizes the whole input, ending with an [`TokenKind::Eof`]
+    /// token.
+    ///
+    /// # Errors
+    ///
+    /// [`QlError::Lex`] on unexpected characters, unterminated strings,
+    /// or malformed numbers.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, QlError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = match c {
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'{' => self.single(TokenKind::LBrace),
+                b'}' => self.single(TokenKind::RBrace),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b'=' => self.single(TokenKind::Eq),
+                b'-' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        TokenKind::Arrow
+                    } else if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        self.number(true, line, col)?
+                    } else {
+                        return Err(QlError::lex(line, col, "unexpected `-`"));
+                    }
+                }
+                b'\'' | b'"' => self.string(c, line, col)?,
+                c if c.is_ascii_digit() => self.number(false, line, col)?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                other => {
+                    return Err(QlError::lex(
+                        line,
+                        col,
+                        format!("unexpected character `{}`", other as char),
+                    ))
+                }
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn single(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn string(&mut self, quote: u8, line: u32, col: u32) -> Result<TokenKind, QlError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(QlError::lex(line, col, "unterminated string literal")),
+                Some(c) if c == quote => return Ok(TokenKind::Str(s)),
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn number(&mut self, negative: bool, line: u32, col: u32) -> Result<TokenKind, QlError> {
+        let mut text = String::new();
+        if negative {
+            text.push('-');
+        }
+        let mut is_real = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => text.push(self.bump().expect("digit") as char),
+                b'.' if !is_real => {
+                    is_real = true;
+                    text.push(self.bump().expect("dot") as char);
+                }
+                b'e' | b'E' => {
+                    is_real = true;
+                    text.push(self.bump().expect("e") as char);
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        text.push(self.bump().expect("sign") as char);
+                    }
+                }
+                _ => break,
+            }
+        }
+        if is_real {
+            text.parse::<f64>()
+                .map(TokenKind::Real)
+                .map_err(|e| QlError::lex(line, col, format!("bad real literal `{text}`: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| QlError::lex(line, col, format!("bad integer literal `{text}`: {e}")))
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(self.bump().expect("word char") as char);
+            } else {
+                break;
+            }
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "select" => TokenKind::Select,
+            "from" => TokenKind::From,
+            "where" => TokenKind::Where,
+            "and" => TokenKind::And,
+            "in" => TokenKind::In,
+            "create" => TokenKind::Create,
+            "function" => TokenKind::Function,
+            "as" => TokenKind::As,
+            "bag" => TokenKind::Bag,
+            "of" => TokenKind::Of,
+            _ => TokenKind::Ident(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_p2p_query() {
+        let toks = kinds("select extract(b) from sp a, sp b;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Select,
+                TokenKind::Ident("extract".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::From,
+                TokenKind::Ident("sp".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("sp".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_accept_both_quote_styles() {
+        assert_eq!(
+            kinds("'bg' \"pattern\""),
+            vec![
+                TokenKind::Str("bg".into()),
+                TokenKind::Str("pattern".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_arrow() {
+        assert_eq!(
+            kinds("3000000 1.5 -7 2e3 ->"),
+            vec![
+                TokenKind::Int(3_000_000),
+                TokenKind::Real(1.5),
+                TokenKind::Int(-7),
+                TokenKind::Real(2000.0),
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("SELECT From WHERE bag OF"),
+            vec![
+                TokenKind::Select,
+                TokenKind::From,
+                TokenKind::Where,
+                TokenKind::Bag,
+                TokenKind::Of,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("select -- the reduce step\nx;"),
+            vec![
+                TokenKind::Select,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("select\n  x").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_is_reported() {
+        let err = Lexer::new("'oops").tokenize().unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn bare_minus_is_an_error() {
+        assert!(Lexer::new("a - b").tokenize().is_err());
+    }
+
+    #[test]
+    fn stray_character_is_reported_with_position() {
+        let err = Lexer::new("select @").tokenize().unwrap_err();
+        assert_eq!(err.to_string(), "lexical error at 1:8: unexpected character `@`");
+    }
+}

@@ -1,0 +1,495 @@
+//! Recursive-descent parser for SCSQL.
+//!
+//! Accepts the full query vocabulary used in the paper: select queries
+//! with typed `from` declarations (including `bag of`), `where` clauses
+//! of `=`/`in` conjuncts, nested select subqueries as arguments (with or
+//! without extra parentheses), set construction `{a,b}`, and
+//! `create function … -> type as …` definitions.
+
+use crate::ast::{
+    Expr, FunctionDef, PredOp, Predicate, SelectQuery, Statement, TypeName, VarDecl,
+};
+use crate::error::QlError;
+use crate::lexer::{Lexer, Token, TokenKind};
+use crate::value::Value;
+
+/// Parses a single statement (must end with `;` or end of input).
+///
+/// # Errors
+///
+/// [`QlError::Lex`] or [`QlError::Parse`] with source positions.
+///
+/// ```
+/// use scsq_ql::parse_statement;
+/// let stmt = parse_statement("select count(extract(a)) from sp a where a=sp(receiver('s'), 'bg');")?;
+/// # Ok::<(), scsq_ql::QlError>(())
+/// ```
+pub fn parse_statement(src: &str) -> Result<Statement, QlError> {
+    let mut stmts = parse_program(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(QlError::parse(
+            1,
+            1,
+            format!("expected exactly one statement, found {n}"),
+        )),
+    }
+}
+
+/// Parses a sequence of `;`-terminated statements.
+///
+/// # Errors
+///
+/// [`QlError::Lex`] or [`QlError::Parse`] with source positions.
+pub fn parse_program(src: &str) -> Result<Vec<Statement>, QlError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        stmts.push(p.statement()?);
+        // Statement terminator: one or more semicolons.
+        let mut saw_semi = false;
+        while p.at(&TokenKind::Semi) {
+            p.bump();
+            saw_semi = true;
+        }
+        if !saw_semi && !p.at(&TokenKind::Eof) {
+            return Err(p.err("expected `;` after statement"));
+        }
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QlError {
+        let t = self.peek();
+        QlError::parse(t.line, t.col, format!("{}, found {}", msg.into(), t.kind))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, QlError> {
+        if self.at(&kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {kind}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.err("expected an identifier")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, QlError> {
+        match self.peek().kind {
+            TokenKind::Create => self.create_function().map(Statement::CreateFunction),
+            TokenKind::Select => self.select_query().map(Statement::Select),
+            _ => self.expr().map(Statement::Expr),
+        }
+    }
+
+    fn create_function(&mut self) -> Result<FunctionDef, QlError> {
+        self.expect(TokenKind::Create)?;
+        self.expect(TokenKind::Function)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                let ty = self.type_name()?;
+                let pname = self.ident()?;
+                params.push((pname, ty));
+                if self.at(&TokenKind::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Arrow)?;
+        let returns = self.type_name()?;
+        self.expect(TokenKind::As)?;
+        let body = if self.at(&TokenKind::Select) {
+            Expr::Select(Box::new(self.select_query()?))
+        } else {
+            self.expr()?
+        };
+        Ok(FunctionDef {
+            name,
+            params,
+            returns,
+            body,
+        })
+    }
+
+    fn type_name(&mut self) -> Result<TypeName, QlError> {
+        let t = self.peek().clone();
+        let name = self.ident()?;
+        TypeName::parse(&name)
+            .ok_or_else(|| QlError::parse(t.line, t.col, format!("unknown type name `{name}`")))
+    }
+
+    fn select_query(&mut self) -> Result<SelectQuery, QlError> {
+        self.expect(TokenKind::Select)?;
+        let mut head = vec![self.expr()?];
+        while self.at(&TokenKind::Comma) {
+            self.bump();
+            head.push(self.expr()?);
+        }
+        self.expect(TokenKind::From)?;
+        let mut decls = vec![self.var_decl()?];
+        while self.at(&TokenKind::Comma) {
+            self.bump();
+            decls.push(self.var_decl()?);
+        }
+        let mut preds = Vec::new();
+        if self.at(&TokenKind::Where) {
+            self.bump();
+            preds.push(self.predicate()?);
+            while self.at(&TokenKind::And) {
+                self.bump();
+                preds.push(self.predicate()?);
+            }
+        }
+        Ok(SelectQuery { head, decls, preds })
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, QlError> {
+        let bag = if self.at(&TokenKind::Bag) {
+            self.bump();
+            self.expect(TokenKind::Of)?;
+            true
+        } else {
+            false
+        };
+        let ty = self.type_name()?;
+        let name = self.ident()?;
+        Ok(VarDecl { name, ty, bag })
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, QlError> {
+        let lhs = self.expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => {
+                self.bump();
+                PredOp::Eq
+            }
+            TokenKind::In => {
+                self.bump();
+                PredOp::In
+            }
+            _ => return Err(self.err("expected `=` or `in` in predicate")),
+        };
+        let rhs = self.expr()?;
+        Ok(Predicate { lhs, op, rhs })
+    }
+
+    fn expr(&mut self) -> Result<Expr, QlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Integer(i)))
+            }
+            TokenKind::Real(r) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Real(r)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            TokenKind::Select => Ok(Expr::Select(Box::new(self.select_query()?))),
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.at(&TokenKind::RBrace) {
+                    items.push(self.expr()?);
+                    while self.at(&TokenKind::Comma) {
+                        self.bump();
+                        items.push(self.expr()?);
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Expr::Set(items))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        while self.at(&TokenKind::Comma) {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's intra-BG point-to-point query (§3.1), verbatim modulo
+    /// whitespace.
+    const P2P: &str = "select extract(b)
+        from sp a, sp b
+        where b=sp(streamof(count(extract(a))), 'bg', 0)
+        and a=sp(gen_array(3000000,100),'bg',1);";
+
+    #[test]
+    fn parses_p2p_query() {
+        let stmt = parse_statement(P2P).unwrap();
+        let Statement::Select(q) = stmt else {
+            panic!("expected select");
+        };
+        assert_eq!(q.head.len(), 1);
+        assert_eq!(q.decls.len(), 2);
+        assert_eq!(q.preds.len(), 2);
+        assert_eq!(q.decls[0].ty, TypeName::Sp);
+        assert!(!q.decls[0].bag);
+        // b = sp(streamof(count(extract(a))), 'bg', 0)
+        let Predicate { lhs, op, rhs } = &q.preds[0];
+        assert_eq!(lhs, &Expr::var("b"));
+        assert_eq!(*op, PredOp::Eq);
+        let Expr::Call { name, args } = rhs else {
+            panic!("expected sp call")
+        };
+        assert_eq!(name, "sp");
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[1], Expr::Literal(Value::from("bg")));
+        assert_eq!(args[2], Expr::Literal(Value::Integer(0)));
+    }
+
+    /// The paper's stream-merging query (§3.1) with explicit nodes.
+    #[test]
+    fn parses_merge_query() {
+        let stmt = parse_statement(
+            "select extract(c)
+             from sp a, sp b, sp c
+             where c=sp(count(merge({a,b})), 'bg',0)
+             and a=sp(gen_array(3000000,100),'bg',1)
+             and b=sp(gen_array(3000000,100),'bg',4);",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else {
+            panic!()
+        };
+        let Expr::Call { args, .. } = &q.preds[0].rhs else {
+            panic!()
+        };
+        // count(merge({a,b}))
+        let Expr::Call { name, args } = &args[0] else {
+            panic!()
+        };
+        assert_eq!(name, "count");
+        let Expr::Call { name, args } = &args[0] else {
+            panic!()
+        };
+        assert_eq!(name, "merge");
+        assert_eq!(args[0], Expr::Set(vec![Expr::var("a"), Expr::var("b")]));
+    }
+
+    /// Query 1 of §3.2, verbatim modulo whitespace.
+    #[test]
+    fn parses_inbound_query_1() {
+        let stmt = parse_statement(
+            "select extract(c) from
+             bag of sp a, sp b, sp c,
+             integer n
+             where c=sp(extract(b), 'bg')
+             and   b=sp(count(merge(a)), 'bg')
+             and   a=spv(
+                (select gen_array(3000000,100)
+                 from integer i where i in iota(1,n)),
+                'be', 1)
+             and n=4;",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else {
+            panic!()
+        };
+        assert!(q.decls[0].bag);
+        assert_eq!(q.decls[0].ty, TypeName::Sp);
+        assert_eq!(q.decls[3].ty, TypeName::Integer);
+        // a = spv(subquery, 'be', 1)
+        let Predicate { rhs, .. } = &q.preds[2];
+        let Expr::Call { name, args } = rhs else {
+            panic!()
+        };
+        assert_eq!(name, "spv");
+        assert!(matches!(args[0], Expr::Select(_)));
+        assert_eq!(args[1], Expr::Literal(Value::from("be")));
+        // n = 4
+        assert_eq!(q.preds[3].rhs, Expr::Literal(Value::Integer(4)));
+    }
+
+    /// Query 5 of §3.2 with psetrr().
+    #[test]
+    fn parses_inbound_query_5() {
+        let stmt = parse_statement(
+            "select extract(c) from
+             bag of sp a, bag of sp b, sp c,
+             integer n
+             where c=sp(streamof(sum(merge(b))), 'bg')
+             and b=spv(
+               (select streamof(count(extract(p)))
+                from sp p
+                where p in a),
+               'bg', psetrr())
+             and a=spv(
+               (select gen_array(3000000,100)
+                from integer i where i in iota(1,n)),
+               'be', 1) and n=4;",
+        )
+        .unwrap();
+        let Statement::Select(q) = stmt else {
+            panic!()
+        };
+        assert_eq!(q.decls.len(), 4);
+        assert!(q.decls[1].bag);
+        let Expr::Call { name, args } = &q.preds[1].rhs else {
+            panic!()
+        };
+        assert_eq!(name, "spv");
+        assert_eq!(args[2], Expr::call("psetrr", vec![]));
+    }
+
+    /// The mapreduce-grep query of §2.4 (a bare expression statement).
+    #[test]
+    fn parses_mapreduce_grep() {
+        let stmt = parse_statement(
+            "merge(spv(
+                select grep(\"pattern\", filename(i))
+                from integer i
+                where i in iota(1,1000)));",
+        )
+        .unwrap();
+        let Statement::Expr(Expr::Call { name, args }) = stmt else {
+            panic!("expected bare expression")
+        };
+        assert_eq!(name, "merge");
+        let Expr::Call { name, args } = &args[0] else {
+            panic!()
+        };
+        assert_eq!(name, "spv");
+        assert!(matches!(args[0], Expr::Select(_)));
+    }
+
+    /// The radix2 FFT function of §2.4, verbatim modulo whitespace.
+    #[test]
+    fn parses_radix2_function() {
+        let stmt = parse_statement(
+            "create function radix2(string s)
+                 -> stream
+             as select radixcombine(merge({a,b}))
+             from sp a, sp b, sp c
+             where a=sp(fft(odd (extract(c))))
+             and b=sp(fft(even(extract(c))))
+             and c=sp(receiver(s));",
+        )
+        .unwrap();
+        let Statement::CreateFunction(f) = stmt else {
+            panic!()
+        };
+        assert_eq!(f.name, "radix2");
+        assert_eq!(f.params, vec![("s".to_string(), TypeName::String)]);
+        assert_eq!(f.returns, TypeName::Stream);
+        let Expr::Select(body) = &f.body else {
+            panic!()
+        };
+        assert_eq!(body.decls.len(), 3);
+        assert_eq!(body.preds.len(), 3);
+    }
+
+    #[test]
+    fn parses_multi_statement_program() {
+        let stmts = parse_program(
+            "create function two() -> integer as streamof(2);
+             select extract(a) from sp a where a=sp(two(), 'fe');",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn missing_from_is_a_syntax_error() {
+        let err = parse_statement("select x;").unwrap_err();
+        assert!(err.to_string().contains("expected `from`"), "{err}");
+    }
+
+    #[test]
+    fn bad_predicate_operator_is_reported() {
+        let err =
+            parse_statement("select x from sp a where a merge(b);").unwrap_err();
+        assert!(err.to_string().contains("expected `=` or `in`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_is_reported() {
+        let err = parse_statement("select x from blob a;").unwrap_err();
+        assert!(err.to_string().contains("unknown type name `blob`"), "{err}");
+    }
+
+    #[test]
+    fn empty_set_and_empty_args_parse() {
+        let stmt = parse_statement("merge({});").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Expr(Expr::call("merge", vec![Expr::Set(vec![])]))
+        );
+        let stmt = parse_statement("psetrr();").unwrap();
+        assert_eq!(stmt, Statement::Expr(Expr::call("psetrr", vec![])));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse_statement("select x from sp a; garbage").is_err());
+    }
+
+    #[test]
+    fn statement_requires_semicolon_before_next() {
+        assert!(parse_program("merge(a) merge(b);").is_err());
+    }
+}

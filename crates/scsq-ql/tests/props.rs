@@ -1,0 +1,131 @@
+//! Property-based tests for SCSQL syntax: printing any well-formed tree
+//! and re-parsing it yields the identical tree.
+
+use proptest::prelude::*;
+use scsq_ql::{
+    parse_program, parse_statement, statement_to_scsql, Expr, FunctionDef, PredOp, Predicate,
+    SelectQuery, Statement, TypeName, Value, VarDecl,
+};
+
+/// Identifiers that cannot collide with keywords.
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("no keywords", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "from" | "where" | "and" | "in" | "create" | "function" | "as" | "bag"
+                | "of"
+        )
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Integer),
+        // Finite reals that print re-parsably.
+        (-1e12f64..1e12)
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Real),
+        "[a-z0-9 _.]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (arb_ident(), proptest::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(name, args)| Expr::Call { name, args }),
+            proptest::collection::vec(inner, 0..4).prop_map(Expr::Set),
+        ]
+    })
+}
+
+fn arb_type() -> impl Strategy<Value = TypeName> {
+    prop_oneof![
+        Just(TypeName::Sp),
+        Just(TypeName::Integer),
+        Just(TypeName::Real),
+        Just(TypeName::String),
+        Just(TypeName::Stream),
+        Just(TypeName::Object),
+    ]
+}
+
+fn arb_decl() -> impl Strategy<Value = VarDecl> {
+    (arb_ident(), arb_type(), any::<bool>()).prop_map(|(name, ty, bag)| VarDecl { name, ty, bag })
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    (
+        arb_ident(),
+        prop_oneof![Just(PredOp::Eq), Just(PredOp::In)],
+        arb_expr(),
+    )
+        .prop_map(|(v, op, rhs)| Predicate {
+            lhs: Expr::Var(v),
+            op,
+            rhs,
+        })
+}
+
+fn arb_select() -> impl Strategy<Value = SelectQuery> {
+    (
+        proptest::collection::vec(arb_expr(), 1..3),
+        proptest::collection::vec(arb_decl(), 1..4),
+        proptest::collection::vec(arb_pred(), 0..4),
+    )
+        .prop_map(|(head, decls, preds)| SelectQuery { head, decls, preds })
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        arb_select().prop_map(Statement::Select),
+        arb_expr().prop_map(Statement::Expr),
+        (
+            arb_ident(),
+            proptest::collection::vec((arb_ident(), arb_type()), 0..3),
+            arb_type(),
+            arb_expr(),
+        )
+            .prop_map(|(name, params, returns, body)| {
+                Statement::CreateFunction(FunctionDef {
+                    name,
+                    params,
+                    returns,
+                    body,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// parse(print(tree)) == tree for arbitrary well-formed trees.
+    #[test]
+    fn print_parse_round_trip(stmt in arb_statement()) {
+        let printed = statement_to_scsql(&stmt);
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(reparsed, stmt, "printed: {}", printed);
+    }
+
+    /// Printing is deterministic and parse-stable under a second cycle.
+    #[test]
+    fn printing_is_idempotent(stmt in arb_statement()) {
+        let once = statement_to_scsql(&stmt);
+        let twice = statement_to_scsql(&parse_statement(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Multi-statement programs round-trip too.
+    #[test]
+    fn programs_round_trip(stmts in proptest::collection::vec(arb_statement(), 1..4)) {
+        let text: String = stmts.iter().map(|s| statement_to_scsql(s) + "\n").collect();
+        let reparsed = parse_program(&text).expect("program parses");
+        prop_assert_eq!(reparsed, stmts);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use scsq_sim::{EventQueue, FifoServer, RunningStats, SimDur, SimTime, SplitMix64};
+
+proptest! {
+    /// The event queue pops in nondecreasing time order regardless of
+    /// push order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// FIFO server invariants: grants never overlap, never start before
+    /// arrival, and total busy time equals the sum of service demands.
+    #[test]
+    fn fifo_server_grants_are_disjoint_and_conserving(
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 1..100)
+    ) {
+        let mut server = FifoServer::new();
+        let mut prev_finish = SimTime::ZERO;
+        let mut total = SimDur::ZERO;
+        // FIFO discipline requires nondecreasing arrivals in call order;
+        // sort to model a well-formed arrival stream.
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(arrival, _)| arrival);
+        for &(arrival, service) in &jobs {
+            let arrival = SimTime::from_nanos(arrival);
+            let service = SimDur::from_nanos(service);
+            let g = server.serve(arrival, service);
+            prop_assert!(g.start >= arrival);
+            prop_assert!(g.start >= prev_finish);
+            prop_assert_eq!(g.finish, g.start + service);
+            prev_finish = g.finish;
+            total += service;
+        }
+        prop_assert_eq!(server.busy_total(), total);
+        prop_assert_eq!(server.busy_until(), prev_finish);
+    }
+
+    /// Work conservation: a server's makespan is at most (last arrival +
+    /// total work) and at least the total work.
+    #[test]
+    fn fifo_server_makespan_bounds(
+        jobs in proptest::collection::vec((0u64..100_000, 1u64..1_000), 1..50)
+    ) {
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(a, _)| a);
+        let mut server = FifoServer::new();
+        let mut finish = SimTime::ZERO;
+        for &(arrival, service) in &jobs {
+            finish = server
+                .serve(SimTime::from_nanos(arrival), SimDur::from_nanos(service))
+                .finish;
+        }
+        let work: u64 = jobs.iter().map(|&(_, s)| s).sum();
+        let last_arrival = jobs.last().expect("non-empty").0;
+        prop_assert!(finish.as_nanos() >= work);
+        prop_assert!(finish.as_nanos() <= last_arrival + work);
+    }
+
+    /// Welford statistics match the two-pass formulas.
+    #[test]
+    fn running_stats_match_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.sample_variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(s.min().expect("non-empty"),
+            xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().expect("non-empty"),
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// SplitMix64 is a bijection-ish mixer: different seeds give
+    /// different first outputs (collision-free over small samples) and
+    /// jitter stays in band.
+    #[test]
+    fn rng_jitter_band(seed in any::<u64>(), amp in 0.0f64..0.5) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let j = rng.jitter(amp);
+            prop_assert!(j >= 1.0 - amp - 1e-12 && j <= 1.0 + amp + 1e-12);
+        }
+    }
+
+    /// Duration arithmetic: for_bytes is monotone in bytes and inversely
+    /// monotone in rate.
+    #[test]
+    fn for_bytes_monotonicity(bytes in 1u64..1_000_000_000, rate in 1.0f64..1e10) {
+        let d1 = SimDur::for_bytes(bytes, rate);
+        let d2 = SimDur::for_bytes(bytes + 1, rate);
+        let d3 = SimDur::for_bytes(bytes, rate * 2.0);
+        prop_assert!(d2 >= d1);
+        prop_assert!(d3 <= d1);
+    }
+}

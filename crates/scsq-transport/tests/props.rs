@@ -1,0 +1,137 @@
+//! Property-based tests for the stream channel drivers.
+
+use proptest::prelude::*;
+use scsq_cluster::{Environment, NodeId};
+use scsq_net::FlowId;
+use scsq_sim::SimTime;
+use scsq_transport::{Carrier, ChannelConfig, CycleOutput, StreamChannel};
+
+/// Drives a channel to EOS, collecting all deliveries.
+fn drain(
+    ch: &mut StreamChannel<usize>,
+    env: &mut Environment,
+) -> (Vec<(SimTime, usize)>, SimTime) {
+    let mut deliveries = Vec::new();
+    let mut at = SimTime::ZERO;
+    for _ in 0..1_000_000 {
+        let CycleOutput {
+            deliveries: d,
+            next_cycle,
+            eos_at,
+        } = ch.cycle(env, at);
+        deliveries.extend(d);
+        if let Some(eos) = eos_at {
+            return (deliveries, eos);
+        }
+        match next_cycle {
+            Some(t) => at = t.max(at),
+            None => panic!("channel stalled without EOS"),
+        }
+    }
+    panic!("channel did not finish within the cycle budget");
+}
+
+fn mpi_cfg(buffer: u64, double: bool) -> ChannelConfig {
+    ChannelConfig {
+        flow: FlowId(1),
+        src: NodeId::bg(1),
+        dst: NodeId::bg(0),
+        carrier: Carrier::Mpi { buffer, double },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every enqueued element is delivered exactly once,
+    /// in order, and all payload bytes are accounted for.
+    #[test]
+    fn channels_conserve_elements_and_bytes(
+        sizes in proptest::collection::vec(1u64..50_000, 1..40),
+        buffer in 100u64..200_000,
+        double in any::<bool>(),
+    ) {
+        let mut env = Environment::lofar();
+        let mut ch = StreamChannel::new(mpi_cfg(buffer, double), &mut env);
+        let mut total = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.enqueue(i, s, SimTime::ZERO);
+            total += s;
+        }
+        ch.finish(SimTime::ZERO);
+        let (deliveries, eos) = drain(&mut ch, &mut env);
+        // Exactly once, in order.
+        let ids: Vec<usize> = deliveries.iter().map(|(_, i)| *i).collect();
+        prop_assert_eq!(ids, (0..sizes.len()).collect::<Vec<_>>());
+        // Monotone delivery times, EOS last.
+        let mut prev = SimTime::ZERO;
+        for (t, _) in &deliveries {
+            prop_assert!(*t >= prev);
+            prev = *t;
+        }
+        prop_assert!(eos >= prev);
+        prop_assert_eq!(ch.stats().bytes_delivered, total);
+        prop_assert_eq!(ch.stats().bytes_enqueued, total);
+    }
+
+    /// Double buffering never loses to single buffering for the same
+    /// workload and buffer size.
+    #[test]
+    fn double_buffering_never_loses(
+        elem in 1_000u64..300_000,
+        count in 1u64..20,
+        buffer in 500u64..100_000,
+    ) {
+        let run = |double: bool| {
+            let mut env = Environment::lofar();
+            let mut ch = StreamChannel::new(mpi_cfg(buffer, double), &mut env);
+            for i in 0..count {
+                ch.enqueue(i as usize, elem, SimTime::ZERO);
+            }
+            ch.finish(SimTime::ZERO);
+            drain(&mut ch, &mut env).1
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+
+    /// The buffer count matches the byte math: ceil(total / buffer)
+    /// full-or-flushed buffers.
+    #[test]
+    fn buffer_count_matches_byte_math(
+        sizes in proptest::collection::vec(1u64..10_000, 1..30),
+        buffer in 100u64..20_000,
+    ) {
+        let mut env = Environment::lofar();
+        let mut ch = StreamChannel::new(mpi_cfg(buffer, true), &mut env);
+        let mut total = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.enqueue(i, s, SimTime::ZERO);
+            total += s;
+        }
+        ch.finish(SimTime::ZERO);
+        drain(&mut ch, &mut env);
+        prop_assert_eq!(ch.stats().buffers_sent, total.div_ceil(buffer));
+    }
+
+    /// TCP channels across clusters conserve elements too, and register
+    /// / unregister their inbound flow.
+    #[test]
+    fn tcp_channels_conserve(sizes in proptest::collection::vec(1u64..200_000, 1..20)) {
+        let mut env = Environment::lofar();
+        let cfg = ChannelConfig {
+            flow: FlowId(9),
+            src: NodeId::be(0),
+            dst: NodeId::bg(3),
+            carrier: Carrier::Tcp,
+        };
+        let mut ch = StreamChannel::new(cfg, &mut env);
+        prop_assert_eq!(env.inbound_streams(0), 1);
+        for (i, &s) in sizes.iter().enumerate() {
+            ch.enqueue(i, s, SimTime::ZERO);
+        }
+        ch.finish(SimTime::ZERO);
+        let (deliveries, _) = drain(&mut ch, &mut env);
+        prop_assert_eq!(deliveries.len(), sizes.len());
+        prop_assert_eq!(env.inbound_streams(0), 0);
+    }
+}

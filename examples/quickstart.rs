@@ -1,0 +1,42 @@
+//! Quickstart: run your first continuous query on the simulated LOFAR
+//! environment.
+//!
+//! The query is the paper's intra-BlueGene point-to-point measurement
+//! (§3.1): stream process `a` generates a finite stream of arrays on
+//! BlueGene node 1, stream process `b` counts them on node 0, and only
+//! the count travels to the front-end client.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use scsq::prelude::*;
+
+fn main() -> Result<(), ScsqError> {
+    let mut scsq = Scsq::lofar();
+
+    // Streams and stream processes are first-class objects in SCSQL:
+    // the `where` clause assigns sub-queries to stream processes, and the
+    // third argument of sp() pins each one to an explicit BlueGene node.
+    let result = scsq.run(
+        "select extract(b)
+         from sp a, sp b
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(3000000,100),'bg',1);",
+    )?;
+
+    println!("result values : {:?}", result.values());
+    println!("query time    : {}", result.total_time());
+    println!(
+        "stream rate   : {:.1} MB/s into bg:0",
+        result.bandwidth_into(NodeId::bg(0)) / 1e6
+    );
+    for ch in &result.stats().channels {
+        println!(
+            "channel       : {} -> {} [{}] {} bytes",
+            ch.src, ch.dst, ch.carrier, ch.bytes
+        );
+    }
+
+    assert_eq!(result.values(), &[Value::Integer(100)]);
+    println!("ok: all 100 arrays were counted");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! TCP vs UDP stream carriers between clusters.
+//!
+//! §2.1: the BlueGene's I/O nodes "provide TCP or UDP" for communication
+//! with the Linux clusters. SCSQ always uses TCP (§2.3) — this example
+//! shows why: with four saturating generators aimed at one compute node,
+//! TCP's flow control delivers every array, while UDP overruns the I/O
+//! node's forwarding buffer and loses data.
+//!
+//! Run with: `cargo run --release --example udp_vs_tcp`
+
+use scsq::prelude::*;
+
+const QUERY: &str = "select extract(b) from bag of sp a, sp b, integer n
+                     where b=sp(count(merge(a)), 'bg')
+                     and a=spv((select gen_array(8000,2000)
+                                from integer i where i in iota(1,n)), 'be', urr('be'))
+                     and n=4;";
+
+const EXPECTED: i64 = 4 * 2000;
+
+fn main() -> Result<(), ScsqError> {
+    let mut scsq = Scsq::lofar();
+
+    let tcp = scsq.run(QUERY)?;
+    let tcp_count = tcp.values()[0].as_integer().expect("count");
+    println!(
+        "TCP : {tcp_count}/{EXPECTED} arrays in {} ({:.0} Mbps inbound)",
+        tcp.total_time(),
+        tcp.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene)
+    );
+
+    scsq.options_mut().udp_inter_cluster = true;
+    let udp = scsq.run(QUERY)?;
+    let udp_count = udp.values()[0].as_integer().expect("count");
+    println!(
+        "UDP : {udp_count}/{EXPECTED} arrays in {} ({:.1}% loss)",
+        udp.total_time(),
+        100.0 * (EXPECTED - udp_count) as f64 / EXPECTED as f64
+    );
+
+    assert_eq!(tcp_count, EXPECTED, "TCP delivers everything");
+    assert!(udp_count < EXPECTED, "UDP overload loses arrays");
+    assert!(
+        udp.total_time() < tcp.total_time(),
+        "UDP finishes sooner — by discarding data"
+    );
+    println!("ok: this is why SCSQ carries inter-cluster streams over TCP (§2.3)");
+    Ok(())
+}

