@@ -10,8 +10,8 @@
 //! (observation 1) while keeping the back-end senders co-located
 //! (observations 3/4).
 
-use crate::{mean_metric, Scale};
-use scsq_core::{ClusterName, HardwareSpec, PlacementPolicy, RunOptions, ScsqError, Value};
+use crate::{sweep, Scale, SweepPoint};
+use scsq_core::{ClusterName, HardwareSpec, PlacementPolicy, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 
 /// The unconstrained inbound workload.
@@ -43,31 +43,54 @@ pub fn query(scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
+    run_with_jobs(spec, scale, ns, crate::default_jobs())
+}
+
+/// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
+/// the result is bit-identical for every `jobs` value). Placement is a
+/// *compile-time* decision, so each (policy, n) pair gets its own
+/// prepared plan.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_with_jobs(
+    spec: &HardwareSpec,
+    scale: Scale,
+    ns: &[u32],
+    jobs: usize,
+) -> Result<Vec<Series>, ScsqError> {
     let text = query(scale);
-    let mut out = Vec::new();
-    for (label, policy) in [
-        ("naive next-available", PlacementPolicy::Naive),
-        ("topology-aware", PlacementPolicy::TopologyAware),
+    let labels = ["naive next-available", "topology-aware"];
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let mut points = Vec::with_capacity(2 * ns.len());
+    for (si, policy) in [
+        (0, PlacementPolicy::Naive),
+        (1, PlacementPolicy::TopologyAware),
     ] {
         let options = RunOptions {
             placement: policy,
             ..RunOptions::default()
         };
-        let mut series = Series::new(label);
+        *scsq.options_mut() = options.clone();
         for &n in ns {
-            let mbps = mean_metric(
-                spec,
-                &options,
-                scale,
-                &text,
-                &[("n", Value::Integer(i64::from(n)))],
-                |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
-            )?;
-            series.push(f64::from(n), mbps);
+            let plan = scsq.prepare_with(&text, &[("n", Value::Integer(i64::from(n)))])?;
+            points.push(SweepPoint {
+                series: si,
+                x: f64::from(n),
+                plan,
+                options: options.clone(),
+                spec: spec.clone(),
+            });
         }
-        out.push(series);
     }
-    Ok(out)
+    sweep(
+        &labels,
+        &points,
+        scale,
+        |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
+        jobs,
+    )
 }
 
 #[cfg(test)]

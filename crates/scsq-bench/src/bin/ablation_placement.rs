@@ -1,19 +1,24 @@
 //! Ablation: naïve vs topology-aware node selection on an unconstrained
 //! inbound workload (the §5 future-work refinement).
 //!
-//! Usage: `ablation_placement [--quick] [--csv]`
+//! Usage: `ablation_placement [--quick] [--csv] [--jobs N]`
 
-use scsq_bench::{ablation, print_figure, series_to_csv, Scale};
+use scsq_bench::{ablation, parse_jobs, print_figure, series_to_csv, Scale};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let jobs = parse_jobs(&args);
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let ns: Vec<u32> = (1..=8).collect();
     let spec = HardwareSpec::lofar();
-    let series = ablation::run(&spec, scale, &ns).unwrap_or_else(|e| {
+    let series = ablation::run_with_jobs(&spec, scale, &ns, jobs).unwrap_or_else(|e| {
         eprintln!("ablation failed: {e}");
         std::process::exit(1);
     });

@@ -1,19 +1,24 @@
 //! Regenerates paper Figure 15: BlueGene inbound streaming bandwidth of
 //! Queries 1–6 vs the number of back-end generator RPs.
 //!
-//! Usage: `fig15_inbound [--quick] [--csv]`
+//! Usage: `fig15_inbound [--quick] [--csv] [--jobs N]`
 
-use scsq_bench::{fig15, print_figure, series_to_csv, Scale};
+use scsq_bench::{fig15, parse_jobs, print_figure, series_to_csv, Scale};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let jobs = parse_jobs(&args);
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let ns: Vec<u32> = (1..=8).collect();
     let spec = HardwareSpec::lofar();
-    let series = fig15::run(&spec, scale, &ns).unwrap_or_else(|e| {
+    let series = fig15::run_with_jobs(&spec, scale, &ns, jobs).unwrap_or_else(|e| {
         eprintln!("fig15 failed: {e}");
         std::process::exit(1);
     });

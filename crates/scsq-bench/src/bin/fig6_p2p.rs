@@ -1,18 +1,23 @@
 //! Regenerates paper Figure 6: intra-BlueGene point-to-point streaming
 //! bandwidth vs stream buffer size, single vs double buffering.
 //!
-//! Usage: `fig6_p2p [--quick] [--csv]`
+//! Usage: `fig6_p2p [--quick] [--csv] [--jobs N]`
 
-use scsq_bench::{buffer_sweep, fig6, print_figure, series_to_csv, Scale};
+use scsq_bench::{buffer_sweep, fig6, parse_jobs, print_figure, series_to_csv, Scale};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let jobs = parse_jobs(&args);
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let spec = HardwareSpec::lofar();
-    let series = fig6::run(&spec, scale, &buffer_sweep()).unwrap_or_else(|e| {
+    let series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs).unwrap_or_else(|e| {
         eprintln!("fig6 failed: {e}");
         std::process::exit(1);
     });
@@ -30,7 +35,10 @@ fn main() {
         );
         for s in &series {
             let (x, y) = s.peak().expect("non-empty sweep");
-            println!("# {}: optimum {y:.1} MB/s at {x:.0}-byte buffers", s.label());
+            println!(
+                "# {}: optimum {y:.1} MB/s at {x:.0}-byte buffers",
+                s.label()
+            );
         }
     }
 }

@@ -1,18 +1,23 @@
 //! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
 //! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
 //!
-//! Usage: `fig8_merge [--quick] [--csv]`
+//! Usage: `fig8_merge [--quick] [--csv] [--jobs N]`
 
-use scsq_bench::{buffer_sweep, fig8, print_figure, series_to_csv, Scale};
+use scsq_bench::{buffer_sweep, fig8, parse_jobs, print_figure, series_to_csv, Scale};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
+    let jobs = parse_jobs(&args);
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
     let spec = HardwareSpec::lofar();
-    let series = fig8::run(&spec, scale, &buffer_sweep()).unwrap_or_else(|e| {
+    let series = fig8::run_with_jobs(&spec, scale, &buffer_sweep(), jobs).unwrap_or_else(|e| {
         eprintln!("fig8 failed: {e}");
         std::process::exit(1);
     });

@@ -1,0 +1,138 @@
+//! Measures the parallel sweep executor against the sequential path on
+//! a fixed workload (the Figure 6 and Figure 15 sweeps at quick scale),
+//! verifies the two produce bit-identical series, and emits a
+//! machine-readable JSON report.
+//!
+//! Usage: `perfstat [--jobs N] [--out PATH]`
+//!
+//! `--jobs` sets the parallel worker count (default: available
+//! parallelism); the sequential reference always runs at 1. `--out`
+//! chooses where the JSON lands (default `BENCH_sweep.json`).
+
+use scsq_bench::{buffer_sweep, default_jobs, fig15, fig6, parse_jobs, sweep, Scale, SweepPoint};
+use scsq_core::{HardwareSpec, RunOptions, Scsq, ScsqError, Value};
+use scsq_sim::Series;
+use std::time::Instant;
+
+/// The fixed workload: every Figure 6 buffer point plus the Figure 15
+/// n-sweep, at quick scale.
+fn workload(jobs: usize) -> Result<Vec<Series>, ScsqError> {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale::quick();
+    let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs)?;
+    series.extend(fig15::run_with_jobs(&spec, scale, &[1, 2, 3, 4], jobs)?);
+    Ok(series)
+}
+
+/// Counts the total simulated events the workload executes (identical
+/// for every `jobs` value — the simulations are deterministic), by
+/// re-running the same grid with an event-count metric.
+fn workload_events(jobs: usize) -> Result<f64, ScsqError> {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale::quick();
+    let mut total = 0.0;
+
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let plan = scsq.prepare(&fig6::query(scale))?;
+    let mut points = Vec::new();
+    for double in [false, true] {
+        for &buffer in &buffer_sweep() {
+            points.push(SweepPoint {
+                series: 0,
+                x: buffer as f64,
+                plan: plan.clone(),
+                options: RunOptions {
+                    mpi_buffer: buffer,
+                    mpi_double: double,
+                    ..RunOptions::default()
+                },
+                spec: spec.clone(),
+            });
+        }
+    }
+    let counts = sweep(&["fig6"], &points, scale, |r| r.stats().events as f64, jobs)?;
+    total += counts[0].points().iter().map(|(_, y)| y).sum::<f64>() * scale.reps as f64;
+
+    let mut points = Vec::new();
+    for q in 1..=6u8 {
+        let text = fig15::query(q, scale);
+        for n in 1..=4u32 {
+            let plan = scsq.prepare_with(&text, &[("n", Value::Integer(i64::from(n)))])?;
+            points.push(SweepPoint {
+                series: 0,
+                x: f64::from(n),
+                plan,
+                options: RunOptions::default(),
+                spec: spec.clone(),
+            });
+        }
+    }
+    let counts = sweep(
+        &["fig15"],
+        &points,
+        scale,
+        |r| r.stats().events as f64,
+        jobs,
+    )?;
+    total += counts[0].points().iter().map(|(_, y)| y).sum::<f64>() * scale.reps as f64;
+
+    Ok(total)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = parse_jobs(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let fail = |e: ScsqError| -> ! {
+        eprintln!("perfstat workload failed: {e}");
+        std::process::exit(1);
+    };
+
+    // Warm-up run so neither timed pass pays first-touch costs.
+    workload(jobs).unwrap_or_else(|e| fail(e));
+
+    let t0 = Instant::now();
+    let sequential = workload(1).unwrap_or_else(|e| fail(e));
+    let seq_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = workload(jobs).unwrap_or_else(|e| fail(e));
+    let par_s = t1.elapsed().as_secs_f64();
+
+    let identical = sequential == parallel;
+    if !identical {
+        eprintln!("ERROR: parallel series differ from the sequential reference");
+    }
+
+    let events = workload_events(jobs).unwrap_or_else(|e| fail(e));
+    let speedup = seq_s / par_s;
+
+    let json = format!(
+        "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, quick scale\",\n  \
+         \"host_parallelism\": {host},\n  \
+         \"jobs\": {jobs},\n  \
+         \"series_identical\": {identical},\n  \
+         \"total_simulated_events\": {events},\n  \
+         \"sequential\": {{ \"wall_s\": {seq_s:.4}, \"events_per_s\": {seq_eps:.0} }},\n  \
+         \"parallel\": {{ \"wall_s\": {par_s:.4}, \"events_per_s\": {par_eps:.0} }},\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        host = default_jobs(),
+        seq_eps = events / seq_s,
+        par_eps = events / par_s,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    if !identical {
+        std::process::exit(1);
+    }
+}

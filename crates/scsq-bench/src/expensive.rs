@@ -68,8 +68,8 @@ pub fn run(spec: &HardwareSpec, scale: Scale, sizes: &[u64]) -> Result<Vec<Serie
         let t2 = mean_metric(spec, &options, scale, &q2, &[], |r| {
             r.total_time().as_secs_f64() * 1e3
         })?;
-        single.push(bytes as f64, t1);
-        distributed.push(bytes as f64, t2);
+        single.push_with_dev(bytes as f64, t1.mean, t1.std_dev);
+        distributed.push_with_dev(bytes as f64, t2.mean, t2.std_dev);
     }
     Ok(vec![single, distributed])
 }

@@ -14,8 +14,8 @@
 //! 4. Q1 beats Q2 for the same reason;
 //! 5. Q5 dips at n=5 (only four I/O nodes; psets start sharing).
 
-use crate::{mean_metric, Scale};
-use scsq_core::{ClusterName, HardwareSpec, RunOptions, ScsqError, Value};
+use crate::{sweep, Scale, SweepPoint};
+use scsq_core::{ClusterName, HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 
 /// The six inbound queries of §3.2, with the generator scale substituted
@@ -71,25 +71,50 @@ pub fn query(number: u8, scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
+    run_with_jobs(spec, scale, ns, crate::default_jobs())
+}
+
+/// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
+/// the result is bit-identical for every `jobs` value). The sweep
+/// variable `n` participates in binding, so each (query, n) pair
+/// compiles once and its repetitions replay the plan.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_with_jobs(
+    spec: &HardwareSpec,
+    scale: Scale,
+    ns: &[u32],
+    jobs: usize,
+) -> Result<Vec<Series>, ScsqError> {
+    let mut scsq = Scsq::with_spec(spec.clone());
     let options = RunOptions::default();
-    let mut out = Vec::new();
+    let mut labels = Vec::new();
+    let mut points = Vec::with_capacity(6 * ns.len());
     for q in 1..=6u8 {
         let text = query(q, scale);
-        let mut series = Series::new(format!("Query {q}"));
+        let si = labels.len();
+        labels.push(format!("Query {q}"));
         for &n in ns {
-            let mbps = mean_metric(
-                spec,
-                &options,
-                scale,
-                &text,
-                &[("n", Value::Integer(i64::from(n)))],
-                |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
-            )?;
-            series.push(f64::from(n), mbps);
+            let plan = scsq.prepare_with(&text, &[("n", Value::Integer(i64::from(n)))])?;
+            points.push(SweepPoint {
+                series: si,
+                x: f64::from(n),
+                plan,
+                options: options.clone(),
+                spec: spec.clone(),
+            });
         }
-        out.push(series);
     }
-    Ok(out)
+    let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+    sweep(
+        &labels,
+        &points,
+        scale,
+        |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
+        jobs,
+    )
 }
 
 #[cfg(test)]

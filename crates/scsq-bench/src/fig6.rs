@@ -7,8 +7,8 @@
 //! degradation below (1 KB minimum torus message) and above (cache
 //! misses), and double buffering paying off for large buffers.
 
-use crate::{mean_metric, Scale};
-use scsq_core::{HardwareSpec, NodeId, RunOptions, ScsqError};
+use crate::{sweep, Scale, SweepPoint};
+use scsq_core::{HardwareSpec, NodeId, RunOptions, Scsq, ScsqError};
 use scsq_sim::Series;
 
 /// The paper's point-to-point query (§3.1), parameterized on scale.
@@ -25,30 +25,57 @@ pub fn query(scale: Scale) -> String {
 
 /// Runs the Figure 6 sweep; returns one series per buffering mode, with
 /// x = buffer size (bytes) and y = streaming bandwidth into node b
-/// (MB/s).
+/// (MB/s). Uses the machine's available parallelism.
 ///
 /// # Errors
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    let q = query(scale);
-    let mut out = Vec::new();
-    for (label, double) in [("single buffering", false), ("double buffering", true)] {
-        let mut series = Series::new(label);
+    run_with_jobs(spec, scale, buffers, crate::default_jobs())
+}
+
+/// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
+/// the result is bit-identical for every `jobs` value).
+///
+/// The query text does not depend on the swept knobs, so the whole
+/// figure — both buffering modes, every buffer size, every repetition —
+/// executes one prepared plan.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_with_jobs(
+    spec: &HardwareSpec,
+    scale: Scale,
+    buffers: &[u64],
+    jobs: usize,
+) -> Result<Vec<Series>, ScsqError> {
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let plan = scsq.prepare(&query(scale))?;
+    let labels = ["single buffering", "double buffering"];
+    let mut points = Vec::with_capacity(2 * buffers.len());
+    for (si, double) in [(0, false), (1, true)] {
         for &buffer in buffers {
-            let options = RunOptions {
-                mpi_buffer: buffer,
-                mpi_double: double,
-                ..RunOptions::default()
-            };
-            let mbs = mean_metric(spec, &options, scale, &q, &[], |r| {
-                r.bandwidth_into(NodeId::bg(0)) / 1e6
-            })?;
-            series.push(buffer as f64, mbs);
+            points.push(SweepPoint {
+                series: si,
+                x: buffer as f64,
+                plan: plan.clone(),
+                options: RunOptions {
+                    mpi_buffer: buffer,
+                    mpi_double: double,
+                    ..RunOptions::default()
+                },
+                spec: spec.clone(),
+            });
         }
-        out.push(series);
     }
-    Ok(out)
+    sweep(
+        &labels,
+        &points,
+        scale,
+        |r| r.bandwidth_into(NodeId::bg(0)) / 1e6,
+        jobs,
+    )
 }
 
 #[cfg(test)]

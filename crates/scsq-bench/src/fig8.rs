@@ -10,8 +10,8 @@
 //! balanced, §5), double buffering matters less than for point-to-point,
 //! and merging needs much larger buffers (co-processor switch penalty).
 
-use crate::{mean_metric, Scale};
-use scsq_core::{HardwareSpec, NodeId, RunOptions, ScsqError};
+use crate::{sweep, Scale, SweepPoint};
+use scsq_core::{HardwareSpec, NodeId, RunOptions, Scsq, ScsqError};
 use scsq_sim::Series;
 
 /// Node selections of Figure 7.
@@ -63,26 +63,54 @@ pub fn query(scale: Scale, selection: Selection) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    let mut out = Vec::new();
+    run_with_jobs(spec, scale, buffers, crate::default_jobs())
+}
+
+/// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
+/// the result is bit-identical for every `jobs` value). One prepared
+/// plan per node selection serves both buffering modes and every buffer
+/// size.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_with_jobs(
+    spec: &HardwareSpec,
+    scale: Scale,
+    buffers: &[u64],
+    jobs: usize,
+) -> Result<Vec<Series>, ScsqError> {
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let mut labels = Vec::new();
+    let mut points = Vec::with_capacity(4 * buffers.len());
     for selection in [Selection::Sequential, Selection::Balanced] {
-        let q = query(scale, selection);
+        let plan = scsq.prepare(&query(scale, selection))?;
         for (mode, double) in [("single", false), ("double", true)] {
-            let mut series = Series::new(format!("{} / {mode} buffering", selection.label()));
+            let si = labels.len();
+            labels.push(format!("{} / {mode} buffering", selection.label()));
             for &buffer in buffers {
-                let options = RunOptions {
-                    mpi_buffer: buffer,
-                    mpi_double: double,
-                    ..RunOptions::default()
-                };
-                let mbs = mean_metric(spec, &options, scale, &q, &[], |r| {
-                    r.bandwidth_into(NodeId::bg(0)) / 1e6
-                })?;
-                series.push(buffer as f64, mbs);
+                points.push(SweepPoint {
+                    series: si,
+                    x: buffer as f64,
+                    plan: plan.clone(),
+                    options: RunOptions {
+                        mpi_buffer: buffer,
+                        mpi_double: double,
+                        ..RunOptions::default()
+                    },
+                    spec: spec.clone(),
+                });
             }
-            out.push(series);
         }
     }
-    Ok(out)
+    let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+    sweep(
+        &labels,
+        &points,
+        scale,
+        |r| r.bandwidth_into(NodeId::bg(0)) / 1e6,
+        jobs,
+    )
 }
 
 /// The §5 headline: the best balanced-over-sequential bandwidth ratio

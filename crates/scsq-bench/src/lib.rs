@@ -23,12 +23,15 @@ pub mod expensive;
 pub mod fig15;
 pub mod fig6;
 pub mod fig8;
+pub mod pool;
 pub mod report;
 pub mod scaling;
 
+pub use pool::{default_jobs, parse_jobs, run_indexed};
 pub use report::{print_figure, series_to_csv};
 
-use scsq_core::{HardwareSpec, QueryResult, RunOptions, Scsq, ScsqError, Value};
+use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};
+use scsq_sim::{RunningStats, Series};
 
 /// Shared experiment scale knobs. The paper streams 100 × 3 MB arrays
 /// per generator and repeats five times; tests use smaller scales.
@@ -66,8 +69,92 @@ impl Scale {
     }
 }
 
+/// Mean and sample standard deviation of a metric over a point's
+/// repetitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricStats {
+    /// Arithmetic mean over the repetitions.
+    pub mean: f64,
+    /// Sample standard deviation (zero for a single repetition).
+    pub std_dev: f64,
+}
+
+/// One cell of a sweep: which series it belongs to, its x coordinate,
+/// the compiled plan to run, the runtime options, and the base hardware
+/// it runs on. [`sweep`] expands each point into `scale.reps` jobs.
+pub struct SweepPoint {
+    /// Index into the sweep's label list.
+    pub series: usize,
+    /// The point's x coordinate.
+    pub x: f64,
+    /// The compiled plan (prepare once per distinct query text).
+    pub plan: PreparedQuery,
+    /// Runtime knobs for this point.
+    pub options: RunOptions,
+    /// The un-jittered hardware specification for this point.
+    pub spec: HardwareSpec,
+}
+
+/// Executes a sweep's `(point, repetition)` grid — in parallel on `jobs`
+/// worker threads — and folds the repetitions of each point into a
+/// [`Series`] point carrying mean and standard deviation.
+///
+/// The assembled series are **bit-identical for every `jobs` value**:
+/// each repetition derives its (possibly jittered) hardware spec from
+/// its own index, every simulation is single-threaded and deterministic,
+/// and [`run_indexed`] returns results in job order regardless of
+/// scheduling. `jobs = 1` runs everything inline on the calling thread.
+///
+/// # Errors
+///
+/// Propagates the first failing repetition's error (in job order).
+pub fn sweep(
+    labels: &[&str],
+    points: &[SweepPoint],
+    scale: Scale,
+    metric: impl Fn(&QueryResult) -> f64 + Sync,
+    jobs: usize,
+) -> Result<Vec<Series>, ScsqError> {
+    let reps = scale.reps.max(1);
+    let metric = &metric;
+    let mut job_list = Vec::with_capacity(points.len() * reps as usize);
+    for point in points {
+        for rep in 0..reps {
+            job_list.push(move || -> Result<f64, ScsqError> {
+                // The jitter protocol: repetition r of every point runs
+                // on the same perturbed hardware, seeded independently
+                // of worker scheduling.
+                let result = if scale.jitter > 0.0 {
+                    let spec = point.spec.jittered(0xC0FFEE ^ rep, scale.jitter);
+                    point.plan.run(&spec, &point.options)?
+                } else {
+                    point.plan.run(&point.spec, &point.options)?
+                };
+                Ok(metric(&result))
+            });
+        }
+    }
+    let results = pool::run_indexed(job_list, jobs);
+
+    let mut series: Vec<Series> = labels.iter().map(|label| Series::new(*label)).collect();
+    for (point, chunk) in points.iter().zip(results.chunks(reps as usize)) {
+        let mut stats = RunningStats::new();
+        for r in chunk {
+            match r {
+                Ok(y) => stats.push(*y),
+                Err(e) => return Err(e.clone()),
+            }
+        }
+        series[point.series].push_with_dev(point.x, stats.mean(), stats.sample_std_dev());
+    }
+    Ok(series)
+}
+
 /// Runs `query` once per repetition on jittered hardware and returns the
-/// mean of `metric` over the repetitions.
+/// mean and sample standard deviation of `metric` over the repetitions.
+///
+/// The query is parsed, bound, and placed exactly once; every repetition
+/// replays the prepared plan on a fresh (jittered) environment.
 ///
 /// # Errors
 ///
@@ -79,20 +166,24 @@ pub fn mean_metric(
     query: &str,
     bindings: &[(&str, Value)],
     metric: impl Fn(&QueryResult) -> f64,
-) -> Result<f64, ScsqError> {
-    let mut acc = 0.0;
+) -> Result<MetricStats, ScsqError> {
+    let mut scsq = Scsq::with_spec(base.clone());
+    *scsq.options_mut() = options.clone();
+    let plan = scsq.prepare_with(query, bindings)?;
+    let mut stats = RunningStats::new();
     for rep in 0..scale.reps {
-        let spec = if scale.jitter > 0.0 {
-            base.jittered(0xC0FFEE ^ rep, scale.jitter)
+        let result = if scale.jitter > 0.0 {
+            plan.run(&base.jittered(0xC0FFEE ^ rep, scale.jitter), options)?
         } else {
-            base.clone()
+            // No jitter: run straight off the borrowed base spec.
+            plan.run(base, options)?
         };
-        let mut scsq = Scsq::with_spec(spec);
-        *scsq.options_mut() = options.clone();
-        let result = scsq.run_with(query, bindings)?;
-        acc += metric(&result);
+        stats.push(metric(&result));
     }
-    Ok(acc / scale.reps as f64)
+    Ok(MetricStats {
+        mean: stats.mean(),
+        std_dev: stats.sample_std_dev(),
+    })
 }
 
 /// The buffer-size sweep used by Figures 6 and 8.

@@ -35,9 +35,10 @@ pub fn print_figure(title: &str, x_label: &str, y_label: &str, series: &[Series]
     out
 }
 
-/// Renders all series as CSV rows `label,x,y`.
+/// Renders all series as CSV rows `label,x,y,sd` — the `sd` column is
+/// the sample standard deviation over the repetitions behind each mean.
 pub fn series_to_csv(series: &[Series]) -> String {
-    let mut out = String::from("series,x,y\n");
+    let mut out = String::from("series,x,y,sd\n");
     for s in series {
         out.push_str(&s.to_csv());
     }
@@ -51,7 +52,7 @@ mod tests {
     fn sample() -> Vec<Series> {
         let mut a = Series::new("alpha");
         a.push(1.0, 10.0);
-        a.push(2.0, 20.0);
+        a.push_with_dev(2.0, 20.0, 0.5);
         let mut b = Series::new("beta");
         b.push(1.0, 11.0);
         b.push(2.0, 21.0);
@@ -72,7 +73,9 @@ mod tests {
     fn csv_lists_every_point() {
         let c = series_to_csv(&sample());
         assert_eq!(c.lines().count(), 5);
-        assert!(c.contains("alpha,1,10"));
-        assert!(c.contains("beta,2,21"));
+        assert_eq!(c.lines().next(), Some("series,x,y,sd"));
+        assert!(c.contains("alpha,1,10,0\n"));
+        assert!(c.contains("alpha,2,20,0.5\n"));
+        assert!(c.contains("beta,2,21,0\n"));
     }
 }

@@ -20,8 +20,8 @@
 //! the I/O side, and no more — the quantitative version of the paper's
 //! "co-locate back-end RPs to the same compute node until saturation".
 
-use crate::{mean_metric, Scale};
-use scsq_core::{ClusterName, HardwareSpec, RunOptions, ScsqError, Value};
+use crate::{sweep, Scale, SweepPoint};
+use scsq_core::{ClusterName, HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 
 /// A partition configuration scaled from the paper's.
@@ -74,30 +74,50 @@ fn inbound_query(scale: Scale, be_alloc: &str) -> String {
 ///
 /// Propagates query errors.
 pub fn run(scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
+    run_with_jobs(scale, ns, crate::default_jobs())
+}
+
+/// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
+/// the result is bit-identical for every `jobs` value). Each
+/// (partition, strategy, n) cell compiles once — the partition changes
+/// the hardware the plan is placed against.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_with_jobs(scale: Scale, ns: &[u32], jobs: usize) -> Result<Vec<Series>, ScsqError> {
     let options = RunOptions::default();
-    let mut out = Vec::new();
+    let mut labels = Vec::new();
+    let mut points = Vec::new();
     for (name, spec) in partitions() {
+        let mut scsq = Scsq::with_spec(spec.clone());
         for (strategy, be_alloc) in [("co-located", "1"), ("spread", "urr('be')")] {
             let text = inbound_query(scale, be_alloc);
-            let mut series = Series::new(format!("{strategy} @ {name}"));
+            let si = labels.len();
+            labels.push(format!("{strategy} @ {name}"));
             for &n in ns {
                 if n as usize > spec.psets() {
                     continue;
                 }
-                let mbps = mean_metric(
-                    &spec,
-                    &options,
-                    scale,
-                    &text,
-                    &[("n", Value::Integer(i64::from(n)))],
-                    |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
-                )?;
-                series.push(f64::from(n), mbps);
+                let plan = scsq.prepare_with(&text, &[("n", Value::Integer(i64::from(n)))])?;
+                points.push(SweepPoint {
+                    series: si,
+                    x: f64::from(n),
+                    plan,
+                    options: options.clone(),
+                    spec: spec.clone(),
+                });
             }
-            out.push(series);
         }
     }
-    Ok(out)
+    let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+    sweep(
+        &labels,
+        &points,
+        scale,
+        |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
+        jobs,
+    )
 }
 
 /// At the quad partition with 16 parallel streams, sweeps how many
@@ -108,23 +128,43 @@ pub fn run(scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
 ///
 /// Propagates query errors.
 pub fn run_host_sweep(scale: Scale, hosts: &[u32]) -> Result<Series, ScsqError> {
+    run_host_sweep_with_jobs(scale, hosts, crate::default_jobs())
+}
+
+/// [`run_host_sweep`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_host_sweep_with_jobs(
+    scale: Scale,
+    hosts: &[u32],
+    jobs: usize,
+) -> Result<Series, ScsqError> {
     let options = RunOptions::default();
     let streams = 16u32;
-    let mut series = Series::new("16 streams @ quad partition");
+    let text = inbound_query(scale, "urr('be')");
+    let mut points = Vec::with_capacity(hosts.len());
     for &k in hosts {
         let spec = partition(8, 8, 2, k as usize);
-        let text = inbound_query(scale, "urr('be')");
-        let mbps = mean_metric(
-            &spec,
-            &options,
-            scale,
-            &text,
-            &[("n", Value::Integer(i64::from(streams)))],
-            |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
-        )?;
-        series.push(f64::from(k), mbps);
+        let mut scsq = Scsq::with_spec(spec.clone());
+        let plan = scsq.prepare_with(&text, &[("n", Value::Integer(i64::from(streams)))])?;
+        points.push(SweepPoint {
+            series: 0,
+            x: f64::from(k),
+            plan,
+            options: options.clone(),
+            spec,
+        });
     }
-    Ok(series)
+    let mut series = sweep(
+        &["16 streams @ quad partition"],
+        &points,
+        scale,
+        |r| r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene),
+        jobs,
+    )?;
+    Ok(series.remove(0))
 }
 
 #[cfg(test)]

@@ -16,11 +16,10 @@
 //! `inPset(k)`, and `psetrr()`.
 
 use crate::ids::{ClusterName, NodeId, NodeKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One row of the CNDB: a node's properties and status.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeEntry {
     /// The node's identity.
     pub id: NodeId,
@@ -39,7 +38,7 @@ impl NodeEntry {
 
 /// An allocation sequence: the user-specified constraint on node
 /// selection (§2.4), or [`AllocSeq::Any`] for the naïve default.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllocSeq {
     /// No constraint: the naïve algorithm returns the next available
     /// node in index order.
@@ -100,7 +99,7 @@ impl fmt::Display for CndbError {
 impl std::error::Error for CndbError {}
 
 /// The compute node database of one cluster coordinator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cndb {
     cluster: ClusterName,
     nodes: Vec<NodeEntry>,

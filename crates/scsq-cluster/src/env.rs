@@ -245,8 +245,7 @@ impl Environment {
             }
             _ => {
                 let slot = self.linux_slot(node);
-                let service =
-                    SimDur::for_bytes(bytes, self.spec.linux_demarshal.bytes_per_sec());
+                let service = SimDur::for_bytes(bytes, self.spec.linux_demarshal.bytes_per_sec());
                 self.linux_rx[slot].serve(ready, service).finish
             }
         }
@@ -300,7 +299,8 @@ impl Environment {
     ) -> TransmitOutcome {
         assert_eq!(src.cluster, ClusterName::BlueGene, "MPI src must be bg");
         assert_eq!(dst.cluster, ClusterName::BlueGene, "MPI dst must be bg");
-        self.torus.transmit(flow, src.index, dst.index, bytes, ready)
+        self.torus
+            .transmit(flow, src.index, dst.index, bytes, ready)
     }
 
     /// Transmits a TCP segment between clusters. Supported paths:
@@ -328,9 +328,7 @@ impl Environment {
             (_, ClusterName::BlueGene) => {
                 // Inbound: sender NIC → switch → I/O node NIC → CIOD
                 // forward → tree network → compute node.
-                let src_host = self
-                    .ether_host_of(src)
-                    .expect("linux sender has a NIC");
+                let src_host = self.ether_host_of(src).expect("linux sender has a NIC");
                 let pset = self.pset_of(dst);
                 let io = self.io_host(pset);
                 let e = self.ether.transmit(flow, src_host, io, bytes, ready);
@@ -345,9 +343,7 @@ impl Environment {
                 // Outbound: compute node → tree → CIOD → Ethernet.
                 let pset = self.pset_of(src);
                 let io = self.io_host(pset);
-                let dst_host = self
-                    .ether_host_of(dst)
-                    .expect("linux receiver has a NIC");
+                let dst_host = self.ether_host_of(dst).expect("linux receiver has a NIC");
                 let t = self.tree.transfer(flow, pset, bytes, ready);
                 let fwd = self.io_forward_serve(pset, bytes, t);
                 let e = self.ether.transmit(flow, io, dst_host, bytes, fwd);
@@ -362,9 +358,7 @@ impl Environment {
                 if src_host == dst_host {
                     // Loopback between co-located RPs: a kernel memory
                     // copy, no NIC involved.
-                    let done = ready
-                        + SimDur::from_micros(10)
-                        + SimDur::for_bytes(bytes, 2e9);
+                    let done = ready + SimDur::from_micros(10) + SimDur::for_bytes(bytes, 2e9);
                     return TcpOutcome {
                         sent: done,
                         delivered: done,
@@ -550,7 +544,13 @@ mod tests {
     fn tcp_inbound_crosses_ether_io_tree() {
         let mut env = Environment::lofar();
         env.register_inbound(FlowId(1), 2, 0);
-        let out = env.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        let out = env.tcp_transmit(
+            FlowId(1),
+            NodeId::be(0),
+            NodeId::bg(0),
+            65_536,
+            SimTime::ZERO,
+        );
         assert!(out.delivered > out.sent);
         assert_eq!(env.ether().messages(), 1);
     }
@@ -590,14 +590,26 @@ mod tests {
         // mechanism.
         let mut one_host = Environment::lofar();
         one_host.register_inbound(FlowId(1), 2, 0);
-        let a = one_host.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        let a = one_host.tcp_transmit(
+            FlowId(1),
+            NodeId::be(0),
+            NodeId::bg(0),
+            65_536,
+            SimTime::ZERO,
+        );
 
         let mut four_hosts = Environment::lofar();
         four_hosts.register_inbound(FlowId(1), 2, 0);
         for (i, host) in [(2u64, 3usize), (3, 4), (4, 5)] {
             four_hosts.register_inbound(FlowId(i), host, (i as usize) % 4);
         }
-        let b = four_hosts.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        let b = four_hosts.tcp_transmit(
+            FlowId(1),
+            NodeId::be(0),
+            NodeId::bg(0),
+            65_536,
+            SimTime::ZERO,
+        );
         assert!(b.delivered > a.delivered);
     }
 
@@ -606,11 +618,23 @@ mod tests {
         let mut shared = Environment::lofar();
         shared.register_inbound(FlowId(1), 2, 0);
         shared.register_inbound(FlowId(2), 2, 0);
-        let b = shared.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        let b = shared.tcp_transmit(
+            FlowId(1),
+            NodeId::be(0),
+            NodeId::bg(0),
+            65_536,
+            SimTime::ZERO,
+        );
 
         let mut single = Environment::lofar();
         single.register_inbound(FlowId(1), 2, 0);
-        let a = single.tcp_transmit(FlowId(1), NodeId::be(0), NodeId::bg(0), 65_536, SimTime::ZERO);
+        let a = single.tcp_transmit(
+            FlowId(1),
+            NodeId::be(0),
+            NodeId::bg(0),
+            65_536,
+            SimTime::ZERO,
+        );
         assert!(b.delivered > a.delivered);
     }
 
@@ -621,7 +645,13 @@ mod tests {
         // Interleaved flows.
         let mut t_inter = SimTime::ZERO;
         for i in 0..6u64 {
-            t_inter = env.demarshal(node, FlowId(i % 2), 65_536, SimTime::ZERO, CarrierClass::Tcp);
+            t_inter = env.demarshal(
+                node,
+                FlowId(i % 2),
+                65_536,
+                SimTime::ZERO,
+                CarrierClass::Tcp,
+            );
         }
         let mut env2 = Environment::lofar();
         let mut t_same = SimTime::ZERO;

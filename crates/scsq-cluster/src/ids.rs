@@ -1,6 +1,5 @@
 //! Typed identities for clusters and compute nodes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -8,7 +7,7 @@ use std::str::FromStr;
 ///
 /// SCSQL refers to clusters by the short names used in the paper's
 /// queries: `'fe'`, `'be'`, and `'bg'`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ClusterName {
     /// The Linux front-end cluster (client manager, post-processing).
     FrontEnd,
@@ -42,7 +41,11 @@ pub struct ParseClusterError(pub String);
 
 impl fmt::Display for ParseClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown cluster name `{}` (expected fe, be, or bg)", self.0)
+        write!(
+            f,
+            "unknown cluster name `{}` (expected fe, be, or bg)",
+            self.0
+        )
     }
 }
 
@@ -70,7 +73,7 @@ impl fmt::Display for ClusterName {
 /// A node within a specific cluster. `index` is the node number SCSQL
 /// allocation sequences use (e.g. the explicit `0` and `1` in the
 /// intra-BG queries of §3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId {
     /// The owning cluster.
     pub cluster: ClusterName,
@@ -108,7 +111,7 @@ impl fmt::Display for NodeId {
 }
 
 /// What kind of hardware a node is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// BlueGene compute node: runs the CNK, accepts exactly one RP
     /// (§2.2: "BlueGene compute nodes can execute only one process"),
@@ -176,8 +179,19 @@ mod tests {
     #[test]
     fn capacities_match_cnk_semantics() {
         assert_eq!(NodeKind::BgCompute { pset: 0 }.capacity(), 1);
-        assert_eq!(NodeKind::BgIo { pset: 0, ether_host: 0 }.capacity(), 0);
+        assert_eq!(
+            NodeKind::BgIo {
+                pset: 0,
+                ether_host: 0
+            }
+            .capacity(),
+            0
+        );
         assert!(NodeKind::Linux { ether_host: 0 }.capacity() > 1000);
-        assert!(!NodeKind::BgIo { pset: 0, ether_host: 0 }.schedulable());
+        assert!(!NodeKind::BgIo {
+            pset: 0,
+            ether_host: 0
+        }
+        .schedulable());
     }
 }

@@ -8,10 +8,9 @@
 
 use scsq_net::{Bandwidth, EtherParams, TorusParams, TreeParams};
 use scsq_sim::SimDur;
-use serde::{Deserialize, Serialize};
 
 /// The complete constant set for one [`crate::Environment`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareSpec {
     /// BlueGene partition shape: X extent of the torus.
     pub torus_x: usize,

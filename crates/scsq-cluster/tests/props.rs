@@ -2,13 +2,15 @@
 //! environment's accounting.
 
 use proptest::prelude::*;
-use scsq_cluster::{AllocSeq, Cndb, ClusterName, Environment, HardwareSpec, NodeId, NodeKind};
+use scsq_cluster::{AllocSeq, ClusterName, Cndb, Environment, HardwareSpec, NodeId, NodeKind};
 use scsq_net::FlowId;
 use scsq_sim::SimTime;
 
 fn bg_cndb(nodes: usize, pset_size: usize) -> Cndb {
     let kinds = (0..nodes)
-        .map(|i| NodeKind::BgCompute { pset: i / pset_size })
+        .map(|i| NodeKind::BgCompute {
+            pset: i / pset_size,
+        })
         .collect();
     Cndb::new(
         ClusterName::BlueGene,

@@ -32,8 +32,8 @@ pub mod service;
 
 pub use scsq_cluster::{AllocSeq, ClusterName, Environment, HardwareSpec, NodeId};
 pub use scsq_engine::{
-    ChannelReport, EngineError as ScsqError, PlacementPolicy, QueryResult, QueryStats, RpReport,
-    RunOptions,
+    ChannelReport, EngineError as ScsqError, PlacementPolicy, PreparedQuery, QueryResult,
+    QueryStats, RpReport, RunOptions,
 };
 pub use scsq_ql::{ArrayData, Catalog, SpHandle, Value};
 pub use scsq_sim::{SimDur, SimTime};
@@ -44,8 +44,8 @@ use scsq_engine::ClientManager;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::{
-        ClusterName, HardwareSpec, NodeId, QueryResult, RunOptions, Scsq, ScsqError, ScsqService,
-        SimDur, SimTime, Value,
+        ClusterName, HardwareSpec, NodeId, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError,
+        ScsqService, SimDur, SimTime, Value,
     };
 }
 
@@ -136,6 +136,56 @@ impl Scsq {
             .execute_with(&self.spec, src, &self.options, &owned)
     }
 
+    /// Compiles a query once into a reusable [`PreparedQuery`].
+    ///
+    /// Parse → bind → place happens here, exactly once; each
+    /// [`Scsq::run_prepared`] (or [`PreparedQuery::run`]) then replays
+    /// the immutable plan on a fresh environment. For sweeps that run
+    /// the same query text many times with different runtime options or
+    /// jittered hardware, this removes all redundant front-end work —
+    /// [`Scsq::compilations`] observes the saving.
+    ///
+    /// # Errors
+    ///
+    /// Parse, binder, or placement errors.
+    pub fn prepare(&mut self, src: &str) -> Result<PreparedQuery, ScsqError> {
+        self.prepare_with(src, &[])
+    }
+
+    /// Like [`Scsq::prepare`], with pre-bound query variables. Bindings
+    /// are baked into the plan (they participate in binding, e.g. the
+    /// §3.2 `n`), so prepare once per distinct binding set.
+    ///
+    /// # Errors
+    ///
+    /// See [`Scsq::prepare`].
+    pub fn prepare_with(
+        &mut self,
+        src: &str,
+        bindings: &[(&str, Value)],
+    ) -> Result<PreparedQuery, ScsqError> {
+        let owned: Vec<(String, Value)> = bindings
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        self.manager.prepare(&self.spec, src, &self.options, &owned)
+    }
+
+    /// Executes a prepared plan against the current spec and options.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors only.
+    pub fn run_prepared(&self, plan: &PreparedQuery) -> Result<QueryResult, ScsqError> {
+        plan.run(&self.spec, &self.options)
+    }
+
+    /// How many query statements have been compiled (parse → bind →
+    /// place) by this system so far. Prepared-plan reruns do not count.
+    pub fn compilations(&self) -> u64 {
+        self.manager.compilations()
+    }
+
     /// Explains a query's set-up without executing it: the stream
     /// processes it would create, the nodes their RPs land on, and the
     /// MPI/TCP streams connecting them (the paper's Figure 2 picture).
@@ -196,10 +246,8 @@ mod tests {
     #[test]
     fn catalog_persists_across_runs() {
         let mut scsq = Scsq::lofar();
-        scsq.define(
-            "create function gen2(integer sz) -> stream as gen_array(sz, 2);",
-        )
-        .unwrap();
+        scsq.define("create function gen2(integer sz) -> stream as gen_array(sz, 2);")
+            .unwrap();
         let r = scsq
             .run(
                 "select extract(b) from sp a, sp b
@@ -230,6 +278,74 @@ mod tests {
         assert_eq!(r.values(), &[Value::Integer(6)]);
         let r = scsq.run_with(q, &[("n", Value::Integer(5))]).unwrap();
         assert_eq!(r.values(), &[Value::Integer(15)]);
+    }
+
+    #[test]
+    fn prepared_queries_compile_once_and_match_run() {
+        let mut scsq = Scsq::lofar();
+        let q = "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(100000,10),'bg',1);";
+        let fresh = scsq.run(q).unwrap();
+        assert_eq!(scsq.compilations(), 1);
+
+        let plan = scsq.prepare(q).unwrap();
+        assert_eq!(scsq.compilations(), 2);
+        // Many runs, zero further compilations, bit-identical results.
+        for _ in 0..3 {
+            let r = scsq.run_prepared(&plan).unwrap();
+            assert_eq!(r.values(), fresh.values());
+            assert_eq!(r.finished(), fresh.finished());
+            assert_eq!(r.first_result(), fresh.first_result());
+        }
+        assert_eq!(scsq.compilations(), 2);
+    }
+
+    #[test]
+    fn prepared_queries_track_runtime_options() {
+        // One plan serves the whole §3.1 buffer-size sweep: the MPI
+        // buffer is a runtime knob, not part of the compiled shape.
+        let mut scsq = Scsq::lofar();
+        let q = "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(1000000,5),'bg',1);";
+        let plan = scsq.prepare(q).unwrap();
+        scsq.options_mut().mpi_buffer = 100_000;
+        scsq.options_mut().mpi_double = false;
+        let single = scsq.run_prepared(&plan).unwrap();
+        scsq.options_mut().mpi_double = true;
+        let double = scsq.run_prepared(&plan).unwrap();
+        assert_eq!(single.values(), double.values());
+        assert!(double.finished() < single.finished());
+        assert_eq!(scsq.compilations(), 1);
+    }
+
+    #[test]
+    fn prepared_query_is_shareable_across_threads() {
+        let mut scsq = Scsq::lofar();
+        let plan = scsq
+            .prepare(
+                "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(10000,4),'bg',1);",
+            )
+            .unwrap();
+        let baseline = scsq.run_prepared(&plan).unwrap();
+        let spec = scsq.spec().clone();
+        let options = scsq.options().clone();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (plan, spec, options) = (&plan, &spec, &options);
+                    s.spawn(move || plan.run(spec, options).unwrap())
+                })
+                .collect();
+            for h in handles {
+                let r = h.join().unwrap();
+                assert_eq!(r.values(), baseline.values());
+                assert_eq!(r.finished(), baseline.finished());
+            }
+        });
     }
 
     #[test]

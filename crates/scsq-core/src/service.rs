@@ -8,11 +8,10 @@
 //! submit SCSQL and wait on tickets.
 
 use crate::{QueryResult, RunOptions, Scsq, ScsqError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use scsq_cluster::HardwareSpec;
 use scsq_ql::Value;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 struct Job {
@@ -52,14 +51,14 @@ pub struct ScsqService {
 impl ScsqService {
     /// Spawns the service on the given hardware with the given options.
     pub fn spawn(spec: HardwareSpec, options: RunOptions) -> ScsqService {
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = channel::<Job>();
         let history = Arc::new(Mutex::new(Vec::new()));
         let worker_history = Arc::clone(&history);
         let worker = std::thread::spawn(move || {
             let mut scsq = Scsq::with_spec(spec);
             *scsq.options_mut() = options;
             for job in rx {
-                worker_history.lock().push(job.src.clone());
+                worker_history.lock().unwrap().push(job.src.clone());
                 let bindings: Vec<(&str, Value)> = job
                     .bindings
                     .iter()
@@ -97,7 +96,7 @@ impl ScsqService {
     ///
     /// Panics if called after [`ScsqService::shutdown`].
     pub fn submit_with(&self, src: &str, bindings: &[(&str, Value)]) -> Ticket {
-        let (reply, rx) = unbounded();
+        let (reply, rx) = channel();
         let job = Job {
             src: src.to_string(),
             bindings: bindings
@@ -125,7 +124,7 @@ impl ScsqService {
 
     /// The query texts executed so far, in execution order.
     pub fn history(&self) -> Vec<String> {
-        self.history.lock().clone()
+        self.history.lock().unwrap().clone()
     }
 
     /// Stops the worker after draining queued queries.

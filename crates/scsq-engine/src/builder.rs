@@ -199,8 +199,7 @@ impl<'a> QueryBuilder<'a> {
     ) -> Result<bool, EngineError> {
         if pred.op == PredOp::In {
             return Err(EngineError::bind(
-                "`in` predicates are only supported inside sub-queries passed to spv()"
-                    .to_string(),
+                "`in` predicates are only supported inside sub-queries passed to spv()".to_string(),
             ));
         }
         // Identify the variable side.
@@ -373,8 +372,7 @@ impl<'a> QueryBuilder<'a> {
             None => Ok(DEFAULT_CLUSTER),
             Some(e) => {
                 let s = self.eval_string(e, bindings, "sp cluster argument")?;
-                ClusterName::from_str(&s)
-                    .map_err(|err| EngineError::bind(err.to_string()))
+                ClusterName::from_str(&s).map_err(|err| EngineError::bind(err.to_string()))
             }
         }
     }
@@ -382,7 +380,11 @@ impl<'a> QueryBuilder<'a> {
     /// Evaluates an allocation-sequence argument (§2.4: "a node
     /// allocation query ... returns a stream of allowable compute nodes
     /// in preferred allocation order").
-    fn alloc_seq(&mut self, arg: Option<&Expr>, bindings: &Bindings) -> Result<AllocSeq, EngineError> {
+    fn alloc_seq(
+        &mut self,
+        arg: Option<&Expr>,
+        bindings: &Bindings,
+    ) -> Result<AllocSeq, EngineError> {
         let Some(expr) = arg else {
             return Ok(AllocSeq::Any);
         };
@@ -392,8 +394,7 @@ impl<'a> QueryBuilder<'a> {
                     // The argument names the cluster whose CNDB feeds the
                     // sequence; it must parse as a cluster name.
                     let s = self.eval_string(&args[0], bindings, "urr cluster argument")?;
-                    ClusterName::from_str(&s)
-                        .map_err(|e| EngineError::bind(e.to_string()))?;
+                    ClusterName::from_str(&s).map_err(|e| EngineError::bind(e.to_string()))?;
                     return Ok(AllocSeq::UniformRoundRobin);
                 }
                 Some(Builtin::InPset) => {
@@ -544,9 +545,7 @@ impl<'a> QueryBuilder<'a> {
                 let bag = self.eval(&pred.rhs, &bindings)?;
                 let items = match bag {
                     Value::Bag(items) => items,
-                    other => {
-                        return Err(EngineError::type_error("bag", &other, "`in` predicate"))
-                    }
+                    other => return Err(EngineError::type_error("bag", &other, "`in` predicate")),
                 };
                 for item in items {
                     if let Some(decl) = q.decl(var) {
@@ -571,7 +570,11 @@ impl<'a> QueryBuilder<'a> {
     // ----- stream compilation -------------------------------------------
 
     /// Compiles an expression into an SQEP [`Pipeline`].
-    fn compile_stream(&mut self, expr: &Expr, bindings: &Bindings) -> Result<Pipeline, EngineError> {
+    fn compile_stream(
+        &mut self,
+        expr: &Expr,
+        bindings: &Bindings,
+    ) -> Result<Pipeline, EngineError> {
         match expr {
             Expr::Call { name, args } => match self.catalog.resolve(name, args.len())? {
                 Resolved::Builtin(b) => self.compile_builtin(b, name, args, bindings),
@@ -703,7 +706,10 @@ impl<'a> QueryBuilder<'a> {
                 let mut p = self.compile_stream(&args[0], bindings)?;
                 let size = self.eval_integer(&args[1], bindings, "winagg size")?;
                 let slide = self.eval_integer(&args[2], bindings, "winagg slide")?;
-                let agg = match self.eval_string(&args[3], bindings, "winagg function")?.as_str() {
+                let agg = match self
+                    .eval_string(&args[3], bindings, "winagg function")?
+                    .as_str()
+                {
                     "count" => AggKind::Count,
                     "sum" => AggKind::Sum,
                     "max" => AggKind::Max,
@@ -720,8 +726,11 @@ impl<'a> QueryBuilder<'a> {
                         "winagg size and slide must be positive".to_string(),
                     ));
                 }
-                p.stages
-                    .push(Stage::Window(WindowSpec::new(size as usize, slide as usize, agg)?));
+                p.stages.push(Stage::Window(WindowSpec::new(
+                    size as usize,
+                    slide as usize,
+                    agg,
+                )?));
                 Ok(p)
             }
             Builtin::Take => {
@@ -795,7 +804,9 @@ fn explicit_alloc(v: &Value) -> Result<AllocSeq, EngineError> {
             .as_integer()
             .ok_or_else(|| EngineError::type_error("integer", v, "allocation sequence"))?;
         usize::try_from(i).map_err(|_| {
-            EngineError::bind(format!("allocation sequence node numbers must be ≥ 0, got {i}"))
+            EngineError::bind(format!(
+                "allocation sequence node numbers must be ≥ 0, got {i}"
+            ))
         })
     };
     match v {
@@ -1033,7 +1044,10 @@ mod tests {
             .unwrap();
         // c (receiver), a (fft∘odd), b (fft∘even).
         assert_eq!(g.sps.len(), 3);
-        assert!(matches!(g.sps[0].pipeline.input, InputKind::Receiver { .. }));
+        assert!(matches!(
+            g.sps[0].pipeline.input,
+            InputKind::Receiver { .. }
+        ));
         assert_eq!(
             g.sps[1].pipeline.stages,
             vec![Stage::Map(MapFunc::Odd), Stage::Map(MapFunc::Fft)]
@@ -1050,10 +1064,8 @@ mod tests {
 
     #[test]
     fn unknown_cluster_is_reported() {
-        let err = build(
-            "select extract(a) from sp a where a=sp(gen_array(1,1),'xx');",
-        )
-        .unwrap_err();
+        let err =
+            build("select extract(a) from sp a where a=sp(gen_array(1,1),'xx');").unwrap_err();
         assert!(err.to_string().contains("unknown cluster name"), "{err}");
     }
 

@@ -9,12 +9,14 @@
 //! from the feCC by polling" — so BlueGene RPs only come alive at the
 //! next poll tick.
 
+use crate::builder::QueryGraph;
 use crate::error::EngineError;
 use crate::measure::QueryResult;
 use crate::runtime::{run_graph, RunOptions};
 use scsq_cluster::{AllocSeq, ClusterName, CndbError, Environment, HardwareSpec, NodeId};
-use scsq_sim::{SimDur, SimTime};
 use scsq_ql::{parse_program, Catalog, Statement, Value};
+use scsq_sim::{SimDur, SimTime};
+use std::sync::Arc;
 
 /// A cluster coordinator: owns node selection for its cluster and the
 /// RP start-up discipline.
@@ -60,11 +62,7 @@ impl Coordinator {
     ///
     /// Propagates [`CndbError`] when the allocation sequence has no
     /// available node.
-    pub fn register(
-        &mut self,
-        env: &mut Environment,
-        seq: &AllocSeq,
-    ) -> Result<NodeId, CndbError> {
+    pub fn register(&mut self, env: &mut Environment, seq: &AllocSeq) -> Result<NodeId, CndbError> {
         self.registrations += 1;
         env.place(self.cluster, seq)
     }
@@ -83,12 +81,55 @@ impl Coordinator {
     }
 }
 
+/// A compiled, placed query plan, decoupled from any particular run.
+///
+/// Produced by [`ClientManager::prepare`]. The plan is immutable and
+/// cheaply cloneable (the graph lives behind an [`Arc`]), and it is
+/// `Send + Sync`, so one prepared plan can be executed concurrently from
+/// many worker threads. Each [`PreparedQuery::run`] instantiates fresh
+/// per-run state (a new simulated environment, stage chains, channel
+/// buffers), so repeated runs are bit-identical to compiling from
+/// scratch: the builder only touches the environment to *allocate*
+/// nodes, and the allocations are recorded in the graph itself.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    graph: Arc<QueryGraph>,
+}
+
+impl PreparedQuery {
+    /// Executes the plan on a fresh instance of `spec`'s hardware.
+    ///
+    /// `options` is consulted only for runtime knobs (MPI buffer size,
+    /// double buffering, transport selection, event limit); the plan's
+    /// shape — placements and receiver source parameters — was fixed at
+    /// prepare time.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors only; the query is already compiled.
+    pub fn run(
+        &self,
+        spec: &HardwareSpec,
+        options: &RunOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let env = Environment::new(spec.clone());
+        run_graph(env, &self.graph, options)
+    }
+
+    /// The plan's set-up picture (same rendering as
+    /// [`ClientManager::explain`]).
+    pub fn explain(&self) -> String {
+        crate::explain::explain_graph(&self.graph)
+    }
+}
+
 /// The client manager: the front-end component users submit SCSQL to
 /// (§2.2). Holds the persistent function catalog and executes statements
 /// against a fresh environment per query.
 #[derive(Debug, Default)]
 pub struct ClientManager {
     catalog: Catalog,
+    compilations: u64,
 }
 
 impl ClientManager {
@@ -100,6 +141,15 @@ impl ClientManager {
     /// The current catalog (built-ins plus registered functions).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// How many query statements this manager has parsed, bound, and
+    /// compiled so far (across [`ClientManager::execute_with`] and
+    /// [`ClientManager::prepare`]). Sweeps that reuse a prepared plan
+    /// leave this counter untouched — the test suite asserts exactly one
+    /// compilation per distinct query text.
+    pub fn compilations(&self) -> u64 {
+        self.compilations
     }
 
     /// Registers a user-defined query function (the effect of a
@@ -153,21 +203,67 @@ impl ClientManager {
                     self.catalog.define(def)?;
                 }
                 other => {
-                    let mut env = Environment::new(spec.clone());
-                    let graph = crate::builder::QueryBuilder::new(
-                        &mut env,
-                        &self.catalog,
-                        options.placement,
-                        options,
-                    )
-                    .build(&other, bindings)?;
-                    last = Some(run_graph(env, graph, options)?);
+                    let (env, graph) = self.compile(spec, &other, options, bindings)?;
+                    last = Some(run_graph(env, &graph, options)?);
                 }
             }
         }
-        last.ok_or_else(|| {
-            EngineError::Runtime("program contained no query statement".to_string())
-        })
+        last.ok_or_else(|| EngineError::Runtime("program contained no query statement".to_string()))
+    }
+
+    /// Compiles a program's query statement into a reusable plan without
+    /// running it. `create function` statements in the program extend
+    /// the catalog, exactly as in [`ClientManager::execute_with`]; the
+    /// last query statement becomes the plan. Placement runs once, here:
+    /// every subsequent [`PreparedQuery::run`] replays the same graph on
+    /// a fresh environment.
+    ///
+    /// # Errors
+    ///
+    /// Parse, binder, or placement errors; also an error when the
+    /// program contains no query statement.
+    pub fn prepare(
+        &mut self,
+        spec: &HardwareSpec,
+        src: &str,
+        options: &RunOptions,
+        bindings: &[(String, Value)],
+    ) -> Result<PreparedQuery, EngineError> {
+        let statements = parse_program(src)?;
+        let mut prepared = None;
+        for stmt in statements {
+            match stmt {
+                Statement::CreateFunction(def) => {
+                    self.catalog.define(def)?;
+                }
+                other => {
+                    let (_, graph) = self.compile(spec, &other, options, bindings)?;
+                    prepared = Some(PreparedQuery {
+                        graph: Arc::new(graph),
+                    });
+                }
+            }
+        }
+        prepared
+            .ok_or_else(|| EngineError::Runtime("program contained no query statement".to_string()))
+    }
+
+    /// Parse → bind → place one query statement, counting the
+    /// compilation. Returns the environment the builder placed against
+    /// so `execute_with` can run on it directly.
+    fn compile(
+        &mut self,
+        spec: &HardwareSpec,
+        stmt: &Statement,
+        options: &RunOptions,
+        bindings: &[(String, Value)],
+    ) -> Result<(Environment, QueryGraph), EngineError> {
+        let mut env = Environment::new(spec.clone());
+        let graph =
+            crate::builder::QueryBuilder::new(&mut env, &self.catalog, options.placement, options)
+                .build(stmt, bindings)?;
+        self.compilations += 1;
+        Ok((env, graph))
     }
 
     /// Explains a query's set-up (the paper's Fig 2 picture): stream
@@ -186,13 +282,9 @@ impl ClientManager {
     ) -> Result<String, EngineError> {
         let stmt = scsq_ql::parse_statement(src)?;
         let mut env = Environment::new(spec.clone());
-        let graph = crate::builder::QueryBuilder::new(
-            &mut env,
-            &self.catalog,
-            options.placement,
-            options,
-        )
-        .build(&stmt, &[])?;
+        let graph =
+            crate::builder::QueryBuilder::new(&mut env, &self.catalog, options.placement, options)
+                .build(&stmt, &[])?;
         Ok(crate::explain::explain_graph(&graph))
     }
 }

@@ -67,7 +67,10 @@ impl fmt::Display for EngineError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type error in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type error in {context}: expected {expected}, found {found}"
+            ),
             EngineError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }

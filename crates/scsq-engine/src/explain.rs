@@ -15,7 +15,11 @@ use std::fmt::Write;
 /// Renders a query graph as a human-readable set-up report.
 pub fn explain_graph(graph: &QueryGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "continuous query set-up ({} stream processes):", graph.sps.len());
+    let _ = writeln!(
+        out,
+        "continuous query set-up ({} stream processes):",
+        graph.sps.len()
+    );
     for sp in &graph.sps {
         let _ = writeln!(
             out,
@@ -80,7 +84,11 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
             format!("receive[{}]", ids.join(", "))
         }
         InputKind::Const { values } => format!("const[{} values]", values.len()),
-        InputKind::Receiver { name, arrays, samples } => {
+        InputKind::Receiver {
+            name,
+            arrays,
+            samples,
+        } => {
             format!("receiver('{name}', {arrays} x {samples} samples)")
         }
         InputKind::Grep { pattern, file } => format!("grep('{pattern}', '{file}')"),
@@ -94,13 +102,9 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
             Stage::RadixCombine { first, second } => {
                 format!("radixcombine(sp#{}, sp#{})", first.0, second.0)
             }
-            Stage::Window(w) => format!(
-                "winagg({}, {}, {:?})",
-                w.size,
-                w.slide,
-                w.agg
-            )
-            .to_lowercase(),
+            Stage::Window(w) => {
+                format!("winagg({}, {}, {:?})", w.size, w.slide, w.agg).to_lowercase()
+            }
             Stage::Take { limit } => format!("take({limit})"),
         });
     }
@@ -135,7 +139,10 @@ mod tests {
              and a=sp(gen_array(3000000,100),'bg',1);",
         );
         assert!(text.contains("2 stream processes"), "{text}");
-        assert!(text.contains("sp#0 @ bg:1   gen_array(3000000 B x 100)"), "{text}");
+        assert!(
+            text.contains("sp#0 @ bg:1   gen_array(3000000 B x 100)"),
+            "{text}"
+        );
         assert!(text.contains("receive[sp#0] | count | streamof"), "{text}");
         assert!(text.contains("=mpi=>"), "{text}");
         assert!(text.contains("=tcp=> client (fe:0)"), "{text}");

@@ -28,9 +28,7 @@ pub fn apply_map(f: MapFunc, value: Value) -> Result<Value, EngineError> {
         (MapFunc::Odd, ArrayData::Real(v)) => {
             ArrayData::Real(v.into_iter().skip(1).step_by(2).collect())
         }
-        (MapFunc::Even, ArrayData::Real(v)) => {
-            ArrayData::Real(v.into_iter().step_by(2).collect())
-        }
+        (MapFunc::Even, ArrayData::Real(v)) => ArrayData::Real(v.into_iter().step_by(2).collect()),
         (MapFunc::Odd, ArrayData::Complex(v)) => {
             ArrayData::Complex(v.into_iter().skip(1).step_by(2).collect())
         }
@@ -120,8 +118,21 @@ pub fn map_cost_bytes(f: MapFunc, bytes: u64) -> u64 {
 
 /// Words used to build the deterministic corpus.
 const WORDS: &[&str] = &[
-    "stream", "query", "torus", "antenna", "signal", "buffer", "process", "node", "pulsar",
-    "cluster", "bandwidth", "telescope", "lofar", "merge", "extract",
+    "stream",
+    "query",
+    "torus",
+    "antenna",
+    "signal",
+    "buffer",
+    "process",
+    "node",
+    "pulsar",
+    "cluster",
+    "bandwidth",
+    "telescope",
+    "lofar",
+    "merge",
+    "extract",
 ];
 
 /// The i-th file name of the corpus table — the paper's `filename(i)`.
@@ -175,11 +186,7 @@ pub fn receiver_array(name: &str, index: u64, samples: usize) -> Value {
     let base = 3 + (name.len() as u64 + index) % 13;
     let signal = scsq_fft::sine(samples, base as f64, 1.0);
     let overtone = scsq_fft::sine(samples, (base * 2) as f64, 0.25);
-    let mixed: Vec<f64> = signal
-        .iter()
-        .zip(&overtone)
-        .map(|(a, b)| a + b)
-        .collect();
+    let mixed: Vec<f64> = signal.iter().zip(&overtone).map(|(a, b)| a + b).collect();
     Value::Array(ArrayData::Real(mixed))
 }
 

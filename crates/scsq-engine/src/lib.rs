@@ -41,7 +41,7 @@ pub mod runtime;
 pub mod window;
 
 pub use builder::{QueryBuilder, QueryGraph, SpSpec};
-pub use coordinator::{ClientManager, Coordinator};
+pub use coordinator::{ClientManager, Coordinator, PreparedQuery};
 pub use error::EngineError;
 pub use explain::{describe_pipeline, explain_graph};
 pub use measure::{ChannelReport, QueryResult, QueryStats, RpReport};

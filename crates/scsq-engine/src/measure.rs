@@ -8,12 +8,11 @@
 //! compute exactly that quotient.
 
 use scsq_cluster::{ClusterName, NodeId};
-use scsq_sim::{SimDur, SimTime};
 use scsq_ql::Value;
-use serde::{Deserialize, Serialize};
+use scsq_sim::{SimDur, SimTime};
 
 /// One stream channel's transfer summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelReport {
     /// Producing node.
     pub src: NodeId,
@@ -31,7 +30,7 @@ pub struct ChannelReport {
 
 /// One running process's execution monitor (§2.3: an RP is responsible
 /// for "monitoring the execution of its SQEP").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RpReport {
     /// Where the RP ran.
     pub node: NodeId,
@@ -47,7 +46,7 @@ pub struct RpReport {
 }
 
 /// Aggregate statistics of one query execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryStats {
     /// All stream channels of the query.
     pub channels: Vec<ChannelReport>,
@@ -61,7 +60,7 @@ pub struct QueryStats {
 }
 
 /// The outcome of executing one continuous query to completion.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     values: Vec<Value>,
     first_result: Option<SimTime>,
@@ -215,7 +214,9 @@ mod tests {
             100
         );
         // 8 MB over 2 s = 4 MB/s = 32 Mbps.
-        assert!((r.bandwidth_between(ClusterName::BackEnd, ClusterName::BlueGene) - 4e6).abs() < 1.0);
+        assert!(
+            (r.bandwidth_between(ClusterName::BackEnd, ClusterName::BlueGene) - 4e6).abs() < 1.0
+        );
         assert!((r.mbps_between(ClusterName::BackEnd, ClusterName::BlueGene) - 32.0).abs() < 1e-9);
     }
 

@@ -11,11 +11,10 @@ use crate::error::EngineError;
 use crate::funcs;
 use crate::window::{WindowSpec, WindowState};
 use scsq_ql::{SpHandle, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Where a pipeline's elements come from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InputKind {
     /// `gen_array(bytes, count)` — the paper's workload generator: a
     /// finite stream of `count` synthetic arrays of `bytes` bytes.
@@ -59,7 +58,7 @@ pub enum InputKind {
 }
 
 /// Per-element transformations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapFunc {
     /// `odd(x)` — odd-indexed samples of each array.
     Odd,
@@ -72,7 +71,7 @@ pub enum MapFunc {
 }
 
 /// Terminal aggregates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggKind {
     /// `count(b)` — number of elements.
     Count,
@@ -94,7 +93,7 @@ impl AggKind {
 }
 
 /// One pipeline stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stage {
     /// Elementwise function.
     Map(MapFunc),
@@ -125,7 +124,7 @@ pub enum Stage {
 }
 
 /// A compiled SQEP.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     /// Element source.
     pub input: InputKind,
@@ -264,19 +263,15 @@ impl StageChain {
                             }
                         },
                         AggKind::Max => {
-                            let better = best
-                                .as_ref()
-                                .and_then(Value::as_real)
-                                .is_none_or(|b| x > b);
+                            let better =
+                                best.as_ref().and_then(Value::as_real).is_none_or(|b| x > b);
                             if better {
                                 *best = Some(value);
                             }
                         }
                         AggKind::Min => {
-                            let better = best
-                                .as_ref()
-                                .and_then(Value::as_real)
-                                .is_none_or(|b| x < b);
+                            let better =
+                                best.as_ref().and_then(Value::as_real).is_none_or(|b| x < b);
                             if better {
                                 *best = Some(value);
                             }
@@ -358,9 +353,7 @@ impl StageChain {
                         if *count == 0 {
                             Vec::new()
                         } else {
-                            vec![Value::Real(
-                                (*sum_real + *sum_int as f64) / *count as f64,
-                            )]
+                            vec![Value::Real((*sum_real + *sum_int as f64) / *count as f64)]
                         }
                     }
                     // Empty streams have no extremum; emit nothing, like
@@ -402,7 +395,10 @@ mod tests {
     fn count_emits_once_at_eos() {
         let mut c = chain(vec![Stage::Agg(AggKind::Count)]);
         for i in 0..7 {
-            assert!(c.process(Value::synthetic_array(100 + i), None).unwrap().is_empty());
+            assert!(c
+                .process(Value::synthetic_array(100 + i), None)
+                .unwrap()
+                .is_empty());
         }
         assert_eq!(c.finish().unwrap(), vec![Value::Integer(7)]);
     }
@@ -444,7 +440,8 @@ mod tests {
     fn map_feeds_aggregate() {
         // count(odd(x)) — count arrays after decimation.
         let mut c = chain(vec![Stage::Map(MapFunc::Odd), Stage::Agg(AggKind::Count)]);
-        c.process(Value::from(vec![1.0, 2.0, 3.0, 4.0]), None).unwrap();
+        c.process(Value::from(vec![1.0, 2.0, 3.0, 4.0]), None)
+            .unwrap();
         assert_eq!(c.finish().unwrap(), vec![Value::Integer(1)]);
     }
 
@@ -453,14 +450,21 @@ mod tests {
         use scsq_fft::{fft_real, Complex};
         let a = SpHandle(1); // odd-half FFTs
         let b = SpHandle(2); // even-half FFTs
-        let mut c = chain(vec![Stage::RadixCombine { first: a, second: b }]);
+        let mut c = chain(vec![Stage::RadixCombine {
+            first: a,
+            second: b,
+        }]);
 
         let signal: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos()).collect();
         let odd: Vec<f64> = signal.iter().copied().skip(1).step_by(2).collect();
         let even: Vec<f64> = signal.iter().copied().step_by(2).collect();
         let fft_of = |v: &[f64]| {
             Value::Array(ArrayData::Complex(
-                fft_real(v).unwrap().into_iter().map(|c| (c.re, c.im)).collect(),
+                fft_real(v)
+                    .unwrap()
+                    .into_iter()
+                    .map(|c| (c.re, c.im))
+                    .collect(),
             ))
         };
 

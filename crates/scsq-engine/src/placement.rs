@@ -17,10 +17,9 @@
 
 use scsq_cluster::AllocSeq;
 use scsq_cluster::ClusterName;
-use serde::{Deserialize, Serialize};
 
 /// How unconstrained stream processes are placed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlacementPolicy {
     /// The paper's baseline: next available node in index order.
     #[default]
@@ -45,9 +44,7 @@ impl PlacementPolicy {
             // Observation 3/4: co-locate back-end RPs on the same node
             // (node 0) until saturation; Linux nodes accept many RPs so
             // an explicit single-node sequence cannot fail.
-            (PlacementPolicy::TopologyAware, ClusterName::BackEnd) => {
-                AllocSeq::Explicit(vec![0])
-            }
+            (PlacementPolicy::TopologyAware, ClusterName::BackEnd) => AllocSeq::Explicit(vec![0]),
             (PlacementPolicy::TopologyAware, ClusterName::FrontEnd) => AllocSeq::Any,
         }
     }

@@ -12,16 +12,16 @@
 //! exhausted).
 
 use crate::builder::QueryGraph;
+use crate::coordinator::Coordinator;
 use crate::error::EngineError;
 use crate::funcs;
 use crate::measure::{ChannelReport, QueryResult, QueryStats};
 use crate::ops::{InputKind, Pipeline, Stage, StageChain};
-use crate::coordinator::Coordinator;
 use scsq_cluster::{ClusterName, Environment, NodeId};
 use scsq_net::FlowId;
-use scsq_sim::{SimTime, Simulator};
-use scsq_transport::{Carrier, ChannelConfig, StreamChannel};
 use scsq_ql::{SpHandle, Value};
+use scsq_sim::{typed::Event, SimTime, TypedSimulator};
+use scsq_transport::{Carrier, ChannelConfig, StreamChannel};
 use std::collections::HashMap;
 
 /// Execution knobs for one query run.
@@ -106,16 +106,53 @@ struct World {
     error: Option<EngineError>,
 }
 
-type Sim = Simulator<World>;
+type Sim = TypedSimulator<World, Ev>;
+
+/// The runtime's event vocabulary. The engine hot loop executes tens of
+/// millions of these per query; keeping them a plain enum (instead of
+/// boxed closures) removes one heap allocation and one indirect call
+/// per event. Variant order mirrors the dispatch functions below.
+enum Ev {
+    /// An RP wakes at its coordinator's start tick.
+    StartRp(usize),
+    /// A gen_array source produces its next element.
+    Produce(usize),
+    /// An RP's own stream ends: flush aggregates, close outputs.
+    FinishRp(usize),
+    /// One stream-channel buffer cycle.
+    Cycle(usize),
+    /// A buffer's elements become visible at the subscriber.
+    Deliver { ci: usize, items: Vec<Value> },
+    /// End-of-stream control message arrives at the subscriber.
+    Eos(usize),
+}
+
+impl Event<World> for Ev {
+    fn fire(self, world: &mut World, sim: &mut Sim) {
+        match self {
+            Ev::StartRp(idx) => start_rp(world, sim, idx),
+            Ev::Produce(idx) => produce(world, sim, idx),
+            Ev::FinishRp(idx) => finish_rp(world, sim, idx),
+            Ev::Cycle(ci) => cycle(world, sim, ci),
+            Ev::Deliver { ci, items } => deliver(world, sim, ci, items),
+            Ev::Eos(ci) => eos(world, sim, ci),
+        }
+    }
+}
 
 /// Executes a query graph on `env` to completion.
+///
+/// The graph is borrowed, not consumed: all per-run state (stage
+/// chains, channel buffers, source cursors) is instantiated here, so
+/// one compiled graph can be executed many times — the basis of the
+/// prepared-query API in `ClientManager::prepare`.
 ///
 /// # Errors
 ///
 /// Runtime type errors inside operators, or an exceeded event budget.
 pub fn run_graph(
     mut env: Environment,
-    graph: QueryGraph,
+    graph: &QueryGraph,
     options: &RunOptions,
 ) -> Result<QueryResult, EngineError> {
     // SpHandle → rp index. The client is the last rp.
@@ -257,14 +294,19 @@ pub fn run_graph(
         finished_at: None,
         error: None,
     };
-    let mut sim = Simulator::new(world).with_event_limit(options.event_limit);
+    // Pending-event population is bounded by the graph shape (each RP
+    // has at most one self-scheduled tick; each channel a handful of
+    // in-flight cycle/deliver/eos events), so reserve once up front.
+    let capacity = world.rps.len() + world.channels.len() * 4;
+    let mut sim =
+        TypedSimulator::with_capacity(world, capacity).with_event_limit(options.event_limit);
 
     // Start every RP per its coordinator's discipline: BlueGene RPs wake
     // at the bgCC's next poll tick (§2.2), Linux RPs immediately.
     for idx in 0..sim.world().rps.len() {
         let cluster = sim.world().rps[idx].node.cluster;
         let start = Coordinator::for_cluster(cluster).rp_start_time(SimTime::ZERO);
-        sim.schedule_at(start, move |w, s| start_rp(w, s, idx));
+        sim.schedule_at(start, Ev::StartRp(idx));
     }
 
     let end = sim.run_to_completion();
@@ -362,7 +404,7 @@ fn produce(world: &mut World, sim: &mut Sim, idx: usize) {
     let value = Value::synthetic_array(bytes);
     let done = world.env.generate(node, bytes, sim.now());
     process_and_emit(world, sim, idx, value, None, done);
-    sim.schedule_at(done, move |w, s| produce(w, s, idx));
+    sim.schedule_at(done, Ev::Produce(idx));
 }
 
 /// Emits all items of a non-gen source (receiver / grep / const), pacing
@@ -380,7 +422,7 @@ fn drain_source(world: &mut World, sim: &mut Sim, idx: usize) {
             return;
         }
     }
-    sim.schedule_at(t, move |w, s| finish_rp(w, s, idx));
+    sim.schedule_at(t, Ev::FinishRp(idx));
 }
 
 /// Runs one element through an RP's stage chain and forwards the outputs
@@ -439,12 +481,24 @@ fn emit(world: &mut World, sim: &mut Sim, idx: usize, outputs: Vec<Value>, at: S
         world.results.extend(outputs);
         return;
     }
-    let out_channels = world.rps[idx].outputs.clone();
+    let n_out = world.rps[idx].outputs.len();
     for v in outputs {
-        for &ci in &out_channels {
-            let size = v.marshaled_size();
-            let when = world.channels[ci].chan.enqueue(v.clone(), size, at);
-            sim.schedule_at(when.max(sim.now()), move |w, s| cycle(w, s, ci));
+        // Fan the value out by index (no clone of the output list), and
+        // move it into the last channel instead of cloning once per
+        // subscriber.
+        let mut v = Some(v);
+        for oi in 0..n_out {
+            let ci = world.rps[idx].outputs[oi];
+            let item = if oi + 1 == n_out {
+                v.take().expect("value present for the last channel")
+            } else {
+                v.as_ref()
+                    .expect("value present until the last channel")
+                    .clone()
+            };
+            let size = item.marshaled_size();
+            let when = world.channels[ci].chan.enqueue(item, size, at);
+            sim.schedule_at(when.max(sim.now()), Ev::Cycle(ci));
         }
     }
 }
@@ -468,10 +522,10 @@ fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
         world.finished_at = Some(now);
         return;
     }
-    let out_channels = world.rps[idx].outputs.clone();
-    for ci in out_channels {
+    for oi in 0..world.rps[idx].outputs.len() {
+        let ci = world.rps[idx].outputs[oi];
         let when = world.channels[ci].chan.finish(now);
-        sim.schedule_at(when.max(now), move |w, s| cycle(w, s, ci));
+        sim.schedule_at(when.max(now), Ev::Cycle(ci));
     }
 }
 
@@ -487,13 +541,13 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
     if !out.deliveries.is_empty() {
         let t = out.deliveries[0].0;
         let items: Vec<Value> = out.deliveries.into_iter().map(|(_, v)| v).collect();
-        sim.schedule_at(t.max(sim.now()), move |w, s| deliver(w, s, ci, items));
+        sim.schedule_at(t.max(sim.now()), Ev::Deliver { ci, items });
     }
     if let Some(t) = out.next_cycle {
-        sim.schedule_at(t.max(sim.now()), move |w, s| cycle(w, s, ci));
+        sim.schedule_at(t.max(sim.now()), Ev::Cycle(ci));
     }
     if let Some(t) = out.eos_at {
-        sim.schedule_at(t.max(sim.now()), move |w, s| eos(w, s, ci));
+        sim.schedule_at(t.max(sim.now()), Ev::Eos(ci));
     }
 }
 
@@ -544,18 +598,16 @@ mod tests {
         let stmt = parse_statement(src).expect("parses");
         let graph = QueryBuilder::new(&mut env, &catalog, PlacementPolicy::Naive, options)
             .build(&stmt, &[])?;
-        run_graph(env, graph, options)
+        run_graph(env, &graph, options)
     }
 
     #[test]
     fn p2p_count_reaches_the_client() {
         // Miniature of the paper's §3.1 point-to-point query: 10 arrays
         // of 100 KB.
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(streamof(count(extract(a))), 'bg', 0)
-             and a=sp(gen_array(100000,10),'bg',1);",
-        )
+             and a=sp(gen_array(100000,10),'bg',1);")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(10)]);
         assert!(r.finished() > SimTime::ZERO);
@@ -572,12 +624,10 @@ mod tests {
 
     #[test]
     fn merge_counts_both_streams() {
-        let r = run(
-            "select extract(c) from sp a, sp b, sp c
+        let r = run("select extract(c) from sp a, sp b, sp c
              where c=sp(count(merge({a,b})), 'bg',0)
              and a=sp(gen_array(50000,8),'bg',1)
-             and b=sp(gen_array(50000,8),'bg',4);",
-        )
+             and b=sp(gen_array(50000,8),'bg',4);")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(16)]);
         // Each 50 KB synthetic array marshals to 1 (tag) + 9 (header)
@@ -587,15 +637,13 @@ mod tests {
 
     #[test]
     fn inbound_query1_shape_counts_all_arrays() {
-        let r = run(
-            "select extract(c) from
+        let r = run("select extract(c) from
              bag of sp a, sp b, sp c, integer n
              where c=sp(extract(b), 'bg')
              and b=sp(count(merge(a)), 'bg')
              and a=spv((select gen_array(100000,5)
                         from integer i where i in iota(1,n)), 'be', 1)
-             and n=3;",
-        )
+             and n=3;")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(15)]);
         // All inbound traffic crossed be → bg.
@@ -608,28 +656,24 @@ mod tests {
     #[test]
     fn sum_of_counts_matches_total() {
         // Query 3 shape in miniature.
-        let r = run(
-            "select extract(c) from
+        let r = run("select extract(c) from
              bag of sp a, bag of sp b, sp c, integer n
              where c=sp(streamof(sum(merge(b))), 'bg')
              and b=spv((select streamof(count(extract(p)))
                         from sp p where p in a), 'bg', inPset(1))
              and a=spv((select gen_array(100000,4)
                         from integer i where i in iota(1,n)), 'be', 1)
-             and n=3;",
-        )
+             and n=3;")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(12)]);
     }
 
     #[test]
     fn grep_mapreduce_delivers_matching_lines() {
-        let r = run(
-            "merge(spv(
+        let r = run("merge(spv(
                 select grep(\"pulsar\", filename(i))
                 from integer i
-                where i in iota(1,4)));",
-        )
+                where i in iota(1,4)));")
         .unwrap();
         let expected: usize = (1..=4)
             .map(|i| funcs::grep("pulsar", &funcs::filename(i)).len())
@@ -643,11 +687,9 @@ mod tests {
 
     #[test]
     fn empty_grep_still_terminates() {
-        let r = run(
-            "merge(spv(
+        let r = run("merge(spv(
                 select grep(\"zebra\", filename(i))
-                from integer i where i in iota(1,2)));",
-        )
+                from integer i where i in iota(1,2)));")
         .unwrap();
         assert!(r.values().is_empty());
         assert!(r.finished() >= SimTime::ZERO);
@@ -682,11 +724,9 @@ mod tests {
 
     #[test]
     fn windowed_aggregate_runs_end_to_end() {
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(winagg(extract(a), 2, 2, 'count'), 'bg', 0)
-             and a=sp(gen_array(10000,6),'bg',1);",
-        )
+             and a=sp(gen_array(10000,6),'bg',1);")
         .unwrap();
         assert_eq!(
             r.values(),
@@ -713,11 +753,9 @@ mod tests {
     fn first_result_precedes_completion_for_streams() {
         // A relay query streams many values; the first reaches the
         // client well before the stream completes.
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(extract(a), 'bg', 0)
-             and a=sp(gen_array(50000,20),'bg',1);",
-        )
+             and a=sp(gen_array(50000,20),'bg',1);")
         .unwrap();
         assert_eq!(r.values().len(), 20);
         let first = r.first_result().expect("values arrived");
@@ -742,11 +780,9 @@ mod tests {
 
     #[test]
     fn rp_reports_include_cpu_time() {
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(streamof(count(fft(extract(a)))), 'bg', 0)
-             and a=sp(gen_array(100000,5),'bg',1);",
-        )
+             and a=sp(gen_array(100000,5),'bg',1);")
         .unwrap();
         let b_report = &r.stats().rp_reports[1];
         assert!(
@@ -819,11 +855,9 @@ mod tests {
     #[test]
     fn take_truncates_a_stream() {
         // A stop condition in the query makes the stream finite (§2.2).
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(count(take(extract(a), 3)), 'bg', 0)
-             and a=sp(gen_array(10000,9),'bg',1);",
-        )
+             and a=sp(gen_array(10000,9),'bg',1);")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(3)]);
     }
@@ -832,11 +866,9 @@ mod tests {
     fn nodes_feeds_allocation_sequences() {
         // nodes('bg') evaluates against the CNDB; using it as an
         // allocation sequence is equivalent to AllocSeq::Any.
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(streamof(count(extract(a))), 'bg', nodes('bg'))
-             and a=sp(gen_array(10000,2),'bg',1);",
-        )
+             and a=sp(gen_array(10000,2),'bg',1);")
         .unwrap();
         assert_eq!(r.values(), &[Value::Integer(2)]);
         // b landed on node 0 — the first available in the CNDB order.
@@ -845,11 +877,9 @@ mod tests {
 
     #[test]
     fn rp_monitors_count_elements() {
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(streamof(count(extract(a))), 'bg', 0)
-             and a=sp(gen_array(10000,7),'bg',1);",
-        )
+             and a=sp(gen_array(10000,7),'bg',1);")
         .unwrap();
         let reports = &r.stats().rp_reports;
         assert_eq!(reports.len(), 3, "a, b, client");
@@ -867,11 +897,9 @@ mod tests {
 
     #[test]
     fn bg_rps_start_at_the_poll_tick() {
-        let r = run(
-            "select extract(b) from sp a, sp b
+        let r = run("select extract(b) from sp a, sp b
              where b=sp(streamof(count(extract(a))), 'bg', 0)
-             and a=sp(gen_array(1000,1),'bg',1);",
-        )
+             and a=sp(gen_array(1000,1),'bg',1);")
         .unwrap();
         // The generator cannot start before the bgCC's first poll (1 ms).
         assert!(r.finished() >= SimTime::from_millis(1));
@@ -880,11 +908,9 @@ mod tests {
     #[test]
     fn type_error_inside_operator_aborts_the_query() {
         // sum() over synthetic arrays is a type error at run time.
-        let err = run(
-            "select extract(b) from sp a, sp b
+        let err = run("select extract(b) from sp a, sp b
              where b=sp(streamof(sum(extract(a))), 'bg', 0)
-             and a=sp(gen_array(1000,2),'bg',1);",
-        )
+             and a=sp(gen_array(1000,2),'bg',1);")
         .unwrap_err();
         assert!(err.to_string().contains("expected number"), "{err}");
     }

@@ -9,11 +9,10 @@
 use crate::error::EngineError;
 use crate::ops::AggKind;
 use scsq_ql::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Static description of a window aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowSpec {
     /// Window length in elements.
     pub size: usize,

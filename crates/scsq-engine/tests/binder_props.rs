@@ -15,7 +15,7 @@ fn run(src: &str) -> QueryResult {
     let graph = QueryBuilder::new(&mut env, &catalog, PlacementPolicy::Naive, &options)
         .build(&stmt, &[])
         .expect("builds");
-    run_graph(env, graph, &options).expect("runs")
+    run_graph(env, &graph, &options).expect("runs")
 }
 
 /// The p2p query's three predicates in an arbitrary order.

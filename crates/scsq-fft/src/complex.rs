@@ -1,6 +1,5 @@
 //! A minimal complex number type for the FFT pipeline.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 
@@ -11,7 +10,7 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub};
 /// let i = Complex::new(0.0, 1.0);
 /// assert_eq!(i * i, Complex::new(-1.0, 0.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,

@@ -217,8 +217,7 @@ mod tests {
         let x = test_signal(256);
         let spectrum = fft(&x).unwrap();
         let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
-        let freq_energy: f64 =
-            spectrum.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
+        let freq_energy: f64 = spectrum.iter().map(|c| c.norm_sqr()).sum::<f64>() / x.len() as f64;
         assert!((time_energy - freq_energy).abs() < 1e-8);
     }
 
@@ -266,7 +265,10 @@ mod tests {
     fn combine_rejects_mismatched_halves() {
         let a = vec![Complex::ONE; 4];
         let b = vec![Complex::ONE; 8];
-        assert_eq!(combine(&a, &b).unwrap_err(), FftError::MismatchedHalves(4, 8));
+        assert_eq!(
+            combine(&a, &b).unwrap_err(),
+            FftError::MismatchedHalves(4, 8)
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use crate::{Bandwidth, FlowId};
 use scsq_sim::{FifoServer, SimDur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Calibration constants for the Ethernet fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EtherParams {
     /// Line rate of every NIC (full duplex: tx and rx are separate
     /// servers).
@@ -35,7 +34,7 @@ impl Default for EtherParams {
 }
 
 /// Timeline of one message through the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EtherOutcome {
     /// When the sending NIC finished serializing the message (the send
     /// buffer becomes reusable).

@@ -29,18 +29,16 @@ pub use ethernet::{EtherParams, Ethernet};
 pub use torus::{TorusCoord, TorusDims, TorusNet, TorusParams, TransmitOutcome};
 pub use tree::{TreeNet, TreeParams};
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one logical stream flow end-to-end (one producer RP's
 /// sequence of buffers). Switching penalties key off this.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub u64);
 
 /// A bandwidth in bytes per second.
 ///
 /// Constructors take the units used in the paper so the hardware constants
 /// read like the text ("1.4 Gbps 3D torus network").
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {

@@ -22,11 +22,10 @@
 
 use crate::{Bandwidth, FlowId};
 use scsq_sim::{FifoServer, SimDur, SimTime, SwitchingServer};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Dimensions of a 3D torus partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TorusDims {
     /// Extent in X.
     pub x: usize,
@@ -37,7 +36,7 @@ pub struct TorusDims {
 }
 
 /// A coordinate in the torus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TorusCoord {
     /// X coordinate.
     pub x: usize,
@@ -157,7 +156,7 @@ impl TorusDims {
 /// p2p bandwidth peaks at a 1000-byte buffer; merge wants much larger
 /// buffers; the balanced node selection beats the sequential one by up to
 /// ~60 % (§5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TorusParams {
     /// Per-link bandwidth; the paper quotes a 1.4 Gbps torus.
     pub link: Bandwidth,
@@ -209,7 +208,8 @@ impl TorusParams {
         if bytes <= self.cache_knee {
             1.0
         } else {
-            1.0 + self.cache_max * (1.0 - (-((bytes - self.cache_knee) as f64) / self.cache_scale).exp())
+            1.0 + self.cache_max
+                * (1.0 - (-((bytes - self.cache_knee) as f64) / self.cache_scale).exp())
         }
     }
 
@@ -220,7 +220,7 @@ impl TorusParams {
 }
 
 /// Timeline of a single message transmission.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TransmitOutcome {
     /// When the source co-processor finished injecting (the sender's
     /// buffer becomes reusable: local MPI send completion).

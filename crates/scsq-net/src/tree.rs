@@ -9,10 +9,9 @@
 
 use crate::{Bandwidth, FlowId};
 use scsq_sim::{FifoServer, SimDur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Calibration constants for the tree network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeParams {
     /// Bandwidth of one pset's tree channel; the paper quotes 2.8 Gbps.
     pub channel: Bandwidth,

@@ -7,11 +7,10 @@
 //! `sp`, `spv`, `extract`, `merge`, `count`, `gen_array`, … are calls.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A declared variable type (§2.4, Fig 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TypeName {
     /// A stream process.
     Sp,
@@ -61,7 +60,7 @@ impl fmt::Display for TypeName {
 }
 
 /// A `from`-clause variable declaration, e.g. `bag of sp a`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VarDecl {
     /// Variable name.
     pub name: String,
@@ -72,7 +71,7 @@ pub struct VarDecl {
 }
 
 /// An SCSQL expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal integer / real / string.
     Literal(Value),
@@ -153,7 +152,7 @@ impl Expr {
 }
 
 /// The comparison operator of a `where` predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredOp {
     /// `lhs = rhs` — binds a variable to a value.
     Eq,
@@ -164,7 +163,7 @@ pub enum PredOp {
 }
 
 /// One conjunct of a `where` clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Predicate {
     /// Left-hand side (a variable in all the paper's queries).
     pub lhs: Expr,
@@ -175,7 +174,7 @@ pub struct Predicate {
 }
 
 /// A select query: head, declarations, predicates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectQuery {
     /// Select-head expressions (usually one).
     pub head: Vec<Expr>,
@@ -193,7 +192,7 @@ impl SelectQuery {
 }
 
 /// A user-defined query function (§2.4's `create function radix2 …`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionDef {
     /// Function name.
     pub name: String,
@@ -206,7 +205,7 @@ pub struct FunctionDef {
 }
 
 /// A top-level SCSQL statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// A continuous query.
     Select(SelectQuery),

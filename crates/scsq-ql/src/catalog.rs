@@ -12,11 +12,10 @@
 
 use crate::ast::FunctionDef;
 use crate::error::QlError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A built-in SCSQL function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Builtin {
     /// `sp(subquery, cluster?, allocseq?)` — assign a subquery to a new
     /// stream process (§2.4).
@@ -151,7 +150,7 @@ impl Builtin {
 }
 
 /// The catalog: built-ins plus registered user functions.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Catalog {
     functions: HashMap<String, FunctionDef>,
 }

@@ -125,15 +125,21 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, QlError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, QlError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64, QlError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn value(&mut self) -> Result<Value, QlError> {
@@ -211,7 +217,10 @@ mod tests {
     #[test]
     fn arrays_round_trip() {
         round_trip(Value::from(vec![1.0, -2.5, 1e300]));
-        round_trip(Value::Array(ArrayData::Complex(vec![(1.0, -1.0), (0.0, 2.0)])));
+        round_trip(Value::Array(ArrayData::Complex(vec![
+            (1.0, -1.0),
+            (0.0, 2.0),
+        ])));
         round_trip(Value::synthetic_array(3_000_000));
     }
 

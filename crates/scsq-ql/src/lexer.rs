@@ -6,11 +6,10 @@
 //! line comment.
 
 use crate::error::QlError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Kinds of SCSQL tokens.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TokenKind {
     /// Identifier or function name.
     Ident(String),
@@ -91,7 +90,7 @@ impl fmt::Display for TokenKind {
 }
 
 /// A token with its source position (1-based line and column).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// What the token is.
     pub kind: TokenKind,
@@ -398,6 +397,9 @@ mod tests {
     #[test]
     fn stray_character_is_reported_with_position() {
         let err = Lexer::new("select @").tokenize().unwrap_err();
-        assert_eq!(err.to_string(), "lexical error at 1:8: unexpected character `@`");
+        assert_eq!(
+            err.to_string(),
+            "lexical error at 1:8: unexpected character `@`"
+        );
     }
 }

@@ -6,9 +6,7 @@
 //! without extra parentheses), set construction `{a,b}`, and
 //! `create function … -> type as …` definitions.
 
-use crate::ast::{
-    Expr, FunctionDef, PredOp, Predicate, SelectQuery, Statement, TypeName, VarDecl,
-};
+use crate::ast::{Expr, FunctionDef, PredOp, Predicate, SelectQuery, Statement, TypeName, VarDecl};
 use crate::error::QlError;
 use crate::lexer::{Lexer, Token, TokenKind};
 use crate::value::Value;
@@ -313,9 +311,7 @@ mod tests {
              and b=sp(gen_array(3000000,100),'bg',4);",
         )
         .unwrap();
-        let Statement::Select(q) = stmt else {
-            panic!()
-        };
+        let Statement::Select(q) = stmt else { panic!() };
         let Expr::Call { args, .. } = &q.preds[0].rhs else {
             panic!()
         };
@@ -347,9 +343,7 @@ mod tests {
              and n=4;",
         )
         .unwrap();
-        let Statement::Select(q) = stmt else {
-            panic!()
-        };
+        let Statement::Select(q) = stmt else { panic!() };
         assert!(q.decls[0].bag);
         assert_eq!(q.decls[0].ty, TypeName::Sp);
         assert_eq!(q.decls[3].ty, TypeName::Integer);
@@ -384,9 +378,7 @@ mod tests {
                'be', 1) and n=4;",
         )
         .unwrap();
-        let Statement::Select(q) = stmt else {
-            panic!()
-        };
+        let Statement::Select(q) = stmt else { panic!() };
         assert_eq!(q.decls.len(), 4);
         assert!(q.decls[1].bag);
         let Expr::Call { name, args } = &q.preds[1].rhs else {
@@ -461,15 +453,17 @@ mod tests {
 
     #[test]
     fn bad_predicate_operator_is_reported() {
-        let err =
-            parse_statement("select x from sp a where a merge(b);").unwrap_err();
+        let err = parse_statement("select x from sp a where a merge(b);").unwrap_err();
         assert!(err.to_string().contains("expected `=` or `in`"), "{err}");
     }
 
     #[test]
     fn unknown_type_is_reported() {
         let err = parse_statement("select x from blob a;").unwrap_err();
-        assert!(err.to_string().contains("unknown type name `blob`"), "{err}");
+        assert!(
+            err.to_string().contains("unknown type name `blob`"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -5,20 +5,15 @@
 //! objects; stream processes are objects too, so queries can pass them
 //! around, put them in bags, and merge over them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Handle to a stream process (SP) — the first-class process objects of
 /// §2.4. Handles are issued by the engine's client manager.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SpHandle(pub u64);
 
 /// Handle to a stream object.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamHandle(pub u64);
 
 /// Payload of an SCSQL array object.
@@ -28,7 +23,7 @@ pub struct StreamHandle(pub u64);
 /// benefit, so [`ArrayData::Synthetic`] carries only the byte size while
 /// behaving as one element for `count()` and friends. Real workloads
 /// (FFT, examples) use materialized variants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrayData {
     /// A materialized array of reals.
     Real(Vec<f64>),
@@ -71,7 +66,7 @@ impl ArrayData {
 }
 
 /// An SCSQL object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// 64-bit integer.
     Integer(i64),
@@ -242,7 +237,10 @@ mod tests {
         assert_eq!(Value::Real(1.5).marshaled_size(), 9);
         assert_eq!(Value::Bool(true).marshaled_size(), 2);
         assert_eq!(Value::from("abc").marshaled_size(), 1 + 4 + 3);
-        assert_eq!(Value::synthetic_array(3_000_000).marshaled_size(), 3_000_009);
+        assert_eq!(
+            Value::synthetic_array(3_000_000).marshaled_size(),
+            3_000_009
+        );
         assert_eq!(
             Value::from(vec![1.0, 2.0, 3.0]).marshaled_size(),
             1 + 8 + 24

@@ -12,7 +12,15 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("no keywords", |s| {
         !matches!(
             s.as_str(),
-            "select" | "from" | "where" | "and" | "in" | "create" | "function" | "as" | "bag"
+            "select"
+                | "from"
+                | "where"
+                | "and"
+                | "in"
+                | "create"
+                | "function"
+                | "as"
+                | "bag"
                 | "of"
         )
     })

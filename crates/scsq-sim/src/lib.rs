@@ -35,12 +35,14 @@ pub mod rng;
 pub mod server;
 pub mod stats;
 pub mod time;
+pub mod typed;
 
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::{FifoServer, SwitchingServer};
 pub use stats::{RunningStats, Series};
 pub use time::{SimDur, SimTime};
+pub use typed::{Event, TypedSimulator};
 
 use std::fmt;
 

@@ -3,6 +3,14 @@
 //! Events scheduled for the same instant fire in insertion order, which
 //! keeps the simulator deterministic even when model code schedules many
 //! simultaneous events.
+//!
+//! The queue keeps the earliest entry in a dedicated front slot rather
+//! than in the heap. Discrete-event workloads overwhelmingly pop one
+//! event and push its successor at a later time (a generator's
+//! production chain, a channel's buffer cycles); with the front slot,
+//! that pop-then-push pattern touches no heap node at all while the
+//! queue is near-empty, and pushes that don't beat the current minimum
+//! skip the front comparison's worst case entirely.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -19,6 +27,10 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
+    /// The earliest entry, if any. Invariant: whenever the queue is
+    /// non-empty, `front` holds the minimum (time, seq) entry and the
+    /// heap holds the rest.
+    front: Option<Entry<T>>,
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
 }
@@ -28,6 +40,13 @@ struct Entry<T> {
     at: SimTime,
     seq: u64,
     payload: T,
+}
+
+impl<T> Entry<T> {
+    /// Whether this entry surfaces strictly before `other`.
+    fn before(&self, other: &Self) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
+    }
 }
 
 impl<T> PartialEq for Entry<T> {
@@ -56,36 +75,57 @@ impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            front: None,
             heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with heap capacity for `capacity` entries,
+    /// avoiding reallocation while the event population grows.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            front: None,
+            heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
         }
     }
 
     /// Number of queued entries.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + usize::from(self.front.is_some())
     }
 
     /// Whether the queue holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.front.is_none()
     }
 
     /// Enqueues `payload` to surface at time `at`.
     pub fn push(&mut self, at: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let entry = Entry { at, seq, payload };
+        match &self.front {
+            None => self.front = Some(entry),
+            Some(min) if entry.before(min) => {
+                let displaced = self.front.replace(entry).expect("front checked Some");
+                self.heap.push(displaced);
+            }
+            Some(_) => self.heap.push(entry),
+        }
     }
 
     /// Removes and returns the earliest entry, if any.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let min = self.front.take()?;
+        self.front = self.heap.pop();
+        Some((min.at, min.payload))
     }
 
     /// The time of the earliest entry without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.front.as_ref().map(|e| e.at)
     }
 }
 
@@ -129,5 +169,42 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(4)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pop_then_push_chain_stays_ordered() {
+        // The front-slot fast path: alternating pop / push-at-later-time
+        // with at most one pending entry.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 0u64);
+        for i in 1..1000u64 {
+            let (at, v) = q.pop().expect("chained entry");
+            assert_eq!(v, i - 1);
+            q.push(at + crate::SimDur::from_nanos(1), i);
+        }
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn earlier_push_displaces_the_front() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(50), 'b');
+        q.push(SimTime::from_nanos(10), 'a');
+        q.push(SimTime::from_nanos(90), 'c');
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        q.push(SimTime::from_nanos(2), 2);
+        q.push(SimTime::from_nanos(1), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(2), 2)));
+        assert_eq!(q.pop(), None);
     }
 }

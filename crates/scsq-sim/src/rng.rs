@@ -5,8 +5,6 @@
 //! with a 64-bit state. Seeding is explicit everywhere so experiment runs
 //! are exactly reproducible.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 pseudo-random number generator (Steele, Lea & Flood 2014).
 ///
 /// ```
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }

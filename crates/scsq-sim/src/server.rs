@@ -15,7 +15,6 @@
 //! point-to-point).
 
 use crate::time::{SimDur, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A work-conserving FIFO resource.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(second.start, SimTime::from_micros(10));
 /// assert_eq!(second.finish, SimTime::from_micros(20));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FifoServer {
     busy_until: SimTime,
     busy_total: SimDur,
@@ -37,7 +36,7 @@ pub struct FifoServer {
 }
 
 /// When a job held a server: `start..finish`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grant {
     /// When service began (arrival or later if the server was busy).
     pub start: SimTime,
@@ -113,7 +112,7 @@ impl FifoServer {
 /// depends on which flows are concurrently active (seen within
 /// [`SwitchingServer::ACTIVITY_WINDOW`]), not on the incidental
 /// interleaving of bookkeeping calls.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SwitchingServer {
     inner: FifoServer,
     switch_cost: SimDur,

@@ -5,7 +5,6 @@
 //! algorithm so harness code can report mean and standard deviation, and
 //! [`Series`] collects (x, y) points for figure regeneration.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Online mean / variance / extrema accumulator (Welford's algorithm).
@@ -19,7 +18,7 @@ use std::fmt;
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -125,10 +124,13 @@ impl fmt::Display for RunningStats {
 /// s.push(1000.0, 158.7);
 /// assert_eq!(s.points().len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Series {
     label: String,
     points: Vec<(f64, f64)>,
+    /// Per-point sample standard deviation over the repetitions that
+    /// produced the y value (zero when unrecorded or from one rep).
+    devs: Vec<f64>,
 }
 
 impl Series {
@@ -137,6 +139,7 @@ impl Series {
         Series {
             label: label.into(),
             points: Vec::new(),
+            devs: Vec::new(),
         }
     }
 
@@ -145,9 +148,16 @@ impl Series {
         &self.label
     }
 
-    /// Appends a point.
+    /// Appends a point with no recorded spread.
     pub fn push(&mut self, x: f64, y: f64) {
+        self.push_with_dev(x, y, 0.0);
+    }
+
+    /// Appends a point together with the sample standard deviation of
+    /// the repetitions behind it.
+    pub fn push_with_dev(&mut self, x: f64, y: f64, sd: f64) {
         self.points.push((x, y));
+        self.devs.push(sd);
     }
 
     /// The collected points in insertion order.
@@ -155,9 +165,23 @@ impl Series {
         &self.points
     }
 
+    /// The per-point sample standard deviations, parallel to
+    /// [`Series::points`].
+    pub fn devs(&self) -> &[f64] {
+        &self.devs
+    }
+
     /// The y value at a given x, if present (exact match).
     pub fn y_at(&self, x: f64) -> Option<f64> {
         self.points.iter().find(|(px, _)| *px == x).map(|(_, y)| *y)
+    }
+
+    /// The recorded standard deviation at a given x, if present.
+    pub fn dev_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .position(|(px, _)| *px == x)
+            .map(|i| self.devs[i])
     }
 
     /// The (x, y) pair with the largest y; `None` when empty.
@@ -168,11 +192,11 @@ impl Series {
             .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
-    /// Renders the series as CSV rows `label,x,y`.
+    /// Renders the series as CSV rows `label,x,y,sd`.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        for (x, y) in &self.points {
-            out.push_str(&format!("{},{},{}\n", self.label, x, y));
+        for ((x, y), sd) in self.points.iter().zip(&self.devs) {
+            out.push_str(&format!("{},{},{},{}\n", self.label, x, y, sd));
         }
         out
     }
@@ -230,6 +254,9 @@ mod tests {
     fn series_csv_rendering() {
         let mut s = Series::new("p2p");
         s.push(1000.0, 100.0);
-        assert_eq!(s.to_csv(), "p2p,1000,100\n");
+        s.push_with_dev(2000.0, 90.0, 1.5);
+        assert_eq!(s.to_csv(), "p2p,1000,100,0\np2p,2000,90,1.5\n");
+        assert_eq!(s.dev_at(2000.0), Some(1.5));
+        assert_eq!(s.dev_at(1000.0), Some(0.0));
     }
 }

@@ -4,7 +4,6 @@
 //! runs are reproducible; floating point only appears at the measurement
 //! boundary (converting to seconds for bandwidth computation).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -17,9 +16,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::from_micros(3) + SimDur::from_nanos(500);
 /// assert_eq!(t.as_nanos(), 3_500);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in nanoseconds.
@@ -28,9 +25,7 @@ pub struct SimTime(u64);
 /// use scsq_sim::SimDur;
 /// assert_eq!(SimDur::from_micros(2) * 3, SimDur::from_nanos(6_000));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDur(u64);
 
 impl SimTime {
@@ -267,10 +262,7 @@ mod tests {
         // 1000 bytes at 1 GB/s is 1 microsecond.
         assert_eq!(SimDur::for_bytes(1_000, 1e9), SimDur::from_micros(1));
         // 3 MB at 125 MB/s (1 Gbps) is 24 ms.
-        assert_eq!(
-            SimDur::for_bytes(3_000_000, 125e6),
-            SimDur::from_millis(24)
-        );
+        assert_eq!(SimDur::for_bytes(3_000_000, 125e6), SimDur::from_millis(24));
     }
 
     #[test]

@@ -11,7 +11,6 @@
 use scsq_cluster::{CarrierClass, Environment, NodeId};
 use scsq_net::FlowId;
 use scsq_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Default MPI stream buffer size: the paper finds 1000 bytes optimal for
@@ -19,7 +18,7 @@ use std::collections::VecDeque;
 pub const MPI_DEFAULT_BUFFER: u64 = 1000;
 
 /// How a channel carries its buffers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Carrier {
     /// MPI over the BlueGene torus, with an explicit stream buffer size
     /// and single or double buffering (§2.3).
@@ -56,7 +55,7 @@ impl Carrier {
 }
 
 /// Static configuration of a channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChannelConfig {
     /// End-to-end flow identity (used for switch penalties and inbound
     /// registration).
@@ -70,7 +69,7 @@ pub struct ChannelConfig {
 }
 
 /// Transfer statistics of one channel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ChannelStats {
     /// Payload bytes enqueued by the producer.
     pub bytes_enqueued: u64,
@@ -211,7 +210,11 @@ impl<T> StreamChannel<T> {
     /// Panics if called after [`StreamChannel::finish`] or with zero
     /// bytes.
     pub fn enqueue(&mut self, item: T, bytes: u64, ready: SimTime) -> SimTime {
-        assert!(!self.eos_queued, "enqueue after finish on flow {:?}", self.cfg.flow);
+        assert!(
+            !self.eos_queued,
+            "enqueue after finish on flow {:?}",
+            self.cfg.flow
+        );
         assert!(bytes > 0, "elements must have positive marshaled size");
         self.stats.bytes_enqueued += bytes;
         self.queue.push_back(Pending {
@@ -288,8 +291,7 @@ impl<T> StreamChannel<T> {
                         Carrier::Mpi { .. } => CarrierClass::Mpi,
                         Carrier::Tcp | Carrier::Udp => CarrierClass::Tcp,
                     };
-                    let visible =
-                        env.demarshal(self.cfg.dst, self.cfg.flow, bytes, arrival, class);
+                    let visible = env.demarshal(self.cfg.dst, self.cfg.flow, bytes, arrival, class);
                     self.stats.bytes_delivered += bytes;
                     self.stats.last_delivery = self.stats.last_delivery.max(visible);
                     for (item, corrupted) in self.fill_items.drain(..) {
@@ -417,10 +419,7 @@ mod tests {
     }
 
     /// Runs a channel to completion, returning (deliveries, eos time).
-    fn drain<T>(
-        ch: &mut StreamChannel<T>,
-        env: &mut Environment,
-    ) -> (Vec<(SimTime, T)>, SimTime) {
+    fn drain<T>(ch: &mut StreamChannel<T>, env: &mut Environment) -> (Vec<(SimTime, T)>, SimTime) {
         let mut deliveries = Vec::new();
         let mut at = SimTime::ZERO;
         loop {

@@ -7,10 +7,7 @@ use scsq_sim::SimTime;
 use scsq_transport::{Carrier, ChannelConfig, CycleOutput, StreamChannel};
 
 /// Drives a channel to EOS, collecting all deliveries.
-fn drain(
-    ch: &mut StreamChannel<usize>,
-    env: &mut Environment,
-) -> (Vec<(SimTime, usize)>, SimTime) {
+fn drain(ch: &mut StreamChannel<usize>, env: &mut Environment) -> (Vec<(SimTime, usize)>, SimTime) {
     let mut deliveries = Vec::new();
     let mut at = SimTime::ZERO;
     for _ in 0..1_000_000 {

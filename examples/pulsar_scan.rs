@@ -32,7 +32,10 @@ fn main() -> Result<(), ScsqError> {
     )?;
 
     let antenna = "lofar-station-CS002";
-    println!("set-up:\n{}", scsq.explain(&format!("pulsarscan('{antenna}');"))?);
+    println!(
+        "set-up:\n{}",
+        scsq.explain(&format!("pulsarscan('{antenna}');"))?
+    );
 
     let result = scsq.run(&format!("pulsarscan('{antenna}');"))?;
     println!("power spectra received: {}", result.values().len());

@@ -67,7 +67,9 @@ fn main() -> Result<(), ScsqError> {
             })
             .map(|(i, _)| i)
             .expect("non-empty spectrum");
-        println!("  array {index}: dominant tone in bin {peak_bin}, max |Δ| vs direct = {max_err:.2e}");
+        println!(
+            "  array {index}: dominant tone in bin {peak_bin}, max |Δ| vs direct = {max_err:.2e}"
+        );
     }
     println!("ok: distributed radix-2 plan equals the direct FFT on every array");
     Ok(())

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The repository's verification gate: the tier-1 commands plus style and
+# lint checks. CI runs exactly this script; run it locally before
+# pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -164,10 +164,14 @@ impl Shell {
                 println!(".help                this help");
                 println!(".explain <query;>    show the query's set-up without running it");
                 println!(".stats on|off        per-channel / per-RP statistics");
-                println!(".buffer <bytes>      MPI stream buffer size (now {})",
-                    self.scsq.options().mpi_buffer);
-                println!(".double on|off       MPI double buffering (now {})",
-                    self.scsq.options().mpi_double);
+                println!(
+                    ".buffer <bytes>      MPI stream buffer size (now {})",
+                    self.scsq.options().mpi_buffer
+                );
+                println!(
+                    ".double on|off       MPI double buffering (now {})",
+                    self.scsq.options().mpi_double
+                );
                 println!(".policy naive|aware  node selection policy");
                 println!(".quit                leave");
             }
@@ -187,9 +191,7 @@ impl Shell {
             },
             ".policy" => match parts.next() {
                 Some("naive") => self.scsq.options_mut().placement = PlacementPolicy::Naive,
-                Some("aware") => {
-                    self.scsq.options_mut().placement = PlacementPolicy::TopologyAware
-                }
+                Some("aware") => self.scsq.options_mut().placement = PlacementPolicy::TopologyAware,
                 _ => eprintln!("usage: .policy naive|aware"),
             },
             other => eprintln!("unknown meta-command `{other}` (try .help)"),

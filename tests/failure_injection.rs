@@ -13,11 +13,9 @@ fn run(src: &str) -> Result<QueryResult, ScsqError> {
 /// fail." Two RPs pinned to the same CNK compute node conflict.
 #[test]
 fn explicit_node_double_booking_fails() {
-    let err = run(
-        "select extract(b) from sp a, sp b
+    let err = run("select extract(b) from sp a, sp b
          where a=sp(gen_array(1000,1),'bg',5)
-         and b=sp(count(extract(a)),'bg',5);",
-    )
+         and b=sp(count(extract(a)),'bg',5);")
     .unwrap_err();
     assert!(
         err.to_string().contains("no available node"),
@@ -28,13 +26,11 @@ fn explicit_node_double_booking_fails() {
 /// A pset holds 8 compute nodes; the 9th inPset placement must fail.
 #[test]
 fn pset_exhaustion_fails() {
-    let err = run(
-        "select extract(b) from bag of sp a, sp b, integer n
+    let err = run("select extract(b) from bag of sp a, sp b, integer n
          where b=sp(count(merge(a)), 'bg', 31)
          and a=spv((select gen_array(1000,1)
                     from integer i where i in iota(1,n)), 'bg', inPset(1))
-         and n=9;",
-    )
+         and n=9;")
     .unwrap_err();
     assert!(err.to_string().contains("no available node"), "{err}");
 }
@@ -43,13 +39,11 @@ fn pset_exhaustion_fails() {
 /// succeed.
 #[test]
 fn pset_capacity_boundary_succeeds_at_8() {
-    let r = run(
-        "select extract(b) from bag of sp a, sp b, integer n
+    let r = run("select extract(b) from bag of sp a, sp b, integer n
          where b=sp(count(merge(a)), 'bg', 31)
          and a=spv((select gen_array(1000,1)
                     from integer i where i in iota(1,n)), 'bg', inPset(1))
-         and n=8;",
-    )
+         and n=8;")
     .unwrap();
     assert_eq!(r.values(), &[Value::Integer(8)]);
 }
@@ -57,13 +51,11 @@ fn pset_capacity_boundary_succeeds_at_8() {
 /// A 33rd BlueGene RP cannot be placed on a 32-node partition.
 #[test]
 fn partition_exhaustion_fails() {
-    let err = run(
-        "select extract(b) from bag of sp a, sp b, integer n
+    let err = run("select extract(b) from bag of sp a, sp b, integer n
          where b=sp(count(merge(a)), 'bg')
          and a=spv((select gen_array(1000,1)
                     from integer i where i in iota(1,n)), 'bg')
-         and n=32;",
-    )
+         and n=32;")
     .unwrap_err();
     assert!(err.to_string().contains("no available node"), "{err}");
 }
@@ -73,10 +65,8 @@ fn partition_exhaustion_fails() {
 /// does not exist.
 #[test]
 fn out_of_range_node_number_fails() {
-    let err = run(
-        "select extract(a) from sp a
-         where a=sp(gen_array(1000,1),'bg',32);",
-    )
+    let err = run("select extract(a) from sp a
+         where a=sp(gen_array(1000,1),'bg',32);")
     .unwrap_err();
     assert!(err.to_string().contains("no available node"), "{err}");
 }
@@ -84,10 +74,8 @@ fn out_of_range_node_number_fails() {
 /// inPset is 1-based in SCSQL, like the paper's inPset(1).
 #[test]
 fn in_pset_zero_is_rejected() {
-    let err = run(
-        "select extract(a) from sp a
-         where a=sp(gen_array(1000,1),'bg',inPset(0));",
-    )
+    let err = run("select extract(a) from sp a
+         where a=sp(gen_array(1000,1),'bg',inPset(0));")
     .unwrap_err();
     assert!(err.to_string().contains("numbered from 1"), "{err}");
 }
@@ -121,10 +109,8 @@ fn syntax_error_has_position() {
 
 #[test]
 fn unresolvable_variables_fail() {
-    let err = run(
-        "select extract(a) from sp a, sp b
-         where a=sp(extract(b),'bg') and b=sp(extract(a),'bg');",
-    )
+    let err = run("select extract(a) from sp a, sp b
+         where a=sp(extract(b),'bg') and b=sp(extract(a),'bg');")
     .unwrap_err();
     assert!(err.to_string().contains("circular"), "{err}");
 }
@@ -137,20 +123,19 @@ fn undeclared_unbound_variable_fails() {
 
 #[test]
 fn declared_but_never_bound_variable_fails() {
-    let err = run("select extract(a) from sp a, sp ghost where a=sp(gen_array(1,1),'bg');")
-        .unwrap_err();
+    let err =
+        run("select extract(a) from sp a, sp ghost where a=sp(gen_array(1,1),'bg');").unwrap_err();
     assert!(
-        err.to_string().contains("`ghost` is declared but never bound"),
+        err.to_string()
+            .contains("`ghost` is declared but never bound"),
         "{err}"
     );
 }
 
 #[test]
 fn in_predicate_at_top_level_fails() {
-    let err = run(
-        "select extract(a) from sp a, integer i
-         where a=sp(gen_array(1,1),'bg') and i in iota(1,3);",
-    )
+    let err = run("select extract(a) from sp a, integer i
+         where a=sp(gen_array(1,1),'bg') and i in iota(1,3);")
     .unwrap_err();
     assert!(err.to_string().contains("spv()"), "{err}");
 }
@@ -161,11 +146,9 @@ fn in_predicate_at_top_level_fails() {
 /// diagnostic instead of returning a bogus number.
 #[test]
 fn summing_arrays_fails_at_runtime() {
-    let err = run(
-        "select extract(b) from sp a, sp b
+    let err = run("select extract(b) from sp a, sp b
          where b=sp(streamof(sum(extract(a))), 'bg', 0)
-         and a=sp(gen_array(1000,3),'bg',1);",
-    )
+         and a=sp(gen_array(1000,3),'bg',1);")
     .unwrap_err();
     assert!(err.to_string().contains("expected number"), "{err}");
 }
@@ -173,11 +156,9 @@ fn summing_arrays_fails_at_runtime() {
 /// fft() over integers is equally diagnosable.
 #[test]
 fn fft_of_integers_fails_at_runtime() {
-    let err = run(
-        "select extract(b) from sp a, sp b
+    let err = run("select extract(b) from sp a, sp b
          where b=sp(fft(extract(a)), 'bg', 0)
-         and a=sp(streamof(iota(1,4)),'bg',1);",
-    )
+         and a=sp(streamof(iota(1,4)),'bg',1);")
     .unwrap_err();
     assert!(err.to_string().contains("expected array"), "{err}");
 }
@@ -185,12 +166,10 @@ fn fft_of_integers_fails_at_runtime() {
 /// radixcombine demands exactly two producers.
 #[test]
 fn radixcombine_with_three_producers_fails() {
-    let err = run(
-        "select radixcombine(merge({a,b,c})) from sp a, sp b, sp c
+    let err = run("select radixcombine(merge({a,b,c})) from sp a, sp b, sp c
          where a=sp(gen_array(1000,1),'bg')
          and b=sp(gen_array(1000,1),'bg')
-         and c=sp(gen_array(1000,1),'bg');",
-    )
+         and c=sp(gen_array(1000,1),'bg');")
     .unwrap_err();
     assert!(err.to_string().contains("exactly two"), "{err}");
 }

@@ -58,7 +58,8 @@ proptest! {
 fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
         any::<i64>().prop_map(Value::Integer),
-        any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
             .prop_map(Value::Real),
         ".{0,24}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
@@ -218,5 +219,63 @@ proptest! {
             expected.push(Value::Integer(tail.iter().sum()));
         }
         prop_assert_eq!(r.values(), expected.as_slice());
+    }
+}
+
+// ---------- event queue ordering ----------------------------------------
+
+use scsq_sim::{EventQueue, SimTime};
+
+proptest! {
+    /// The event queue (with its front-slot fast path) pops in
+    /// (time, insertion-order) — exactly a stable sort by time.
+    #[test]
+    fn event_queue_pops_like_a_stable_sort(
+        times in proptest::collection::vec(0u64..50, 0..64)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // stable: ties keep insertion order
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_nanos(), p))).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved pushes and pops — the pop-then-push-later pattern the
+    /// fast path optimizes — agree with a naive min-scan model at every
+    /// step, including pushes that displace the cached front.
+    #[test]
+    fn event_queue_interleaved_ops_match_model(
+        ops in proptest::collection::vec((0u64..20, proptest::arbitrary::any::<bool>()), 0..64)
+    ) {
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, usize)> = Vec::new();
+        let mut seq = 0usize;
+        for (t, is_pop) in ops {
+            if is_pop {
+                let expected = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(mt, ms))| (mt, ms))
+                    .map(|(i, _)| i);
+                match expected {
+                    Some(i) => {
+                        let (mt, ms) = model.remove(i);
+                        let (qt, qp) = q.pop().expect("model is non-empty");
+                        prop_assert_eq!((qt.as_nanos(), qp), (mt, ms));
+                    }
+                    None => prop_assert!(q.pop().is_none()),
+                }
+            } else {
+                q.push(SimTime::from_nanos(t), seq);
+                model.push((t, seq));
+                seq += 1;
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
     }
 }

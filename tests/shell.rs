@@ -22,7 +22,11 @@ fn runs_a_script_file() {
     .expect("write script");
     let out = scsql().arg(&path).output().expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("-- function defined"), "{stdout}");
     assert!(stdout.contains('6'), "{stdout}");
     assert!(stdout.contains("-- 1 value in"), "{stdout}");
@@ -53,7 +57,10 @@ fn pipes_statements_through_stdin() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
     assert!(stdout.contains('2'), "{stdout}");
-    assert!(stdout.contains("rp@"), "stats must print rp monitors: {stdout}");
+    assert!(
+        stdout.contains("rp@"),
+        "stats must print rp monitors: {stdout}"
+    );
 }
 
 #[test]
