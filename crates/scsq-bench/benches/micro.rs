@@ -1,0 +1,95 @@
+//! Microbenchmarks for the event-kernel hot path: raw event-queue
+//! throughput, batch hand-off cost (Arc-backed [`Batch`] slicing vs
+//! cloning the underlying tuples), and the Figure 6 inner loop in both
+//! execution modes (per-event vs train-coalesced).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scsq_bench::{fig6, Scale};
+use scsq_core::HardwareSpec;
+use scsq_ql::batch::Batch;
+use scsq_ql::value::Value;
+use scsq_sim::{EventQueue, SimTime};
+use std::hint::black_box;
+
+/// Push/pop N timestamped events through the queue, interleaved the way
+/// the simulator's scheduling does (bursts of pushes, ordered pops).
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(64);
+                for i in 0..n as u64 {
+                    // Mildly out-of-order arrival times, as produced by
+                    // overlapping channel cycles.
+                    q.push(SimTime::from_nanos(i ^ 0x55), i);
+                    if i % 4 == 3 {
+                        black_box(q.pop());
+                    }
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Handing one emitted batch to `k` subscriber channels: the Arc-backed
+/// batch clones a pointer per subscriber where the old representation
+/// cloned every tuple.
+fn bench_batch_handoff(c: &mut Criterion) {
+    let values: Vec<Value> = (0..512).map(Value::Integer).collect();
+    let subscribers = 8;
+
+    let mut group = c.benchmark_group("batch_handoff");
+    group.bench_function("arc_slice", |b| {
+        let batch = Batch::new(values.clone());
+        b.iter(|| {
+            for _ in 0..subscribers {
+                black_box(batch.slice(0, batch.len()));
+            }
+        });
+    });
+    group.bench_function("clone_tuples", |b| {
+        b.iter(|| {
+            for _ in 0..subscribers {
+                black_box(values.clone());
+            }
+        });
+    });
+    group.finish();
+}
+
+/// The Figure 6 inner loop at a coalescing-friendly point (paper-size
+/// arrays, small MPI buffer => long periodic trains), in both modes.
+fn bench_fig6_inner(c: &mut Criterion) {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale {
+        array_bytes: 3_000_000,
+        arrays: 5,
+        ..Scale::quick()
+    };
+
+    let mut group = c.benchmark_group("fig6_inner");
+    group.sample_size(10);
+    for (mode, coalesce) in [("coalesced", true), ("per_event", false)] {
+        group.bench_function(mode, |b| {
+            b.iter(|| {
+                let series =
+                    fig6::run_with_jobs(&spec, scale, &[1_000], 1, coalesce).expect("fig6 runs");
+                black_box(series)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_event_queue,
+    bench_batch_handoff,
+    bench_fig6_inner
+);
+criterion_main!(micro);

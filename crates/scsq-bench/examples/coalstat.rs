@@ -1,0 +1,59 @@
+//! Per-point coalescing diagnostics (dev tool).
+use scsq_bench::{buffer_sweep, fig15, fig6, Scale};
+use scsq_core::{HardwareSpec, RunOptions, Scsq, Value};
+use std::time::Instant;
+
+fn main() {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale {
+        arrays: 40,
+        ..Scale::quick()
+    };
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let plan = scsq.prepare(&fig6::query(scale)).unwrap();
+    for &buffer in &buffer_sweep() {
+        let options = RunOptions {
+            mpi_buffer: buffer,
+            ..RunOptions::default()
+        };
+        let t = Instant::now();
+        let on = plan.run(&spec, &options).unwrap();
+        let t_on = t.elapsed();
+        let off_opts = RunOptions {
+            coalesce: false,
+            ..options.clone()
+        };
+        let t = Instant::now();
+        let _off = plan.run(&spec, &off_opts).unwrap();
+        let t_off = t.elapsed();
+        let s = on.stats();
+        println!(
+            "fig6 buf={buffer:>8}: events={:>8} jumps={:>4} skipped={:>8} digests={:>6} on={:>9.3?} off={:>9.3?} speedup={:.2}",
+            s.events, s.coalesce.jumps, s.coalesce.periods_skipped, s.coalesce.digests, t_on, t_off,
+            t_off.as_secs_f64() / t_on.as_secs_f64()
+        );
+    }
+    for q in 1..=6u8 {
+        let text = fig15::query(q, scale);
+        let plan = scsq
+            .prepare_with(&text, &[("n", Value::Integer(4))])
+            .unwrap();
+        let options = RunOptions::default();
+        let t = Instant::now();
+        let on = plan.run(&spec, &options).unwrap();
+        let t_on = t.elapsed();
+        let off_opts = RunOptions {
+            coalesce: false,
+            ..options
+        };
+        let t = Instant::now();
+        let _off = plan.run(&spec, &off_opts).unwrap();
+        let t_off = t.elapsed();
+        let s = on.stats();
+        println!(
+            "fig15 q{q} n=4:     events={:>8} jumps={:>4} skipped={:>8} digests={:>6} on={:>9.3?} off={:>9.3?} speedup={:.2}",
+            s.events, s.coalesce.jumps, s.coalesce.periods_skipped, s.coalesce.digests, t_on, t_off,
+            t_off.as_secs_f64() / t_on.as_secs_f64()
+        );
+    }
+}

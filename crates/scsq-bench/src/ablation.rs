@@ -43,13 +43,13 @@ pub fn query(scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, ns, crate::default_jobs())
+    run_with_jobs(spec, scale, ns, crate::default_jobs(), true)
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value). Placement is a
-/// *compile-time* decision, so each (policy, n) pair gets its own
-/// prepared plan.
+/// the result is bit-identical for every `jobs` value) and coalescing
+/// switch. Placement is a *compile-time* decision, so each (policy, n)
+/// pair gets its own prepared plan.
 ///
 /// # Errors
 ///
@@ -59,6 +59,7 @@ pub fn run_with_jobs(
     scale: Scale,
     ns: &[u32],
     jobs: usize,
+    coalesce: bool,
 ) -> Result<Vec<Series>, ScsqError> {
     let text = query(scale);
     let labels = ["naive next-available", "topology-aware"];
@@ -70,6 +71,7 @@ pub fn run_with_jobs(
     ] {
         let options = RunOptions {
             placement: policy,
+            coalesce,
             ..RunOptions::default()
         };
         *scsq.options_mut() = options.clone();

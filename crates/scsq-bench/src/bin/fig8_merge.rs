@@ -1,9 +1,11 @@
 //! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
 //! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
 //!
-//! Usage: `fig8_merge [--quick] [--csv] [--jobs N]`
+//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off]`
 
-use scsq_bench::{buffer_sweep, fig8, parse_jobs, print_figure, series_to_csv, Scale};
+use scsq_bench::{
+    buffer_sweep, fig8, parse_coalesce, parse_jobs, print_figure, series_to_csv, Scale,
+};
 use scsq_core::HardwareSpec;
 
 fn main() {
@@ -11,16 +13,18 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
+    let coalesce = parse_coalesce(&args);
     let scale = if quick {
         Scale::quick()
     } else {
         Scale::paper()
     };
     let spec = HardwareSpec::lofar();
-    let series = fig8::run_with_jobs(&spec, scale, &buffer_sweep(), jobs).unwrap_or_else(|e| {
-        eprintln!("fig8 failed: {e}");
-        std::process::exit(1);
-    });
+    let series =
+        fig8::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, coalesce).unwrap_or_else(|e| {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        });
     if csv {
         print!("{}", series_to_csv(&series));
     } else {

@@ -3,15 +3,16 @@
 //! plus the sender-host sweep that quantifies "co-locate back-end RPs
 //! until saturation".
 //!
-//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N]`
+//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off]`
 
-use scsq_bench::{parse_jobs, print_figure, scaling, series_to_csv, Scale};
+use scsq_bench::{parse_coalesce, parse_jobs, print_figure, scaling, series_to_csv, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
+    let coalesce = parse_coalesce(&args);
     let scale = if quick {
         Scale::quick()
     } else {
@@ -19,12 +20,12 @@ fn main() {
     };
 
     let ns: Vec<u32> = vec![1, 2, 4, 8, 16];
-    let series = scaling::run_with_jobs(scale, &ns, jobs).unwrap_or_else(|e| {
+    let series = scaling::run_with_jobs(scale, &ns, jobs, coalesce).unwrap_or_else(|e| {
         eprintln!("scaling study failed: {e}");
         std::process::exit(1);
     });
-    let hosts =
-        scaling::run_host_sweep_with_jobs(scale, &[1, 2, 4, 8, 16], jobs).unwrap_or_else(|e| {
+    let hosts = scaling::run_host_sweep_with_jobs(scale, &[1, 2, 4, 8, 16], jobs, coalesce)
+        .unwrap_or_else(|e| {
             eprintln!("host sweep failed: {e}");
             std::process::exit(1);
         });

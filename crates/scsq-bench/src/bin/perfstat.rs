@@ -1,35 +1,65 @@
-//! Measures the parallel sweep executor against the sequential path on
-//! a fixed workload (the Figure 6 and Figure 15 sweeps at quick scale),
-//! verifies the two produce bit-identical series, and emits a
+//! Measures the batch-coalesced event kernel and the parallel sweep
+//! executor against the sequential per-event baseline on a fixed
+//! workload (the Figure 6 buffer sweep plus the Figure 15 n-sweep),
+//! verifies that all paths produce bit-identical series, and emits a
 //! machine-readable JSON report.
 //!
 //! Usage: `perfstat [--jobs N] [--out PATH]`
 //!
 //! `--jobs` sets the parallel worker count (default: available
-//! parallelism); the sequential reference always runs at 1. `--out`
+//! parallelism); the sequential references always run at 1. `--out`
 //! chooses where the JSON lands (default `BENCH_sweep.json`).
+//!
+//! Three timed passes over the same workload:
+//!
+//! 1. **sequential, per-event** — one thread, coalescing off: the
+//!    baseline. The workload is sized so this leg runs for at least
+//!    two seconds, keeping the timings out of noise territory.
+//! 2. **sequential, coalesced** — one thread, coalescing on: isolates
+//!    the kernel's train-coalescing gain (`coalesce_speedup`).
+//! 3. **parallel, coalesced** — `--jobs` threads: adds the sweep
+//!    executor's gain (`parallel_speedup`, relative to pass 2).
 
-use scsq_bench::{buffer_sweep, default_jobs, fig15, fig6, parse_jobs, sweep, Scale, SweepPoint};
+use scsq_bench::{buffer_sweep, fig15, fig6, parse_jobs, sweep, Scale, SweepPoint};
 use scsq_core::{HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 use std::time::Instant;
 
+/// The workload scale: paper-size (3 MB) arrays — the regime the
+/// coalescer targets, where a single array spans thousands of buffer
+/// periods — and enough of them that the sequential per-event pass
+/// stays above two seconds of wall clock.
+fn perf_scale() -> Scale {
+    Scale {
+        array_bytes: 3_000_000,
+        arrays: 60,
+        ..Scale::quick()
+    }
+}
+
 /// The fixed workload: every Figure 6 buffer point plus the Figure 15
-/// n-sweep, at quick scale.
-fn workload(jobs: usize) -> Result<Vec<Series>, ScsqError> {
+/// n-sweep.
+fn workload(jobs: usize, coalesce: bool) -> Result<Vec<Series>, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = Scale::quick();
-    let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs)?;
-    series.extend(fig15::run_with_jobs(&spec, scale, &[1, 2, 3, 4], jobs)?);
+    let scale = perf_scale();
+    let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, coalesce)?;
+    series.extend(fig15::run_with_jobs(
+        &spec,
+        scale,
+        &[1, 2, 3, 4],
+        jobs,
+        coalesce,
+    )?);
     Ok(series)
 }
 
 /// Counts the total simulated events the workload executes (identical
-/// for every `jobs` value — the simulations are deterministic), by
-/// re-running the same grid with an event-count metric.
+/// for every `jobs` value and both coalescing modes — the coalescer
+/// counts analytically skipped events as executed), by re-running the
+/// same grid with an event-count metric.
 fn workload_events(jobs: usize) -> Result<f64, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = Scale::quick();
+    let scale = perf_scale();
     let mut total = 0.0;
 
     let mut scsq = Scsq::with_spec(spec.clone());
@@ -94,37 +124,50 @@ fn main() {
         std::process::exit(1);
     };
 
-    // Warm-up run so neither timed pass pays first-touch costs.
-    workload(jobs).unwrap_or_else(|e| fail(e));
+    // Warm-up run so no timed pass pays first-touch costs.
+    workload(jobs, true).unwrap_or_else(|e| fail(e));
 
     let t0 = Instant::now();
-    let sequential = workload(1).unwrap_or_else(|e| fail(e));
-    let seq_s = t0.elapsed().as_secs_f64();
+    let per_event = workload(1, false).unwrap_or_else(|e| fail(e));
+    let per_event_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = workload(jobs).unwrap_or_else(|e| fail(e));
-    let par_s = t1.elapsed().as_secs_f64();
+    let coalesced = workload(1, true).unwrap_or_else(|e| fail(e));
+    let coalesced_s = t1.elapsed().as_secs_f64();
 
-    let identical = sequential == parallel;
+    let t2 = Instant::now();
+    let parallel = workload(jobs, true).unwrap_or_else(|e| fail(e));
+    let parallel_s = t2.elapsed().as_secs_f64();
+
+    let identical = per_event == coalesced && coalesced == parallel;
     if !identical {
-        eprintln!("ERROR: parallel series differ from the sequential reference");
+        eprintln!("ERROR: coalesced/parallel series differ from the per-event reference");
     }
 
     let events = workload_events(jobs).unwrap_or_else(|e| fail(e));
-    let speedup = seq_s / par_s;
+    let coalesce_speedup = per_event_s / coalesced_s;
+    let parallel_speedup = coalesced_s / parallel_s;
+
+    // The true machine parallelism, straight from the OS (the --jobs
+    // flag may differ).
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
 
     let json = format!(
-        "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, quick scale\",\n  \
+        "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, 3 MB arrays x60\",\n  \
          \"host_parallelism\": {host},\n  \
          \"jobs\": {jobs},\n  \
          \"series_identical\": {identical},\n  \
          \"total_simulated_events\": {events},\n  \
-         \"sequential\": {{ \"wall_s\": {seq_s:.4}, \"events_per_s\": {seq_eps:.0} }},\n  \
-         \"parallel\": {{ \"wall_s\": {par_s:.4}, \"events_per_s\": {par_eps:.0} }},\n  \
-         \"speedup\": {speedup:.3}\n}}\n",
-        host = default_jobs(),
-        seq_eps = events / seq_s,
-        par_eps = events / par_s,
+         \"sequential_per_event\": {{ \"wall_s\": {per_event_s:.4}, \"events_per_s\": {pe_eps:.0} }},\n  \
+         \"sequential_coalesced\": {{ \"wall_s\": {coalesced_s:.4}, \"events_per_s\": {co_eps:.0} }},\n  \
+         \"parallel_coalesced\": {{ \"wall_s\": {parallel_s:.4}, \"events_per_s\": {pa_eps:.0} }},\n  \
+         \"coalesce_speedup\": {coalesce_speedup:.3},\n  \
+         \"parallel_speedup\": {parallel_speedup:.3}\n}}\n",
+        pe_eps = events / per_event_s,
+        co_eps = events / coalesced_s,
+        pa_eps = events / parallel_s,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");

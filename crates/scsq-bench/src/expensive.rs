@@ -53,8 +53,24 @@ pub fn radix2_query(bytes: u64, count: u64) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, sizes: &[u64]) -> Result<Vec<Series>, ScsqError> {
+    run_coalesce(spec, scale, sizes, true)
+}
+
+/// [`run`] with a coalescing switch (the coalesced and per-event runs
+/// are bit-identical; the switch only changes the wall-clock).
+///
+/// # Errors
+///
+/// Propagates query errors.
+pub fn run_coalesce(
+    spec: &HardwareSpec,
+    scale: Scale,
+    sizes: &[u64],
+    coalesce: bool,
+) -> Result<Vec<Series>, ScsqError> {
     let options = RunOptions {
         mpi_buffer: 100_000,
+        coalesce,
         ..RunOptions::default()
     };
     let mut single = Series::new("single-node fft");

@@ -71,13 +71,13 @@ pub fn query(number: u8, scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, ns, crate::default_jobs())
+    run_with_jobs(spec, scale, ns, crate::default_jobs(), true)
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value). The sweep
-/// variable `n` participates in binding, so each (query, n) pair
-/// compiles once and its repetitions replay the plan.
+/// the result is bit-identical for every `jobs` value) and coalescing
+/// switch. The sweep variable `n` participates in binding, so each
+/// (query, n) pair compiles once and its repetitions replay the plan.
 ///
 /// # Errors
 ///
@@ -87,9 +87,13 @@ pub fn run_with_jobs(
     scale: Scale,
     ns: &[u32],
     jobs: usize,
+    coalesce: bool,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
-    let options = RunOptions::default();
+    let options = RunOptions {
+        coalesce,
+        ..RunOptions::default()
+    };
     let mut labels = Vec::new();
     let mut points = Vec::with_capacity(6 * ns.len());
     for q in 1..=6u8 {

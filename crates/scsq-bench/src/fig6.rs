@@ -31,11 +31,13 @@ pub fn query(scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, buffers, crate::default_jobs())
+    run_with_jobs(spec, scale, buffers, crate::default_jobs(), true)
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value).
+/// the result is bit-identical for every `jobs` value) and coalescing
+/// switch (the coalesced and per-event runs are bit-identical too —
+/// `coalesce` only changes the wall-clock).
 ///
 /// The query text does not depend on the swept knobs, so the whole
 /// figure — both buffering modes, every buffer size, every repetition —
@@ -49,6 +51,7 @@ pub fn run_with_jobs(
     scale: Scale,
     buffers: &[u64],
     jobs: usize,
+    coalesce: bool,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
     let plan = scsq.prepare(&query(scale))?;
@@ -63,6 +66,7 @@ pub fn run_with_jobs(
                 options: RunOptions {
                     mpi_buffer: buffer,
                     mpi_double: double,
+                    coalesce,
                     ..RunOptions::default()
                 },
                 spec: spec.clone(),

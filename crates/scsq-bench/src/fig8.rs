@@ -63,13 +63,13 @@ pub fn query(scale: Scale, selection: Selection) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, buffers, crate::default_jobs())
+    run_with_jobs(spec, scale, buffers, crate::default_jobs(), true)
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value). One prepared
-/// plan per node selection serves both buffering modes and every buffer
-/// size.
+/// the result is bit-identical for every `jobs` value) and coalescing
+/// switch. One prepared plan per node selection serves both buffering
+/// modes and every buffer size.
 ///
 /// # Errors
 ///
@@ -79,6 +79,7 @@ pub fn run_with_jobs(
     scale: Scale,
     buffers: &[u64],
     jobs: usize,
+    coalesce: bool,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
     let mut labels = Vec::new();
@@ -96,6 +97,7 @@ pub fn run_with_jobs(
                     options: RunOptions {
                         mpi_buffer: buffer,
                         mpi_double: double,
+                        coalesce,
                         ..RunOptions::default()
                     },
                     spec: spec.clone(),

@@ -27,7 +27,7 @@ pub mod pool;
 pub mod report;
 pub mod scaling;
 
-pub use pool::{default_jobs, parse_jobs, run_indexed};
+pub use pool::{default_jobs, parse_coalesce, parse_jobs, run_indexed};
 pub use report::{print_figure, series_to_csv};
 
 use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};

@@ -50,6 +50,31 @@ pub fn parse_jobs(args: &[String]) -> usize {
     default_jobs()
 }
 
+/// Parses a `--coalesce on|off` / `--coalesce=on|off` command-line
+/// flag, defaulting to `true` (coalescing on) when absent. Anything
+/// other than `on` or `off` aborts with a usage message.
+pub fn parse_coalesce(args: &[String]) -> bool {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--coalesce" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--coalesce=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value {
+            Some("on") => true,
+            Some("off") => false,
+            _ => {
+                eprintln!("--coalesce expects 'on' or 'off' (e.g. --coalesce off)");
+                std::process::exit(2);
+            }
+        };
+    }
+    true
+}
+
 /// Runs every job and returns their results in job order.
 ///
 /// With `workers <= 1` (or fewer than two jobs) the jobs run inline on

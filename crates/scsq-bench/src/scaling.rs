@@ -74,19 +74,27 @@ fn inbound_query(scale: Scale, be_alloc: &str) -> String {
 ///
 /// Propagates query errors.
 pub fn run(scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(scale, ns, crate::default_jobs())
+    run_with_jobs(scale, ns, crate::default_jobs(), true)
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value). Each
-/// (partition, strategy, n) cell compiles once — the partition changes
-/// the hardware the plan is placed against.
+/// the result is bit-identical for every `jobs` value) and coalescing
+/// switch. Each (partition, strategy, n) cell compiles once — the
+/// partition changes the hardware the plan is placed against.
 ///
 /// # Errors
 ///
 /// Propagates query errors.
-pub fn run_with_jobs(scale: Scale, ns: &[u32], jobs: usize) -> Result<Vec<Series>, ScsqError> {
-    let options = RunOptions::default();
+pub fn run_with_jobs(
+    scale: Scale,
+    ns: &[u32],
+    jobs: usize,
+    coalesce: bool,
+) -> Result<Vec<Series>, ScsqError> {
+    let options = RunOptions {
+        coalesce,
+        ..RunOptions::default()
+    };
     let mut labels = Vec::new();
     let mut points = Vec::new();
     for (name, spec) in partitions() {
@@ -128,10 +136,11 @@ pub fn run_with_jobs(scale: Scale, ns: &[u32], jobs: usize) -> Result<Vec<Series
 ///
 /// Propagates query errors.
 pub fn run_host_sweep(scale: Scale, hosts: &[u32]) -> Result<Series, ScsqError> {
-    run_host_sweep_with_jobs(scale, hosts, crate::default_jobs())
+    run_host_sweep_with_jobs(scale, hosts, crate::default_jobs(), true)
 }
 
-/// [`run_host_sweep`] with an explicit worker count.
+/// [`run_host_sweep`] with an explicit worker count and coalescing
+/// switch.
 ///
 /// # Errors
 ///
@@ -140,8 +149,12 @@ pub fn run_host_sweep_with_jobs(
     scale: Scale,
     hosts: &[u32],
     jobs: usize,
+    coalesce: bool,
 ) -> Result<Series, ScsqError> {
-    let options = RunOptions::default();
+    let options = RunOptions {
+        coalesce,
+        ..RunOptions::default()
+    };
     let streams = 16u32;
     let text = inbound_query(scale, "urr('be')");
     let mut points = Vec::with_capacity(hosts.len());

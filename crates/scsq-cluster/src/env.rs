@@ -486,6 +486,79 @@ impl Environment {
         }
     }
 
+    /// Walks every contended resource through a coalescing probe.
+    ///
+    /// `udp_active` must be `true` while any UDP carrier is live: it adds
+    /// guards on the I/O-node forwarders so a jump can never carry a
+    /// backlog across the datagram-drop threshold. Below the threshold
+    /// the backlog-ahead-of-now gap (an upper bound on the gap the drop
+    /// test sees, since deliveries happen at or after `now`) is capped
+    /// strictly below [`HardwareSpec::udp_drop_backlog`]; at or above it
+    /// the gap is frozen into the shape, so a steady-drop regime only
+    /// jumps when the backlog is perfectly rigid between cuts.
+    pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>, now: SimTime, udp_active: bool) {
+        self.torus.probe(p, now);
+        self.tree.probe(p);
+        self.ether.probe(p);
+        for s in &mut self.cn_tx {
+            s.probe(p);
+        }
+        for s in &mut self.cn_rx {
+            s.probe(p, now);
+        }
+        for s in &mut self.linux_tx {
+            s.probe(p);
+        }
+        for s in &mut self.linux_rx {
+            s.probe(p);
+        }
+        let drop_gap = self.spec.udp_drop_backlog.as_nanos();
+        for s in &mut self.io_forward {
+            if udp_active {
+                let gap = s.busy_until().as_nanos().saturating_sub(now.as_nanos());
+                if gap < drop_gap {
+                    p.guard(gap, drop_gap);
+                } else {
+                    p.shape(gap);
+                }
+            }
+            s.probe(p);
+        }
+        // Flow registration feeds the coordination factors; it changes
+        // only at stream setup/teardown, which must block jumps.
+        p.shape(self.inbound.len() as u64);
+        let mut flows: Vec<_> = self
+            .inbound
+            .iter()
+            .map(|(f, &(host, pset))| (f.0, host as u64, pset as u64))
+            .collect();
+        flows.sort_unstable();
+        for (f, host, pset) in flows {
+            p.shape(f);
+            p.shape(host);
+            p.shape(pset);
+        }
+        for n in &self.io_streams {
+            p.shape(*n as u64);
+        }
+        p.shape(self.host_flows.len() as u64);
+        let mut hosts: Vec<_> = self
+            .host_flows
+            .iter()
+            .map(|(&h, &c)| (h as u64, c as u64))
+            .collect();
+        hosts.sort_unstable();
+        for (h, c) in hosts {
+            p.shape(h);
+            p.shape(c);
+        }
+        // Node allocation is effectively static during a run; the running
+        // counts still guard against mid-run placement.
+        for name in ClusterName::ALL {
+            p.shape(self.cndbs[&name].total_running() as u64);
+        }
+    }
+
     /// Read access to the torus (statistics, tests).
     pub fn torus(&self) -> &TorusNet {
         &self.torus

@@ -38,6 +38,7 @@ pub mod measure;
 pub mod ops;
 pub mod placement;
 pub mod runtime;
+mod train;
 pub mod window;
 
 pub use builder::{QueryBuilder, QueryGraph, SpSpec};

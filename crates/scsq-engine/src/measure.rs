@@ -53,10 +53,13 @@ pub struct QueryStats {
     /// Per-RP execution monitors, in stream-process creation order (the
     /// client's RP last).
     pub rp_reports: Vec<RpReport>,
-    /// Simulator events executed.
+    /// Simulator events executed (including ones skipped analytically by
+    /// the coalescer, which counts them as executed).
     pub events: u64,
     /// Number of running processes (including the client's).
     pub rps: usize,
+    /// What the train coalescer did (all zero when it was disabled).
+    pub coalesce: scsq_sim::CoalesceStats,
 }
 
 /// The outcome of executing one continuous query to completion.
@@ -198,6 +201,7 @@ mod tests {
                 }],
                 events: 10,
                 rps: 4,
+                coalesce: scsq_sim::CoalesceStats::default(),
             },
         )
     }

@@ -11,6 +11,7 @@ use crate::error::EngineError;
 use crate::funcs;
 use crate::window::{WindowSpec, WindowState};
 use scsq_ql::{SpHandle, Value};
+use scsq_sim::StateProbe;
 use std::collections::VecDeque;
 
 /// Where a pipeline's elements come from.
@@ -320,6 +321,72 @@ impl StageChain {
             result.extend(Self::feed(stages, next, v, from)?);
         }
         Ok(result)
+    }
+
+    /// Walks the chain's mutable state through a coalescing probe.
+    /// `probe_value` hashes buffered tuples into the probe's shape
+    /// (aggregator counters extrapolate; buffered values must not
+    /// change for a jump to be sound).
+    pub(crate) fn probe(
+        &mut self,
+        p: &mut StateProbe<'_>,
+        probe_value: &mut dyn FnMut(&Value, &mut StateProbe<'_>),
+    ) {
+        p.shape(self.stages.len() as u64);
+        for s in &mut self.stages {
+            match s {
+                StageState::Map(f) => {
+                    p.shape(1);
+                    p.shape(*f as u64);
+                }
+                StageState::StreamOf => p.shape(2),
+                StageState::Agg {
+                    kind,
+                    count,
+                    sum_int,
+                    sum_real,
+                    saw_real,
+                    best,
+                } => {
+                    p.shape(3);
+                    p.shape(*kind as u64);
+                    p.num_i64(count);
+                    p.num_i64(sum_int);
+                    p.shape(sum_real.to_bits());
+                    p.shape(*saw_real as u64);
+                    p.shape(best.is_some() as u64);
+                    if let Some(v) = best {
+                        probe_value(v, p);
+                    }
+                }
+                StageState::RadixCombine {
+                    first,
+                    second,
+                    q_first,
+                    q_second,
+                } => {
+                    p.shape(4);
+                    p.shape(first.0);
+                    p.shape(second.0);
+                    p.shape(q_first.len() as u64);
+                    for v in q_first.iter() {
+                        probe_value(v, p);
+                    }
+                    p.shape(q_second.len() as u64);
+                    for v in q_second.iter() {
+                        probe_value(v, p);
+                    }
+                }
+                StageState::Window(w) => {
+                    p.shape(5);
+                    w.probe(p, probe_value);
+                }
+                StageState::Take { remaining } => {
+                    p.shape(6);
+                    p.num(remaining);
+                }
+            }
+        }
     }
 
     /// Signals end of stream; aggregates flush. Returns the final

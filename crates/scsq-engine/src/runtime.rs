@@ -19,8 +19,8 @@ use crate::measure::{ChannelReport, QueryResult, QueryStats};
 use crate::ops::{InputKind, Pipeline, Stage, StageChain};
 use scsq_cluster::{ClusterName, Environment, NodeId};
 use scsq_net::FlowId;
-use scsq_ql::{SpHandle, Value};
-use scsq_sim::{typed::Event, SimTime, TypedSimulator};
+use scsq_ql::{Batch, SpHandle, Value};
+use scsq_sim::{typed::Event, SimTime, StateProbe, TypedSimulator};
 use scsq_transport::{Carrier, ChannelConfig, StreamChannel};
 use std::collections::HashMap;
 
@@ -46,6 +46,11 @@ pub struct RunOptions {
     /// overloaded I/O nodes drop datagrams and the affected elements are
     /// lost.
     pub udp_inter_cluster: bool,
+    /// Detect periodic phases of the event schedule and fast-forward
+    /// them analytically (bit-identical results, far fewer dispatched
+    /// events). Disable to force per-event execution, e.g. when
+    /// measuring the uncoalesced baseline.
+    pub coalesce: bool,
 }
 
 impl Default for RunOptions {
@@ -58,6 +63,7 @@ impl Default for RunOptions {
             event_limit: 400_000_000,
             placement: crate::placement::PlacementPolicy::Naive,
             udp_inter_cluster: false,
+            coalesce: true,
         }
     }
 }
@@ -96,7 +102,7 @@ struct ChannelRt {
     dst_rp: usize,
 }
 
-struct World {
+pub(crate) struct World {
     env: Environment,
     rps: Vec<RpState>,
     channels: Vec<ChannelRt>,
@@ -106,13 +112,13 @@ struct World {
     error: Option<EngineError>,
 }
 
-type Sim = TypedSimulator<World, Ev>;
+pub(crate) type Sim = TypedSimulator<World, Ev>;
 
 /// The runtime's event vocabulary. The engine hot loop executes tens of
 /// millions of these per query; keeping them a plain enum (instead of
 /// boxed closures) removes one heap allocation and one indirect call
 /// per event. Variant order mirrors the dispatch functions below.
-enum Ev {
+pub(crate) enum Ev {
     /// An RP wakes at its coordinator's start tick.
     StartRp(usize),
     /// A gen_array source produces its next element.
@@ -121,10 +127,39 @@ enum Ev {
     FinishRp(usize),
     /// One stream-channel buffer cycle.
     Cycle(usize),
-    /// A buffer's elements become visible at the subscriber.
-    Deliver { ci: usize, items: Vec<Value> },
+    /// A buffer's elements become visible at the subscriber, as one
+    /// shared zero-copy batch.
+    Deliver { ci: usize, batch: Batch },
     /// End-of-stream control message arrives at the subscriber.
     Eos(usize),
+}
+
+impl Ev {
+    /// Stable identity of an event kind + target, used by the coalescer
+    /// to anchor periodic phases of the schedule.
+    pub(crate) fn key(&self) -> u64 {
+        let (tag, idx) = match self {
+            Ev::StartRp(i) => (1u64, *i),
+            Ev::Produce(i) => (2, *i),
+            Ev::FinishRp(i) => (3, *i),
+            Ev::Cycle(ci) => (4, *ci),
+            Ev::Deliver { ci, .. } => (5, *ci),
+            Ev::Eos(ci) => (6, *ci),
+        };
+        (tag << 56) | idx as u64
+    }
+
+    /// Walks the event's payload through a coalescing probe (pending
+    /// events are part of the simulation state).
+    pub(crate) fn probe(&mut self, p: &mut StateProbe<'_>) {
+        p.shape(self.key());
+        if let Ev::Deliver { batch, .. } = self {
+            p.shape(batch.len() as u64);
+            for v in batch.iter() {
+                value_shape(v, p);
+            }
+        }
+    }
 }
 
 impl Event<World> for Ev {
@@ -134,9 +169,126 @@ impl Event<World> for Ev {
             Ev::Produce(idx) => produce(world, sim, idx),
             Ev::FinishRp(idx) => finish_rp(world, sim, idx),
             Ev::Cycle(ci) => cycle(world, sim, ci),
-            Ev::Deliver { ci, items } => deliver(world, sim, ci, items),
+            Ev::Deliver { ci, batch } => deliver(world, sim, ci, batch),
             Ev::Eos(ci) => eos(world, sim, ci),
         }
+    }
+}
+
+/// Hashes a value's full contents into a probe's shape: tuple payloads
+/// are opaque to the coalescer — any change blocks a jump.
+pub(crate) fn value_shape(v: &Value, p: &mut StateProbe<'_>) {
+    use scsq_ql::ArrayData;
+    match v {
+        Value::Integer(i) => {
+            p.shape(1);
+            p.shape(*i as u64);
+        }
+        Value::Real(r) => {
+            p.shape(2);
+            p.shape(r.to_bits());
+        }
+        Value::Str(s) => {
+            p.shape(3);
+            p.shape_bytes(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            p.shape(4);
+            p.shape(*b as u64);
+        }
+        Value::Array(ArrayData::Real(xs)) => {
+            p.shape(5);
+            p.shape(xs.len() as u64);
+            for x in xs {
+                p.shape(x.to_bits());
+            }
+        }
+        Value::Array(ArrayData::Complex(xs)) => {
+            p.shape(6);
+            p.shape(xs.len() as u64);
+            for (re, im) in xs {
+                p.shape(re.to_bits());
+                p.shape(im.to_bits());
+            }
+        }
+        Value::Array(ArrayData::Synthetic { bytes }) => {
+            p.shape(7);
+            p.shape(*bytes);
+        }
+        Value::Bag(vs) => {
+            p.shape(8);
+            p.shape(vs.len() as u64);
+            for x in vs {
+                value_shape(x, p);
+            }
+        }
+        Value::Sp(h) => {
+            p.shape(9);
+            p.shape(h.0);
+        }
+        Value::Stream(h) => {
+            p.shape(10);
+            p.shape(h.0);
+        }
+    }
+}
+
+impl RpState {
+    fn probe(&mut self, p: &mut StateProbe<'_>) {
+        self.chain.probe(p, &mut value_shape);
+        p.num_usize(&mut self.eos_remaining);
+        p.shape(self.gen.is_some() as u64);
+        if let Some(gen) = &mut self.gen {
+            p.shape(gen.bytes);
+            p.num(&mut gen.remaining);
+        }
+        p.shape(self.source_items.len() as u64);
+        for v in &self.source_items {
+            value_shape(v, p);
+        }
+        p.shape(self.finished as u64);
+        p.num(&mut self.elements_in);
+        p.num(&mut self.elements_out);
+    }
+}
+
+impl World {
+    /// Walks the entire mutable simulation state through a coalescing
+    /// probe, in a fixed deterministic order.
+    pub(crate) fn probe(&mut self, p: &mut StateProbe<'_>, now: SimTime) {
+        let World {
+            env,
+            rps,
+            channels,
+            results,
+            first_result_at,
+            finished_at,
+            error,
+        } = self;
+        // UDP drop decisions depend on I/O-node backlog; tell the
+        // environment to guard it while any UDP channel is still live.
+        let udp_active = channels
+            .iter()
+            .any(|c| matches!(c.chan.config().carrier, Carrier::Udp) && !c.chan.is_finished());
+        env.probe(p, now, udp_active);
+        for rp in rps.iter_mut() {
+            rp.probe(p);
+        }
+        for c in channels.iter_mut() {
+            c.chan.probe(env, p, value_shape);
+        }
+        // The client's result sink is append-only and never read back by
+        // the model: its length alone gates jumps.
+        p.shape(results.len() as u64);
+        p.shape(first_result_at.is_some() as u64);
+        if let Some(t) = first_result_at {
+            p.time(t);
+        }
+        p.shape(finished_at.is_some() as u64);
+        if let Some(t) = finished_at {
+            p.time(t);
+        }
+        p.shape(error.is_some() as u64);
     }
 }
 
@@ -309,7 +461,11 @@ pub fn run_graph(
         sim.schedule_at(start, Ev::StartRp(idx));
     }
 
-    let end = sim.run_to_completion();
+    let (end, coalesce) = if options.coalesce {
+        crate::train::run_coalesced(&mut sim)
+    } else {
+        (sim.run_to_completion(), scsq_sim::CoalesceStats::default())
+    };
     let events = sim.events_executed();
     let exceeded = sim.limit_exceeded();
     let world = sim.into_world();
@@ -362,6 +518,7 @@ pub fn run_graph(
             rp_reports,
             events,
             rps: world.rps.len(),
+            coalesce,
         },
     ))
 }
@@ -469,23 +626,23 @@ fn process_and_emit(
     if outputs.is_empty() {
         return;
     }
-    emit(world, sim, idx, outputs, ready);
+    emit(world, sim, idx, Batch::new(outputs), ready);
 }
 
-fn emit(world: &mut World, sim: &mut Sim, idx: usize, outputs: Vec<Value>, at: SimTime) {
-    world.rps[idx].elements_out += outputs.len() as u64;
+fn emit(world: &mut World, sim: &mut Sim, idx: usize, batch: Batch, at: SimTime) {
+    world.rps[idx].elements_out += batch.len() as u64;
     if world.rps[idx].is_client {
-        if !outputs.is_empty() && world.first_result_at.is_none() {
+        if !batch.is_empty() && world.first_result_at.is_none() {
             world.first_result_at = Some(sim.now());
         }
-        world.results.extend(outputs);
+        world.results.extend(batch.into_values());
         return;
     }
     let n_out = world.rps[idx].outputs.len();
-    for v in outputs {
-        // Fan the value out by index (no clone of the output list), and
-        // move it into the last channel instead of cloning once per
-        // subscriber.
+    // Recover the values by move when this batch is uniquely owned;
+    // fan each value out by index, moving it into the last channel
+    // instead of cloning once per subscriber.
+    for v in batch.into_values() {
         let mut v = Some(v);
         for oi in 0..n_out {
             let ci = world.rps[idx].outputs[oi];
@@ -517,7 +674,9 @@ fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
         }
     };
     let now = sim.now();
-    emit(world, sim, idx, finals, now);
+    if !finals.is_empty() || world.rps[idx].is_client {
+        emit(world, sim, idx, Batch::new(finals), now);
+    }
     if world.rps[idx].is_client {
         world.finished_at = Some(now);
         return;
@@ -538,10 +697,9 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
         let ch = &mut world.channels[ci];
         ch.chan.cycle(&mut world.env, sim.now())
     };
-    if !out.deliveries.is_empty() {
-        let t = out.deliveries[0].0;
-        let items: Vec<Value> = out.deliveries.into_iter().map(|(_, v)| v).collect();
-        sim.schedule_at(t.max(sim.now()), Ev::Deliver { ci, items });
+    if let Some(t) = out.delivered_at {
+        let batch = Batch::new(out.delivered);
+        sim.schedule_at(t.max(sim.now()), Ev::Deliver { ci, batch });
     }
     if let Some(t) = out.next_cycle {
         sim.schedule_at(t.max(sim.now()), Ev::Cycle(ci));
@@ -552,14 +710,14 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
 }
 
 /// Elements of one buffer become visible at the subscriber.
-fn deliver(world: &mut World, sim: &mut Sim, ci: usize, items: Vec<Value>) {
+fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
     if world.error.is_some() {
         return;
     }
     let dst = world.channels[ci].dst_rp;
     let from = world.channels[ci].src_sp;
     let now = sim.now();
-    for v in items {
+    for v in batch.into_values() {
         process_and_emit(world, sim, dst, v, Some(from), now);
         if world.error.is_some() {
             return;

@@ -98,6 +98,20 @@ impl WindowState {
         vec![self.aggregate().unwrap_or(Value::Integer(0))]
     }
 
+    /// Walks the window's mutable state through a coalescing probe.
+    pub(crate) fn probe(
+        &mut self,
+        p: &mut scsq_sim::StateProbe<'_>,
+        probe_value: &mut dyn FnMut(&Value, &mut scsq_sim::StateProbe<'_>),
+    ) {
+        p.shape(self.buffer.len() as u64);
+        for v in &self.buffer {
+            probe_value(v, p);
+        }
+        p.num_usize(&mut self.since_emit);
+        p.shape(self.emitted_any as u64);
+    }
+
     fn aggregate(&self) -> Result<Value, EngineError> {
         if self.spec.agg == AggKind::Count {
             return Ok(Value::Integer(self.buffer.len() as i64));

@@ -1,0 +1,142 @@
+//! Property-based equivalence of the train-coalescing fast path.
+//!
+//! The coalescer's contract is *bit-identical* execution: for any
+//! query, topology, message size, and buffer size, running with
+//! `coalesce: true` must produce exactly the same result stream,
+//! timestamps, per-channel byte accounting, and event count as the
+//! per-event reference — the only permitted difference is the
+//! coalescer's own activity counters.
+
+use proptest::prelude::*;
+use scsq_cluster::Environment;
+use scsq_engine::{run_graph, PlacementPolicy, QueryBuilder, QueryResult, RunOptions};
+use scsq_ql::{parse_statement, Catalog};
+
+fn run(src: &str, options: &RunOptions) -> QueryResult {
+    let mut env = Environment::lofar();
+    let catalog = Catalog::new();
+    let stmt = parse_statement(src).expect("parses");
+    let graph = QueryBuilder::new(&mut env, &catalog, options.placement, options)
+        .build(&stmt, &[])
+        .expect("builds");
+    run_graph(env, &graph, options).expect("runs")
+}
+
+/// Asserts both modes agree on everything except the coalescer's own
+/// activity counters.
+fn assert_equivalent(src: &str, options: &RunOptions) -> Result<(), TestCaseError> {
+    let reference = run(
+        src,
+        &RunOptions {
+            coalesce: false,
+            ..options.clone()
+        },
+    );
+    let coalesced = run(
+        src,
+        &RunOptions {
+            coalesce: true,
+            ..options.clone()
+        },
+    );
+    prop_assert_eq!(reference.values(), coalesced.values(), "result stream");
+    prop_assert_eq!(
+        reference.first_result(),
+        coalesced.first_result(),
+        "first-result latency"
+    );
+    prop_assert_eq!(reference.finished(), coalesced.finished(), "completion");
+    prop_assert_eq!(
+        &reference.stats().channels,
+        &coalesced.stats().channels,
+        "channel accounting"
+    );
+    prop_assert_eq!(
+        &reference.stats().rp_reports,
+        &coalesced.stats().rp_reports,
+        "rp monitors"
+    );
+    prop_assert_eq!(
+        reference.stats().events,
+        coalesced.stats().events,
+        "event count (skipped periods count as executed)"
+    );
+    Ok(())
+}
+
+/// The three stream topologies of the paper's evaluation, at a random
+/// message size and count.
+fn query(topology: usize, bytes: u64, arrays: u64) -> String {
+    match topology {
+        // Figure 6: intra-BlueGene point-to-point.
+        0 => format!(
+            "select extract(b) from sp a, sp b, integer n \
+             where b=sp(streamof(count(extract(a))), 'bg', 0) \
+             and a=sp(gen_array({bytes},{arrays}),'bg',1) and n=1;"
+        ),
+        // Figure 8: two senders merged into one receiver (switch
+        // penalties at the receiving co-processor).
+        1 => format!(
+            "select extract(c) from sp a, sp b, sp c \
+             where c=sp(count(merge({{a,b}})), 'bg', 0) \
+             and a=sp(gen_array({bytes},{arrays}),'bg',1) \
+             and b=sp(gen_array({bytes},{arrays}),'bg',2);"
+        ),
+        // Figure 15 Q5-style: back-end generators streaming into
+        // pset-spread BlueGene receivers over TCP.
+        _ => format!(
+            "select extract(c) from bag of sp a, bag of sp b, sp c, integer n \
+             where c=sp(streamof(sum(merge(b))), 'bg') \
+             and b=spv((select streamof(count(extract(p))) \
+                        from sp p where p in a), 'bg', psetrr()) \
+             and a=spv((select gen_array({bytes},{arrays}) \
+                        from integer i where i in iota(1,n)), 'be', 1) \
+             and n=2;"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Coalesced and per-event execution are bit-identical across
+    /// randomized topologies, message sizes, and buffer sweeps.
+    #[test]
+    fn coalesced_equals_per_event(
+        topology in 0usize..3,
+        bytes in prop_oneof![Just(10_000u64), Just(100_000), Just(1_000_000)],
+        arrays in 1u64..6,
+        buffer in prop_oneof![
+            Just(100u64), Just(1_000), Just(5_000), Just(100_000)
+        ],
+        double in any::<bool>(),
+        aware in any::<bool>(),
+    ) {
+        let options = RunOptions {
+            mpi_buffer: buffer,
+            mpi_double: double,
+            placement: if aware {
+                PlacementPolicy::TopologyAware
+            } else {
+                PlacementPolicy::Naive
+            },
+            ..RunOptions::default()
+        };
+        assert_equivalent(&query(topology, bytes, arrays), &options)?;
+    }
+
+    /// The fast path stays exact under UDP inter-cluster carriers,
+    /// where datagram-drop decisions depend on I/O-node backlog — the
+    /// probe must forbid jumps across the drop threshold.
+    #[test]
+    fn coalesced_equals_per_event_over_udp(
+        bytes in prop_oneof![Just(100_000u64), Just(1_000_000)],
+        arrays in 1u64..5,
+    ) {
+        let options = RunOptions {
+            udp_inter_cluster: true,
+            ..RunOptions::default()
+        };
+        assert_equivalent(&query(2, bytes, arrays), &options)?;
+    }
+}

@@ -137,6 +137,18 @@ impl Ethernet {
     pub fn rx_busy(&self, host: usize) -> SimDur {
         self.rx[host].busy_total()
     }
+
+    /// Walks the fabric's contended state through a coalescing probe.
+    pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>) {
+        for s in &mut self.tx {
+            s.probe(p);
+        }
+        for s in &mut self.rx {
+            s.probe(p);
+        }
+        p.num(&mut self.messages);
+        p.num(&mut self.bytes);
+    }
 }
 
 #[cfg(test)]

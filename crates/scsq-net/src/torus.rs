@@ -363,6 +363,26 @@ impl TorusNet {
     fn link_mut(&mut self, a: usize, b: usize) -> &mut FifoServer {
         self.links.entry((a, b)).or_default()
     }
+
+    /// Walks the torus's contended state through a coalescing probe.
+    /// Links are visited in sorted key order (HashMap order is
+    /// nondeterministic); the set of materialized links is part of the
+    /// shape.
+    pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>, now: SimTime) {
+        for c in &mut self.coprocs {
+            c.probe(p, now);
+        }
+        p.shape(self.links.len() as u64);
+        let mut keys: Vec<(usize, usize)> = self.links.keys().copied().collect();
+        keys.sort_unstable();
+        for k in keys {
+            p.shape(k.0 as u64);
+            p.shape(k.1 as u64);
+            self.links.get_mut(&k).expect("key just listed").probe(p);
+        }
+        p.num(&mut self.messages);
+        p.num(&mut self.bytes);
+    }
 }
 
 #[cfg(test)]

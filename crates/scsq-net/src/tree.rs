@@ -78,6 +78,13 @@ impl TreeNet {
     pub fn channel_busy(&self, pset: usize) -> SimDur {
         self.channels[pset].busy_total()
     }
+
+    /// Walks the tree channels' state through a coalescing probe.
+    pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>) {
+        for c in &mut self.channels {
+            c.probe(p);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! Zero-copy tuple batches.
+//!
+//! A [`Batch`] is an immutable, reference-counted run of [`Value`]s with
+//! a sub-range view. The engine produces all elements delivered by one
+//! receive buffer as a single batch; fanning it out to several
+//! subscribers clones an `Arc`, not the tuples, and the last (or only)
+//! consumer takes the values back out by move when the batch is
+//! uniquely owned.
+
+use crate::value::Value;
+use std::sync::Arc;
+
+/// An immutable shared batch of tuples with a sub-range view.
+///
+/// Cloning a `Batch` is O(1); the backing values are shared. Use
+/// [`Batch::into_values`] at the final consumer to recover the owned
+/// `Vec<Value>` without copying when no other reference exists.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    values: Arc<Vec<Value>>,
+    start: usize,
+    end: usize,
+}
+
+impl Batch {
+    /// Wraps a freshly produced run of tuples.
+    pub fn new(values: Vec<Value>) -> Self {
+        let end = values.len();
+        Batch {
+            values: Arc::new(values),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Number of tuples in view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The tuples in view, borrowed.
+    pub fn values(&self) -> &[Value] {
+        &self.values[self.start..self.end]
+    }
+
+    /// A narrower view of the same backing storage (no tuple copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Batch {
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        Batch {
+            values: Arc::clone(&self.values),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Iterates over the tuples in view.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.values().iter()
+    }
+
+    /// Recovers the owned tuples. Moves them out without cloning when
+    /// this batch is the only reference and views the full run; clones
+    /// just the viewed range otherwise.
+    pub fn into_values(self) -> Vec<Value> {
+        let full = self.start == 0 && self.end == self.values.len();
+        match Arc::try_unwrap(self.values) {
+            Ok(vec) if full => vec,
+            Ok(vec) => vec[self.start..self.end].to_vec(),
+            Err(shared) => shared[self.start..self.end].to_vec(),
+        }
+    }
+}
+
+impl From<Vec<Value>> for Batch {
+    fn from(values: Vec<Value>) -> Self {
+        Batch::new(values)
+    }
+}
+
+impl<'a> IntoIterator for &'a Batch {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::new((0..5).map(Value::Integer).collect())
+    }
+
+    #[test]
+    fn views_and_slices_share_storage() {
+        let b = batch();
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1, 4);
+        assert_eq!(
+            s.values(),
+            &[Value::Integer(1), Value::Integer(2), Value::Integer(3)]
+        );
+        let ss = s.slice(1, 2);
+        assert_eq!(ss.values(), &[Value::Integer(2)]);
+        assert!(ss.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    fn unique_full_batch_moves_out() {
+        let b = batch();
+        let ptr = b.values().as_ptr();
+        let v = b.into_values();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.as_ptr(), ptr, "no copy when uniquely owned");
+    }
+
+    #[test]
+    fn shared_or_sliced_batches_clone_their_view() {
+        let b = batch();
+        let clone = b.clone();
+        let v = b.into_values();
+        assert_eq!(v.len(), 5);
+        assert_eq!(clone.slice(2, 5).into_values().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn out_of_range_slice_panics() {
+        batch().slice(2, 6);
+    }
+}

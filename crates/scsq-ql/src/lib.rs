@@ -36,6 +36,7 @@
 //! ```
 
 pub mod ast;
+pub mod batch;
 pub mod catalog;
 pub mod codec;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod printer;
 pub mod value;
 
 pub use ast::{Expr, FunctionDef, PredOp, Predicate, SelectQuery, Statement, TypeName, VarDecl};
+pub use batch::Batch;
 pub use catalog::{Builtin, Catalog, Resolved};
 pub use error::QlError;
 pub use lexer::{Lexer, Token, TokenKind};

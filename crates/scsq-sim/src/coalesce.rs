@@ -1,0 +1,752 @@
+//! Affine train coalescing: detect periodic phases of a simulation and
+//! fast-forward whole periods analytically.
+//!
+//! The figure workloads push long trains of identical messages through
+//! the cluster models. Once such a train is in steady state, the entire
+//! simulator state evolves *affinely*: between two occurrences of the
+//! same event kind ("cuts"), every counter and every clock advances by a
+//! constant per-period delta. This module detects that regime from the
+//! outside — without any model-specific knowledge — and jumps the whole
+//! state forward by `N` periods in one step, producing bit-identical
+//! results to executing the events one by one.
+//!
+//! The three pieces:
+//!
+//! * [`StateProbe`] — a visitor the model's state walks itself through,
+//!   once per digest. Each call classifies one piece of state as an
+//!   extrapolatable number ([`StateProbe::num`]), a number with an upper
+//!   bound it must not cross ([`StateProbe::bounded`]), a read-only
+//!   safety margin ([`StateProbe::guard`]), or opaque structure that
+//!   must stay exactly equal for a jump to be sound
+//!   ([`StateProbe::shape`]).
+//! * [`Snapshot`] — the digest a probe walk produces.
+//! * [`Coalescer`] — the detector: confirms three consecutive equal
+//!   delta vectors before the first jump, then re-jumps after a single
+//!   matching period, with exponential backoff when a phase refuses to
+//!   lock.
+//!
+//! ## Soundness
+//!
+//! A jump of `P` periods replays the confirmed per-period delta `P`
+//! times. That is exactly what per-event execution would produce as
+//! long as no *comparison* inside the model changes its outcome during
+//! the jumped span. Three mechanisms enforce this:
+//!
+//! * any coordinate with a **negative** delta caps `P` so it stays
+//!   strictly positive (a depleting counter reaching zero is a behavior
+//!   change);
+//! * [`StateProbe::bounded`]/[`StateProbe::guard`] coordinates cap `P`
+//!   so they stay strictly below their bound (a filling buffer wrapping
+//!   or a backlog crossing a drop threshold is a behavior change);
+//! * everything else (lengths, discriminants, payload bytes, float
+//!   accumulators) is hashed into the shape, and any shape change
+//!   blocks the jump entirely.
+//!
+//! A reserve of two periods is always withheld, and a jump with no
+//! finite cap at all is refused: unbounded extrapolation would mean no
+//! coordinate ever forces the phase to end, which real workloads never
+//! exhibit (they terminate).
+
+use crate::time::{SimDur, SimTime};
+
+/// Periods withheld from every jump so the state never lands exactly on
+/// a behavior boundary.
+const RESERVE_PERIODS: u64 = 2;
+/// Consecutive equal delta vectors required before the first jump of a
+/// phase.
+const CONFIRM_MATCHES: u32 = 3;
+/// Digests without a jump before backing off. Digesting is an order of
+/// magnitude more expensive than dispatching the events of a period, so
+/// barren stretches (e.g. the pipeline-ramp transient after each train,
+/// whose in-flight set changes size every period) must stop digesting
+/// quickly.
+const BARREN_LIMIT: u32 = 4;
+/// Upper bound on the exponential backoff, in periods.
+const MAX_SKIP: u64 = 512;
+/// Events without seeing the anchor key again before re-anchoring on
+/// the current event.
+const REANCHOR_AFTER: u64 = 4096;
+/// Hard clamp on a single jump so delta arithmetic stays far from
+/// overflow.
+const MAX_JUMP: u64 = 1 << 32;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One multiply-xor round over a full word. The constant is the FNV
+/// prime, but the mix is word-at-a-time: the hash is only ever compared
+/// against hashes computed the same way within one run, so all that
+/// matters is determinism and diffusion, and the byte-at-a-time loop
+/// was the single hottest instruction sequence of a state digest.
+#[inline]
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME).rotate_left(23)
+}
+
+/// An upper-bound constraint on one probed coordinate: the coordinate
+/// must stay strictly below `bound` for the confirmed deltas to remain
+/// valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cap {
+    coord: usize,
+    bound: u64,
+}
+
+enum Mode<'a> {
+    Digest,
+    Advance { deltas: &'a [i64], periods: u64 },
+}
+
+/// A visitor that either digests simulation state into a [`Snapshot`]
+/// or replays a confirmed per-period delta onto it.
+///
+/// The same probe walk must visit the same state in the same order in
+/// both modes; the walk order is the coordinate identity.
+pub struct StateProbe<'a> {
+    mode: Mode<'a>,
+    idx: usize,
+    nums: Vec<u64>,
+    caps: Vec<Cap>,
+    shape: u64,
+}
+
+impl<'a> StateProbe<'a> {
+    /// Creates a probe that records state into a snapshot.
+    pub fn digest() -> Self {
+        StateProbe {
+            mode: Mode::Digest,
+            idx: 0,
+            nums: Vec::with_capacity(1024),
+            caps: Vec::with_capacity(16),
+            shape: FNV_OFFSET,
+        }
+    }
+
+    /// Creates a probe that advances state by `deltas * periods`.
+    pub fn advance(deltas: &'a [i64], periods: u64) -> Self {
+        StateProbe {
+            mode: Mode::Advance { deltas, periods },
+            idx: 0,
+            nums: Vec::new(),
+            caps: Vec::new(),
+            shape: FNV_OFFSET,
+        }
+    }
+
+    #[inline]
+    fn apply(x: u64, delta: i64, periods: u64) -> u64 {
+        // Two's-complement wrapping arithmetic: deltas are computed with
+        // wrapping subtraction, so replaying them wraps consistently.
+        x.wrapping_add((delta as u64).wrapping_mul(periods))
+    }
+
+    /// Probes an extrapolatable counter.
+    #[inline]
+    pub fn num(&mut self, x: &mut u64) {
+        match &self.mode {
+            Mode::Digest => self.nums.push(*x),
+            Mode::Advance { deltas, periods } => *x = Self::apply(*x, deltas[self.idx], *periods),
+        }
+        self.idx += 1;
+    }
+
+    /// Probes a signed counter (stored as its two's-complement bits).
+    #[inline]
+    pub fn num_i64(&mut self, x: &mut i64) {
+        let mut bits = *x as u64;
+        self.num(&mut bits);
+        *x = bits as i64;
+    }
+
+    /// Probes a `usize` counter.
+    #[inline]
+    pub fn num_usize(&mut self, x: &mut usize) {
+        let mut bits = *x as u64;
+        self.num(&mut bits);
+        *x = bits as usize;
+    }
+
+    /// Probes a simulation instant.
+    #[inline]
+    pub fn time(&mut self, t: &mut SimTime) {
+        let mut ns = t.as_nanos();
+        self.num(&mut ns);
+        *t = SimTime::from_nanos(ns);
+    }
+
+    /// Probes a simulation duration.
+    #[inline]
+    pub fn dur(&mut self, d: &mut SimDur) {
+        let mut ns = d.as_nanos();
+        self.num(&mut ns);
+        *d = SimDur::from_nanos(ns);
+    }
+
+    /// Probes a counter that must stay strictly below `bound` (e.g. a
+    /// buffer fill level, or executed events under an event budget).
+    #[inline]
+    pub fn bounded(&mut self, x: &mut u64, bound: u64) {
+        if matches!(self.mode, Mode::Digest) {
+            self.caps.push(Cap {
+                coord: self.idx,
+                bound,
+            });
+        }
+        self.num(x);
+    }
+
+    /// Probes a derived, read-only safety margin that must stay strictly
+    /// below `bound`. Use [`u64::MAX`] as the bound when only the
+    /// implicit stay-positive rule for negative deltas should apply.
+    #[inline]
+    pub fn guard(&mut self, x: u64, bound: u64) {
+        match &self.mode {
+            Mode::Digest => {
+                self.caps.push(Cap {
+                    coord: self.idx,
+                    bound,
+                });
+                self.nums.push(x);
+            }
+            Mode::Advance { .. } => {} // derived: nothing to write back
+        }
+        self.idx += 1;
+    }
+
+    /// Mixes an opaque structural fact (a length, a discriminant, float
+    /// bits) into the shape hash. Any change blocks jumps.
+    #[inline]
+    pub fn shape(&mut self, v: u64) {
+        if matches!(self.mode, Mode::Digest) {
+            self.shape = fnv_mix(self.shape, v);
+        }
+    }
+
+    /// Mixes a byte string into the shape hash.
+    #[inline]
+    pub fn shape_bytes(&mut self, bytes: &[u8]) {
+        if matches!(self.mode, Mode::Digest) {
+            let mut h = fnv_mix(self.shape, bytes.len() as u64);
+            let mut chunks = bytes.chunks_exact(8);
+            for c in &mut chunks {
+                h = fnv_mix(h, u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+            }
+            let mut tail = 0u64;
+            for &b in chunks.remainder() {
+                tail = (tail << 8) | b as u64;
+            }
+            h = fnv_mix(h, tail);
+            self.shape = h;
+        }
+    }
+
+    /// Consumes a digest-mode probe, yielding the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an advance-mode probe.
+    pub fn finish(self) -> Snapshot {
+        assert!(
+            matches!(self.mode, Mode::Digest),
+            "finish() is only meaningful after a digest walk"
+        );
+        Snapshot {
+            nums: self.nums,
+            caps: self.caps,
+            shape: self.shape,
+        }
+    }
+}
+
+/// The digest of one probe walk over the full simulation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    nums: Vec<u64>,
+    caps: Vec<Cap>,
+    shape: u64,
+}
+
+impl Snapshot {
+    /// Number of extrapolatable coordinates the walk visited (a size
+    /// diagnostic for tuning digest cost).
+    pub fn coords(&self) -> usize {
+        self.nums.len()
+    }
+}
+
+/// Counters describing what the coalescer did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// State digests taken.
+    pub digests: u64,
+    /// Jumps performed.
+    pub jumps: u64,
+    /// Periods skipped analytically across all jumps.
+    pub periods_skipped: u64,
+    /// Events those skipped periods would have dispatched.
+    pub events_skipped: u64,
+}
+
+/// The plan for one jump: replay `deltas` onto the state `periods`
+/// times (via [`StateProbe::advance`]).
+#[derive(Debug, Clone)]
+pub struct JumpPlan {
+    /// Per-coordinate per-period deltas, in probe walk order.
+    pub deltas: Vec<i64>,
+    /// Number of whole periods to skip.
+    pub periods: u64,
+}
+
+/// Detects periodic phases from a stream of event keys and state
+/// snapshots, and plans affine jumps across them.
+#[derive(Debug)]
+pub struct Coalescer {
+    anchor: Option<u64>,
+    events_since_cut: u64,
+    last_period_len: u64,
+    prev: Option<Snapshot>,
+    delta: Vec<i64>,
+    matches: u32,
+    confirmed: Option<Vec<i64>>,
+    warm_missed: bool,
+    fails: u32,
+    skip: u64,
+    barren: u32,
+    stats: CoalesceStats,
+}
+
+impl Default for Coalescer {
+    fn default() -> Self {
+        Coalescer::new()
+    }
+}
+
+impl Coalescer {
+    /// Creates an idle detector.
+    pub fn new() -> Self {
+        Coalescer {
+            anchor: None,
+            events_since_cut: 0,
+            last_period_len: 0,
+            prev: None,
+            delta: Vec::new(),
+            matches: 0,
+            confirmed: None,
+            warm_missed: false,
+            fails: 0,
+            skip: 0,
+            barren: 0,
+            stats: CoalesceStats::default(),
+        }
+    }
+
+    /// Counters describing the coalescer's activity so far.
+    pub fn stats(&self) -> CoalesceStats {
+        self.stats
+    }
+
+    fn reset_chain(&mut self) {
+        self.prev = None;
+        self.matches = 0;
+        self.confirmed = None;
+        self.warm_missed = false;
+    }
+
+    fn back_off(&mut self) {
+        self.fails = (self.fails + 1).min(8);
+        self.skip = (1u64 << (2 * self.fails)).min(MAX_SKIP);
+        self.barren = 0;
+    }
+
+    /// Reports the key of the event about to fire. Returns `true` when
+    /// this instant is a cut worth digesting (the driver should then
+    /// digest the state and call [`Coalescer::observe`]).
+    pub fn note_event(&mut self, key: u64) -> bool {
+        self.events_since_cut += 1;
+        match self.anchor {
+            None => {
+                self.anchor = Some(key);
+                self.events_since_cut = 0;
+                false
+            }
+            Some(a) if a == key => {
+                let len = self.events_since_cut;
+                self.events_since_cut = 0;
+                let stable = len == self.last_period_len && len > 0;
+                self.last_period_len = len;
+                if !stable {
+                    // An irregular period can be the expected wrap of a
+                    // warm phase; give the warm delta one chance to
+                    // re-match, otherwise restart cold.
+                    if self.confirmed.is_some() && !self.warm_missed {
+                        self.warm_missed = true;
+                        self.prev = None;
+                    } else {
+                        self.reset_chain();
+                    }
+                    return false;
+                }
+                if self.skip > 0 {
+                    self.skip -= 1;
+                    return false;
+                }
+                true
+            }
+            Some(_) => {
+                if self.events_since_cut > REANCHOR_AFTER {
+                    self.anchor = Some(key);
+                    self.events_since_cut = 0;
+                    self.last_period_len = 0;
+                    self.reset_chain();
+                    self.fails = 0;
+                }
+                false
+            }
+        }
+    }
+
+    fn comparable(a: &Snapshot, b: &Snapshot) -> bool {
+        a.shape == b.shape && a.nums.len() == b.nums.len() && a.caps == b.caps
+    }
+
+    fn deltas_of(prev: &Snapshot, snap: &Snapshot) -> Vec<i64> {
+        prev.nums
+            .iter()
+            .zip(&snap.nums)
+            .map(|(&a, &b)| b.wrapping_sub(a) as i64)
+            .collect()
+    }
+
+    /// Whether the per-coordinate deltas between two comparable
+    /// snapshots equal `expected`, without materializing them.
+    fn deltas_match(prev: &Snapshot, snap: &Snapshot, expected: &[i64]) -> bool {
+        prev.nums
+            .iter()
+            .zip(&snap.nums)
+            .zip(expected)
+            .all(|((&a, &b), &e)| b.wrapping_sub(a) as i64 == e)
+    }
+
+    /// Maximum sound jump from `snap` under `deltas`, or `None` when no
+    /// finite cap exists or the caps leave no room.
+    fn plan_periods(snap: &Snapshot, deltas: &[i64]) -> Option<u64> {
+        let mut cap: Option<u64> = None;
+        let mut tighten = |c: u64| {
+            cap = Some(cap.map_or(c, |old: u64| old.min(c)));
+        };
+        for (i, &d) in deltas.iter().enumerate() {
+            if d < 0 {
+                // Stay strictly positive: x - P*|d| >= 1 would withhold
+                // valid terminal states; x / |d| then the global reserve
+                // keeps us two periods clear of zero anyway.
+                tighten(snap.nums[i] / d.unsigned_abs());
+            }
+        }
+        for c in &snap.caps {
+            if c.bound == u64::MAX {
+                continue;
+            }
+            let d = deltas[c.coord];
+            let x = snap.nums[c.coord];
+            if d > 0 {
+                if x >= c.bound {
+                    return None;
+                }
+                tighten((c.bound - 1 - x) / d as u64);
+            }
+        }
+        let p = cap?.saturating_sub(RESERVE_PERIODS).min(MAX_JUMP);
+        (p >= 1).then_some(p)
+    }
+
+    /// Feeds the snapshot digested at a cut. Returns a [`JumpPlan`] when
+    /// the phase is confirmed periodic and has room to jump; the driver
+    /// must then apply the plan and call [`Coalescer::after_jump`].
+    pub fn observe(&mut self, snap: Snapshot) -> Option<JumpPlan> {
+        self.stats.digests += 1;
+        let plan = self.observe_inner(snap);
+        if plan.is_none() {
+            self.barren += 1;
+            if self.barren >= BARREN_LIMIT {
+                self.back_off();
+            }
+        }
+        plan
+    }
+
+    fn observe_inner(&mut self, snap: Snapshot) -> Option<JumpPlan> {
+        let Some(prev) = self.prev.take() else {
+            self.prev = Some(snap);
+            return None;
+        };
+        let comparable = Self::comparable(&prev, &snap);
+
+        if let Some(conf) = self.confirmed.take() {
+            if comparable && Self::deltas_match(&prev, &snap, &conf) {
+                self.confirmed = Some(conf);
+                self.prev = Some(snap);
+                let snap = self.prev.as_ref().expect("just stored");
+                let conf = self.confirmed.as_ref().expect("just stored");
+                self.warm_missed = false;
+                let periods = Self::plan_periods(snap, conf)?;
+                return Some(JumpPlan {
+                    deltas: conf.clone(),
+                    periods,
+                });
+            }
+            // One anomalous period (a buffer wrap, a boundary element)
+            // is tolerated; two demote the phase.
+            if self.warm_missed {
+                self.warm_missed = false;
+                self.matches = 0;
+                self.back_off();
+            } else {
+                self.confirmed = Some(conf);
+                self.warm_missed = true;
+                if comparable {
+                    self.delta = Self::deltas_of(&prev, &snap);
+                    self.matches = 1;
+                } else {
+                    self.matches = 0;
+                }
+            }
+            self.prev = Some(snap);
+            return None;
+        }
+
+        if comparable {
+            if self.matches > 0 && Self::deltas_match(&prev, &snap, &self.delta) {
+                self.matches += 1;
+            } else {
+                self.delta = Self::deltas_of(&prev, &snap);
+                self.matches = 1;
+            }
+            self.prev = Some(snap);
+            if self.matches >= CONFIRM_MATCHES {
+                let snap = self.prev.as_ref().expect("just stored");
+                self.confirmed = Some(self.delta.clone());
+                let periods = Self::plan_periods(snap, &self.delta)?;
+                return Some(JumpPlan {
+                    deltas: self.delta.clone(),
+                    periods,
+                });
+            }
+            None
+        } else {
+            self.matches = 0;
+            self.prev = Some(snap);
+            None
+        }
+    }
+
+    /// Records a performed jump of `periods` periods (each
+    /// `events_per_period` events long), and extrapolates the stored
+    /// snapshot so the next cut compares against the post-jump state.
+    pub fn after_jump(&mut self, plan: &JumpPlan) {
+        let prev = self
+            .prev
+            .as_mut()
+            .expect("after_jump without a preceding observe");
+        for (x, &d) in prev.nums.iter_mut().zip(&plan.deltas) {
+            *x = StateProbe::apply(*x, d, plan.periods);
+        }
+        self.fails = 0;
+        // The jump deliberately stops RESERVE_PERIODS short of the
+        // tightest cap, so the next few cuts provably have no room:
+        // don't pay for digesting them.
+        self.skip = RESERVE_PERIODS;
+        self.barren = 0;
+        self.warm_missed = false;
+        self.stats.jumps += 1;
+        self.stats.periods_skipped += plan.periods;
+        self.stats.events_skipped += plan.periods * self.last_period_len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_pair(xs: &[(u64, Option<u64>)], shape: u64) -> Snapshot {
+        let mut p = StateProbe::digest();
+        for &(v, bound) in xs {
+            let mut v = v;
+            match bound {
+                Some(b) => p.bounded(&mut v, b),
+                None => p.num(&mut v),
+            }
+        }
+        p.shape(shape);
+        p.finish()
+    }
+
+    #[test]
+    fn probe_roundtrips_numbers_and_times() {
+        let mut a = 10u64;
+        let mut t = SimTime::from_micros(3);
+        let mut d = SimDur::from_nanos(7);
+        let mut n = -5i64;
+        let mut p = StateProbe::digest();
+        p.num(&mut a);
+        p.time(&mut t);
+        p.dur(&mut d);
+        p.num_i64(&mut n);
+        let snap = p.finish();
+
+        let deltas = vec![2i64, 1000, -1, -1];
+        let mut adv = StateProbe::advance(&deltas, 4);
+        adv.num(&mut a);
+        adv.time(&mut t);
+        adv.dur(&mut d);
+        adv.num_i64(&mut n);
+        assert_eq!(a, 18);
+        assert_eq!(t, SimTime::from_micros(7));
+        assert_eq!(d, SimDur::from_nanos(3));
+        assert_eq!(n, -9);
+        drop(snap);
+    }
+
+    #[test]
+    fn shape_changes_block_comparison() {
+        let a = digest_pair(&[(5, None)], 1);
+        let b = digest_pair(&[(6, None)], 2);
+        assert!(!Coalescer::comparable(&a, &b));
+    }
+
+    #[test]
+    fn negative_delta_caps_the_jump() {
+        let snap = digest_pair(&[(100, None), (7, None)], 0);
+        let p = Coalescer::plan_periods(&snap, &[-10, 1]).expect("capped jump");
+        // 100 / 10 = 10 periods, minus the reserve of 2.
+        assert_eq!(p, 8);
+    }
+
+    #[test]
+    fn bounded_coordinate_caps_the_jump() {
+        let snap = digest_pair(&[(990, Some(1000)), (5, None)], 0);
+        let p = Coalescer::plan_periods(&snap, &[3, -1]).expect("capped jump");
+        // fill: (999 - 990) / 3 = 3; depletion: 5 / 1 = 5; min 3 - 2 = 1.
+        assert_eq!(p, 1);
+    }
+
+    #[test]
+    fn unbounded_jump_is_refused() {
+        let snap = digest_pair(&[(5, None)], 0);
+        assert_eq!(Coalescer::plan_periods(&snap, &[1]), None);
+        assert_eq!(Coalescer::plan_periods(&snap, &[0]), None);
+    }
+
+    #[test]
+    fn detector_confirms_then_jumps() {
+        let mut co = Coalescer::new();
+        // Key 7 fires every event: period length 1.
+        assert!(!co.note_event(7)); // anchors
+        let mut x = 1_000_000u64;
+        let mut t = 0u64;
+        let mut jumped_at = None;
+        for step in 0..10 {
+            assert!(co.note_event(7) || step == 0, "stable cuts digest");
+            let snap = digest_pair(&[(x, None), (t, None)], 42);
+            if let Some(plan) = co.observe(snap) {
+                assert_eq!(plan.deltas, vec![-3, 50]);
+                x = x.wrapping_add((-3i64 as u64).wrapping_mul(plan.periods));
+                t += 50 * plan.periods;
+                co.after_jump(&plan);
+                jumped_at = Some((step, plan.periods));
+                break;
+            }
+            x -= 3;
+            t += 50;
+        }
+        let (step, periods) = jumped_at.expect("periodic phase must lock");
+        // Snapshots at steps 0..=3 give three equal deltas.
+        assert_eq!(step, 3);
+        assert!(periods > 300_000, "jump should clear most of the phase");
+        // The jump leaves only the reserve: the depleted counter now
+        // blocks further jumps until something refreshes it.
+        assert!(x <= 3 * (RESERVE_PERIODS + 1), "landed inside the reserve");
+        // The reserve cuts provably have no room, so they are skipped
+        // without digesting at all.
+        for _ in 0..RESERVE_PERIODS {
+            assert!(!co.note_event(7), "reserve cut must not digest");
+            t += 50;
+        }
+        // A wrap refreshes the counter. The delta across the skipped
+        // span mismatches once (anomalous, tolerated), then one
+        // matching delta re-jumps warm — no 3-match re-confirm.
+        assert!(co.note_event(7));
+        assert!(co
+            .observe(digest_pair(&[(500_000, None), (t + 50, None)], 42))
+            .is_none());
+        assert!(co.note_event(7));
+        let snap = digest_pair(&[(500_000 - 3, None), (t + 100, None)], 42);
+        assert!(co.observe(snap).is_some(), "warm phase re-jumps on match");
+        assert_eq!(co.stats().jumps, 1, "after_jump not called for the plan");
+    }
+
+    #[test]
+    fn warm_phase_tolerates_one_wrap_then_rejumps() {
+        let mut co = Coalescer::new();
+        co.note_event(1);
+        let snap = |x: u64, shape: u64| digest_pair(&[(x, None), (1000, Some(2000))], shape);
+        // Build a confirmed phase: x depletes by 1 per period.
+        let mut x = 500u64;
+        loop {
+            co.note_event(1);
+            if let Some(plan) = co.observe(snap(x, 9)) {
+                assert_eq!(plan.deltas, vec![-1, 0]);
+                co.after_jump(&plan);
+                x -= plan.periods;
+                break;
+            }
+            x -= 1;
+        }
+        let _ = x;
+        // The post-jump reserve cuts are skipped without digesting.
+        for _ in 0..RESERVE_PERIODS {
+            assert!(!co.note_event(1), "reserve cut must not digest");
+        }
+        // A wrap refreshes the counter with a different shape: one
+        // anomalous period is tolerated...
+        co.note_event(1);
+        assert!(co.observe(snap(600, 8)).is_none());
+        // ...and a matching delta right after re-jumps immediately.
+        co.note_event(1);
+        let plan = co.observe(snap(599, 8)).expect("warm re-lock after wrap");
+        co.after_jump(&plan);
+        let x = 599 - plan.periods;
+        for _ in 0..RESERVE_PERIODS {
+            assert!(!co.note_event(1), "reserve cut must not digest");
+        }
+        // Two anomalous periods in a row demote the phase to cold.
+        co.note_event(1);
+        assert!(co.observe(snap(x, 7)).is_none(), "first miss tolerated");
+        co.note_event(1);
+        assert!(co.observe(snap(x - 1, 6)).is_none(), "second miss demotes");
+        co.note_event(1);
+        assert!(co.observe(snap(x - 2, 6)).is_none(), "cold: first delta");
+        assert_eq!(co.stats().jumps, 2);
+    }
+
+    #[test]
+    fn irregular_periods_do_not_digest() {
+        let mut co = Coalescer::new();
+        co.note_event(5); // anchor
+        co.note_event(9);
+        assert!(!co.note_event(5), "period length 2, previous was 0");
+        assert!(!co.note_event(5), "period length 1 != 2");
+        assert!(co.note_event(5), "two consecutive length-1 periods");
+    }
+
+    #[test]
+    fn reanchors_when_the_anchor_disappears() {
+        let mut co = Coalescer::new();
+        co.note_event(1);
+        for _ in 0..=REANCHOR_AFTER {
+            assert!(!co.note_event(2));
+        }
+        // The next occurrence of key 2 is now a cut candidate.
+        assert!(!co.note_event(2), "first period after re-anchor");
+        assert!(co.note_event(2), "stable period after re-anchor");
+    }
+}

@@ -30,6 +30,7 @@
 //! assert_eq!(*sim.world(), 11);
 //! ```
 
+pub mod coalesce;
 pub mod queue;
 pub mod rng;
 pub mod server;
@@ -37,6 +38,7 @@ pub mod stats;
 pub mod time;
 pub mod typed;
 
+pub use coalesce::{CoalesceStats, Coalescer, JumpPlan, Snapshot, StateProbe};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::{FifoServer, SwitchingServer};

@@ -127,6 +127,53 @@ impl<T> EventQueue<T> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.front.as_ref().map(|e| e.at)
     }
+
+    /// The payload of the earliest entry without removing it.
+    pub fn peek_payload(&self) -> Option<&T> {
+        self.front.as_ref().map(|e| &e.payload)
+    }
+
+    /// Walks every queued entry in surfacing order through a
+    /// [`crate::coalesce::StateProbe`]: each entry's time is probed as
+    /// an extrapolatable number, the margin to the previous entry (and
+    /// to `now` for the first) as a stay-positive guard, and the payload
+    /// through `probe_payload`. The queue is rebuilt afterwards with
+    /// surfacing order preserved exactly, so a digest-mode walk is
+    /// observationally a no-op.
+    pub fn probe_entries(
+        &mut self,
+        p: &mut crate::coalesce::StateProbe<'_>,
+        now: SimTime,
+        mut probe_payload: impl FnMut(&mut T, &mut crate::coalesce::StateProbe<'_>),
+    ) {
+        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len());
+        entries.extend(self.front.take());
+        entries.extend(std::mem::take(&mut self.heap).into_vec());
+        entries.sort_by_key(|e| (e.at, e.seq));
+        p.shape(entries.len() as u64);
+        let mut prev_at = now;
+        for e in &mut entries {
+            // An advancing `now` must never overtake this entry, and
+            // entries must not swap order: guard both margins (only the
+            // implicit negative-delta rule applies).
+            p.guard(e.at.as_nanos().saturating_sub(prev_at.as_nanos()), u64::MAX);
+            prev_at = e.at;
+            p.time(&mut e.at);
+            probe_payload(&mut e.payload, p);
+        }
+        // Re-number in surfacing order: relative order of existing
+        // entries is preserved and future pushes sort after them.
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        self.seq = entries.len() as u64;
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| (w[0].at, w[0].seq) <= (w[1].at, w[1].seq)));
+        let mut it = entries.into_iter();
+        self.front = it.next();
+        self.heap = it.collect();
+    }
 }
 
 impl<T> Default for EventQueue<T> {

@@ -97,6 +97,25 @@ impl FifoServer {
     pub fn reset(&mut self) {
         *self = FifoServer::default();
     }
+
+    /// Walks the server's state through a coalescing probe: the busy
+    /// horizon and all counters advance affinely during steady trains.
+    ///
+    /// A never-used server contributes a single shape bit instead of
+    /// three coordinates: most servers of a large cluster are idle in
+    /// any given query, and the probe runs on every coalescing digest.
+    /// The bit keeps digest and advance walks aligned — a server waking
+    /// up changes the walk's structure, which blocks the jump.
+    pub fn probe(&mut self, p: &mut crate::coalesce::StateProbe<'_>) {
+        let untouched =
+            self.jobs == 0 && self.busy_until == SimTime::ZERO && self.busy_total == SimDur::ZERO;
+        p.shape(untouched as u64);
+        if !untouched {
+            p.time(&mut self.busy_until);
+            p.dur(&mut self.busy_total);
+            p.num(&mut self.jobs);
+        }
+    }
 }
 
 /// A FIFO server that charges a retargeting penalty proportional to how
@@ -200,6 +219,48 @@ impl SwitchingServer {
     pub fn reset(&mut self) {
         let cost = self.switch_cost;
         *self = SwitchingServer::new(cost);
+    }
+
+    /// Walks the server's state through a coalescing probe.
+    ///
+    /// The activity map is visited in sorted key order (HashMap order is
+    /// nondeterministic). Each entry's age relative to `now` is guarded:
+    /// an idle source expiring out of the window changes the switch
+    /// penalty, so no jump may cross that expiry. Entries already past
+    /// the window can only be retained out (age never shrinks while a
+    /// source is idle), so they carry no upper bound.
+    pub fn probe(&mut self, p: &mut crate::coalesce::StateProbe<'_>, now: SimTime) {
+        self.inner.probe(p);
+        if self.penalty_total == SimDur::ZERO && self.activity.is_empty() {
+            p.shape(u64::MAX);
+            return;
+        }
+        p.dur(&mut self.penalty_total);
+        p.shape(self.activity.len() as u64);
+        let window = Self::ACTIVITY_WINDOW.as_nanos();
+        let probe_entry = |k: u64, last: &mut SimTime, p: &mut crate::coalesce::StateProbe| {
+            p.shape(k);
+            let age = now.as_nanos().saturating_sub(last.as_nanos());
+            p.guard(age, if age < window { window } else { u64::MAX });
+            p.time(last);
+        };
+        // Most servers see zero or one source; keep those paths
+        // allocation-free (the probe runs on every coalescing digest).
+        match self.activity.len() {
+            0 => {}
+            1 => {
+                let (&k, last) = self.activity.iter_mut().next().expect("len checked");
+                probe_entry(k, last, p);
+            }
+            _ => {
+                let mut keys: Vec<u64> = self.activity.keys().copied().collect();
+                keys.sort_unstable();
+                for k in keys {
+                    let last = self.activity.get_mut(&k).expect("key just listed");
+                    probe_entry(k, last, p);
+                }
+            }
+        }
     }
 }
 

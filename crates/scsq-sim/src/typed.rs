@@ -37,6 +37,7 @@
 //! assert_eq!(*sim.world(), 6);
 //! ```
 
+use crate::coalesce::StateProbe;
 use crate::queue::EventQueue;
 use crate::time::{SimDur, SimTime};
 
@@ -154,6 +155,48 @@ impl<W, E> TypedSimulator<W, E> {
     /// Schedules `event` to fire `after` from now.
     pub fn schedule_after(&mut self, after: SimDur, event: E) {
         self.schedule_at(self.now + after, event);
+    }
+
+    /// Maps the next event to fire through `f` without removing it
+    /// (e.g. to derive a coalescing cut key). `None` when the queue is
+    /// empty.
+    pub fn peek_key(&self, f: impl FnOnce(&E) -> u64) -> Option<u64> {
+        self.queue.peek_payload().map(f)
+    }
+
+    /// Walks the simulator's entire state — clock, executed-event
+    /// counter, queued events, and the world — through a coalescing
+    /// [`StateProbe`]. With a digest-mode probe this is observationally
+    /// a no-op that fingerprints the state; with an advance-mode probe
+    /// it fast-forwards the state by whole periods.
+    ///
+    /// `probe_event` and `probe_world` must walk their arguments
+    /// identically in both modes; the walk order defines coordinate
+    /// identity. Both receive the pre-advance clock as `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from inside an event.
+    pub fn probe_state(
+        &mut self,
+        p: &mut StateProbe<'_>,
+        probe_event: impl FnMut(&mut E, &mut StateProbe<'_>),
+        probe_world: impl FnOnce(&mut W, &mut StateProbe<'_>, SimTime),
+    ) {
+        let now = self.now;
+        p.time(&mut self.now);
+        match self.limit {
+            // Never extrapolate past the event budget: the budget
+            // exhausts mid-period in real execution.
+            Some(limit) => p.bounded(&mut self.executed, limit),
+            None => p.num(&mut self.executed),
+        }
+        self.queue.probe_entries(p, now, probe_event);
+        let world = self
+            .world
+            .as_mut()
+            .expect("probe_state called during event dispatch");
+        probe_world(world, p, now);
     }
 }
 

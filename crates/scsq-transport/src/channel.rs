@@ -10,7 +10,7 @@
 
 use scsq_cluster::{CarrierClass, Environment, NodeId};
 use scsq_net::FlowId;
-use scsq_sim::SimTime;
+use scsq_sim::{SimDur, SimTime, StateProbe};
 use std::collections::VecDeque;
 
 /// Default MPI stream buffer size: the paper finds 1000 bytes optimal for
@@ -99,23 +99,56 @@ impl ChannelStats {
     }
 }
 
-/// An element waiting (fully or partially) to be packed into buffers.
+/// A run-length-encoded train of queued elements: `copies` identical
+/// elements of `bytes_each` marshaled bytes, ready at the arithmetic
+/// progression `head_ready, head_ready + step, ...`.
+///
+/// The figure workloads enqueue long runs of identical elements; storing
+/// them as one train keeps the send queue O(1) instead of O(n) and makes
+/// its growth visible to the coalescer as a plain counter. A train of one
+/// is exactly the old per-element representation.
 #[derive(Debug)]
-struct Pending<T> {
+struct Train<T> {
+    /// The element every copy materializes as. `None` only transiently
+    /// while the last copy is being handed out.
     item: Option<T>,
-    bytes_left: u64,
-    ready: SimTime,
-    /// Some of this element's bytes rode a dropped datagram; the
-    /// element cannot be materialized at the receiver.
-    corrupted: bool,
+    /// Copies remaining, including the (possibly partially packed) head.
+    copies: u64,
+    /// Marshaled size of each copy.
+    bytes_each: u64,
+    /// Unpacked bytes of the head copy.
+    head_bytes_left: u64,
+    /// Ready time of the head copy.
+    head_ready: SimTime,
+    /// Ready-time spacing between consecutive copies.
+    step: SimDur,
+    /// Some of the head copy's bytes rode a dropped datagram; it cannot
+    /// be materialized at the receiver. Later copies are unaffected.
+    head_corrupted: bool,
+}
+
+impl<T> Train<T> {
+    /// Ready time of the last copy.
+    fn tail_ready(&self) -> SimTime {
+        self.head_ready + SimDur::from_nanos(self.step.as_nanos() * (self.copies - 1))
+    }
+
+    /// Unpacked bytes across all copies.
+    fn bytes_left(&self) -> u64 {
+        self.head_bytes_left + (self.copies - 1) * self.bytes_each
+    }
 }
 
 /// What one [`StreamChannel::cycle`] call produced.
 #[derive(Debug)]
 pub struct CycleOutput<T> {
-    /// Elements whose final byte was de-marshaled in this buffer, with
-    /// the time they become visible to the subscriber's operators.
-    pub deliveries: Vec<(SimTime, T)>,
+    /// Elements whose final byte was de-marshaled in this buffer. All of
+    /// them ride the same receive buffer, so they become visible to the
+    /// subscriber's operators at one shared instant, `delivered_at`.
+    pub delivered: Vec<T>,
+    /// When the elements in `delivered` become visible; `None` when the
+    /// cycle delivered nothing.
+    pub delivered_at: Option<SimTime>,
     /// When `cycle` should be called again; `None` when the channel is
     /// idle (call again after the next `enqueue`/`finish`).
     pub next_cycle: Option<SimTime>,
@@ -128,7 +161,8 @@ pub struct CycleOutput<T> {
 impl<T> Default for CycleOutput<T> {
     fn default() -> Self {
         CycleOutput {
-            deliveries: Vec::new(),
+            delivered: Vec::new(),
+            delivered_at: None,
             next_cycle: None,
             eos_at: None,
         }
@@ -140,7 +174,7 @@ impl<T> Default for CycleOutput<T> {
 #[derive(Debug)]
 pub struct StreamChannel<T> {
     cfg: ChannelConfig,
-    queue: VecDeque<Pending<T>>,
+    queue: VecDeque<Train<T>>,
     /// Bytes already packed into the currently-filling buffer.
     fill: u64,
     /// Latest ready-time of the bytes in the filling buffer.
@@ -156,7 +190,7 @@ pub struct StreamChannel<T> {
     registered_inbound: bool,
 }
 
-impl<T> StreamChannel<T> {
+impl<T: Clone + PartialEq> StreamChannel<T> {
     /// Creates an idle channel. If the channel crosses from a Linux
     /// cluster into the BlueGene it registers itself as an inbound flow so
     /// the I/O-node coordination penalties account for it.
@@ -205,6 +239,11 @@ impl<T> StreamChannel<T> {
     /// `ready`. Returns the time at which `cycle` should next run (the
     /// engine schedules an event there).
     ///
+    /// A run of identical elements whose ready times form an arithmetic
+    /// progression coalesces into the tail [`Train`] instead of growing
+    /// the queue; packing and delivery are byte-for-byte identical either
+    /// way.
+    ///
     /// # Panics
     ///
     /// Panics if called after [`StreamChannel::finish`] or with zero
@@ -217,11 +256,28 @@ impl<T> StreamChannel<T> {
         );
         assert!(bytes > 0, "elements must have positive marshaled size");
         self.stats.bytes_enqueued += bytes;
-        self.queue.push_back(Pending {
+        if let Some(tail) = self.queue.back_mut() {
+            if tail.bytes_each == bytes && tail.item.as_ref() == Some(&item) {
+                if tail.copies == 1 && ready >= tail.head_ready {
+                    // Second copy fixes the train's spacing.
+                    tail.step = ready.since(tail.head_ready);
+                    tail.copies = 2;
+                    return ready;
+                }
+                if tail.copies > 1 && ready == tail.tail_ready() + tail.step {
+                    tail.copies += 1;
+                    return ready;
+                }
+            }
+        }
+        self.queue.push_back(Train {
             item: Some(item),
-            bytes_left: bytes,
-            ready,
-            corrupted: false,
+            copies: 1,
+            bytes_each: bytes,
+            head_bytes_left: bytes,
+            head_ready: ready,
+            step: SimDur::ZERO,
+            head_corrupted: false,
         });
         ready
     }
@@ -256,14 +312,23 @@ impl<T> StreamChannel<T> {
                 break;
             };
             let space = buffer_size - self.fill;
-            let take = space.min(front.bytes_left);
-            front.bytes_left -= take;
+            let take = space.min(front.head_bytes_left);
+            front.head_bytes_left -= take;
             self.fill += take;
-            self.fill_ready = self.fill_ready.max(front.ready);
-            if front.bytes_left == 0 {
-                let item = front.item.take().expect("item present until consumed");
-                items_done.push((item, front.corrupted));
-                self.queue.pop_front();
+            self.fill_ready = self.fill_ready.max(front.head_ready);
+            if front.head_bytes_left == 0 {
+                let corrupted = std::mem::replace(&mut front.head_corrupted, false);
+                if front.copies == 1 {
+                    let item = front.item.take().expect("item present until consumed");
+                    items_done.push((item, corrupted));
+                    self.queue.pop_front();
+                } else {
+                    let item = front.item.clone().expect("item present until consumed");
+                    items_done.push((item, corrupted));
+                    front.copies -= 1;
+                    front.head_bytes_left = front.bytes_each;
+                    front.head_ready += front.step;
+                }
             }
         }
         self.fill_items.extend(items_done);
@@ -298,8 +363,11 @@ impl<T> StreamChannel<T> {
                         if corrupted {
                             self.stats.elements_lost += 1;
                         } else {
-                            out.deliveries.push((visible, item));
+                            out.delivered.push(item);
                         }
+                    }
+                    if !out.delivered.is_empty() {
+                        out.delivered_at = Some(visible);
                     }
                 }
                 None => {
@@ -310,8 +378,8 @@ impl<T> StreamChannel<T> {
                     self.stats.elements_lost += self.fill_items.len() as u64;
                     self.fill_items.clear();
                     if let Some(front) = self.queue.front_mut() {
-                        if front.bytes_left > 0 && front.item.is_some() && self.fill > 0 {
-                            front.corrupted = true;
+                        if front.head_bytes_left > 0 && front.item.is_some() && self.fill > 0 {
+                            front.head_corrupted = true;
                         }
                     }
                 }
@@ -346,7 +414,7 @@ impl<T> StreamChannel<T> {
     /// Whether a further buffer can be assembled (full buffer available,
     /// or EOS flush of a partial one).
     fn has_work(&self, buffer_size: u64) -> bool {
-        let queued: u64 = self.queue.iter().map(|p| p.bytes_left).sum();
+        let queued: u64 = self.queue.iter().map(|t| t.bytes_left()).sum();
         let total = self.fill + queued;
         total >= buffer_size || (self.eos_queued && total > 0)
     }
@@ -356,11 +424,21 @@ impl<T> StreamChannel<T> {
     fn next_data_ready(&self, buffer_size: u64) -> SimTime {
         let mut acc = self.fill;
         let mut ready = self.fill_ready;
-        for p in &self.queue {
-            ready = ready.max(p.ready);
-            acc += p.bytes_left;
+        for t in &self.queue {
+            ready = ready.max(t.head_ready);
+            acc += t.head_bytes_left;
             if acc >= buffer_size {
                 break;
+            }
+            if t.copies > 1 {
+                // Later copies are ready at head_ready + k*step; only as
+                // many as the buffer still needs contribute.
+                let k = (buffer_size - acc).div_ceil(t.bytes_each).min(t.copies - 1);
+                acc += k * t.bytes_each;
+                ready = ready.max(t.head_ready + SimDur::from_nanos(t.step.as_nanos() * k));
+                if acc >= buffer_size {
+                    break;
+                }
             }
         }
         ready
@@ -393,6 +471,60 @@ impl<T> StreamChannel<T> {
             self.registered_inbound = false;
         }
     }
+
+    /// Walks the channel's full state through a coalescing probe.
+    ///
+    /// Train copy counts, packed byte counts and all clocks are
+    /// extrapolatable; element payloads (via `probe_item`), queue
+    /// structure and protocol flags are shape. The buffer fill level is
+    /// bounded by the buffer size so a jump can never carry it across a
+    /// transmit boundary.
+    pub fn probe(
+        &mut self,
+        env: &Environment,
+        p: &mut StateProbe<'_>,
+        mut probe_item: impl FnMut(&T, &mut StateProbe<'_>),
+    ) {
+        let buffer_size = self.buffer_size(env);
+        p.shape(self.queue.len() as u64);
+        for t in &mut self.queue {
+            p.num(&mut t.copies);
+            p.shape(t.bytes_each);
+            p.num(&mut t.head_bytes_left);
+            p.time(&mut t.head_ready);
+            p.dur(&mut t.step);
+            p.shape(t.head_corrupted as u64);
+            p.shape(t.item.is_some() as u64);
+            if let Some(item) = &t.item {
+                probe_item(item, p);
+            }
+        }
+        p.bounded(&mut self.fill, buffer_size);
+        p.time(&mut self.fill_ready);
+        p.shape(self.fill_items.len() as u64);
+        for (item, corrupted) in &self.fill_items {
+            p.shape(*corrupted as u64);
+            probe_item(item, p);
+        }
+        p.shape(self.inflight.len() as u64);
+        for t in &mut self.inflight {
+            p.time(t);
+        }
+        p.shape(self.eos_queued as u64);
+        p.shape(self.eos_reported as u64);
+        p.shape(self.registered_inbound as u64);
+        let s = &mut self.stats;
+        p.num(&mut s.bytes_enqueued);
+        p.num(&mut s.bytes_delivered);
+        p.num(&mut s.buffers_sent);
+        p.num(&mut s.buffers_dropped);
+        p.num(&mut s.elements_lost);
+        p.shape(s.first_send.is_some() as u64);
+        if let Some(t) = &mut s.first_send {
+            p.time(t);
+        }
+        p.time(&mut s.last_delivery);
+    }
 }
 
 #[cfg(test)]
@@ -419,12 +551,17 @@ mod tests {
     }
 
     /// Runs a channel to completion, returning (deliveries, eos time).
-    fn drain<T>(ch: &mut StreamChannel<T>, env: &mut Environment) -> (Vec<(SimTime, T)>, SimTime) {
+    fn drain<T: Clone + PartialEq>(
+        ch: &mut StreamChannel<T>,
+        env: &mut Environment,
+    ) -> (Vec<(SimTime, T)>, SimTime) {
         let mut deliveries = Vec::new();
         let mut at = SimTime::ZERO;
         loop {
             let out = ch.cycle(env, at);
-            deliveries.extend(out.deliveries);
+            if let Some(t) = out.delivered_at {
+                deliveries.extend(out.delivered.into_iter().map(|v| (t, v)));
+            }
             if let Some(eos) = out.eos_at {
                 return (deliveries, eos);
             }
@@ -483,7 +620,8 @@ mod tests {
         ch.finish(SimTime::from_micros(7));
         let out = ch.cycle(&mut env, SimTime::from_micros(7));
         assert_eq!(out.eos_at, Some(SimTime::from_micros(7)));
-        assert!(out.deliveries.is_empty());
+        assert!(out.delivered.is_empty());
+        assert_eq!(out.delivered_at, None);
     }
 
     #[test]
@@ -618,12 +756,68 @@ mod tests {
         let mut at = SimTime::ZERO;
         loop {
             let out = ch.cycle(env, at);
-            deliveries.extend(out.deliveries);
+            if let Some(t) = out.delivered_at {
+                deliveries.extend(out.delivered.into_iter().map(|v| (t, v)));
+            }
             if let Some(eos) = out.eos_at {
                 return (deliveries, eos);
             }
             at = out.next_cycle.expect("progress until EOS").max(at);
         }
+    }
+
+    #[test]
+    fn identical_elements_coalesce_into_one_train() {
+        let mut env = Environment::lofar();
+        let mut ch = StreamChannel::new(mpi_cfg(1000, false), &mut env);
+        for _ in 0..100 {
+            ch.enqueue("x", 250, SimTime::ZERO);
+        }
+        assert_eq!(ch.queue.len(), 1, "identical elements form one train");
+        assert_eq!(ch.queue[0].copies, 100);
+        ch.finish(SimTime::ZERO);
+        let (deliveries, _) = drain(&mut ch, &mut env);
+        assert_eq!(deliveries.len(), 100);
+        assert_eq!(ch.stats().buffers_sent, 25, "4 x 250 bytes per buffer");
+    }
+
+    #[test]
+    fn arithmetic_ready_progression_extends_a_train() {
+        let mut env = Environment::lofar();
+        let mut ch = StreamChannel::new(mpi_cfg(1000, false), &mut env);
+        for i in 0..50u64 {
+            ch.enqueue("x", 500, SimTime::from_micros(i * 10));
+        }
+        assert_eq!(ch.queue.len(), 1);
+        assert_eq!(ch.queue[0].step, SimDur::from_micros(10));
+        // Breaking the progression starts a new train.
+        ch.enqueue("x", 500, SimTime::from_millis(10));
+        assert_eq!(ch.queue.len(), 2);
+        // A different payload always starts a new train.
+        ch.enqueue("y", 500, SimTime::from_millis(10));
+        assert_eq!(ch.queue.len(), 3);
+    }
+
+    #[test]
+    fn trains_and_singletons_deliver_identically() {
+        // The same workload enqueued as one mergeable run vs. forcibly
+        // distinct elements must produce identical timing.
+        let run = |distinct: bool| {
+            let mut env = Environment::lofar();
+            let mut ch = StreamChannel::new(mpi_cfg(1000, true), &mut env);
+            for i in 0..200u64 {
+                let tag = if distinct { i } else { 0 };
+                ch.enqueue(tag, 300, SimTime::from_nanos(i * 2_500));
+            }
+            ch.finish(SimTime::from_millis(1));
+            let (deliveries, eos) = drain(&mut ch, &mut env);
+            let times: Vec<SimTime> = deliveries.iter().map(|(t, _)| *t).collect();
+            (times, eos)
+        };
+        let (t_merged, eos_merged) = run(false);
+        let (t_distinct, eos_distinct) = run(true);
+        assert_eq!(t_merged, t_distinct);
+        assert_eq!(eos_merged, eos_distinct);
     }
 
     #[test]

@@ -12,11 +12,14 @@ fn drain(ch: &mut StreamChannel<usize>, env: &mut Environment) -> (Vec<(SimTime,
     let mut at = SimTime::ZERO;
     for _ in 0..1_000_000 {
         let CycleOutput {
-            deliveries: d,
+            delivered,
+            delivered_at,
             next_cycle,
             eos_at,
         } = ch.cycle(env, at);
-        deliveries.extend(d);
+        if let Some(t) = delivered_at {
+            deliveries.extend(delivered.into_iter().map(|v| (t, v)));
+        }
         if let Some(eos) = eos_at {
             return (deliveries, eos);
         }
