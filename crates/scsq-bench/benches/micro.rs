@@ -1,11 +1,14 @@
 //! Microbenchmarks for the event-kernel hot path: raw event-queue
 //! throughput, batch hand-off cost (Arc-backed [`Batch`] slicing vs
-//! cloning the underlying tuples), and the Figure 6 inner loop in both
-//! execution modes (per-event vs train-coalesced).
+//! cloning the underlying tuples), the Figure 6 inner loop in both
+//! execution modes (per-event vs train-coalesced), the fused stage
+//! programs against the interpreted fallback, and route-table lookups
+//! against fresh dimension-ordered route computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scsq_bench::{fig6, Scale};
+use scsq_bench::{fig6, ExecMode, Scale};
 use scsq_core::HardwareSpec;
+use scsq_net::{TorusDims, TorusNet, TorusParams};
 use scsq_ql::batch::Batch;
 use scsq_ql::value::Value;
 use scsq_sim::{EventQueue, SimTime};
@@ -74,11 +77,15 @@ fn bench_fig6_inner(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig6_inner");
     group.sample_size(10);
-    for (mode, coalesce) in [("coalesced", true), ("per_event", false)] {
-        group.bench_function(mode, |b| {
+    for (label, coalesce) in [("coalesced", true), ("per_event", false)] {
+        group.bench_function(label, |b| {
             b.iter(|| {
+                let mode = ExecMode {
+                    coalesce,
+                    fuse: true,
+                };
                 let series =
-                    fig6::run_with_jobs(&spec, scale, &[1_000], 1, coalesce).expect("fig6 runs");
+                    fig6::run_with_jobs(&spec, scale, &[1_000], 1, mode).expect("fig6 runs");
                 black_box(series)
             });
         });
@@ -86,10 +93,70 @@ fn bench_fig6_inner(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-event path with fused stage programs vs the interpreted
+/// fallback (coalescing disabled in both so every element walks the
+/// stage chain).
+fn bench_fused_vs_interpreted(c: &mut Criterion) {
+    let spec = HardwareSpec::lofar();
+    let scale = Scale {
+        array_bytes: 3_000_000,
+        arrays: 5,
+        ..Scale::quick()
+    };
+
+    let mut group = c.benchmark_group("fused_stage_programs");
+    group.sample_size(10);
+    for (label, fuse) in [("fused", true), ("interpreted", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mode = ExecMode {
+                    coalesce: false,
+                    fuse,
+                };
+                let series =
+                    fig6::run_with_jobs(&spec, scale, &[1_000], 1, mode).expect("fig6 runs");
+                black_box(series)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Route-table hits vs fresh dimension-ordered route computation for
+/// every (src, dst) pair of a paper-scale partition.
+fn bench_route_cache(c: &mut Criterion) {
+    let dims = TorusDims::new(4, 4, 2);
+    let net = TorusNet::new(dims, TorusParams::default());
+    let n = dims.node_count();
+
+    let mut group = c.benchmark_group("route_cache");
+    group.bench_function("cached", |b| {
+        b.iter(|| {
+            for src in 0..n {
+                for dst in 0..n {
+                    black_box(net.cached_route(src, dst));
+                }
+            }
+        });
+    });
+    group.bench_function("fresh", |b| {
+        b.iter(|| {
+            for src in 0..n {
+                for dst in 0..n {
+                    black_box(dims.route(src, dst));
+                }
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     bench_event_queue,
     bench_batch_handoff,
-    bench_fig6_inner
+    bench_fig6_inner,
+    bench_fused_vs_interpreted,
+    bench_route_cache
 );
 criterion_main!(micro);

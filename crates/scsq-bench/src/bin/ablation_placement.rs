@@ -1,9 +1,11 @@
 //! Ablation: naïve vs topology-aware node selection on an unconstrained
 //! inbound workload (the §5 future-work refinement).
 //!
-//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off]`
+//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off]`
 
-use scsq_bench::{ablation, parse_coalesce, parse_jobs, print_figure, series_to_csv, Scale};
+use scsq_bench::{
+    ablation, parse_coalesce, parse_fuse, parse_jobs, print_figure, series_to_csv, Scale,
+};
 use scsq_core::HardwareSpec;
 
 fn main() {
@@ -11,7 +13,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
-    let coalesce = parse_coalesce(&args);
+    let mode = scsq_bench::ExecMode {
+        coalesce: parse_coalesce(&args),
+        fuse: parse_fuse(&args),
+    };
     let scale = if quick {
         Scale::quick()
     } else {
@@ -19,7 +24,7 @@ fn main() {
     };
     let ns: Vec<u32> = (1..=8).collect();
     let spec = HardwareSpec::lofar();
-    let series = ablation::run_with_jobs(&spec, scale, &ns, jobs, coalesce).unwrap_or_else(|e| {
+    let series = ablation::run_with_jobs(&spec, scale, &ns, jobs, mode).unwrap_or_else(|e| {
         eprintln!("ablation failed: {e}");
         std::process::exit(1);
     });

@@ -2,16 +2,19 @@
 //! Compares a single-node FFT pipeline with the paper's radix2
 //! distribution over the array-size sweep.
 //!
-//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off]`
+//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off]`
 
-use scsq_bench::{expensive, parse_coalesce, print_figure, series_to_csv, Scale};
+use scsq_bench::{expensive, parse_coalesce, parse_fuse, print_figure, series_to_csv, Scale};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
-    let coalesce = parse_coalesce(&args);
+    let mode = scsq_bench::ExecMode {
+        coalesce: parse_coalesce(&args),
+        fuse: parse_fuse(&args),
+    };
     let scale = if quick {
         Scale {
             arrays: 20,
@@ -22,7 +25,7 @@ fn main() {
     };
     let sizes = [10_000u64, 50_000, 200_000, 500_000, 1_000_000, 3_000_000];
     let spec = HardwareSpec::lofar();
-    let series = expensive::run_coalesce(&spec, scale, &sizes, coalesce).unwrap_or_else(|e| {
+    let series = expensive::run_with_mode(&spec, scale, &sizes, mode).unwrap_or_else(|e| {
         eprintln!("expensive-function study failed: {e}");
         std::process::exit(1);
     });

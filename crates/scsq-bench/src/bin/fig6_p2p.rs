@@ -1,10 +1,10 @@
 //! Regenerates paper Figure 6: intra-BlueGene point-to-point streaming
 //! bandwidth vs stream buffer size, single vs double buffering.
 //!
-//! Usage: `fig6_p2p [--quick] [--csv] [--jobs N] [--coalesce on|off]`
+//! Usage: `fig6_p2p [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off]`
 
 use scsq_bench::{
-    buffer_sweep, fig6, parse_coalesce, parse_jobs, print_figure, series_to_csv, Scale,
+    buffer_sweep, fig6, parse_coalesce, parse_fuse, parse_jobs, print_figure, series_to_csv, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -13,7 +13,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
-    let coalesce = parse_coalesce(&args);
+    let mode = scsq_bench::ExecMode {
+        coalesce: parse_coalesce(&args),
+        fuse: parse_fuse(&args),
+    };
     let scale = if quick {
         Scale::quick()
     } else {
@@ -21,7 +24,7 @@ fn main() {
     };
     let spec = HardwareSpec::lofar();
     let series =
-        fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, coalesce).unwrap_or_else(|e| {
+        fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, mode).unwrap_or_else(|e| {
             eprintln!("fig6 failed: {e}");
             std::process::exit(1);
         });

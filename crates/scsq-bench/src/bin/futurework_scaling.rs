@@ -3,16 +3,21 @@
 //! plus the sender-host sweep that quantifies "co-locate back-end RPs
 //! until saturation".
 //!
-//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off]`
+//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off]`
 
-use scsq_bench::{parse_coalesce, parse_jobs, print_figure, scaling, series_to_csv, Scale};
+use scsq_bench::{
+    parse_coalesce, parse_fuse, parse_jobs, print_figure, scaling, series_to_csv, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
-    let coalesce = parse_coalesce(&args);
+    let mode = scsq_bench::ExecMode {
+        coalesce: parse_coalesce(&args),
+        fuse: parse_fuse(&args),
+    };
     let scale = if quick {
         Scale::quick()
     } else {
@@ -20,11 +25,11 @@ fn main() {
     };
 
     let ns: Vec<u32> = vec![1, 2, 4, 8, 16];
-    let series = scaling::run_with_jobs(scale, &ns, jobs, coalesce).unwrap_or_else(|e| {
+    let series = scaling::run_with_jobs(scale, &ns, jobs, mode).unwrap_or_else(|e| {
         eprintln!("scaling study failed: {e}");
         std::process::exit(1);
     });
-    let hosts = scaling::run_host_sweep_with_jobs(scale, &[1, 2, 4, 8, 16], jobs, coalesce)
+    let hosts = scaling::run_host_sweep_with_jobs(scale, &[1, 2, 4, 8, 16], jobs, mode)
         .unwrap_or_else(|e| {
             eprintln!("host sweep failed: {e}");
             std::process::exit(1);

@@ -1,8 +1,8 @@
-//! Measures the batch-coalesced event kernel and the parallel sweep
-//! executor against the sequential per-event baseline on a fixed
-//! workload (the Figure 6 buffer sweep plus the Figure 15 n-sweep),
-//! verifies that all paths produce bit-identical series, and emits a
-//! machine-readable JSON report.
+//! Measures the event-kernel execution tiers (train-coalesced, fused
+//! per-event, parallel sweep) against the sequential per-event baseline
+//! on a fixed workload (the Figure 6 buffer sweep plus the Figure 15
+//! n-sweep), verifies that all paths produce bit-identical series, and
+//! emits a machine-readable JSON report.
 //!
 //! Usage: `perfstat [--jobs N] [--out PATH]`
 //!
@@ -10,7 +10,7 @@
 //! parallelism); the sequential references always run at 1. `--out`
 //! chooses where the JSON lands (default `BENCH_sweep.json`).
 //!
-//! Three timed passes over the same workload:
+//! Timed passes:
 //!
 //! 1. **sequential, per-event** — one thread, coalescing off: the
 //!    baseline. The workload is sized so this leg runs for at least
@@ -19,11 +19,26 @@
 //!    the kernel's train-coalescing gain (`coalesce_speedup`).
 //! 3. **parallel, coalesced** — `--jobs` threads: adds the sweep
 //!    executor's gain (`parallel_speedup`, relative to pass 2).
+//!    On a single-core host (or `--jobs 1`) there is no parallelism to
+//!    measure, so the report records `parallel_speedup: null` with a
+//!    `"single_core_host"` note instead of a misleading ~1.0 ratio.
+//! 4. **jittered, per-event** — service times carry multiplicative
+//!    jitter, which the coalescing probes hash as opaque state, so no
+//!    two periods digest equal and trains provably cannot form. Every
+//!    element walks the fused per-event path; its throughput is the
+//!    `per_event_events_per_s` headline. A coalescing-enabled control
+//!    run must produce byte-identical series (proof that coalescing
+//!    never fired).
 
-use scsq_bench::{buffer_sweep, fig15, fig6, parse_jobs, sweep, Scale, SweepPoint};
+use scsq_bench::{buffer_sweep, fig15, fig6, parse_jobs, sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::{HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 use std::time::Instant;
+
+/// Service-time jitter amplitude for the per-event pass — large enough
+/// that consecutive periods never digest equal, small enough that the
+/// simulated schedule stays realistic.
+const JITTER: f64 = 0.05;
 
 /// The workload scale: paper-size (3 MB) arrays — the regime the
 /// coalescer targets, where a single array spans thousands of buffer
@@ -39,18 +54,82 @@ fn perf_scale() -> Scale {
 
 /// The fixed workload: every Figure 6 buffer point plus the Figure 15
 /// n-sweep.
-fn workload(jobs: usize, coalesce: bool) -> Result<Vec<Series>, ScsqError> {
+fn workload(jobs: usize, mode: ExecMode) -> Result<Vec<Series>, ScsqError> {
     let spec = HardwareSpec::lofar();
     let scale = perf_scale();
-    let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, coalesce)?;
+    let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, mode)?;
     series.extend(fig15::run_with_jobs(
         &spec,
         scale,
         &[1, 2, 3, 4],
         jobs,
-        coalesce,
+        mode,
     )?);
     Ok(series)
+}
+
+/// The Figure 6 buffer grid with jittered service times. Coalescing is
+/// left to the caller: with jitter active the runtime's state probes
+/// hash the generator, so trains can never form and both settings must
+/// produce identical output.
+fn jittered_points(
+    scsq: &mut Scsq,
+    spec: &HardwareSpec,
+    scale: Scale,
+    coalesce: bool,
+) -> Result<Vec<SweepPoint>, ScsqError> {
+    let plan = scsq.prepare(&fig6::query(scale))?;
+    let mut points = Vec::new();
+    for double in [false, true] {
+        for &buffer in &buffer_sweep() {
+            points.push(SweepPoint {
+                series: 0,
+                x: buffer as f64,
+                plan: plan.clone(),
+                options: RunOptions {
+                    mpi_buffer: buffer,
+                    mpi_double: double,
+                    service_jitter: JITTER,
+                    coalesce,
+                    ..RunOptions::default()
+                },
+                spec: spec.clone(),
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Runs the jittered grid and returns its bandwidth series.
+fn jittered_workload(jobs: usize, coalesce: bool) -> Result<Vec<Series>, ScsqError> {
+    let spec = HardwareSpec::lofar();
+    let scale = perf_scale();
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let points = jittered_points(&mut scsq, &spec, scale, coalesce)?;
+    sweep(
+        &["fig6 jittered"],
+        &points,
+        scale,
+        |r| r.bandwidth_into(scsq_core::NodeId::bg(0)) / 1e6,
+        jobs,
+    )
+}
+
+/// Counts the simulated events the jittered grid executes, by re-running
+/// it with an event-count metric.
+fn jittered_events(jobs: usize) -> Result<f64, ScsqError> {
+    let spec = HardwareSpec::lofar();
+    let scale = perf_scale();
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let points = jittered_points(&mut scsq, &spec, scale, false)?;
+    let counts = sweep(
+        &["fig6 jittered"],
+        &points,
+        scale,
+        |r| r.stats().events as f64,
+        jobs,
+    )?;
+    Ok(counts[0].points().iter().map(|(_, y)| y).sum::<f64>() * scale.reps as f64)
 }
 
 /// Counts the total simulated events the workload executes (identical
@@ -125,28 +204,40 @@ fn main() {
     };
 
     // Warm-up run so no timed pass pays first-touch costs.
-    workload(jobs, true).unwrap_or_else(|e| fail(e));
+    workload(jobs, ExecMode::default()).unwrap_or_else(|e| fail(e));
 
+    let per_event_mode = ExecMode {
+        coalesce: false,
+        fuse: true,
+    };
     let t0 = Instant::now();
-    let per_event = workload(1, false).unwrap_or_else(|e| fail(e));
+    let per_event = workload(1, per_event_mode).unwrap_or_else(|e| fail(e));
     let per_event_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let coalesced = workload(1, true).unwrap_or_else(|e| fail(e));
+    let coalesced = workload(1, ExecMode::default()).unwrap_or_else(|e| fail(e));
     let coalesced_s = t1.elapsed().as_secs_f64();
 
     let t2 = Instant::now();
-    let parallel = workload(jobs, true).unwrap_or_else(|e| fail(e));
+    let parallel = workload(jobs, ExecMode::default()).unwrap_or_else(|e| fail(e));
     let parallel_s = t2.elapsed().as_secs_f64();
 
-    let identical = per_event == coalesced && coalesced == parallel;
+    // The jittered pass: every element takes the fused per-event path.
+    let t3 = Instant::now();
+    let jittered = jittered_workload(1, false).unwrap_or_else(|e| fail(e));
+    let jittered_s = t3.elapsed().as_secs_f64();
+    // Control: coalescing enabled must change nothing, because jitter
+    // makes every period digest unique.
+    let jittered_control = jittered_workload(1, true).unwrap_or_else(|e| fail(e));
+
+    let identical = per_event == coalesced && coalesced == parallel && jittered == jittered_control;
     if !identical {
-        eprintln!("ERROR: coalesced/parallel series differ from the per-event reference");
+        eprintln!("ERROR: coalesced/parallel/jittered series differ from their references");
     }
 
     let events = workload_events(jobs).unwrap_or_else(|e| fail(e));
+    let jit_events = jittered_events(jobs).unwrap_or_else(|e| fail(e));
     let coalesce_speedup = per_event_s / coalesced_s;
-    let parallel_speedup = coalesced_s / parallel_s;
 
     // The true machine parallelism, straight from the OS (the --jobs
     // flag may differ).
@@ -154,6 +245,19 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
 
+    // On a single-core host (or an explicit --jobs 1) pass 3 measures
+    // thread-pool overhead, not parallelism — report null, not a bogus
+    // ratio.
+    let (parallel_speedup, parallel_note) = if host > 1 && jobs > 1 {
+        (format!("{:.3}", coalesced_s / parallel_s), String::new())
+    } else {
+        (
+            "null".to_string(),
+            ",\n  \"parallel_note\": \"single_core_host\"".to_string(),
+        )
+    };
+
+    let per_event_eps = jit_events / jittered_s;
     let json = format!(
         "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, 3 MB arrays x60\",\n  \
          \"host_parallelism\": {host},\n  \
@@ -163,8 +267,10 @@ fn main() {
          \"sequential_per_event\": {{ \"wall_s\": {per_event_s:.4}, \"events_per_s\": {pe_eps:.0} }},\n  \
          \"sequential_coalesced\": {{ \"wall_s\": {coalesced_s:.4}, \"events_per_s\": {co_eps:.0} }},\n  \
          \"parallel_coalesced\": {{ \"wall_s\": {parallel_s:.4}, \"events_per_s\": {pa_eps:.0} }},\n  \
+         \"jittered_per_event\": {{ \"wall_s\": {jittered_s:.4}, \"events\": {jit_events}, \"events_per_s\": {per_event_eps:.0} }},\n  \
+         \"per_event_events_per_s\": {per_event_eps:.0},\n  \
          \"coalesce_speedup\": {coalesce_speedup:.3},\n  \
-         \"parallel_speedup\": {parallel_speedup:.3}\n}}\n",
+         \"parallel_speedup\": {parallel_speedup}{parallel_note}\n}}\n",
         pe_eps = events / per_event_s,
         co_eps = events / coalesced_s,
         pa_eps = events / parallel_s,

@@ -16,7 +16,7 @@
 //! distribution only profits once the O(n log n) FFT compute outgrows
 //! that doubled communication.
 
-use crate::{mean_metric, Scale};
+use crate::{mean_metric, ExecMode, Scale};
 use scsq_core::{HardwareSpec, RunOptions, ScsqError};
 use scsq_sim::Series;
 
@@ -53,24 +53,25 @@ pub fn radix2_query(bytes: u64, count: u64) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, sizes: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    run_coalesce(spec, scale, sizes, true)
+    run_with_mode(spec, scale, sizes, ExecMode::default())
 }
 
-/// [`run`] with a coalescing switch (the coalesced and per-event runs
-/// are bit-identical; the switch only changes the wall-clock).
+/// [`run`] with an execution mode (all modes are bit-identical; the
+/// switches only change the wall-clock).
 ///
 /// # Errors
 ///
 /// Propagates query errors.
-pub fn run_coalesce(
+pub fn run_with_mode(
     spec: &HardwareSpec,
     scale: Scale,
     sizes: &[u64],
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Vec<Series>, ScsqError> {
     let options = RunOptions {
         mpi_buffer: 100_000,
-        coalesce,
+        coalesce: mode.coalesce,
+        fuse: mode.fuse,
         ..RunOptions::default()
     };
     let mut single = Series::new("single-node fft");

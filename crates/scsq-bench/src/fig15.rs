@@ -14,7 +14,7 @@
 //! 4. Q1 beats Q2 for the same reason;
 //! 5. Q5 dips at n=5 (only four I/O nodes; psets start sharing).
 
-use crate::{sweep, Scale, SweepPoint};
+use crate::{sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::{ClusterName, HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 
@@ -71,12 +71,12 @@ pub fn query(number: u8, scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, ns, crate::default_jobs(), true)
+    run_with_jobs(spec, scale, ns, crate::default_jobs(), ExecMode::default())
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value) and coalescing
-/// switch. The sweep variable `n` participates in binding, so each
+/// the result is bit-identical for every `jobs` value) and execution
+/// mode. The sweep variable `n` participates in binding, so each
 /// (query, n) pair compiles once and its repetitions replay the plan.
 ///
 /// # Errors
@@ -87,11 +87,12 @@ pub fn run_with_jobs(
     scale: Scale,
     ns: &[u32],
     jobs: usize,
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
     let options = RunOptions {
-        coalesce,
+        coalesce: mode.coalesce,
+        fuse: mode.fuse,
         ..RunOptions::default()
     };
     let mut labels = Vec::new();

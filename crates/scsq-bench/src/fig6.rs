@@ -7,7 +7,7 @@
 //! degradation below (1 KB minimum torus message) and above (cache
 //! misses), and double buffering paying off for large buffers.
 
-use crate::{sweep, Scale, SweepPoint};
+use crate::{sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::{HardwareSpec, NodeId, RunOptions, Scsq, ScsqError};
 use scsq_sim::Series;
 
@@ -31,13 +31,19 @@ pub fn query(scale: Scale) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, buffers, crate::default_jobs(), true)
+    run_with_jobs(
+        spec,
+        scale,
+        buffers,
+        crate::default_jobs(),
+        ExecMode::default(),
+    )
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value) and coalescing
-/// switch (the coalesced and per-event runs are bit-identical too —
-/// `coalesce` only changes the wall-clock).
+/// the result is bit-identical for every `jobs` value) and execution
+/// mode (coalesced/fused and plain per-event runs are bit-identical too
+/// — the mode only changes the wall-clock).
 ///
 /// The query text does not depend on the swept knobs, so the whole
 /// figure — both buffering modes, every buffer size, every repetition —
@@ -51,7 +57,7 @@ pub fn run_with_jobs(
     scale: Scale,
     buffers: &[u64],
     jobs: usize,
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
     let plan = scsq.prepare(&query(scale))?;
@@ -66,7 +72,8 @@ pub fn run_with_jobs(
                 options: RunOptions {
                     mpi_buffer: buffer,
                     mpi_double: double,
-                    coalesce,
+                    coalesce: mode.coalesce,
+                    fuse: mode.fuse,
                     ..RunOptions::default()
                 },
                 spec: spec.clone(),

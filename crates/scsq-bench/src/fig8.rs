@@ -10,7 +10,7 @@
 //! balanced, §5), double buffering matters less than for point-to-point,
 //! and merging needs much larger buffers (co-processor switch penalty).
 
-use crate::{sweep, Scale, SweepPoint};
+use crate::{sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::{HardwareSpec, NodeId, RunOptions, Scsq, ScsqError};
 use scsq_sim::Series;
 
@@ -63,12 +63,18 @@ pub fn query(scale: Scale, selection: Selection) -> String {
 ///
 /// Propagates query errors.
 pub fn run(spec: &HardwareSpec, scale: Scale, buffers: &[u64]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(spec, scale, buffers, crate::default_jobs(), true)
+    run_with_jobs(
+        spec,
+        scale,
+        buffers,
+        crate::default_jobs(),
+        ExecMode::default(),
+    )
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value) and coalescing
-/// switch. One prepared plan per node selection serves both buffering
+/// the result is bit-identical for every `jobs` value) and execution
+/// mode. One prepared plan per node selection serves both buffering
 /// modes and every buffer size.
 ///
 /// # Errors
@@ -79,16 +85,16 @@ pub fn run_with_jobs(
     scale: Scale,
     buffers: &[u64],
     jobs: usize,
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Vec<Series>, ScsqError> {
     let mut scsq = Scsq::with_spec(spec.clone());
     let mut labels = Vec::new();
     let mut points = Vec::with_capacity(4 * buffers.len());
     for selection in [Selection::Sequential, Selection::Balanced] {
         let plan = scsq.prepare(&query(scale, selection))?;
-        for (mode, double) in [("single", false), ("double", true)] {
+        for (buffering, double) in [("single", false), ("double", true)] {
             let si = labels.len();
-            labels.push(format!("{} / {mode} buffering", selection.label()));
+            labels.push(format!("{} / {buffering} buffering", selection.label()));
             for &buffer in buffers {
                 points.push(SweepPoint {
                     series: si,
@@ -97,7 +103,8 @@ pub fn run_with_jobs(
                     options: RunOptions {
                         mpi_buffer: buffer,
                         mpi_double: double,
-                        coalesce,
+                        coalesce: mode.coalesce,
+                        fuse: mode.fuse,
                         ..RunOptions::default()
                     },
                     spec: spec.clone(),

@@ -27,7 +27,7 @@ pub mod pool;
 pub mod report;
 pub mod scaling;
 
-pub use pool::{default_jobs, parse_coalesce, parse_jobs, run_indexed};
+pub use pool::{default_jobs, parse_coalesce, parse_fuse, parse_jobs, run_indexed};
 pub use report::{print_figure, series_to_csv};
 
 use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};
@@ -65,6 +65,39 @@ impl Scale {
             arrays: 10,
             reps: 1,
             jitter: 0.0,
+        }
+    }
+}
+
+/// Execution-path switches shared by every figure runner: which fast
+/// tiers are on. Results are bit-identical for every combination — the
+/// switches only change the wall-clock (coalescing skips events
+/// analytically; fusion swaps the stage interpreter for jump-table
+/// programs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecMode {
+    /// Train coalescing ([`RunOptions::coalesce`]).
+    pub coalesce: bool,
+    /// Fused stage programs ([`RunOptions::fuse`]).
+    pub fuse: bool,
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode {
+            coalesce: true,
+            fuse: true,
+        }
+    }
+}
+
+impl ExecMode {
+    /// Copies the switches into a set of run options.
+    pub fn apply(self, options: RunOptions) -> RunOptions {
+        RunOptions {
+            coalesce: self.coalesce,
+            fuse: self.fuse,
+            ..options
         }
     }
 }

@@ -75,6 +75,31 @@ pub fn parse_coalesce(args: &[String]) -> bool {
     true
 }
 
+/// Parses a `--fuse on|off` / `--fuse=on|off` command-line flag,
+/// defaulting to `true` (fused stage programs on) when absent. Anything
+/// other than `on` or `off` aborts with a usage message.
+pub fn parse_fuse(args: &[String]) -> bool {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--fuse" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--fuse=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value {
+            Some("on") => true,
+            Some("off") => false,
+            _ => {
+                eprintln!("--fuse expects 'on' or 'off' (e.g. --fuse off)");
+                std::process::exit(2);
+            }
+        };
+    }
+    true
+}
+
 /// Runs every job and returns their results in job order.
 ///
 /// With `workers <= 1` (or fewer than two jobs) the jobs run inline on

@@ -20,7 +20,7 @@
 //! the I/O side, and no more — the quantitative version of the paper's
 //! "co-locate back-end RPs to the same compute node until saturation".
 
-use crate::{sweep, Scale, SweepPoint};
+use crate::{sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::{ClusterName, HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 
@@ -74,12 +74,12 @@ fn inbound_query(scale: Scale, be_alloc: &str) -> String {
 ///
 /// Propagates query errors.
 pub fn run(scale: Scale, ns: &[u32]) -> Result<Vec<Series>, ScsqError> {
-    run_with_jobs(scale, ns, crate::default_jobs(), true)
+    run_with_jobs(scale, ns, crate::default_jobs(), ExecMode::default())
 }
 
 /// [`run`] with an explicit worker count (`jobs = 1` runs sequentially;
-/// the result is bit-identical for every `jobs` value) and coalescing
-/// switch. Each (partition, strategy, n) cell compiles once — the
+/// the result is bit-identical for every `jobs` value) and execution
+/// mode. Each (partition, strategy, n) cell compiles once — the
 /// partition changes the hardware the plan is placed against.
 ///
 /// # Errors
@@ -89,10 +89,11 @@ pub fn run_with_jobs(
     scale: Scale,
     ns: &[u32],
     jobs: usize,
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Vec<Series>, ScsqError> {
     let options = RunOptions {
-        coalesce,
+        coalesce: mode.coalesce,
+        fuse: mode.fuse,
         ..RunOptions::default()
     };
     let mut labels = Vec::new();
@@ -136,11 +137,11 @@ pub fn run_with_jobs(
 ///
 /// Propagates query errors.
 pub fn run_host_sweep(scale: Scale, hosts: &[u32]) -> Result<Series, ScsqError> {
-    run_host_sweep_with_jobs(scale, hosts, crate::default_jobs(), true)
+    run_host_sweep_with_jobs(scale, hosts, crate::default_jobs(), ExecMode::default())
 }
 
-/// [`run_host_sweep`] with an explicit worker count and coalescing
-/// switch.
+/// [`run_host_sweep`] with an explicit worker count and execution
+/// mode.
 ///
 /// # Errors
 ///
@@ -149,10 +150,11 @@ pub fn run_host_sweep_with_jobs(
     scale: Scale,
     hosts: &[u32],
     jobs: usize,
-    coalesce: bool,
+    mode: ExecMode,
 ) -> Result<Series, ScsqError> {
     let options = RunOptions {
-        coalesce,
+        coalesce: mode.coalesce,
+        fuse: mode.fuse,
         ..RunOptions::default()
     };
     let streams = 16u32;

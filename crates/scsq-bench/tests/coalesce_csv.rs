@@ -2,8 +2,13 @@
 //! train-coalescing fast path is on or off: the coalescer may only
 //! change wall-clock time, never a figure.
 
-use scsq_bench::{ablation, expensive, fig15, fig6, fig8, scaling, series_to_csv, Scale};
+use scsq_bench::{ablation, expensive, fig15, fig6, fig8, scaling, series_to_csv, ExecMode, Scale};
 use scsq_core::HardwareSpec;
+
+const PER_EVENT: ExecMode = ExecMode {
+    coalesce: false,
+    fuse: true,
+};
 
 fn scale() -> Scale {
     Scale {
@@ -16,8 +21,8 @@ fn scale() -> Scale {
 fn fig6_csv_is_identical() {
     let spec = HardwareSpec::lofar();
     let buffers = [100u64, 1_000, 100_000];
-    let on = fig6::run_with_jobs(&spec, scale(), &buffers, 1, true).unwrap();
-    let off = fig6::run_with_jobs(&spec, scale(), &buffers, 1, false).unwrap();
+    let on = fig6::run_with_jobs(&spec, scale(), &buffers, 1, ExecMode::default()).unwrap();
+    let off = fig6::run_with_jobs(&spec, scale(), &buffers, 1, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()
@@ -28,8 +33,8 @@ fn fig6_csv_is_identical() {
 fn fig8_csv_is_identical() {
     let spec = HardwareSpec::lofar();
     let buffers = [1_000u64, 10_000];
-    let on = fig8::run_with_jobs(&spec, scale(), &buffers, 1, true).unwrap();
-    let off = fig8::run_with_jobs(&spec, scale(), &buffers, 1, false).unwrap();
+    let on = fig8::run_with_jobs(&spec, scale(), &buffers, 1, ExecMode::default()).unwrap();
+    let off = fig8::run_with_jobs(&spec, scale(), &buffers, 1, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()
@@ -39,8 +44,8 @@ fn fig8_csv_is_identical() {
 #[test]
 fn fig15_csv_is_identical() {
     let spec = HardwareSpec::lofar();
-    let on = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, true).unwrap();
-    let off = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, false).unwrap();
+    let on = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, ExecMode::default()).unwrap();
+    let off = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()
@@ -50,8 +55,8 @@ fn fig15_csv_is_identical() {
 #[test]
 fn ablation_csv_is_identical() {
     let spec = HardwareSpec::lofar();
-    let on = ablation::run_with_jobs(&spec, scale(), &[4], 1, true).unwrap();
-    let off = ablation::run_with_jobs(&spec, scale(), &[4], 1, false).unwrap();
+    let on = ablation::run_with_jobs(&spec, scale(), &[4], 1, ExecMode::default()).unwrap();
+    let off = ablation::run_with_jobs(&spec, scale(), &[4], 1, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()
@@ -60,8 +65,8 @@ fn ablation_csv_is_identical() {
 
 #[test]
 fn scaling_csv_is_identical() {
-    let on = scaling::run_with_jobs(scale(), &[4], 1, true).unwrap();
-    let off = scaling::run_with_jobs(scale(), &[4], 1, false).unwrap();
+    let on = scaling::run_with_jobs(scale(), &[4], 1, ExecMode::default()).unwrap();
+    let off = scaling::run_with_jobs(scale(), &[4], 1, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()
@@ -72,8 +77,8 @@ fn scaling_csv_is_identical() {
 fn expensive_csv_is_identical() {
     let spec = HardwareSpec::lofar();
     let sizes = [100_000u64, 1_000_000];
-    let on = expensive::run_coalesce(&spec, scale(), &sizes, true).unwrap();
-    let off = expensive::run_coalesce(&spec, scale(), &sizes, false).unwrap();
+    let on = expensive::run_with_mode(&spec, scale(), &sizes, ExecMode::default()).unwrap();
+    let off = expensive::run_with_mode(&spec, scale(), &sizes, PER_EVENT).unwrap();
     assert_eq!(
         series_to_csv(&on).into_bytes(),
         series_to_csv(&off).into_bytes()

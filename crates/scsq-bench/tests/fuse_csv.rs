@@ -1,0 +1,110 @@
+//! Every figure pipeline must render byte-identical CSV whether stage
+//! chains run as fused programs or through the interpreted fallback:
+//! fusion may only change wall-clock time, never a figure.
+
+use scsq_bench::{ablation, expensive, fig15, fig6, fig8, scaling, series_to_csv, ExecMode, Scale};
+use scsq_core::HardwareSpec;
+
+/// Fusion on, with coalescing also on (the default shipping mode).
+const FUSED: ExecMode = ExecMode {
+    coalesce: true,
+    fuse: true,
+};
+
+/// The interpreted fallback (`--fuse off`).
+const INTERPRETED: ExecMode = ExecMode {
+    coalesce: true,
+    fuse: false,
+};
+
+fn scale() -> Scale {
+    Scale {
+        arrays: 4,
+        ..Scale::quick()
+    }
+}
+
+#[test]
+fn fig6_csv_is_identical() {
+    let spec = HardwareSpec::lofar();
+    let buffers = [100u64, 1_000, 100_000];
+    let on = fig6::run_with_jobs(&spec, scale(), &buffers, 1, FUSED).unwrap();
+    let off = fig6::run_with_jobs(&spec, scale(), &buffers, 1, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+#[test]
+fn fig8_csv_is_identical() {
+    let spec = HardwareSpec::lofar();
+    let buffers = [1_000u64, 10_000];
+    let on = fig8::run_with_jobs(&spec, scale(), &buffers, 1, FUSED).unwrap();
+    let off = fig8::run_with_jobs(&spec, scale(), &buffers, 1, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+#[test]
+fn fig15_csv_is_identical() {
+    let spec = HardwareSpec::lofar();
+    let on = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, FUSED).unwrap();
+    let off = fig15::run_with_jobs(&spec, scale(), &[1, 4], 1, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+#[test]
+fn ablation_csv_is_identical() {
+    let spec = HardwareSpec::lofar();
+    let on = ablation::run_with_jobs(&spec, scale(), &[4], 1, FUSED).unwrap();
+    let off = ablation::run_with_jobs(&spec, scale(), &[4], 1, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+#[test]
+fn scaling_csv_is_identical() {
+    let on = scaling::run_with_jobs(scale(), &[4], 1, FUSED).unwrap();
+    let off = scaling::run_with_jobs(scale(), &[4], 1, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+#[test]
+fn expensive_csv_is_identical() {
+    let spec = HardwareSpec::lofar();
+    let sizes = [100_000u64, 1_000_000];
+    let on = expensive::run_with_mode(&spec, scale(), &sizes, FUSED).unwrap();
+    let off = expensive::run_with_mode(&spec, scale(), &sizes, INTERPRETED).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}
+
+/// The fully-interpreted per-event path (both features off) is the
+/// ground-truth reference; the shipping default must match it too.
+#[test]
+fn default_mode_matches_fully_interpreted_per_event() {
+    let spec = HardwareSpec::lofar();
+    let base = ExecMode {
+        coalesce: false,
+        fuse: false,
+    };
+    let on = fig6::run_with_jobs(&spec, scale(), &[1_000], 1, ExecMode::default()).unwrap();
+    let off = fig6::run_with_jobs(&spec, scale(), &[1_000], 1, base).unwrap();
+    assert_eq!(
+        series_to_csv(&on).into_bytes(),
+        series_to_csv(&off).into_bytes()
+    );
+}

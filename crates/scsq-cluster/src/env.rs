@@ -16,7 +16,7 @@ use crate::ids::{ClusterName, NodeId, NodeKind};
 use crate::specs::HardwareSpec;
 use scsq_net::torus::TransmitOutcome;
 use scsq_net::{Ethernet, FlowId, TorusDims, TorusNet, TreeNet};
-use scsq_sim::{FifoServer, SimDur, SimTime, SwitchingServer};
+use scsq_sim::{FifoServer, SimDur, SimTime, SplitMix64, SwitchingServer};
 use std::collections::HashMap;
 
 /// Which stream carrier a buffer traveled on; the receiving compute
@@ -66,7 +66,53 @@ pub struct Environment {
     io_streams: Vec<usize>,
     /// Refcount of inbound flows per external host.
     host_flows: HashMap<usize, usize>,
+    /// BlueGene rank → pset: the tree next-hop table (which I/O node
+    /// carries a compute node's inter-cluster traffic), precomputed at
+    /// construction so the per-message path does no spec arithmetic.
+    pset_of_rank: Vec<usize>,
+    /// pset → Ethernet host of its I/O node (the Ethernet next-hop
+    /// table).
+    io_host_of_pset: Vec<usize>,
+    /// Multiplicative service-time jitter amplitude for every CPU-side
+    /// service (generate, marshal, compute, de-marshal); 0 = exact.
+    service_jitter: f64,
+    /// Deterministic factor stream for the jitter draws.
+    jitter_rng: SplitMix64,
+    /// One-entry service memo for the marshal path (streams send runs of
+    /// equal-sized buffers, so the division in `SimDur::for_bytes`
+    /// almost always repeats verbatim).
+    marshal_memo: SvcMemo,
+    /// One-entry service memo for the de-marshal path.
+    demarshal_memo: SvcMemo,
 }
+
+/// A one-entry `(bytes, rate) → SimDur::for_bytes(bytes, rate)` memo.
+/// Pure derived data: never probed, never observable — a hit returns
+/// exactly what the recomputation would.
+#[derive(Debug, Clone, Copy, Default)]
+struct SvcMemo {
+    bytes: u64,
+    rate: f64,
+    service: SimDur,
+}
+
+impl SvcMemo {
+    fn get(&mut self, bytes: u64, rate: f64) -> SimDur {
+        if self.bytes != bytes || self.rate != rate {
+            *self = SvcMemo {
+                bytes,
+                rate,
+                service: SimDur::for_bytes(bytes, rate),
+            };
+        }
+        self.service
+    }
+}
+
+/// Seed of the service-jitter factor stream. Fixed so two runs with the
+/// same options see the same jitter sequence (reproducibility), distinct
+/// from the hardware-jitter seeds used by the bench harness.
+const JITTER_SEED: u64 = 0x5c5a_917e_0b5e_ed01;
 
 impl Environment {
     /// Builds an idle environment from a hardware specification.
@@ -121,7 +167,35 @@ impl Environment {
             inbound: HashMap::new(),
             io_streams: vec![0; psets],
             host_flows: HashMap::new(),
+            pset_of_rank: (0..cn_count).map(|rank| spec.pset_of(rank)).collect(),
+            io_host_of_pset: (0..psets).map(|p| linux_count + p).collect(),
+            service_jitter: 0.0,
+            jitter_rng: SplitMix64::new(JITTER_SEED),
+            marshal_memo: SvcMemo::default(),
+            demarshal_memo: SvcMemo::default(),
             spec,
+        }
+    }
+
+    /// Enables multiplicative service-time jitter of amplitude `amp` on
+    /// every CPU-side service, resetting the factor stream so equal
+    /// options give bit-identical runs. Jitter makes every buffer
+    /// period unique: each marshal/de-marshal draws a factor, the RNG
+    /// state is opaque shape in [`Environment::probe`], and so
+    /// train-coalescing provably cannot fire.
+    pub fn set_service_jitter(&mut self, amp: f64) {
+        assert!((0.0..1.0).contains(&amp), "amplitude must be in [0,1)");
+        self.service_jitter = amp;
+        self.jitter_rng = SplitMix64::new(JITTER_SEED);
+    }
+
+    /// The next service-scale factor (exactly 1.0 with jitter off — the
+    /// scaling fast paths compare against it).
+    fn jitter_factor(&mut self) -> f64 {
+        if self.service_jitter > 0.0 {
+            self.jitter_rng.jitter(self.service_jitter)
+        } else {
+            1.0
         }
     }
 
@@ -169,7 +243,7 @@ impl Environment {
 
     /// The Ethernet host index of pset `pset`'s I/O node.
     pub fn io_host(&self, pset: usize) -> usize {
-        self.spec.front_end_nodes + self.spec.back_end_nodes + pset
+        self.io_host_of_pset[pset]
     }
 
     /// The pset of a BlueGene compute node.
@@ -183,7 +257,7 @@ impl Environment {
             ClusterName::BlueGene,
             "pset_of called on {node}"
         );
-        self.spec.pset_of(node.index)
+        self.pset_of_rank[node.index]
     }
 
     // ----- CPU primitives ---------------------------------------------
@@ -191,14 +265,45 @@ impl Environment {
     /// Charges element-generation CPU time on `node` for `bytes` of
     /// output ready at `ready`; returns when generation completes.
     pub fn generate(&mut self, node: NodeId, bytes: u64, ready: SimTime) -> SimTime {
+        let factor = self.jitter_factor();
+        self.generate_scaled(node, bytes, ready, factor)
+    }
+
+    /// Like [`Environment::generate`], with the service time multiplied
+    /// by `factor` — the hook for jittered-service-time workloads (a
+    /// factor drawn per element from an RNG makes the production schedule
+    /// aperiodic, which provably defeats train coalescing).
+    pub fn generate_scaled(
+        &mut self,
+        node: NodeId,
+        bytes: u64,
+        ready: SimTime,
+        factor: f64,
+    ) -> SimTime {
         let (server, rate) = self.tx_server(node, true);
-        server.serve(ready, SimDur::for_bytes(bytes, rate)).finish
+        let service = SimDur::for_bytes(bytes, rate);
+        let service = if factor == 1.0 {
+            service
+        } else {
+            service * factor
+        };
+        server.serve(ready, service).finish
     }
 
     /// Charges marshaling CPU time (§2.3 step ii) on `node`.
     pub fn marshal(&mut self, node: NodeId, bytes: u64, ready: SimTime) -> SimTime {
+        let factor = self.jitter_factor();
+        let mut memo = self.marshal_memo;
         let (server, rate) = self.tx_server(node, false);
-        server.serve(ready, SimDur::for_bytes(bytes, rate)).finish
+        let service = memo.get(bytes, rate);
+        let service = if factor == 1.0 {
+            service
+        } else {
+            service * factor
+        };
+        let finish = server.serve(ready, service).finish;
+        self.marshal_memo = memo;
+        finish
     }
 
     /// Charges general stream-operator compute time on `node`'s compute
@@ -208,10 +313,32 @@ impl Environment {
         if bytes_equiv == 0 {
             return ready;
         }
+        let factor = self.jitter_factor();
+        self.compute_scaled(node, bytes_equiv, ready, factor)
+    }
+
+    /// Like [`Environment::compute`], with the service time multiplied
+    /// by `factor` — the per-element-processing counterpart of
+    /// [`Environment::generate_scaled`] for jittered-service-time
+    /// workloads.
+    pub fn compute_scaled(
+        &mut self,
+        node: NodeId,
+        bytes_equiv: u64,
+        ready: SimTime,
+        factor: f64,
+    ) -> SimTime {
+        if bytes_equiv == 0 {
+            return ready;
+        }
         let (server, rate) = self.tx_server(node, false);
-        server
-            .serve(ready, SimDur::for_bytes(bytes_equiv, rate))
-            .finish
+        let service = SimDur::for_bytes(bytes_equiv, rate);
+        let service = if factor == 1.0 {
+            service
+        } else {
+            service * factor
+        };
+        server.serve(ready, service).finish
     }
 
     /// Charges de-marshaling CPU time (§2.3 step v) on `node` for a
@@ -238,14 +365,28 @@ impl Environment {
                         self.spec.cn_recv_switch,
                     ),
                 };
-                let service = SimDur::for_bytes(bytes, rate);
+                let factor = self.jitter_factor();
+                let service = self.demarshal_memo.get(bytes, rate);
+                let service = if factor == 1.0 {
+                    service
+                } else {
+                    service * factor
+                };
                 self.cn_rx[node.index]
                     .serve_from_with_cost(flow.0, ready, service, switch)
                     .finish
             }
             _ => {
+                let factor = self.jitter_factor();
                 let slot = self.linux_slot(node);
-                let service = SimDur::for_bytes(bytes, self.spec.linux_demarshal.bytes_per_sec());
+                let service = self
+                    .demarshal_memo
+                    .get(bytes, self.spec.linux_demarshal.bytes_per_sec());
+                let service = if factor == 1.0 {
+                    service
+                } else {
+                    service * factor
+                };
                 self.linux_rx[slot].serve(ready, service).finish
             }
         }
@@ -497,6 +638,13 @@ impl Environment {
     /// the gap is frozen into the shape, so a steady-drop regime only
     /// jumps when the backlog is perfectly rigid between cuts.
     pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>, now: SimTime, udp_active: bool) {
+        // Jitter makes every period unique by construction: the factor
+        // stream's state is opaque shape, so any draw between two
+        // digests blocks a coalescing jump.
+        p.shape(self.service_jitter.to_bits());
+        if self.service_jitter > 0.0 {
+            p.shape(self.jitter_rng.state());
+        }
         self.torus.probe(p, now);
         self.tree.probe(p);
         self.ether.probe(p);
@@ -587,6 +735,23 @@ mod tests {
         assert_eq!(env.ether_host_of(NodeId::bg(0)), None);
         assert_eq!(env.io_host(0), 6);
         assert_eq!(env.io_host(3), 9);
+    }
+
+    #[test]
+    fn next_hop_tables_match_spec_arithmetic() {
+        // The precomputed tree/Ethernet next-hop tables must agree with
+        // the spec's defining arithmetic for every rank and pset.
+        let env = Environment::lofar();
+        let spec = env.spec().clone();
+        for rank in 0..spec.bg_compute_nodes() {
+            assert_eq!(env.pset_of(NodeId::bg(rank)), spec.pset_of(rank));
+        }
+        for pset in 0..spec.psets() {
+            assert_eq!(
+                env.io_host(pset),
+                spec.front_end_nodes + spec.back_end_nodes + pset
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,567 @@
+//! Fused stage programs: the per-event fast path.
+//!
+//! The interpreted [`StageChain`] re-matches on every stage enum for
+//! every element and allocates a fresh `Vec<Value>` per stage per call.
+//! That is fine at end-of-stream flush rates but dominates the
+//! per-event execution path whenever train coalescing cannot fire
+//! (jittered service times, data-dependent stages). A [`FusedProgram`]
+//! is the `Scsq::prepare`-time lowering of a pipeline: each stage is
+//! resolved once to a direct jump-table entry ([`StageFn`]) and the
+//! compute-cost accounting is compiled to a compact op list with a
+//! one-entry memo, so the inner loop is a straight call chain with no
+//! enum dispatch, no re-validation, and — together with the chain's
+//! reusable ping-pong scratch buffers — no allocation per tuple.
+//!
+//! Correctness bar: the fused executor mutates the *same*
+//! [`StageState`] representation as the interpreter, feeds every stage
+//! the same input sequence in the same order (stages are
+//! order-preserving stateful flat-maps, so breadth-first scratch
+//! passes and the interpreter's depth-first recursion produce the same
+//! outputs), and delegates end-of-stream flushing and coalescer probes
+//! to the interpreted chain. Byte-identical figure CSVs with fusion on
+//! or off are enforced by `tests/fuse_csv.rs`.
+
+use crate::error::EngineError;
+use crate::funcs;
+use crate::ops::{AggKind, MapFunc, Pipeline, Stage, StageChain, StageState};
+use scsq_ql::{SpHandle, Value};
+use scsq_sim::StateProbe;
+
+/// One compiled compute-cost operation. Only stages that charge CPU
+/// time appear; everything else is dropped at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostOp {
+    /// An elementwise function charged via `funcs::map_cost_bytes`;
+    /// decimating maps halve the element size seen downstream.
+    Map(MapFunc),
+    /// A radix combine charged one unit per element byte.
+    Radix,
+}
+
+/// A pipeline lowered at prepare time: the validated stage list plus
+/// the compiled cost ops. Pure data (no function pointers), so it can
+/// live inside the shared [`crate::builder::QueryGraph`] and be
+/// compared/cloned like the rest of the plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedProgram {
+    /// The stage list this program was lowered from.
+    pub stages: Vec<Stage>,
+    cost_ops: Vec<CostOp>,
+}
+
+impl FusedProgram {
+    /// Lowers a pipeline's stage chain into a fused program.
+    pub fn compile(pipeline: &Pipeline) -> FusedProgram {
+        let cost_ops = pipeline
+            .stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Map(f) => Some(CostOp::Map(*f)),
+                Stage::RadixCombine { .. } => Some(CostOp::Radix),
+                _ => None,
+            })
+            .collect();
+        FusedProgram {
+            stages: pipeline.stages.clone(),
+            cost_ops,
+        }
+    }
+
+    /// Instantiates the per-run cost accounting for this program.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            ops: self.cost_ops.clone(),
+            memo: None,
+        }
+    }
+}
+
+/// Per-run compute-cost accounting: the compiled op list plus a
+/// single-entry memo. Streaming workloads feed long runs of
+/// identically-sized elements, so the memo turns the per-element cost
+/// walk into one comparison.
+#[derive(Debug)]
+pub struct CostModel {
+    ops: Vec<CostOp>,
+    memo: Option<(u64, u64)>,
+}
+
+impl CostModel {
+    /// CPU cost (in byte-equivalents) of pushing one element of
+    /// `elem_bytes` marshaled bytes through the chain. Identical to
+    /// walking the stage list per element: decimation halves the size
+    /// seen by later stages.
+    pub fn cost(&mut self, elem_bytes: u64) -> u64 {
+        if self.ops.is_empty() {
+            return 0;
+        }
+        if let Some((b, c)) = self.memo {
+            if b == elem_bytes {
+                return c;
+            }
+        }
+        let mut bytes = elem_bytes;
+        let mut cost = 0u64;
+        for op in &self.ops {
+            match op {
+                CostOp::Map(f) => {
+                    cost += funcs::map_cost_bytes(*f, bytes);
+                    if matches!(f, MapFunc::Odd | MapFunc::Even) {
+                        bytes /= 2;
+                    }
+                }
+                CostOp::Radix => cost += bytes,
+            }
+        }
+        self.memo = Some((elem_bytes, cost));
+        cost
+    }
+}
+
+/// One fused stage step: consume `value`, mutate the stage's state,
+/// append any outputs. Resolved once per stage at chain build time.
+type StageFn =
+    fn(&mut StageState, Value, Option<SpHandle>, &mut Vec<Value>) -> Result<(), EngineError>;
+
+/// The fused executor: the interpreter's stage states driven by a
+/// pre-resolved jump table over reusable scratch buffers.
+#[derive(Debug)]
+pub struct FusedChain {
+    chain: StageChain,
+    ops: Vec<StageFn>,
+    cur: Vec<Value>,
+    nxt: Vec<Value>,
+}
+
+impl FusedChain {
+    /// Instantiates runtime state for a fused program.
+    pub fn new(program: &FusedProgram) -> FusedChain {
+        let ops = program.stages.iter().map(resolve).collect();
+        FusedChain {
+            chain: StageChain::from_stages(&program.stages),
+            ops,
+            cur: Vec::new(),
+            nxt: Vec::new(),
+        }
+    }
+
+    /// Feeds one element through the chain, appending whatever falls
+    /// out the end to `out`. Equivalent to [`StageChain::process`] but
+    /// allocation-free after warm-up: elements move between the two
+    /// scratch buffers, one stage at a time.
+    ///
+    /// # Errors
+    ///
+    /// Type errors when an elementwise function meets an incompatible
+    /// value.
+    pub fn process_into(
+        &mut self,
+        value: Value,
+        from: Option<SpHandle>,
+        out: &mut Vec<Value>,
+    ) -> Result<(), EngineError> {
+        if self.ops.is_empty() {
+            out.push(value);
+            return Ok(());
+        }
+        self.cur.clear();
+        self.cur.push(value);
+        for (i, op) in self.ops.iter().enumerate() {
+            if self.cur.is_empty() {
+                return Ok(());
+            }
+            self.nxt.clear();
+            for v in self.cur.drain(..) {
+                op(&mut self.chain.stages[i], v, from, &mut self.nxt)?;
+            }
+            std::mem::swap(&mut self.cur, &mut self.nxt);
+        }
+        out.append(&mut self.cur);
+        Ok(())
+    }
+
+    /// Signals end of stream; aggregates flush. Delegates to the
+    /// interpreted chain (it runs once per RP, off the hot path, and
+    /// sharing the code makes flush semantics identical by
+    /// construction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates type errors from downstream stages processing flushed
+    /// values.
+    pub fn finish(&mut self) -> Result<Vec<Value>, EngineError> {
+        self.chain.finish()
+    }
+
+    /// Walks the chain's mutable state through a coalescing probe —
+    /// the same walk as the interpreted chain, over the same states.
+    pub(crate) fn probe(
+        &mut self,
+        p: &mut StateProbe<'_>,
+        probe_value: &mut dyn FnMut(&Value, &mut StateProbe<'_>),
+    ) {
+        self.chain.probe(p, probe_value);
+    }
+}
+
+/// Resolves one stage to its jump-table entry. Aggregates resolve per
+/// kind and maps per function, so no per-element `match` survives into
+/// the inner loop.
+fn resolve(stage: &Stage) -> StageFn {
+    match stage {
+        Stage::Map(MapFunc::Odd) => step_map_odd,
+        Stage::Map(MapFunc::Even) => step_map_even,
+        Stage::Map(MapFunc::Fft) => step_map_fft,
+        Stage::Map(MapFunc::Power) => step_map_power,
+        Stage::Agg(AggKind::Count) => step_count,
+        Stage::Agg(AggKind::Sum) | Stage::Agg(AggKind::Avg) => step_sum,
+        Stage::Agg(AggKind::Max) => step_max,
+        Stage::Agg(AggKind::Min) => step_min,
+        Stage::StreamOf => step_identity,
+        Stage::RadixCombine { .. } => step_radix,
+        Stage::Window(_) => step_window,
+        Stage::Take { .. } => step_take,
+    }
+}
+
+fn step_identity(
+    _s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    out.push(value);
+    Ok(())
+}
+
+macro_rules! step_map {
+    ($name:ident, $f:expr) => {
+        fn $name(
+            _s: &mut StageState,
+            value: Value,
+            _from: Option<SpHandle>,
+            out: &mut Vec<Value>,
+        ) -> Result<(), EngineError> {
+            out.push(funcs::apply_map($f, value)?);
+            Ok(())
+        }
+    };
+}
+
+step_map!(step_map_odd, MapFunc::Odd);
+step_map!(step_map_even, MapFunc::Even);
+step_map!(step_map_fft, MapFunc::Fft);
+step_map!(step_map_power, MapFunc::Power);
+
+fn step_count(
+    s: &mut StageState,
+    _value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Agg { count, .. } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    *count += 1;
+    Ok(())
+}
+
+fn step_sum(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Agg {
+        count,
+        sum_int,
+        sum_real,
+        saw_real,
+        ..
+    } = s
+    else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    *count += 1;
+    let Some(x) = value.as_real() else {
+        return Err(EngineError::type_error("number", &value, "aggregate"));
+    };
+    match &value {
+        Value::Integer(i) => *sum_int += i,
+        _ => {
+            *saw_real = true;
+            *sum_real += x;
+        }
+    }
+    Ok(())
+}
+
+fn step_max(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Agg { count, best, .. } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    *count += 1;
+    let Some(x) = value.as_real() else {
+        return Err(EngineError::type_error("number", &value, "aggregate"));
+    };
+    if best.as_ref().and_then(Value::as_real).is_none_or(|b| x > b) {
+        *best = Some(value);
+    }
+    Ok(())
+}
+
+fn step_min(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Agg { count, best, .. } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    *count += 1;
+    let Some(x) = value.as_real() else {
+        return Err(EngineError::type_error("number", &value, "aggregate"));
+    };
+    if best.as_ref().and_then(Value::as_real).is_none_or(|b| x < b) {
+        *best = Some(value);
+    }
+    Ok(())
+}
+
+fn step_radix(
+    s: &mut StageState,
+    value: Value,
+    from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::RadixCombine {
+        first,
+        second,
+        q_first,
+        q_second,
+    } = s
+    else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    match from {
+        Some(h) if h == *first => q_first.push_back(value),
+        Some(h) if h == *second => q_second.push_back(value),
+        _ => {
+            return Err(EngineError::Runtime(format!(
+                "radixcombine received an element from an unexpected producer {from:?}"
+            )))
+        }
+    }
+    while !q_first.is_empty() && !q_second.is_empty() {
+        let odd = q_first.pop_front().expect("non-empty");
+        let even = q_second.pop_front().expect("non-empty");
+        out.push(funcs::radix_combine(even, odd)?);
+    }
+    Ok(())
+}
+
+fn step_window(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Window(w) = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    out.extend(w.push(value)?);
+    Ok(())
+}
+
+fn step_take(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Take { remaining } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    if *remaining > 0 {
+        *remaining -= 1;
+        out.push(value);
+    }
+    Ok(())
+}
+
+/// The runtime's per-RP executor: the fused fast path by default, the
+/// interpreted chain as the `--fuse off` fallback.
+#[derive(Debug)]
+pub(crate) enum ExecChain {
+    /// Tier 3: the recursive interpreter.
+    Interpreted(StageChain),
+    /// Tier 2: the fused jump-table chain.
+    Fused(FusedChain),
+}
+
+impl ExecChain {
+    /// Builds the executor selected by `fuse` for a prepared program.
+    pub(crate) fn new(program: &FusedProgram, fuse: bool) -> ExecChain {
+        if fuse {
+            ExecChain::Fused(FusedChain::new(program))
+        } else {
+            ExecChain::Interpreted(StageChain::from_stages(&program.stages))
+        }
+    }
+
+    /// Feeds one element through, appending outputs to `out`.
+    pub(crate) fn process_into(
+        &mut self,
+        value: Value,
+        from: Option<SpHandle>,
+        out: &mut Vec<Value>,
+    ) -> Result<(), EngineError> {
+        match self {
+            ExecChain::Interpreted(c) => {
+                out.extend(c.process(value, from)?);
+                Ok(())
+            }
+            ExecChain::Fused(f) => f.process_into(value, from, out),
+        }
+    }
+
+    /// Signals end of stream; aggregates flush.
+    pub(crate) fn finish(&mut self) -> Result<Vec<Value>, EngineError> {
+        match self {
+            ExecChain::Interpreted(c) => c.finish(),
+            ExecChain::Fused(f) => f.finish(),
+        }
+    }
+
+    /// Walks the executor's mutable state through a coalescing probe.
+    pub(crate) fn probe(
+        &mut self,
+        p: &mut StateProbe<'_>,
+        probe_value: &mut dyn FnMut(&Value, &mut StateProbe<'_>),
+    ) {
+        match self {
+            ExecChain::Interpreted(c) => c.probe(p, probe_value),
+            ExecChain::Fused(f) => f.probe(p, probe_value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::InputKind;
+
+    fn pipeline(stages: Vec<Stage>) -> Pipeline {
+        Pipeline {
+            input: InputKind::Const { values: vec![] },
+            stages,
+        }
+    }
+
+    fn run_both(
+        stages: Vec<Stage>,
+        feed: &[(Value, Option<SpHandle>)],
+    ) -> (Vec<Value>, Vec<Value>) {
+        let p = pipeline(stages);
+        let program = FusedProgram::compile(&p);
+        let mut fused = FusedChain::new(&program);
+        let mut interp = StageChain::new(&p);
+        let mut fused_out = Vec::new();
+        for (v, from) in feed {
+            fused
+                .process_into(v.clone(), *from, &mut fused_out)
+                .unwrap();
+        }
+        fused_out.extend(fused.finish().unwrap());
+        let mut interp_out = Vec::new();
+        for (v, from) in feed {
+            interp_out.extend(interp.process(v.clone(), *from).unwrap());
+        }
+        interp_out.extend(interp.finish().unwrap());
+        (fused_out, interp_out)
+    }
+
+    #[test]
+    fn empty_program_is_identity() {
+        let (f, i) = run_both(vec![], &[(Value::Integer(5), None)]);
+        assert_eq!(f, i);
+        assert_eq!(f, vec![Value::Integer(5)]);
+    }
+
+    #[test]
+    fn fused_matches_interpreted_on_map_agg_take() {
+        let feed: Vec<(Value, Option<SpHandle>)> = (0..10)
+            .map(|i| (Value::synthetic_array(256 + i), None))
+            .collect();
+        let (f, i) = run_both(
+            vec![
+                Stage::Map(MapFunc::Odd),
+                Stage::Take { limit: 6 },
+                Stage::Agg(AggKind::Count),
+            ],
+            &feed,
+        );
+        assert_eq!(f, i);
+        assert_eq!(f, vec![Value::Integer(6)]);
+    }
+
+    #[test]
+    fn fused_type_errors_match_interpreted() {
+        let p = pipeline(vec![Stage::Agg(AggKind::Sum)]);
+        let program = FusedProgram::compile(&p);
+        let mut fused = FusedChain::new(&program);
+        let mut interp = StageChain::new(&p);
+        let mut out = Vec::new();
+        let fe = fused
+            .process_into(Value::from("x"), None, &mut out)
+            .unwrap_err();
+        let ie = interp.process(Value::from("x"), None).unwrap_err();
+        assert_eq!(fe.to_string(), ie.to_string());
+    }
+
+    #[test]
+    fn cost_model_matches_stage_walk() {
+        let p = pipeline(vec![
+            Stage::Map(MapFunc::Odd),
+            Stage::Map(MapFunc::Fft),
+            Stage::RadixCombine {
+                first: SpHandle(1),
+                second: SpHandle(2),
+            },
+            Stage::Agg(AggKind::Count),
+        ]);
+        let mut model = FusedProgram::compile(&p).cost_model();
+        for elem_bytes in [0u64, 8, 1000, 1001, 1_000_000] {
+            let mut bytes = elem_bytes;
+            let mut want = 0u64;
+            for s in &p.stages {
+                match s {
+                    Stage::Map(f) => {
+                        want += funcs::map_cost_bytes(*f, bytes);
+                        if matches!(f, MapFunc::Odd | MapFunc::Even) {
+                            bytes /= 2;
+                        }
+                    }
+                    Stage::RadixCombine { .. } => want += bytes,
+                    _ => {}
+                }
+            }
+            assert_eq!(model.cost(elem_bytes), want);
+            // The memo must not change the answer.
+            assert_eq!(model.cost(elem_bytes), want);
+        }
+    }
+
+    #[test]
+    fn cost_model_is_free_without_costly_stages() {
+        let p = pipeline(vec![Stage::Agg(AggKind::Count), Stage::StreamOf]);
+        let mut model = FusedProgram::compile(&p).cost_model();
+        assert_eq!(model.cost(123_456), 0);
+    }
+}

@@ -34,6 +34,7 @@ pub mod coordinator;
 pub mod error;
 pub mod explain;
 pub mod funcs;
+pub mod fused;
 pub mod measure;
 pub mod ops;
 pub mod placement;
@@ -45,6 +46,7 @@ pub use builder::{QueryBuilder, QueryGraph, SpSpec};
 pub use coordinator::{ClientManager, Coordinator, PreparedQuery};
 pub use error::EngineError;
 pub use explain::{describe_pipeline, explain_graph};
+pub use fused::{CostModel, FusedChain, FusedProgram};
 pub use measure::{ChannelReport, QueryResult, QueryStats, RpReport};
 pub use ops::{AggKind, InputKind, MapFunc, Pipeline, Stage};
 pub use placement::PlacementPolicy;

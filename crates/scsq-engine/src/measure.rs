@@ -60,6 +60,8 @@ pub struct QueryStats {
     pub rps: usize,
     /// What the train coalescer did (all zero when it was disabled).
     pub coalesce: scsq_sim::CoalesceStats,
+    /// Whether stage chains ran as fused programs (`RunOptions::fuse`).
+    pub fused: bool,
 }
 
 /// The outcome of executing one continuous query to completion.
@@ -202,6 +204,7 @@ mod tests {
                 events: 10,
                 rps: 4,
                 coalesce: scsq_sim::CoalesceStats::default(),
+                fused: true,
             },
         )
     }

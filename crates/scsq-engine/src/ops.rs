@@ -152,9 +152,12 @@ impl Pipeline {
     }
 }
 
-/// Runtime state of one stage.
+/// Runtime state of one stage. Shared between the interpreted chain
+/// below and the fused jump-table chain (`crate::fused`): both mutate
+/// the same representation, so probes and aggregate flushes are
+/// identical by construction regardless of which executor ran.
 #[derive(Debug)]
-enum StageState {
+pub(crate) enum StageState {
     Map(MapFunc),
     Agg {
         kind: AggKind,
@@ -181,14 +184,18 @@ enum StageState {
 /// Runtime interpreter for a [`Pipeline`]'s stage chain.
 #[derive(Debug)]
 pub struct StageChain {
-    stages: Vec<StageState>,
+    pub(crate) stages: Vec<StageState>,
 }
 
 impl StageChain {
     /// Instantiates runtime state for a pipeline's stages.
     pub fn new(pipeline: &Pipeline) -> StageChain {
-        let stages = pipeline
-            .stages
+        Self::from_stages(&pipeline.stages)
+    }
+
+    /// Instantiates runtime state for a bare stage list.
+    pub(crate) fn from_stages(stage_list: &[Stage]) -> StageChain {
+        let stages = stage_list
             .iter()
             .map(|s| match s {
                 Stage::Map(f) => StageState::Map(*f),

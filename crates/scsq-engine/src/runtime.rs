@@ -15,8 +15,9 @@ use crate::builder::QueryGraph;
 use crate::coordinator::Coordinator;
 use crate::error::EngineError;
 use crate::funcs;
+use crate::fused::{CostModel, ExecChain, FusedProgram};
 use crate::measure::{ChannelReport, QueryResult, QueryStats};
-use crate::ops::{InputKind, Pipeline, Stage, StageChain};
+use crate::ops::{InputKind, Pipeline};
 use scsq_cluster::{ClusterName, Environment, NodeId};
 use scsq_net::FlowId;
 use scsq_ql::{Batch, SpHandle, Value};
@@ -51,6 +52,16 @@ pub struct RunOptions {
     /// events). Disable to force per-event execution, e.g. when
     /// measuring the uncoalesced baseline.
     pub coalesce: bool,
+    /// Execute stage chains as fused jump-table programs instead of the
+    /// recursive interpreter. Identical outputs either way; disable to
+    /// measure the interpreted baseline (`--fuse off`).
+    pub fuse: bool,
+    /// Relative amplitude of multiplicative service-time jitter applied
+    /// to every CPU-side service (element generation, marshal, compute,
+    /// de-marshal; 0.0 disables it). Non-zero jitter makes every buffer
+    /// period unique, so train coalescing provably cannot fire — the
+    /// knob behind the per-event benchmark pass.
+    pub service_jitter: f64,
 }
 
 impl Default for RunOptions {
@@ -64,6 +75,8 @@ impl Default for RunOptions {
             placement: crate::placement::PlacementPolicy::Naive,
             udp_inter_cluster: false,
             coalesce: true,
+            fuse: true,
+            service_jitter: 0.0,
         }
     }
 }
@@ -75,9 +88,9 @@ struct GenRt {
 
 struct RpState {
     node: NodeId,
-    chain: StageChain,
-    /// Static stage list, for compute-cost accounting.
-    stages: Vec<Stage>,
+    chain: ExecChain,
+    /// Compiled compute-cost accounting for the stage chain.
+    cost: CostModel,
     /// Output channel indices.
     outputs: Vec<usize>,
     /// Input channels still streaming.
@@ -110,6 +123,10 @@ pub(crate) struct World {
     first_result_at: Option<SimTime>,
     finished_at: Option<SimTime>,
     error: Option<EngineError>,
+    /// Reusable output buffer for `process_and_emit`: taken, filled,
+    /// drained, and returned on every element, so the hot path never
+    /// allocates a fresh `Vec` per processed tuple.
+    scratch: Vec<Value>,
 }
 
 pub(crate) type Sim = TypedSimulator<World, Ev>;
@@ -264,6 +281,7 @@ impl World {
             first_result_at,
             finished_at,
             error,
+            scratch: _,
         } = self;
         // UDP drop decisions depend on I/O-node backlog; tell the
         // environment to guard it while any UDP channel is still live.
@@ -313,12 +331,18 @@ pub fn run_graph(
         rp_of.insert(sp.handle, i);
     }
     let client_rp = graph.sps.len();
+    // Service-time jitter lives in the environment: every CPU-side
+    // service (generate, marshal, compute, de-marshal) draws a factor
+    // from its deterministic stream, so even within-transfer buffer
+    // periods are unique and train-coalescing provably cannot fire.
+    env.set_service_jitter(options.service_jitter);
 
     let mut rps: Vec<RpState> = Vec::with_capacity(graph.sps.len() + 1);
     let mut channels: Vec<ChannelRt> = Vec::new();
     let mut flow_counter = 0u64;
 
     let mut make_rp = |pipeline: &Pipeline,
+                       program: &FusedProgram,
                        node: NodeId,
                        dst_rp: usize,
                        is_client: bool,
@@ -395,8 +419,8 @@ pub fn run_graph(
         };
         Ok(RpState {
             node,
-            chain: StageChain::new(pipeline),
-            stages: pipeline.stages.clone(),
+            chain: ExecChain::new(program, options.fuse),
+            cost: program.cost_model(),
             outputs: Vec::new(),
             eos_remaining: producers.len(),
             gen,
@@ -411,6 +435,7 @@ pub fn run_graph(
     for (i, sp) in graph.sps.iter().enumerate() {
         let rp = make_rp(
             &sp.pipeline,
+            &sp.program,
             sp.node,
             i,
             false,
@@ -422,6 +447,7 @@ pub fn run_graph(
     }
     let client = make_rp(
         &graph.client,
+        &graph.client_program,
         graph.client_node,
         client_rp,
         true,
@@ -445,6 +471,7 @@ pub fn run_graph(
         first_result_at: None,
         finished_at: None,
         error: None,
+        scratch: Vec::new(),
     };
     // Pending-event population is bounded by the graph shape (each RP
     // has at most one self-scheduled tick; each channel a handful of
@@ -519,6 +546,7 @@ pub fn run_graph(
             events,
             rps: world.rps.len(),
             coalesce,
+            fused: options.fuse,
         },
     ))
 }
@@ -559,7 +587,8 @@ fn produce(world: &mut World, sim: &mut Sim, idx: usize) {
         return;
     }
     let value = Value::synthetic_array(bytes);
-    let done = world.env.generate(node, bytes, sim.now());
+    let now = sim.now();
+    let done = world.env.generate(node, bytes, now);
     process_and_emit(world, sim, idx, value, None, done);
     sim.schedule_at(done, Ev::Produce(idx));
 }
@@ -596,53 +625,45 @@ fn process_and_emit(
     world.rps[idx].elements_in += 1;
     // Charge compute time for expensive stages (§5: "it is also
     // important to analyze the performance of continuous queries
-    // involving expensive functions"), tracking how each stage
-    // transforms the element size (decimation halves it, so a
-    // radix2-style plan's FFTs run on half-size arrays). The charge
-    // applies to every element — including ones an aggregate absorbs.
-    let mut bytes = elem_bytes;
-    let mut cost = 0u64;
-    for s in &world.rps[idx].stages {
-        match s {
-            Stage::Map(f) => {
-                cost += funcs::map_cost_bytes(*f, bytes);
-                if matches!(f, crate::ops::MapFunc::Odd | crate::ops::MapFunc::Even) {
-                    bytes /= 2;
-                }
-            }
-            Stage::RadixCombine { .. } => cost += bytes,
-            _ => {}
-        }
-    }
+    // involving expensive functions"). The compiled cost model tracks
+    // how each stage transforms the element size (decimation halves it,
+    // so a radix2-style plan's FFTs run on half-size arrays) and memoizes
+    // the answer for the streaming case of same-size elements. The
+    // charge applies to every element — including ones an aggregate
+    // absorbs.
+    let cost = world.rps[idx].cost.cost(elem_bytes);
     let node = world.rps[idx].node;
     let ready = world.env.compute(node, cost, at);
-    let outputs = match world.rps[idx].chain.process(value, from) {
-        Ok(o) => o,
-        Err(e) => {
-            world.error = Some(e);
-            return;
-        }
-    };
-    if outputs.is_empty() {
+    // Process into the world's reusable scratch buffer: no per-element
+    // `Vec` on the hot path.
+    let mut out = std::mem::take(&mut world.scratch);
+    out.clear();
+    if let Err(e) = world.rps[idx].chain.process_into(value, from, &mut out) {
+        world.error = Some(e);
+        world.scratch = out;
         return;
     }
-    emit(world, sim, idx, Batch::new(outputs), ready);
+    if !out.is_empty() {
+        emit(world, sim, idx, &mut out, ready);
+    }
+    world.scratch = out;
 }
 
-fn emit(world: &mut World, sim: &mut Sim, idx: usize, batch: Batch, at: SimTime) {
-    world.rps[idx].elements_out += batch.len() as u64;
+/// Forwards processed elements to an RP's subscribers (or records them,
+/// for the client), draining `out` and leaving its capacity for reuse.
+fn emit(world: &mut World, sim: &mut Sim, idx: usize, out: &mut Vec<Value>, at: SimTime) {
+    world.rps[idx].elements_out += out.len() as u64;
     if world.rps[idx].is_client {
-        if !batch.is_empty() && world.first_result_at.is_none() {
+        if !out.is_empty() && world.first_result_at.is_none() {
             world.first_result_at = Some(sim.now());
         }
-        world.results.extend(batch.into_values());
+        world.results.append(out);
         return;
     }
     let n_out = world.rps[idx].outputs.len();
-    // Recover the values by move when this batch is uniquely owned;
-    // fan each value out by index, moving it into the last channel
+    // Fan each value out by index, moving it into the last channel
     // instead of cloning once per subscriber.
-    for v in batch.into_values() {
+    for v in out.drain(..) {
         let mut v = Some(v);
         for oi in 0..n_out {
             let ci = world.rps[idx].outputs[oi];
@@ -666,7 +687,7 @@ fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
         return;
     }
     world.rps[idx].finished = true;
-    let finals = match world.rps[idx].chain.finish() {
+    let mut finals = match world.rps[idx].chain.finish() {
         Ok(f) => f,
         Err(e) => {
             world.error = Some(e);
@@ -675,7 +696,7 @@ fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
     };
     let now = sim.now();
     if !finals.is_empty() || world.rps[idx].is_client {
-        emit(world, sim, idx, Batch::new(finals), now);
+        emit(world, sim, idx, &mut finals, now);
     }
     if world.rps[idx].is_client {
         world.finished_at = Some(now);
@@ -717,7 +738,9 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
     let dst = world.channels[ci].dst_rp;
     let from = world.channels[ci].src_sp;
     let now = sim.now();
-    for v in batch.into_values() {
+    // Consuming iteration: a single inline tuple is handed over without
+    // materializing a `Vec`.
+    for v in batch {
         process_and_emit(world, sim, dst, v, Some(from), now);
         if world.error.is_some() {
             return;

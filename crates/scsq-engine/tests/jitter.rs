@@ -1,0 +1,98 @@
+//! Service-time jitter and its interaction with the execution tiers.
+//!
+//! With `service_jitter > 0` every generator service time is scaled by
+//! a fresh draw from the runtime's deterministic generator, and the
+//! coalescing probes hash that generator's state as opaque shape — so
+//! no two periods can digest equal and train-coalescing provably never
+//! fires. The jittered schedule is still fully deterministic: same
+//! options, same run, bit for bit.
+
+use scsq_cluster::Environment;
+use scsq_engine::{run_graph, QueryBuilder, QueryResult, RunOptions};
+use scsq_ql::{parse_statement, Catalog};
+
+fn run(src: &str, options: &RunOptions) -> QueryResult {
+    let mut env = Environment::lofar();
+    let catalog = Catalog::new();
+    let stmt = parse_statement(src).expect("parses");
+    let graph = QueryBuilder::new(&mut env, &catalog, options.placement, options)
+        .build(&stmt, &[])
+        .expect("builds");
+    run_graph(env, &graph, options).expect("runs")
+}
+
+/// The Figure 6 point-to-point query — long periodic buffer trains,
+/// i.e. the coalescer's best case when jitter is off.
+fn query() -> &'static str {
+    "select extract(b) from sp a, sp b, integer n \
+     where b=sp(streamof(count(extract(a))), 'bg', 0) \
+     and a=sp(gen_array(3000000,5),'bg',1) and n=1;"
+}
+
+#[test]
+fn jitter_defeats_coalescing() {
+    // A small MPI buffer gives each array thousands of identical
+    // periods — the coalescer's best case when jitter is off.
+    let jittered = RunOptions {
+        service_jitter: 0.05,
+        coalesce: true,
+        mpi_buffer: 1_000,
+        ..RunOptions::default()
+    };
+    let result = run(query(), &jittered);
+    let stats = result.stats();
+    assert_eq!(
+        stats.coalesce.jumps, 0,
+        "no train may form under service jitter"
+    );
+    assert_eq!(stats.coalesce.periods_skipped, 0);
+
+    // Sanity: the same workload without jitter does coalesce.
+    let smooth = RunOptions {
+        coalesce: true,
+        mpi_buffer: 1_000,
+        ..RunOptions::default()
+    };
+    assert!(
+        run(query(), &smooth).stats().coalesce.jumps > 0,
+        "the workload must be coalescing-friendly when jitter is off"
+    );
+}
+
+#[test]
+fn jittered_runs_are_identical_with_and_without_coalescing() {
+    let on = RunOptions {
+        service_jitter: 0.05,
+        coalesce: true,
+        ..RunOptions::default()
+    };
+    let off = RunOptions {
+        service_jitter: 0.05,
+        coalesce: false,
+        ..RunOptions::default()
+    };
+    let a = run(query(), &on);
+    let b = run(query(), &off);
+    assert_eq!(a.values(), b.values());
+    assert_eq!(a.finished(), b.finished());
+    assert_eq!(a.stats().events, b.stats().events);
+    assert_eq!(a.stats().channels, b.stats().channels);
+}
+
+#[test]
+fn jittered_schedule_differs_from_smooth_but_is_deterministic() {
+    let jittered = RunOptions {
+        service_jitter: 0.05,
+        ..RunOptions::default()
+    };
+    let smooth = RunOptions::default();
+    let a = run(query(), &jittered);
+    let b = run(query(), &jittered);
+    let c = run(query(), &smooth);
+    assert_eq!(a.finished(), b.finished(), "jitter is deterministic");
+    assert_ne!(
+        a.finished(),
+        c.finished(),
+        "jitter must actually perturb the schedule"
+    );
+}

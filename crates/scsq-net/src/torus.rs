@@ -24,6 +24,70 @@ use crate::{Bandwidth, FlowId};
 use scsq_sim::{FifoServer, SimDur, SimTime, SwitchingServer};
 use std::collections::HashMap;
 
+/// One hop of a precomputed route: the directed link it crosses and the
+/// node it arrives at.
+#[derive(Debug, Clone, Copy)]
+struct RouteStep {
+    /// Index into [`TorusNet::links`].
+    link: u32,
+    /// The hop's destination rank.
+    node: u32,
+}
+
+/// All dimension-ordered routes of a partition, flattened into one step
+/// array with per-pair offsets — built once per topology so the
+/// per-message hot path never recomputes a path or hashes a link key.
+///
+/// The table is exactly [`TorusDims::route`] memoized: the route-cache
+/// determinism test walks every `(src, dst)` pair and compares.
+#[derive(Debug)]
+struct RouteTable {
+    /// `offsets[src * n + dst] .. offsets[src * n + dst + 1]` indexes
+    /// the steps of the route from `src` to `dst`.
+    offsets: Vec<u32>,
+    steps: Vec<RouteStep>,
+    /// Number of distinct directed links used by any route (the length
+    /// of the dense link array).
+    link_count: usize,
+}
+
+impl RouteTable {
+    fn build(dims: TorusDims) -> RouteTable {
+        let n = dims.node_count();
+        let mut link_ids: HashMap<(usize, usize), u32> = HashMap::new();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut steps = Vec::new();
+        offsets.push(0u32);
+        for src in 0..n {
+            for dst in 0..n {
+                let mut prev = src;
+                for hop in dims.route(src, dst).into_iter().skip(1) {
+                    let next_id = link_ids.len() as u32;
+                    let link = *link_ids.entry((prev, hop)).or_insert(next_id);
+                    steps.push(RouteStep {
+                        link,
+                        node: hop as u32,
+                    });
+                    prev = hop;
+                }
+                offsets.push(steps.len() as u32);
+            }
+        }
+        RouteTable {
+            offsets,
+            steps,
+            link_count: link_ids.len(),
+        }
+    }
+
+    /// The precomputed steps of the `src → dst` route (empty when
+    /// `src == dst`).
+    fn steps(&self, n: usize, src: usize, dst: usize) -> &[RouteStep] {
+        let i = src * n + dst;
+        &self.steps[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// Dimensions of a 3D torus partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TorusDims {
@@ -235,9 +299,19 @@ pub struct TorusNet {
     dims: TorusDims,
     params: TorusParams,
     coprocs: Vec<SwitchingServer>,
-    links: HashMap<(usize, usize), FifoServer>,
+    /// Directed links in [`RouteTable`] id order — a dense array instead
+    /// of a hash map, so the per-hop contention accounting is one index
+    /// away from the precomputed route step.
+    links: Vec<FifoServer>,
+    routes: RouteTable,
     messages: u64,
     bytes: u64,
+    /// Memoized per-stage service times for the last message size seen:
+    /// `(bytes, inject, link, forward, receive)`. Stream channels send
+    /// runs of equal-sized buffers, so this one-entry memo turns four
+    /// divisions per message into a compare. Pure derived data — never
+    /// probed, never part of observable state.
+    svc_memo: Option<(u64, SimDur, SimDur, SimDur, SimDur)>,
 }
 
 impl TorusNet {
@@ -246,14 +320,37 @@ impl TorusNet {
         let coprocs = (0..dims.node_count())
             .map(|_| SwitchingServer::new(params.switch_cost))
             .collect();
+        let routes = RouteTable::build(dims);
+        let links = vec![FifoServer::new(); routes.link_count];
         TorusNet {
             dims,
             params,
             coprocs,
-            links: HashMap::new(),
+            links,
+            routes,
             messages: 0,
             bytes: 0,
+            svc_memo: None,
         }
+    }
+
+    /// Per-stage service times (inject, link, forward, receive) for a
+    /// message of `bytes`, via the one-entry size memo.
+    fn services(&mut self, bytes: u64) -> (SimDur, SimDur, SimDur, SimDur) {
+        if let Some((b, i, l, f, r)) = self.svc_memo {
+            if b == bytes {
+                return (i, l, f, r);
+            }
+        }
+        let padded = self.params.padded(bytes);
+        let cache = self.params.cache_factor(bytes);
+        let inject = self.params.per_msg_overhead
+            + SimDur::for_bytes(padded, self.params.inject.bytes_per_sec() / cache);
+        let link = SimDur::for_bytes(padded, self.params.link.bytes_per_sec());
+        let fwd = SimDur::for_bytes(padded, self.params.forward.bytes_per_sec());
+        let recv = SimDur::for_bytes(padded, self.params.receive.bytes_per_sec());
+        self.svc_memo = Some((bytes, inject, link, fwd, recv));
+        (inject, link, fwd, recv)
     }
 
     /// The torus geometry.
@@ -302,13 +399,11 @@ impl TorusNet {
         self.messages += 1;
         self.bytes += bytes;
 
-        let padded = self.params.padded(bytes);
-        let cache = self.params.cache_factor(bytes);
+        let (inject_service, link_service, fwd_service, recv_service) = self.services(bytes);
 
         if src == dst {
             // Same-node handoff: only the receive drain cost applies.
-            let service = SimDur::for_bytes(padded, self.params.receive.bytes_per_sec());
-            let g = self.coprocs[src].serve_from(flow.0, ready, service);
+            let g = self.coprocs[src].serve_from(flow.0, ready, recv_service);
             return TransmitOutcome {
                 inject_done: g.finish,
                 delivered: g.finish,
@@ -317,23 +412,19 @@ impl TorusNet {
 
         // 1. Injection at the source co-processor (driver copy; pays the
         //    per-message overhead and the cache derating).
-        let inject_service = self.params.per_msg_overhead
-            + SimDur::for_bytes(padded, self.params.inject.bytes_per_sec() / cache);
         let inject = self.coprocs[src].serve_from(flow.0, ready, inject_service);
         let mut t = inject.finish;
 
-        // 2. Hop along the dimension-ordered route: each link transfer is
-        //    serialized on the link; each intermediate node's co-processor
-        //    forwards the message (store-and-forward at buffer
-        //    granularity).
-        let route = self.dims.route(src, dst);
-        for window in route.windows(2) {
-            let (a, b) = (window[0], window[1]);
-            let link_service = SimDur::for_bytes(padded, self.params.link.bytes_per_sec());
-            let g = self.link_mut(a, b).serve(t, link_service);
+        // 2. Hop along the precomputed dimension-ordered route: each link
+        //    transfer is serialized on the link; each intermediate node's
+        //    co-processor forwards the message (store-and-forward at
+        //    buffer granularity).
+        let n = self.dims.node_count();
+        for step in self.routes.steps(n, src, dst) {
+            let g = self.links[step.link as usize].serve(t, link_service);
             t = g.finish;
+            let b = step.node as usize;
             if b != dst {
-                let fwd_service = SimDur::for_bytes(padded, self.params.forward.bytes_per_sec());
                 let g = self.coprocs[b].serve_from(flow.0, t, fwd_service);
                 t = g.finish;
             }
@@ -341,7 +432,6 @@ impl TorusNet {
 
         // 3. Drain at the destination co-processor; alternating flows pay
         //    the switch penalty here.
-        let recv_service = SimDur::for_bytes(padded, self.params.receive.bytes_per_sec());
         let g = self.coprocs[dst].serve_from(flow.0, t, recv_service);
 
         TransmitOutcome {
@@ -360,25 +450,29 @@ impl TorusNet {
         self.coprocs[rank].busy_total()
     }
 
-    fn link_mut(&mut self, a: usize, b: usize) -> &mut FifoServer {
-        self.links.entry((a, b)).or_default()
+    /// The cached route from `src` to `dst` as a rank sequence inclusive
+    /// of both endpoints — the same shape [`TorusDims::route`] returns,
+    /// reconstructed from the route table (the determinism tests compare
+    /// the two for every pair).
+    pub fn cached_route(&self, src: usize, dst: usize) -> Vec<usize> {
+        let n = self.dims.node_count();
+        let steps = self.routes.steps(n, src, dst);
+        let mut path = Vec::with_capacity(steps.len() + 1);
+        path.push(src);
+        path.extend(steps.iter().map(|s| s.node as usize));
+        path
     }
 
     /// Walks the torus's contended state through a coalescing probe.
-    /// Links are visited in sorted key order (HashMap order is
-    /// nondeterministic); the set of materialized links is part of the
-    /// shape.
+    /// Links are visited in route-table id order (fixed at
+    /// construction, so the walk is deterministic); untouched links
+    /// contribute a single shape bit each.
     pub fn probe(&mut self, p: &mut scsq_sim::StateProbe<'_>, now: SimTime) {
         for c in &mut self.coprocs {
             c.probe(p, now);
         }
-        p.shape(self.links.len() as u64);
-        let mut keys: Vec<(usize, usize)> = self.links.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
-            p.shape(k.0 as u64);
-            p.shape(k.1 as u64);
-            self.links.get_mut(&k).expect("key just listed").probe(p);
+        for link in &mut self.links {
+            link.probe(p);
         }
         p.num(&mut self.messages);
         p.num(&mut self.bytes);
@@ -411,6 +505,39 @@ mod tests {
         assert_eq!(d.route(4, 0), vec![4, 0]);
         // Wraparound: (3,0,0) to (0,0,0) is one hop the short way.
         assert_eq!(d.route(3, 0), vec![3, 0]);
+    }
+
+    #[test]
+    fn cached_routes_match_fresh_dimension_ordered_routes() {
+        // Paper-scale pset layout (4×4×2) and the largest partition the
+        // scaling sweep uses (8×8×2): the route table must reproduce
+        // TorusDims::route exactly for every pair, wraparound included.
+        for d in [dims(), TorusDims::new(8, 8, 2)] {
+            let net = TorusNet::new(d, TorusParams::default());
+            for src in 0..d.node_count() {
+                for dst in 0..d.node_count() {
+                    assert_eq!(
+                        net.cached_route(src, dst),
+                        d.route(src, dst),
+                        "src={src} dst={dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_routes_take_wraparound_links() {
+        // x=0 → x=3 on a 4-extent axis is one hop across the wrap link,
+        // not three hops forward; the cache must agree with the fresh
+        // route on taking it.
+        let d = dims();
+        let src = d.rank_of(TorusCoord { x: 0, y: 0, z: 0 });
+        let dst = d.rank_of(TorusCoord { x: 3, y: 0, z: 0 });
+        let net = TorusNet::new(d, TorusParams::default());
+        let cached = net.cached_route(src, dst);
+        assert_eq!(cached, d.route(src, dst));
+        assert_eq!(cached.len(), 2, "wrap link makes this a single hop");
     }
 
     #[test]

@@ -1,64 +1,132 @@
 //! Zero-copy tuple batches.
 //!
-//! A [`Batch`] is an immutable, reference-counted run of [`Value`]s with
-//! a sub-range view. The engine produces all elements delivered by one
-//! receive buffer as a single batch; fanning it out to several
-//! subscribers clones an `Arc`, not the tuples, and the last (or only)
-//! consumer takes the values back out by move when the batch is
-//! uniquely owned.
+//! A [`Batch`] is an immutable run of [`Value`]s with a sub-range view.
+//! The engine produces all elements delivered by one receive buffer as
+//! a single batch; fanning it out to several subscribers clones an
+//! `Arc`, not the tuples, and the last (or only) consumer takes the
+//! values back out by move when the batch is uniquely owned.
+//!
+//! Single heap-free tuples — the overwhelmingly common case on the
+//! per-event path, where every generated array or aggregate result
+//! travels alone — are stored inline ([`Batch::one`]) so that handing
+//! one stage's output to the next channel involves no allocation at
+//! all: no `Vec`, no `Arc`, just a 24-byte value moved by the caller.
 
 use crate::value::Value;
 use std::sync::Arc;
 
 /// An immutable shared batch of tuples with a sub-range view.
 ///
-/// Cloning a `Batch` is O(1); the backing values are shared. Use
-/// [`Batch::into_values`] at the final consumer to recover the owned
-/// `Vec<Value>` without copying when no other reference exists.
+/// Cloning a `Batch` is O(1) for the shared representation and a bit
+/// copy for the inline single-tuple representation. Use
+/// [`Batch::into_values`] (or the consuming iterator) at the final
+/// consumer to recover the owned tuples without copying when no other
+/// reference exists.
 #[derive(Debug, Clone)]
 pub struct Batch {
-    values: Arc<Vec<Value>>,
-    start: usize,
-    end: usize,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// A single heap-free tuple, stored inline. Invariant: the value
+    /// satisfies [`Value::is_inline`], so cloning this variant never
+    /// allocates.
+    One(Value),
+    /// A reference-counted run with a sub-range view.
+    Shared {
+        values: Arc<Vec<Value>>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Batch {
-    /// Wraps a freshly produced run of tuples.
-    pub fn new(values: Vec<Value>) -> Self {
+    /// Wraps a freshly produced run of tuples. A single heap-free tuple
+    /// is stored inline; everything else becomes a shared run.
+    pub fn new(mut values: Vec<Value>) -> Self {
+        if values.len() == 1 && values[0].is_inline() {
+            return Batch::one(values.pop().expect("length checked"));
+        }
         let end = values.len();
         Batch {
-            values: Arc::new(values),
-            start: 0,
-            end,
+            repr: Repr::Shared {
+                values: Arc::new(values),
+                start: 0,
+                end,
+            },
+        }
+    }
+
+    /// Wraps a single tuple without touching the allocator when the
+    /// value is heap-free; falls back to a shared run otherwise (so a
+    /// lone `Str`/`Bag` still fans out by `Arc` clone, not deep copy).
+    pub fn one(value: Value) -> Self {
+        if value.is_inline() {
+            Batch {
+                repr: Repr::One(value),
+            }
+        } else {
+            Batch {
+                repr: Repr::Shared {
+                    values: Arc::new(vec![value]),
+                    start: 0,
+                    end: 1,
+                },
+            }
         }
     }
 
     /// Number of tuples in view.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        match &self.repr {
+            Repr::One(_) => 1,
+            Repr::Shared { start, end, .. } => end - start,
+        }
     }
 
     /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len() == 0
     }
 
     /// The tuples in view, borrowed.
     pub fn values(&self) -> &[Value] {
-        &self.values[self.start..self.end]
+        match &self.repr {
+            Repr::One(v) => std::slice::from_ref(v),
+            Repr::Shared { values, start, end } => &values[*start..*end],
+        }
     }
 
-    /// A narrower view of the same backing storage (no tuple copies).
+    /// A narrower view of the same backing storage (no tuple copies for
+    /// shared runs; a bit copy for the inline representation).
     ///
     /// # Panics
     ///
     /// Panics if `start > end` or `end > self.len()`.
     pub fn slice(&self, start: usize, end: usize) -> Batch {
         assert!(start <= end && end <= self.len(), "slice out of range");
-        Batch {
-            values: Arc::clone(&self.values),
-            start: self.start + start,
-            end: self.start + end,
+        match &self.repr {
+            Repr::One(v) => {
+                if start == 0 && end == 1 {
+                    Batch {
+                        repr: Repr::One(v.clone()),
+                    }
+                } else {
+                    Batch::new(Vec::new())
+                }
+            }
+            Repr::Shared {
+                values,
+                start: s0,
+                end: _,
+            } => Batch {
+                repr: Repr::Shared {
+                    values: Arc::clone(values),
+                    start: s0 + start,
+                    end: s0 + end,
+                },
+            },
         }
     }
 
@@ -69,13 +137,20 @@ impl Batch {
 
     /// Recovers the owned tuples. Moves them out without cloning when
     /// this batch is the only reference and views the full run; clones
-    /// just the viewed range otherwise.
+    /// just the viewed range otherwise. Prefer the consuming iterator
+    /// (`for v in batch`) when a `Vec` is not needed: it hands an
+    /// inline tuple over without building one.
     pub fn into_values(self) -> Vec<Value> {
-        let full = self.start == 0 && self.end == self.values.len();
-        match Arc::try_unwrap(self.values) {
-            Ok(vec) if full => vec,
-            Ok(vec) => vec[self.start..self.end].to_vec(),
-            Err(shared) => shared[self.start..self.end].to_vec(),
+        match self.repr {
+            Repr::One(v) => vec![v],
+            Repr::Shared { values, start, end } => {
+                let full = start == 0 && end == values.len();
+                match Arc::try_unwrap(values) {
+                    Ok(vec) if full => vec,
+                    Ok(vec) => vec[start..end].to_vec(),
+                    Err(shared) => shared[start..end].to_vec(),
+                }
+            }
         }
     }
 }
@@ -92,6 +167,53 @@ impl<'a> IntoIterator for &'a Batch {
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
+    }
+}
+
+/// Consuming iterator over a batch's tuples. The inline single-tuple
+/// representation yields its value directly, with no intermediate
+/// `Vec`.
+#[derive(Debug)]
+pub struct IntoIter {
+    inner: IntoIterRepr,
+}
+
+#[derive(Debug)]
+enum IntoIterRepr {
+    One(std::option::IntoIter<Value>),
+    Many(std::vec::IntoIter<Value>),
+}
+
+impl Iterator for IntoIter {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        match &mut self.inner {
+            IntoIterRepr::One(it) => it.next(),
+            IntoIterRepr::Many(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IntoIterRepr::One(it) => it.size_hint(),
+            IntoIterRepr::Many(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for IntoIter {}
+
+impl IntoIterator for Batch {
+    type Item = Value;
+    type IntoIter = IntoIter;
+
+    fn into_iter(self) -> IntoIter {
+        let inner = match self.repr {
+            Repr::One(v) => IntoIterRepr::One(Some(v).into_iter()),
+            repr => IntoIterRepr::Many(Batch { repr }.into_values().into_iter()),
+        };
+        IntoIter { inner }
     }
 }
 
@@ -139,5 +261,39 @@ mod tests {
     #[should_panic(expected = "slice out of range")]
     fn out_of_range_slice_panics() {
         batch().slice(2, 6);
+    }
+
+    #[test]
+    fn single_inline_tuple_is_stored_inline() {
+        let b = Batch::one(Value::Integer(7));
+        assert!(matches!(b.repr, Repr::One(_)));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.values(), &[Value::Integer(7)]);
+        // Batch::new takes the same fast path for a 1-element run.
+        let b2 = Batch::new(vec![Value::synthetic_array(1024)]);
+        assert!(matches!(b2.repr, Repr::One(_)));
+        // A heap-holding single value stays Arc-backed so fan-out
+        // clones share rather than deep-copy.
+        let s = Batch::one(Value::Str("x".into()));
+        assert!(matches!(s.repr, Repr::Shared { .. }));
+        assert_eq!(s.values(), &[Value::Str("x".into())]);
+    }
+
+    #[test]
+    fn inline_slices_behave_like_shared_slices() {
+        let b = Batch::one(Value::Integer(7));
+        assert_eq!(b.slice(0, 1).values(), &[Value::Integer(7)]);
+        assert!(b.slice(0, 0).is_empty());
+        assert!(b.slice(1, 1).is_empty());
+    }
+
+    #[test]
+    fn consuming_iterator_yields_owned_tuples() {
+        let one: Vec<Value> = Batch::one(Value::Integer(3)).into_iter().collect();
+        assert_eq!(one, vec![Value::Integer(3)]);
+        let many: Vec<Value> = batch().into_iter().collect();
+        assert_eq!(many.len(), 5);
+        let sliced: Vec<Value> = batch().slice(2, 4).into_iter().collect();
+        assert_eq!(sliced, vec![Value::Integer(2), Value::Integer(3)]);
     }
 }

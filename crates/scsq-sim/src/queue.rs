@@ -5,12 +5,21 @@
 //! simultaneous events.
 //!
 //! The queue keeps the earliest entry in a dedicated front slot rather
-//! than in the heap. Discrete-event workloads overwhelmingly pop one
-//! event and push its successor at a later time (a generator's
-//! production chain, a channel's buffer cycles); with the front slot,
-//! that pop-then-push pattern touches no heap node at all while the
-//! queue is near-empty, and pushes that don't beat the current minimum
-//! skip the front comparison's worst case entirely.
+//! than in the heap, and refills it lazily: a pop hands out the front
+//! without touching the heap, and the next push claims the empty front
+//! when it beats the heap's top. Discrete-event workloads
+//! overwhelmingly pop one event and push its successor (a generator's
+//! production chain, a channel's buffer cycles); as long as that
+//! successor stays ahead of everything else pending, the pop-then-push
+//! cycle is a slot swap and a single comparison — no heap sift at all,
+//! regardless of how many unrelated events are parked in the heap.
+//!
+//! Payloads live in a slab indexed by heap entries, not in the heap
+//! itself. Heap sift operations then move only 20-byte (time, seq,
+//! slot) records regardless of payload size, and a pop-then-push cycle
+//! reuses the freed slot, so a steady-state simulation allocates
+//! nothing per event: the slab grows once to the peak concurrent event
+//! population and every later push lands in a recycled slot.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -27,43 +36,49 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<T> {
-    /// The earliest entry, if any. Invariant: whenever the queue is
-    /// non-empty, `front` holds the minimum (time, seq) entry and the
-    /// heap holds the rest.
-    front: Option<Entry<T>>,
-    heap: BinaryHeap<Entry<T>>,
+    /// Fast-path slot for the earliest entry. Invariant: when `front`
+    /// is `Some`, it sorts before every heap entry; when `None`, the
+    /// heap's top (if any) is the minimum. The slot is refilled lazily
+    /// by pushes, never by pops, so a steady pop-then-push chain leaves
+    /// the heap untouched.
+    front: Option<Entry>,
+    heap: BinaryHeap<Entry>,
     seq: u64,
+    /// Payload storage. Invariant: `slab[e.slot]` is `Some` for every
+    /// queued entry `e`, and every `None` slot index is on `free`.
+    slab: Vec<Option<T>>,
+    free: Vec<u32>,
 }
 
-#[derive(Debug)]
-struct Entry<T> {
+#[derive(Debug, Clone, Copy)]
+struct Entry {
     at: SimTime,
     seq: u64,
-    payload: T,
+    slot: u32,
 }
 
-impl<T> Entry<T> {
+impl Entry {
     /// Whether this entry surfaces strictly before `other`.
     fn before(&self, other: &Self) -> bool {
         (self.at, self.seq) < (other.at, other.seq)
     }
 }
 
-impl<T> PartialEq for Entry<T> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<T> Eq for Entry<T> {}
+impl Eq for Entry {}
 
-impl<T> PartialOrd for Entry<T> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for Entry<T> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq)
         // pops first.
@@ -78,16 +93,20 @@ impl<T> EventQueue<T> {
             front: None,
             heap: BinaryHeap::new(),
             seq: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
         }
     }
 
-    /// Creates an empty queue with heap capacity for `capacity` entries,
-    /// avoiding reallocation while the event population grows.
+    /// Creates an empty queue with capacity for `capacity` concurrent
+    /// entries, avoiding reallocation while the event population grows.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             front: None,
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
         }
     }
 
@@ -98,39 +117,71 @@ impl<T> EventQueue<T> {
 
     /// Whether the queue holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.front.is_none()
+        self.front.is_none() && self.heap.is_empty()
+    }
+
+    /// Stores `payload` in a free slab slot and returns its index.
+    fn alloc(&mut self, payload: T) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slab.len()).expect("event slab exceeds u32 slots");
+                self.slab.push(Some(payload));
+                slot
+            }
+        }
     }
 
     /// Enqueues `payload` to surface at time `at`.
     pub fn push(&mut self, at: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        let entry = Entry { at, seq, payload };
+        let slot = self.alloc(payload);
+        let entry = Entry { at, seq, slot };
         match &self.front {
-            None => self.front = Some(entry),
             Some(min) if entry.before(min) => {
                 let displaced = self.front.replace(entry).expect("front checked Some");
                 self.heap.push(displaced);
             }
             Some(_) => self.heap.push(entry),
+            None => match self.heap.peek() {
+                Some(top) if !entry.before(top) => self.heap.push(entry),
+                _ => self.front = Some(entry),
+            },
         }
     }
 
     /// Removes and returns the earliest entry, if any.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        let min = self.front.take()?;
-        self.front = self.heap.pop();
-        Some((min.at, min.payload))
+        let min = match self.front.take() {
+            Some(e) => e,
+            None => self.heap.pop()?,
+        };
+        let payload = self.slab[min.slot as usize]
+            .take()
+            .expect("queued entry has a payload");
+        self.free.push(min.slot);
+        Some((min.at, payload))
+    }
+
+    /// The earliest queued entry: the front slot when occupied, the heap
+    /// top otherwise.
+    fn min_entry(&self) -> Option<&Entry> {
+        self.front.as_ref().or_else(|| self.heap.peek())
     }
 
     /// The time of the earliest entry without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.front.as_ref().map(|e| e.at)
+        self.min_entry().map(|e| e.at)
     }
 
     /// The payload of the earliest entry without removing it.
     pub fn peek_payload(&self) -> Option<&T> {
-        self.front.as_ref().map(|e| &e.payload)
+        self.min_entry()
+            .map(|e| self.slab[e.slot as usize].as_ref().expect("queued payload"))
     }
 
     /// Walks every queued entry in surfacing order through a
@@ -146,7 +197,7 @@ impl<T> EventQueue<T> {
         now: SimTime,
         mut probe_payload: impl FnMut(&mut T, &mut crate::coalesce::StateProbe<'_>),
     ) {
-        let mut entries: Vec<Entry<T>> = Vec::with_capacity(self.len());
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.len());
         entries.extend(self.front.take());
         entries.extend(std::mem::take(&mut self.heap).into_vec());
         entries.sort_by_key(|e| (e.at, e.seq));
@@ -159,7 +210,10 @@ impl<T> EventQueue<T> {
             p.guard(e.at.as_nanos().saturating_sub(prev_at.as_nanos()), u64::MAX);
             prev_at = e.at;
             p.time(&mut e.at);
-            probe_payload(&mut e.payload, p);
+            let payload = self.slab[e.slot as usize]
+                .as_mut()
+                .expect("queued entry has a payload");
+            probe_payload(payload, p);
         }
         // Re-number in surfacing order: relative order of existing
         // entries is preserved and future pushes sort after them.
@@ -253,5 +307,21 @@ mod tests {
         assert_eq!(q.pop(), Some((SimTime::from_nanos(1), 1)));
         assert_eq!(q.pop(), Some((SimTime::from_nanos(2), 2)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        // A steady pop-then-push cycle must reuse the freed slot rather
+        // than growing payload storage without bound.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), String::from("a"));
+        q.push(SimTime::from_nanos(2), String::from("b"));
+        for i in 3..100u64 {
+            let (at, v) = q.pop().expect("entry");
+            assert!(!v.is_empty());
+            q.push(at + crate::SimDur::from_nanos(i), format!("v{i}"));
+        }
+        assert_eq!(q.slab.len(), 2);
+        assert_eq!(q.len(), 2);
     }
 }

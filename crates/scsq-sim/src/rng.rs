@@ -24,6 +24,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current internal state — lets callers fingerprint the
+    /// generator (e.g. a coalescing probe treating it as opaque shape).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -135,8 +135,12 @@ impl FifoServer {
 pub struct SwitchingServer {
     inner: FifoServer,
     switch_cost: SimDur,
-    /// Last time each source was seen.
-    activity: std::collections::HashMap<u64, SimTime>,
+    /// Last time each source was seen, sorted by source id. A server
+    /// only ever sees the handful of flows that a query routes through
+    /// it, so a sorted vec beats a hash map on every per-event call (no
+    /// hashing, no bucket scan on expiry) and hands the probe its
+    /// deterministic visit order for free.
+    activity: Vec<(u64, SimTime)>,
     penalty_total: SimDur,
 }
 
@@ -151,7 +155,7 @@ impl SwitchingServer {
         SwitchingServer {
             inner: FifoServer::new(),
             switch_cost,
-            activity: std::collections::HashMap::new(),
+            activity: Vec::new(),
             penalty_total: SimDur::ZERO,
         }
     }
@@ -174,15 +178,30 @@ impl SwitchingServer {
         service: SimDur,
         switch_cost: SimDur,
     ) -> Grant {
+        // Fast path: a steady single-source stream — the overwhelmingly
+        // common case (every buffer period of a point-to-point transfer
+        // lands here). One active source means a zero penalty term, and
+        // expiry plus the out-of-order rule reduce to keeping the newer
+        // timestamp, so the bookkeeping is a compare and a store.
+        if let [(s, last)] = self.activity.as_mut_slice() {
+            if *s == source {
+                if arrival > *last {
+                    *last = arrival;
+                }
+                return self.inner.serve(arrival, service);
+            }
+        }
         // Expire sources not seen within the window.
         self.activity
-            .retain(|_, last| *last + Self::ACTIVITY_WINDOW >= arrival);
-        let prev = self.activity.insert(source, arrival);
-        if let Some(prev) = prev {
+            .retain(|&(_, last)| last + Self::ACTIVITY_WINDOW >= arrival);
+        match self.activity.binary_search_by_key(&source, |&(s, _)| s) {
             // Keep the latest timestamp (out-of-order bookkeeping calls).
-            if prev > arrival {
-                self.activity.insert(source, prev);
+            Ok(i) => {
+                if arrival > self.activity[i].1 {
+                    self.activity[i].1 = arrival;
+                }
             }
+            Err(i) => self.activity.insert(i, (source, arrival)),
         }
         let active = self.activity.len().max(1);
         let penalty = switch_cost * ((active - 1) as f64 / active as f64);
@@ -223,12 +242,12 @@ impl SwitchingServer {
 
     /// Walks the server's state through a coalescing probe.
     ///
-    /// The activity map is visited in sorted key order (HashMap order is
-    /// nondeterministic). Each entry's age relative to `now` is guarded:
-    /// an idle source expiring out of the window changes the switch
-    /// penalty, so no jump may cross that expiry. Entries already past
-    /// the window can only be retained out (age never shrinks while a
-    /// source is idle), so they carry no upper bound.
+    /// The activity list is visited in sorted key order (its storage
+    /// order). Each entry's age relative to `now` is guarded: an idle
+    /// source expiring out of the window changes the switch penalty, so
+    /// no jump may cross that expiry. Entries already past the window
+    /// can only be retained out (age never shrinks while a source is
+    /// idle), so they carry no upper bound.
     pub fn probe(&mut self, p: &mut crate::coalesce::StateProbe<'_>, now: SimTime) {
         self.inner.probe(p);
         if self.penalty_total == SimDur::ZERO && self.activity.is_empty() {
@@ -238,28 +257,11 @@ impl SwitchingServer {
         p.dur(&mut self.penalty_total);
         p.shape(self.activity.len() as u64);
         let window = Self::ACTIVITY_WINDOW.as_nanos();
-        let probe_entry = |k: u64, last: &mut SimTime, p: &mut crate::coalesce::StateProbe| {
-            p.shape(k);
+        for (k, last) in &mut self.activity {
+            p.shape(*k);
             let age = now.as_nanos().saturating_sub(last.as_nanos());
             p.guard(age, if age < window { window } else { u64::MAX });
             p.time(last);
-        };
-        // Most servers see zero or one source; keep those paths
-        // allocation-free (the probe runs on every coalescing digest).
-        match self.activity.len() {
-            0 => {}
-            1 => {
-                let (&k, last) = self.activity.iter_mut().next().expect("len checked");
-                probe_entry(k, last, p);
-            }
-            _ => {
-                let mut keys: Vec<u64> = self.activity.keys().copied().collect();
-                keys.sort_unstable();
-                for k in keys {
-                    let last = self.activity.get_mut(&k).expect("key just listed");
-                    probe_entry(k, last, p);
-                }
-            }
         }
     }
 }

@@ -55,7 +55,9 @@ pub trait Event<W>: Sized {
 pub struct TypedSimulator<W, E> {
     now: SimTime,
     queue: EventQueue<E>,
-    world: Option<W>,
+    /// Boxed so the per-event take/put around dispatch moves one
+    /// pointer, not the (potentially kilobyte-sized) world itself.
+    world: Option<Box<W>>,
     executed: u64,
     limit: Option<u64>,
     limit_exceeded: bool,
@@ -67,7 +69,7 @@ impl<W, E> TypedSimulator<W, E> {
         TypedSimulator {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
-            world: Some(world),
+            world: Some(Box::new(world)),
             executed: 0,
             limit: None,
             limit_exceeded: false,
@@ -80,7 +82,7 @@ impl<W, E> TypedSimulator<W, E> {
         TypedSimulator {
             now: SimTime::ZERO,
             queue: EventQueue::with_capacity(capacity),
-            world: Some(world),
+            world: Some(Box::new(world)),
             executed: 0,
             limit: None,
             limit_exceeded: false,
@@ -113,7 +115,7 @@ impl<W, E> TypedSimulator<W, E> {
     /// argument `fire` receives instead).
     pub fn world(&self) -> &W {
         self.world
-            .as_ref()
+            .as_deref()
             .expect("world is moved out during event dispatch; use fire's &mut W argument")
     }
 
@@ -123,7 +125,8 @@ impl<W, E> TypedSimulator<W, E> {
     ///
     /// Panics when called from inside an event.
     pub fn into_world(self) -> W {
-        self.world
+        *self
+            .world
             .expect("world is moved out during event dispatch")
     }
 

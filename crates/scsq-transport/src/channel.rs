@@ -132,11 +132,6 @@ impl<T> Train<T> {
     fn tail_ready(&self) -> SimTime {
         self.head_ready + SimDur::from_nanos(self.step.as_nanos() * (self.copies - 1))
     }
-
-    /// Unpacked bytes across all copies.
-    fn bytes_left(&self) -> u64 {
-        self.head_bytes_left + (self.copies - 1) * self.bytes_each
-    }
 }
 
 /// What one [`StreamChannel::cycle`] call produced.
@@ -305,8 +300,8 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
         let mut out = CycleOutput::default();
         let buffer_size = self.buffer_size(env);
 
-        // Pack bytes from the queue into the filling buffer.
-        let mut items_done: Vec<(T, bool)> = Vec::new();
+        // Pack bytes from the queue into the filling buffer, recording
+        // completed elements straight into the fill roster.
         while self.fill < buffer_size {
             let Some(front) = self.queue.front_mut() else {
                 break;
@@ -320,18 +315,17 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
                 let corrupted = std::mem::replace(&mut front.head_corrupted, false);
                 if front.copies == 1 {
                     let item = front.item.take().expect("item present until consumed");
-                    items_done.push((item, corrupted));
+                    self.fill_items.push((item, corrupted));
                     self.queue.pop_front();
                 } else {
                     let item = front.item.clone().expect("item present until consumed");
-                    items_done.push((item, corrupted));
+                    self.fill_items.push((item, corrupted));
                     front.copies -= 1;
                     front.head_bytes_left = front.bytes_each;
                     front.head_ready += front.step;
                 }
             }
         }
-        self.fill_items.extend(items_done);
 
         let flushing = self.eos_queued && self.queue.is_empty();
         if self.fill == buffer_size || (flushing && self.fill > 0) {
@@ -387,10 +381,9 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             self.fill = 0;
             self.fill_ready = SimTime::ZERO;
 
-            if self.has_work(buffer_size) {
+            if let Some(data_ready) = self.next_buffer_ready(buffer_size) {
                 // Another buffer is (or will become) ready: next cycle at
                 // the earliest instant its marshal could start.
-                let data_ready = self.next_data_ready(buffer_size);
                 let next_constraint = if self.inflight.len() >= window {
                     self.inflight[self.inflight.len() - window]
                 } else {
@@ -412,23 +405,18 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
     }
 
     /// Whether a further buffer can be assembled (full buffer available,
-    /// or EOS flush of a partial one).
-    fn has_work(&self, buffer_size: u64) -> bool {
-        let queued: u64 = self.queue.iter().map(|t| t.bytes_left()).sum();
-        let total = self.fill + queued;
-        total >= buffer_size || (self.eos_queued && total > 0)
-    }
-
-    /// Ready time of the byte that completes the next buffer (or of the
-    /// last queued byte when flushing a partial buffer).
-    fn next_data_ready(&self, buffer_size: u64) -> SimTime {
+    /// or EOS flush of a partial one), and if so, the ready time of the
+    /// byte that completes it (or of the last queued byte when flushing
+    /// a partial buffer). One walk answers both questions — this runs
+    /// once per buffer cycle.
+    fn next_buffer_ready(&self, buffer_size: u64) -> Option<SimTime> {
         let mut acc = self.fill;
         let mut ready = self.fill_ready;
         for t in &self.queue {
             ready = ready.max(t.head_ready);
             acc += t.head_bytes_left;
             if acc >= buffer_size {
-                break;
+                return Some(ready);
             }
             if t.copies > 1 {
                 // Later copies are ready at head_ready + k*step; only as
@@ -437,11 +425,11 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
                 acc += k * t.bytes_each;
                 ready = ready.max(t.head_ready + SimDur::from_nanos(t.step.as_nanos() * k));
                 if acc >= buffer_size {
-                    break;
+                    return Some(ready);
                 }
             }
         }
-        ready
+        (self.eos_queued && acc > 0).then_some(ready)
     }
 
     fn transmit(

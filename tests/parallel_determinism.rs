@@ -3,7 +3,7 @@
 //! path, and the sweep front-end compiles each distinct query text
 //! exactly once no matter how many points and repetitions execute it.
 
-use scsq_bench::{buffer_sweep, fig15, fig6, sweep, Scale, SweepPoint};
+use scsq_bench::{buffer_sweep, fig15, fig6, sweep, ExecMode, Scale, SweepPoint};
 use scsq_core::prelude::*;
 
 #[test]
@@ -11,8 +11,8 @@ fn fig6_parallel_series_equal_sequential() {
     let spec = HardwareSpec::lofar();
     let scale = Scale::quick();
     let buffers = buffer_sweep();
-    let sequential = fig6::run_with_jobs(&spec, scale, &buffers, 1, true).unwrap();
-    let parallel = fig6::run_with_jobs(&spec, scale, &buffers, 4, true).unwrap();
+    let sequential = fig6::run_with_jobs(&spec, scale, &buffers, 1, ExecMode::default()).unwrap();
+    let parallel = fig6::run_with_jobs(&spec, scale, &buffers, 4, ExecMode::default()).unwrap();
     assert_eq!(sequential, parallel);
 }
 
@@ -21,8 +21,8 @@ fn fig15_parallel_series_equal_sequential() {
     let spec = HardwareSpec::lofar();
     let scale = Scale::quick();
     let ns = [1, 2, 3, 4];
-    let sequential = fig15::run_with_jobs(&spec, scale, &ns, 1, true).unwrap();
-    let parallel = fig15::run_with_jobs(&spec, scale, &ns, 4, true).unwrap();
+    let sequential = fig15::run_with_jobs(&spec, scale, &ns, 1, ExecMode::default()).unwrap();
+    let parallel = fig15::run_with_jobs(&spec, scale, &ns, 4, ExecMode::default()).unwrap();
     assert_eq!(sequential, parallel);
 }
 
@@ -37,8 +37,8 @@ fn jittered_repetitions_stay_deterministic_across_jobs() {
         ..Scale::quick()
     };
     let buffers = [1_000u64, 100_000];
-    let sequential = fig6::run_with_jobs(&spec, scale, &buffers, 1, true).unwrap();
-    let parallel = fig6::run_with_jobs(&spec, scale, &buffers, 4, true).unwrap();
+    let sequential = fig6::run_with_jobs(&spec, scale, &buffers, 1, ExecMode::default()).unwrap();
+    let parallel = fig6::run_with_jobs(&spec, scale, &buffers, 4, ExecMode::default()).unwrap();
     assert_eq!(sequential, parallel);
     // With jitter and several reps, the spread is real (non-zero sd).
     assert!(sequential
