@@ -2,15 +2,22 @@
 //! Compares a single-node FFT pipeline with the paper's radix2
 //! distribution over the array-size sweep.
 //!
-//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off]`
+//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
 
-use scsq_bench::{expensive, parse_coalesce, parse_fuse, print_figure, series_to_csv, Scale};
+use scsq_bench::{
+    expensive, parse_coalesce, parse_fuse, parse_metrics, print_figure, series_to_csv,
+    write_hub_metrics, Scale,
+};
 use scsq_core::HardwareSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
+    let metrics = parse_metrics(&args);
+    if metrics.is_some() {
+        scsq_core::metrics::hub().enable(true);
+    }
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
@@ -29,6 +36,12 @@ fn main() {
         eprintln!("expensive-function study failed: {e}");
         std::process::exit(1);
     });
+    if let Some(path) = &metrics {
+        write_hub_metrics(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
     if csv {
         print!("{}", series_to_csv(&series));
         return;

@@ -1,10 +1,11 @@
 //! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
 //! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
 //!
-//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off]`
+//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    buffer_sweep, fig8, parse_coalesce, parse_fuse, parse_jobs, print_figure, series_to_csv, Scale,
+    buffer_sweep, fig8, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure,
+    series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -13,6 +14,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
+    let metrics = parse_metrics(&args);
+    if metrics.is_some() {
+        scsq_core::metrics::hub().enable(true);
+    }
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
@@ -28,6 +33,12 @@ fn main() {
             eprintln!("fig8 failed: {e}");
             std::process::exit(1);
         });
+    if let Some(path) = &metrics {
+        write_hub_metrics(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
     if csv {
         print!("{}", series_to_csv(&series));
     } else {

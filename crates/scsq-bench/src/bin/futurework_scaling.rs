@@ -3,10 +3,11 @@
 //! plus the sender-host sweep that quantifies "co-locate back-end RPs
 //! until saturation".
 //!
-//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off]`
+//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    parse_coalesce, parse_fuse, parse_jobs, print_figure, scaling, series_to_csv, Scale,
+    parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure, scaling, series_to_csv,
+    write_hub_metrics, Scale,
 };
 
 fn main() {
@@ -14,6 +15,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
+    let metrics = parse_metrics(&args);
+    if metrics.is_some() {
+        scsq_core::metrics::hub().enable(true);
+    }
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
@@ -34,6 +39,12 @@ fn main() {
             eprintln!("host sweep failed: {e}");
             std::process::exit(1);
         });
+    if let Some(path) = &metrics {
+        write_hub_metrics(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
 
     if csv {
         print!("{}", series_to_csv(&series));

@@ -4,11 +4,14 @@
 //! n-sweep), verifies that all paths produce bit-identical series, and
 //! emits a machine-readable JSON report.
 //!
-//! Usage: `perfstat [--jobs N] [--out PATH]`
+//! Usage: `perfstat [--jobs N] [--out PATH] [--metrics PATH]`
 //!
 //! `--jobs` sets the parallel worker count (default: available
 //! parallelism); the sequential references always run at 1. `--out`
 //! chooses where the JSON lands (default `BENCH_sweep.json`).
+//! `--metrics` additionally writes the aggregated metrics-hub snapshot;
+//! the hub stays enabled only for the warm-up pass so the timed passes
+//! are never perturbed (while disabled, recording is one atomic load).
 //!
 //! Timed passes:
 //!
@@ -30,7 +33,10 @@
 //!    run must produce byte-identical series (proof that coalescing
 //!    never fired).
 
-use scsq_bench::{buffer_sweep, fig15, fig6, parse_jobs, sweep, ExecMode, Scale, SweepPoint};
+use scsq_bench::{
+    buffer_sweep, fig15, fig6, parse_jobs, parse_metrics, sweep, write_hub_metrics, ExecMode,
+    Scale, SweepPoint,
+};
 use scsq_core::{HardwareSpec, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::Series;
 use std::time::Instant;
@@ -203,8 +209,22 @@ fn main() {
         std::process::exit(1);
     };
 
-    // Warm-up run so no timed pass pays first-touch costs.
+    // Warm-up run so no timed pass pays first-touch costs. The metrics
+    // hub records this pass only: it is disabled again before any timer
+    // starts, so the timed passes pay exactly one relaxed atomic load
+    // per query.
+    let metrics = parse_metrics(&args);
+    if metrics.is_some() {
+        scsq_core::metrics::hub().enable(true);
+    }
     workload(jobs, ExecMode::default()).unwrap_or_else(|e| fail(e));
+    if let Some(path) = &metrics {
+        scsq_core::metrics::hub().enable(false);
+        write_hub_metrics(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    }
 
     let per_event_mode = ExecMode {
         coalesce: false,

@@ -27,8 +27,8 @@ pub mod pool;
 pub mod report;
 pub mod scaling;
 
-pub use pool::{default_jobs, parse_coalesce, parse_fuse, parse_jobs, run_indexed};
-pub use report::{print_figure, series_to_csv};
+pub use pool::{default_jobs, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, run_indexed};
+pub use report::{print_figure, series_to_csv, write_hub_metrics};
 
 use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::{RunningStats, Series};
@@ -163,6 +163,10 @@ pub fn sweep(
                 } else {
                     point.plan.run(&point.spec, &point.options)?
                 };
+                // One relaxed load when the hub is disabled; relaxed
+                // adds are order-independent, so recording from worker
+                // threads keeps the sweep bit-deterministic.
+                scsq_core::metrics::hub().record(&result);
                 Ok(metric(&result))
             });
         }
@@ -211,6 +215,7 @@ pub fn mean_metric(
             // No jitter: run straight off the borrowed base spec.
             plan.run(base, options)?
         };
+        scsq_core::metrics::hub().record(&result);
         stats.push(metric(&result));
     }
     Ok(MetricStats {

@@ -50,6 +50,32 @@ pub fn parse_jobs(args: &[String]) -> usize {
     default_jobs()
 }
 
+/// Parses a `--metrics PATH` / `--metrics=PATH` command-line flag:
+/// where to write the aggregated [`scsq_core::metrics`] hub snapshot
+/// after the run (`None` when absent — the hub then stays disabled and
+/// costs one atomic load per query). An empty path aborts with a usage
+/// message.
+pub fn parse_metrics(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--metrics" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--metrics=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value {
+            Some(path) if !path.is_empty() => Some(path.to_string()),
+            _ => {
+                eprintln!("--metrics expects an output path (e.g. --metrics metrics.json)");
+                std::process::exit(2);
+            }
+        };
+    }
+    None
+}
+
 /// Parses a `--coalesce on|off` / `--coalesce=on|off` command-line
 /// flag, defaulting to `true` (coalescing on) when absent. Anything
 /// other than `on` or `off` aborts with a usage message.

@@ -1,6 +1,24 @@
-//! Table / CSV rendering of figure series.
+//! Table / CSV rendering of figure series, plus the `--metrics`
+//! snapshot artifact.
 
 use scsq_sim::Series;
+
+/// Writes the global [`scsq_core::metrics`] hub snapshot as JSON to
+/// `path` and reports it on stderr. Every figure binary calls this when
+/// invoked with `--metrics PATH`.
+///
+/// # Errors
+///
+/// Propagates the file write error.
+pub fn write_hub_metrics(path: &str) -> std::io::Result<()> {
+    let snap = scsq_core::metrics::hub().snapshot();
+    std::fs::write(path, snap.to_json())?;
+    eprintln!(
+        "metrics: {} queries, {} events, {} bytes delivered -> {path}",
+        snap.queries, snap.events, snap.bytes_delivered
+    );
+    Ok(())
+}
 
 /// Renders a figure as an aligned text table: one row per x value, one
 /// column per series.

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # scsq-core — the public face of the SCSQ reproduction
 //!
 //! [`Scsq`] is the system object a downstream user holds: it owns the
@@ -28,6 +28,7 @@
 //! front-end cluster), [`service::ScsqService`] runs a client manager on
 //! a background thread and accepts queries from any number of threads.
 
+pub mod metrics;
 pub mod service;
 
 pub use scsq_cluster::{AllocSeq, ClusterName, Environment, HardwareSpec, NodeId};

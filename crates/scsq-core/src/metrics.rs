@@ -1,0 +1,299 @@
+//! A process-wide, low-overhead metrics hub aggregating query
+//! executions.
+//!
+//! The paper's SCSQ measures its communication performance *with its own
+//! stream queries*; this module is the host-process counterpart: every
+//! benchmark harness (and any embedding application) can funnel finished
+//! [`QueryResult`]s into the global [`hub`], which maintains cheap
+//! atomic counters and notifies registered [`MetricsSubscriber`]s — a
+//! home-grown structured-tracing seam (the workspace deliberately
+//! carries no `tracing`/`serde` dependency).
+//!
+//! Cost discipline: the hub is **disabled by default**. While disabled,
+//! [`MetricsHub::record`] is a single relaxed atomic load and an early
+//! return — safe to leave in benchmark hot loops (the per-*event* hot
+//! path of the simulator never touches the hub at all; recording happens
+//! once per finished query). Counters use relaxed ordering: they are
+//! order-independent sums and maxima, so recording from worker threads
+//! (the parallel sweep executor) never perturbs run-to-run determinism
+//! of the results themselves.
+//!
+//! ```
+//! use scsq_core::prelude::*;
+//!
+//! # fn main() -> Result<(), ScsqError> {
+//! let mut scsq = Scsq::lofar();
+//! let hub = scsq_core::metrics::hub();
+//! hub.reset();
+//! hub.enable(true);
+//! let r = scsq.run(
+//!     "select extract(b) \
+//!      from sp a, sp b \
+//!      where b=sp(streamof(count(extract(a))), 'bg', 0) \
+//!      and a=sp(gen_array(100000, 10), 'bg', 1);",
+//! )?;
+//! hub.record(&r);
+//! assert_eq!(hub.snapshot().queries, 1);
+//! assert!(hub.snapshot().bytes_delivered >= 10 * 100_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::QueryResult;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An observer of recorded query executions (the structured-tracing
+/// seam).
+///
+/// Subscribers run synchronously inside [`MetricsHub::record`], so keep
+/// them cheap; they see the same [`QueryResult`] the caller holds.
+pub trait MetricsSubscriber: Send {
+    /// Called once per recorded query execution.
+    fn on_query(&mut self, result: &QueryResult);
+}
+
+/// A point-in-time copy of the hub's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HubSnapshot {
+    /// Query executions recorded.
+    pub queries: u64,
+    /// Simulator events executed, summed over recorded queries.
+    pub events: u64,
+    /// Payload bytes delivered across all channels of all recorded
+    /// queries.
+    pub bytes_delivered: u64,
+    /// Result values delivered to clients.
+    pub values: u64,
+    /// Send buffers transmitted.
+    pub buffers_sent: u64,
+    /// Buffers dropped in flight (UDP loss).
+    pub buffers_dropped: u64,
+    /// Largest pending-event high-water mark seen in any single query —
+    /// the event kernel's worst-case memory pressure.
+    pub events_pending_hwm: u64,
+    /// Total simulated query time, in nanoseconds.
+    pub sim_time_nanos: u64,
+    /// Events skipped analytically by the train coalescer.
+    pub coalesce_events_skipped: u64,
+}
+
+impl HubSnapshot {
+    /// Mean delivered bandwidth in bytes per simulated second over all
+    /// recorded queries (`0.0` before anything is recorded).
+    pub fn mean_bandwidth(&self) -> f64 {
+        if self.sim_time_nanos == 0 {
+            0.0
+        } else {
+            self.bytes_delivered as f64 / (self.sim_time_nanos as f64 / 1e9)
+        }
+    }
+
+    /// Renders the snapshot as a JSON object (hand-formatted, like every
+    /// other JSON artifact in this workspace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"queries\": {},\n  \"events\": {},\n  \"bytes_delivered\": {},\n  \
+             \"values\": {},\n  \"buffers_sent\": {},\n  \"buffers_dropped\": {},\n  \
+             \"events_pending_hwm\": {},\n  \"sim_time_nanos\": {},\n  \
+             \"coalesce_events_skipped\": {},\n  \"mean_bandwidth\": {}\n}}\n",
+            self.queries,
+            self.events,
+            self.bytes_delivered,
+            self.values,
+            self.buffers_sent,
+            self.buffers_dropped,
+            self.events_pending_hwm,
+            self.sim_time_nanos,
+            self.coalesce_events_skipped,
+            self.mean_bandwidth(),
+        )
+    }
+}
+
+/// The process-wide metrics registry: a gate, a set of relaxed atomic
+/// counters, and a subscriber list.
+#[derive(Debug, Default)]
+pub struct MetricsHub {
+    enabled: AtomicBool,
+    queries: AtomicU64,
+    events: AtomicU64,
+    bytes_delivered: AtomicU64,
+    values: AtomicU64,
+    buffers_sent: AtomicU64,
+    buffers_dropped: AtomicU64,
+    events_pending_hwm: AtomicU64,
+    sim_time_nanos: AtomicU64,
+    coalesce_events_skipped: AtomicU64,
+    subscribers: Mutex<Vec<Box<dyn MetricsSubscriber>>>,
+}
+
+impl std::fmt::Debug for Box<dyn MetricsSubscriber> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsSubscriber")
+    }
+}
+
+impl MetricsHub {
+    /// A fresh, disabled hub (for tests or private aggregation; most
+    /// callers use the global [`hub`]).
+    pub fn new() -> MetricsHub {
+        MetricsHub::default()
+    }
+
+    /// Turns recording on or off. While off, [`MetricsHub::record`] is a
+    /// single atomic load.
+    pub fn enable(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Folds one finished query into the counters and notifies
+    /// subscribers. A no-op while the hub is disabled.
+    pub fn record(&self, result: &QueryResult) {
+        if !self.is_enabled() {
+            return;
+        }
+        let stats = result.stats();
+        let mut bytes = 0u64;
+        let mut sent = 0u64;
+        let mut dropped = 0u64;
+        for c in &stats.channels {
+            bytes += c.bytes;
+            sent += c.buffers_sent;
+            dropped += c.buffers_dropped;
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(stats.events, Ordering::Relaxed);
+        self.bytes_delivered.fetch_add(bytes, Ordering::Relaxed);
+        self.values
+            .fetch_add(result.values().len() as u64, Ordering::Relaxed);
+        self.buffers_sent.fetch_add(sent, Ordering::Relaxed);
+        self.buffers_dropped.fetch_add(dropped, Ordering::Relaxed);
+        self.events_pending_hwm
+            .fetch_max(stats.events_pending_hwm, Ordering::Relaxed);
+        self.sim_time_nanos
+            .fetch_add(result.total_time().as_nanos(), Ordering::Relaxed);
+        self.coalesce_events_skipped
+            .fetch_add(stats.coalesce.events_skipped, Ordering::Relaxed);
+        let mut subs = self.subscribers.lock().expect("metrics hub poisoned");
+        for s in subs.iter_mut() {
+            s.on_query(result);
+        }
+    }
+
+    /// Registers a subscriber; it stays registered until
+    /// [`MetricsHub::reset`].
+    pub fn subscribe(&self, sub: Box<dyn MetricsSubscriber>) {
+        self.subscribers
+            .lock()
+            .expect("metrics hub poisoned")
+            .push(sub);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> HubSnapshot {
+        HubSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            bytes_delivered: self.bytes_delivered.load(Ordering::Relaxed),
+            values: self.values.load(Ordering::Relaxed),
+            buffers_sent: self.buffers_sent.load(Ordering::Relaxed),
+            buffers_dropped: self.buffers_dropped.load(Ordering::Relaxed),
+            events_pending_hwm: self.events_pending_hwm.load(Ordering::Relaxed),
+            sim_time_nanos: self.sim_time_nanos.load(Ordering::Relaxed),
+            coalesce_events_skipped: self.coalesce_events_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter, drops all subscribers, and leaves the
+    /// enable gate untouched.
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.events.store(0, Ordering::Relaxed);
+        self.bytes_delivered.store(0, Ordering::Relaxed);
+        self.values.store(0, Ordering::Relaxed);
+        self.buffers_sent.store(0, Ordering::Relaxed);
+        self.buffers_dropped.store(0, Ordering::Relaxed);
+        self.events_pending_hwm.store(0, Ordering::Relaxed);
+        self.sim_time_nanos.store(0, Ordering::Relaxed);
+        self.coalesce_events_skipped.store(0, Ordering::Relaxed);
+        self.subscribers
+            .lock()
+            .expect("metrics hub poisoned")
+            .clear();
+    }
+}
+
+/// The process-wide hub. Disabled until someone calls
+/// [`MetricsHub::enable`]; benchmark binaries enable it when invoked
+/// with `--metrics out.json`.
+pub fn hub() -> &'static MetricsHub {
+    static HUB: OnceLock<MetricsHub> = OnceLock::new();
+    HUB.get_or_init(MetricsHub::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scsq;
+
+    fn run_once() -> QueryResult {
+        Scsq::lofar()
+            .run(
+                "select extract(b) from sp a, sp b
+                 where b=sp(streamof(count(extract(a))), 'bg', 0)
+                 and a=sp(gen_array(100000,10),'bg',1);",
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = MetricsHub::new();
+        hub.record(&run_once());
+        assert_eq!(hub.snapshot(), HubSnapshot::default());
+    }
+
+    #[test]
+    fn enabled_hub_accumulates_and_notifies() {
+        struct Counter(std::sync::Arc<AtomicU64>);
+        impl MetricsSubscriber for Counter {
+            fn on_query(&mut self, _: &QueryResult) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let hub = MetricsHub::new();
+        hub.enable(true);
+        let seen = std::sync::Arc::new(AtomicU64::new(0));
+        hub.subscribe(Box::new(Counter(seen.clone())));
+        let r = run_once();
+        hub.record(&r);
+        hub.record(&r);
+        let snap = hub.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.events, 2 * r.stats().events);
+        assert_eq!(snap.events_pending_hwm, r.stats().events_pending_hwm);
+        assert!(snap.bytes_delivered >= 2 * 10 * 100_009);
+        assert!(snap.mean_bandwidth() > 0.0);
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        hub.reset();
+        assert_eq!(hub.snapshot(), HubSnapshot::default());
+        assert!(hub.is_enabled(), "reset keeps the gate");
+    }
+
+    #[test]
+    fn snapshot_json_is_balanced() {
+        let hub = MetricsHub::new();
+        hub.enable(true);
+        hub.record(&run_once());
+        let json = hub.snapshot().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"queries\": 1"));
+        assert!(json.contains("\"mean_bandwidth\""));
+    }
+}

@@ -762,6 +762,19 @@ impl<'a> QueryBuilder<'a> {
                 let v = self.eval_builtin(b, name, args, bindings)?;
                 Ok(value_pipeline(v))
             }
+            Builtin::Metrics => {
+                let v = self.eval(&args[0], bindings)?;
+                let targets = sp_handles(&v, "metrics()")?;
+                Ok(Pipeline {
+                    input: InputKind::Metrics { targets },
+                    stages: Vec::new(),
+                })
+            }
+            Builtin::Bandwidth => {
+                let mut p = self.compile_stream(&args[0], bindings)?;
+                p.stages.push(Stage::Bandwidth);
+                Ok(p)
+            }
             Builtin::Iota | Builtin::Filename | Builtin::Nodes => {
                 let v = self.eval_builtin(b, name, args, bindings)?;
                 Ok(value_pipeline(v))

@@ -92,6 +92,10 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
             format!("receiver('{name}', {arrays} x {samples} samples)")
         }
         InputKind::Grep { pattern, file } => format!("grep('{pattern}', '{file}')"),
+        InputKind::Metrics { targets } => {
+            let ids: Vec<String> = targets.iter().map(|h| format!("sp#{}", h.0)).collect();
+            format!("metrics[{}]", ids.join(", "))
+        }
     };
     for stage in &p.stages {
         s.push_str(" | ");
@@ -106,6 +110,7 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
                 format!("winagg({}, {}, {:?})", w.size, w.slide, w.agg).to_lowercase()
             }
             Stage::Take { limit } => format!("take({limit})"),
+            Stage::Bandwidth => "bandwidth".to_string(),
         });
     }
     s
@@ -162,6 +167,18 @@ mod tests {
         assert!(text.contains("receive[sp#0, sp#1, sp#2] | count"), "{text}");
         // Three TCP streams cross be -> bg.
         assert_eq!(text.matches("=tcp=> sp#3").count(), 3, "{text}");
+    }
+
+    #[test]
+    fn describes_metrics_observers() {
+        let text = explain(
+            "select extract(m) from sp a, sp b, sp m
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000000,10),'bg',1)
+             and m=sp(streamof(bandwidth(metrics(a))), 'bg', 2);",
+        );
+        assert!(text.contains("metrics[sp#0]"), "{text}");
+        assert!(text.contains("| bandwidth | streamof"), "{text}");
     }
 
     #[test]

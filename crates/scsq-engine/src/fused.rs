@@ -6,14 +6,14 @@
 //! per-event execution path whenever train coalescing cannot fire
 //! (jittered service times, data-dependent stages). A [`FusedProgram`]
 //! is the `Scsq::prepare`-time lowering of a pipeline: each stage is
-//! resolved once to a direct jump-table entry ([`StageFn`]) and the
+//! resolved once to a direct jump-table entry (`StageFn`) and the
 //! compute-cost accounting is compiled to a compact op list with a
 //! one-entry memo, so the inner loop is a straight call chain with no
 //! enum dispatch, no re-validation, and — together with the chain's
 //! reusable ping-pong scratch buffers — no allocation per tuple.
 //!
 //! Correctness bar: the fused executor mutates the *same*
-//! [`StageState`] representation as the interpreter, feeds every stage
+//! `StageState` representation as the interpreter, feeds every stage
 //! the same input sequence in the same order (stages are
 //! order-preserving stateful flat-maps, so breadth-first scratch
 //! passes and the interpreter's depth-first recursion produce the same
@@ -221,6 +221,7 @@ fn resolve(stage: &Stage) -> StageFn {
         Stage::RadixCombine { .. } => step_radix,
         Stage::Window(_) => step_window,
         Stage::Take { .. } => step_take,
+        Stage::Bandwidth => step_bandwidth,
     }
 }
 
@@ -395,6 +396,18 @@ fn step_take(
     Ok(())
 }
 
+fn step_bandwidth(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Bandwidth { bytes, last_nanos } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    crate::ops::bandwidth_accumulate(bytes, last_nanos, &value)
+}
+
 /// The runtime's per-RP executor: the fused fast path by default, the
 /// interpreted chain as the `--fuse off` fallback.
 #[derive(Debug)]
@@ -556,6 +569,16 @@ mod tests {
             // The memo must not change the answer.
             assert_eq!(model.cost(elem_bytes), want);
         }
+    }
+
+    #[test]
+    fn fused_matches_interpreted_on_bandwidth() {
+        let feed: Vec<(Value, Option<SpHandle>)> = (1..=5u64)
+            .map(|i| (crate::ops::metric_sample(0, i * 1_000_000, 1000), None))
+            .collect();
+        let (f, i) = run_both(vec![Stage::Bandwidth], &feed);
+        assert_eq!(f, i);
+        assert_eq!(f, vec![Value::Real(5000.0 / 0.005)]);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   by the ablation benchmark.
 //! * [`measure`] — query results plus the bandwidth bookkeeping used to
 //!   regenerate the paper's figures.
+//! * [`introspect`] — structured snapshots of a run's own statistics
+//!   ([`MetricsSnapshot`]); with the `metrics()` SCSQL source it forms
+//!   the paper's self-measurement story: the system measures its own
+//!   communication performance.
 
 pub mod builder;
 pub mod coordinator;
@@ -35,6 +39,7 @@ pub mod error;
 pub mod explain;
 pub mod funcs;
 pub mod fused;
+pub mod introspect;
 pub mod measure;
 pub mod ops;
 pub mod placement;
@@ -47,6 +52,7 @@ pub use coordinator::{ClientManager, Coordinator, PreparedQuery};
 pub use error::EngineError;
 pub use explain::{describe_pipeline, explain_graph};
 pub use fused::{CostModel, FusedChain, FusedProgram};
+pub use introspect::{ChannelMetrics, MetricsSnapshot};
 pub use measure::{ChannelReport, QueryResult, QueryStats, RpReport};
 pub use ops::{AggKind, InputKind, MapFunc, Pipeline, Stage};
 pub use placement::PlacementPolicy;

@@ -18,10 +18,22 @@ pub struct ChannelReport {
     pub src: NodeId,
     /// Subscribing node.
     pub dst: NodeId,
-    /// `"mpi"` or `"tcp"`.
+    /// `"mpi"`, `"tcp"` or `"udp"`.
     pub carrier: String,
     /// Payload bytes delivered.
     pub bytes: u64,
+    /// Payload bytes the producer enqueued (≥ `bytes`; the difference
+    /// is in-flight loss, UDP only).
+    pub bytes_enqueued: u64,
+    /// Send buffers transmitted.
+    pub buffers_sent: u64,
+    /// Buffers (UDP datagrams) dropped in flight.
+    pub buffers_dropped: u64,
+    /// Elements lost to dropped datagrams.
+    pub elements_lost: u64,
+    /// High-water mark of the send queue, in trains (how far the
+    /// producer ran ahead of the carrier).
+    pub queue_peak_trains: u64,
     /// When the first buffer began marshaling.
     pub first_send: Option<SimTime>,
     /// When the last buffer finished de-marshaling.
@@ -56,6 +68,9 @@ pub struct QueryStats {
     /// Simulator events executed (including ones skipped analytically by
     /// the coalescer, which counts them as executed).
     pub events: u64,
+    /// Peak concurrent pending-event population of the simulator queue —
+    /// the event kernel's memory high-water mark for this query.
+    pub events_pending_hwm: u64,
     /// Number of running processes (including the client's).
     pub rps: usize,
     /// What the train coalescer did (all zero when it was disabled).
@@ -178,6 +193,11 @@ mod tests {
             dst,
             carrier: "tcp".to_string(),
             bytes,
+            bytes_enqueued: bytes,
+            buffers_sent: 1,
+            buffers_dropped: 0,
+            elements_lost: 0,
+            queue_peak_trains: 1,
             first_send: Some(SimTime::ZERO),
             last_delivery: SimTime::from_secs(1),
         }
@@ -202,6 +222,7 @@ mod tests {
                     is_client: false,
                 }],
                 events: 10,
+                events_pending_hwm: 4,
                 rps: 4,
                 coalesce: scsq_sim::CoalesceStats::default(),
                 fused: true,

@@ -56,6 +56,16 @@ pub enum InputKind {
         /// File name in the synthetic corpus.
         file: String,
     },
+    /// `metrics(p)` — the self-measurement source: one delivery sample
+    /// per receive buffer on every channel leaving a target SP. The
+    /// runtime synthesizes the samples (bags of `{channel, time_ns,
+    /// bytes}`) as deliveries happen; the pipeline itself has no
+    /// producers to pull from, so the observed query's channels are
+    /// not re-routed through the observer.
+    Metrics {
+        /// The SPs whose outbound channels are observed.
+        targets: Vec<SpHandle>,
+    },
 }
 
 /// Per-element transformations.
@@ -122,6 +132,10 @@ pub enum Stage {
         /// Number of elements to pass.
         limit: u64,
     },
+    /// `bandwidth(s)` — terminal aggregate over a `metrics` sample
+    /// stream: total delivered bytes / time of the last sample, emitted
+    /// as one real (bytes/second) at end of stream.
+    Bandwidth,
 }
 
 /// A compiled SQEP.
@@ -179,6 +193,51 @@ pub(crate) enum StageState {
     Take {
         remaining: u64,
     },
+    Bandwidth {
+        /// Delivered bytes summed over all samples seen.
+        bytes: u64,
+        /// Timestamp (ns) of the latest sample.
+        last_nanos: u64,
+    },
+}
+
+/// Builds one `metrics(p)` delivery sample: a bag `{channel, time_ns,
+/// bytes}`. The runtime emits these; [`Stage::Bandwidth`] consumes them.
+pub(crate) fn metric_sample(channel: usize, time_nanos: u64, bytes: u64) -> Value {
+    Value::Bag(vec![
+        Value::Integer(channel as i64),
+        Value::Integer(time_nanos as i64),
+        Value::Integer(bytes as i64),
+    ])
+}
+
+/// Destructures a `metrics(p)` sample into `(time_ns, bytes)`. `None`
+/// for values of any other shape.
+pub(crate) fn metric_sample_parts(value: &Value) -> Option<(u64, u64)> {
+    let Value::Bag(items) = value else {
+        return None;
+    };
+    let [Value::Integer(_), Value::Integer(t), Value::Integer(bytes)] = items.as_slice() else {
+        return None;
+    };
+    Some((u64::try_from(*t).ok()?, u64::try_from(*bytes).ok()?))
+}
+
+/// Folds one sample into a [`StageState::Bandwidth`] accumulator.
+/// Shared by the interpreted and fused executors.
+pub(crate) fn bandwidth_accumulate(
+    bytes: &mut u64,
+    last_nanos: &mut u64,
+    value: &Value,
+) -> Result<(), EngineError> {
+    let Some((t, b)) = metric_sample_parts(value) else {
+        return Err(EngineError::type_error("metric sample", value, "bandwidth"));
+    };
+    *bytes += b;
+    if t > *last_nanos {
+        *last_nanos = t;
+    }
+    Ok(())
 }
 
 /// Runtime interpreter for a [`Pipeline`]'s stage chain.
@@ -216,6 +275,10 @@ impl StageChain {
                 },
                 Stage::Window(spec) => StageState::Window(WindowState::new(*spec)),
                 Stage::Take { limit } => StageState::Take { remaining: *limit },
+                Stage::Bandwidth => StageState::Bandwidth {
+                    bytes: 0,
+                    last_nanos: 0,
+                },
             })
             .collect();
         StageChain { stages }
@@ -320,6 +383,10 @@ impl StageChain {
                     Vec::new()
                 }
             }
+            StageState::Bandwidth { bytes, last_nanos } => {
+                bandwidth_accumulate(bytes, last_nanos, &value)?;
+                Vec::new()
+            }
         };
         let next = idx + 1;
         let _ = rest;
@@ -392,6 +459,14 @@ impl StageChain {
                     p.shape(6);
                     p.num(remaining);
                 }
+                StageState::Bandwidth { bytes, last_nanos } => {
+                    p.shape(7);
+                    p.num(bytes);
+                    // A timestamp: extrapolating it as a count would
+                    // scale rather than shift it, so hash it as shape —
+                    // a changing value then simply blocks the jump.
+                    p.shape(*last_nanos);
+                }
             }
         }
     }
@@ -435,6 +510,15 @@ impl StageChain {
                     AggKind::Max | AggKind::Min => best.take().into_iter().collect(),
                 },
                 StageState::Window(w) => w.finish(),
+                StageState::Bandwidth { bytes, last_nanos } => {
+                    if *bytes > 0 && *last_nanos > 0 {
+                        vec![Value::Real(
+                            *bytes as f64 / (*last_nanos as f64 / 1_000_000_000.0),
+                        )]
+                    } else {
+                        Vec::new()
+                    }
+                }
                 _ => Vec::new(),
             };
             for v in flushed {
@@ -570,5 +654,42 @@ mod tests {
         let p = Pipeline::relay(vec![SpHandle(3)]);
         assert_eq!(p.producers(), &[SpHandle(3)]);
         assert!(p.stages.is_empty());
+    }
+
+    #[test]
+    fn metrics_pipeline_has_no_producers() {
+        let p = Pipeline {
+            input: InputKind::Metrics {
+                targets: vec![SpHandle(1)],
+            },
+            stages: vec![],
+        };
+        assert!(p.producers().is_empty(), "observers subscribe to nothing");
+    }
+
+    #[test]
+    fn bandwidth_divides_bytes_by_last_sample_time() {
+        let mut c = chain(vec![Stage::Bandwidth]);
+        // Two buffers of 500 bytes, the second visible at t = 2 ms.
+        assert!(c
+            .process(metric_sample(0, 1_000_000, 500), None)
+            .unwrap()
+            .is_empty());
+        c.process(metric_sample(0, 2_000_000, 500), None).unwrap();
+        let out = c.finish().unwrap();
+        assert_eq!(out, vec![Value::Real(1000.0 / 0.002)]);
+    }
+
+    #[test]
+    fn bandwidth_over_empty_stream_emits_nothing() {
+        let mut c = chain(vec![Stage::Bandwidth]);
+        assert!(c.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bandwidth_rejects_non_samples() {
+        let mut c = chain(vec![Stage::Bandwidth]);
+        let err = c.process(Value::Integer(5), None).unwrap_err();
+        assert!(err.to_string().contains("metric sample"));
     }
 }

@@ -127,6 +127,11 @@ pub(crate) struct World {
     /// drained, and returned on every element, so the hot path never
     /// allocates a fresh `Vec` per processed tuple.
     scratch: Vec<Value>,
+    /// Per-channel metric-stream observers (`metrics(p)` RPs watching
+    /// the channel's deliveries), indexed by channel. Left entirely
+    /// empty when the query has no observers, so the per-delivery check
+    /// is a single `is_empty()`. Immutable after set-up.
+    observers: Vec<Vec<usize>>,
 }
 
 pub(crate) type Sim = TypedSimulator<World, Ev>;
@@ -282,6 +287,10 @@ impl World {
             finished_at,
             error,
             scratch: _,
+            // Immutable after set-up: the per-channel observer lists are
+            // fixed by the query graph, so they carry no mutable state
+            // for the coalescer to track.
+            observers: _,
         } = self;
         // UDP drop decisions depend on I/O-node backlog; tell the
         // environment to guard it while any UDP channel is still live.
@@ -416,6 +425,9 @@ pub fn run_graph(
                 (None, items)
             }
             InputKind::Receive { .. } => (None, Vec::new()),
+            // Observers subscribe to nothing: their samples are
+            // synthesized by `deliver` as observed channels deliver.
+            InputKind::Metrics { .. } => (None, Vec::new()),
         };
         Ok(RpState {
             node,
@@ -463,6 +475,33 @@ pub fn run_graph(
         rps[src_rp].outputs.push(ci);
     }
 
+    // Wire metric-stream observers: a `metrics(p)` RP watches every
+    // channel whose producer is one of its targets, and its stream ends
+    // when the last watched channel delivers EOS. Channels are all
+    // created by now, so the watch lists are final.
+    let mut observers: Vec<Vec<usize>> = Vec::new();
+    for (i, rp) in rps.iter_mut().enumerate() {
+        let input = if i < graph.sps.len() {
+            &graph.sps[i].pipeline.input
+        } else {
+            &graph.client.input
+        };
+        let InputKind::Metrics { targets } = input else {
+            continue;
+        };
+        if observers.is_empty() {
+            observers = vec![Vec::new(); channels.len()];
+        }
+        let mut watched = 0;
+        for (ci, ch) in channels.iter().enumerate() {
+            if targets.contains(&ch.src_sp) {
+                observers[ci].push(i);
+                watched += 1;
+            }
+        }
+        rp.eos_remaining = watched;
+    }
+
     let world = World {
         env,
         rps,
@@ -472,6 +511,7 @@ pub fn run_graph(
         finished_at: None,
         error: None,
         scratch: Vec::new(),
+        observers,
     };
     // Pending-event population is bounded by the graph shape (each RP
     // has at most one self-scheduled tick; each channel a handful of
@@ -494,6 +534,7 @@ pub fn run_graph(
         (sim.run_to_completion(), scsq_sim::CoalesceStats::default())
     };
     let events = sim.events_executed();
+    let events_pending_hwm = sim.events_pending_high_water() as u64;
     let exceeded = sim.limit_exceeded();
     let world = sim.into_world();
     if let Some(err) = world.error {
@@ -511,6 +552,7 @@ pub fn run_graph(
         .iter()
         .map(|c| {
             let cfg = c.chan.config();
+            let stats = c.chan.stats();
             ChannelReport {
                 src: cfg.src,
                 dst: cfg.dst,
@@ -519,9 +561,14 @@ pub fn run_graph(
                     Carrier::Tcp => "tcp".to_string(),
                     Carrier::Udp => "udp".to_string(),
                 },
-                bytes: c.chan.stats().bytes_delivered,
-                first_send: c.chan.stats().first_send,
-                last_delivery: c.chan.stats().last_delivery,
+                bytes: stats.bytes_delivered,
+                bytes_enqueued: stats.bytes_enqueued,
+                buffers_sent: stats.buffers_sent,
+                buffers_dropped: stats.buffers_dropped,
+                elements_lost: stats.elements_lost,
+                queue_peak_trains: stats.queue_peak_trains,
+                first_send: stats.first_send,
+                last_delivery: stats.last_delivery,
             }
         })
         .collect();
@@ -544,6 +591,7 @@ pub fn run_graph(
             channels: reports,
             rp_reports,
             events,
+            events_pending_hwm,
             rps: world.rps.len(),
             coalesce,
             fused: options.fuse,
@@ -738,6 +786,22 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
     let dst = world.channels[ci].dst_rp;
     let from = world.channels[ci].src_sp;
     let now = sim.now();
+    // Self-measurement (the paper's premise: stream queries over the
+    // system itself): observers of this channel get one sample per
+    // delivered buffer. The whole block is one `is_empty()` branch for
+    // queries without observers.
+    if !world.observers.is_empty() && !world.observers[ci].is_empty() {
+        let bytes: u64 = batch.iter().map(Value::marshaled_size).sum();
+        let n = world.observers[ci].len();
+        for k in 0..n {
+            let o = world.observers[ci][k];
+            let sample = crate::ops::metric_sample(ci, now.as_nanos(), bytes);
+            process_and_emit(world, sim, o, sample, None, now);
+            if world.error.is_some() {
+                return;
+            }
+        }
+    }
     // Consuming iteration: a single inline tuple is handed over without
     // materializing a `Vec`.
     for v in batch {
@@ -759,6 +823,20 @@ fn eos(world: &mut World, sim: &mut Sim, ci: usize) {
     rp.eos_remaining -= 1;
     if rp.eos_remaining == 0 {
         finish_rp(world, sim, dst);
+    }
+    // Observers of this channel saw its last sample: their metric
+    // stream shrinks by one live input.
+    if !world.observers.is_empty() {
+        let n = world.observers[ci].len();
+        for k in 0..n {
+            let o = world.observers[ci][k];
+            let orp = &mut world.rps[o];
+            assert!(orp.eos_remaining > 0, "duplicate observer EOS on {ci}");
+            orp.eos_remaining -= 1;
+            if orp.eos_remaining == 0 {
+                finish_rp(world, sim, o);
+            }
+        }
     }
 }
 
@@ -1084,6 +1162,102 @@ mod tests {
         .unwrap();
         // The generator cannot start before the bgCC's first poll (1 ms).
         assert!(r.finished() >= SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn metrics_bandwidth_matches_the_channel_report() {
+        // Self-measurement: an observer SP computes the a→b bandwidth
+        // from metric samples; it must equal delivered bytes / last
+        // delivery straight from the channel's own statistics.
+        let r = run("select extract(m) from sp a, sp b, sp m
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1)
+             and m=sp(streamof(bandwidth(metrics(a))), 'bg', 2);")
+        .unwrap();
+        assert_eq!(r.values().len(), 1);
+        let measured = match r.values()[0] {
+            Value::Real(x) => x,
+            ref v => panic!("expected a real bandwidth, got {v:?}"),
+        };
+        let mpi = r
+            .stats()
+            .channels
+            .iter()
+            .find(|c| c.carrier == "mpi")
+            .expect("a→b channel");
+        let external = mpi.bytes as f64 / mpi.last_delivery.since(SimTime::ZERO).as_secs_f64();
+        let rel = (measured - external).abs() / external;
+        assert!(rel < 1e-9, "measured {measured} vs external {external}");
+    }
+
+    #[test]
+    fn metrics_counts_one_sample_per_delivering_buffer() {
+        // 100 KB arrays over 1000-byte buffers: exactly one buffer per
+        // array completes an element, so the observer sees 10 samples.
+        let r = run("select extract(m) from sp a, sp b, sp m
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1)
+             and m=sp(streamof(count(metrics(a))), 'bg', 2);")
+        .unwrap();
+        assert_eq!(r.values(), &[Value::Integer(10)]);
+    }
+
+    #[test]
+    fn metrics_over_an_unobserved_sp_terminates_empty() {
+        // `a` has no subscribers, so no channel matches the observer's
+        // target: the metric stream is empty and ends immediately.
+        let r = run("select extract(m) from sp a, sp m
+             where a=sp(gen_array(1000,1),'bg',1)
+             and m=sp(streamof(bandwidth(metrics(a))), 'bg', 2);")
+        .unwrap();
+        assert!(r.values().is_empty());
+        assert!(r.finished() >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn observers_do_not_change_the_observed_channel() {
+        // Adding a metrics SP must not perturb the a→b transfer itself:
+        // same delivered bytes, same last-delivery time.
+        let plain = run("select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1);")
+        .unwrap();
+        let observed = run("select extract(m) from sp a, sp b, sp m
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1)
+             and m=sp(streamof(bandwidth(metrics(a))), 'bg', 2);")
+        .unwrap();
+        let mpi = |r: &QueryResult| {
+            let c = r
+                .stats()
+                .channels
+                .iter()
+                .find(|c| c.carrier == "mpi" && c.dst == NodeId::bg(0))
+                .expect("a→b channel")
+                .clone();
+            (c.bytes, c.last_delivery)
+        };
+        assert_eq!(mpi(&plain), mpi(&observed));
+    }
+
+    #[test]
+    fn stats_expose_kernel_and_channel_high_water_marks() {
+        let r = run("select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,10),'bg',1);")
+        .unwrap();
+        assert!(r.stats().events_pending_hwm > 0);
+        assert!(r.stats().events_pending_hwm <= r.stats().events);
+        let mpi = r
+            .stats()
+            .channels
+            .iter()
+            .find(|c| c.carrier == "mpi")
+            .expect("a→b channel");
+        assert!(mpi.queue_peak_trains >= 1);
+        assert!(mpi.buffers_sent > 0);
+        assert_eq!(mpi.bytes_enqueued, mpi.bytes, "MPI loses nothing");
+        assert_eq!(mpi.buffers_dropped, 0);
     }
 
     #[test]

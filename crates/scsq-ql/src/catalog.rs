@@ -83,6 +83,17 @@ pub enum Builtin {
     /// cluster, from its CNDB; usable as an explicit allocation
     /// sequence.
     Nodes,
+    /// `metrics(p)` — the self-measurement source: a stream of delivery
+    /// samples for every channel leaving SP `p` (or any SP of a bag).
+    /// Each sample is a bag `{channel, time_ns, bytes}` emitted when a
+    /// receive buffer becomes visible to the subscriber, mirroring the
+    /// paper's design of measuring communication with stream queries
+    /// over the system itself (§1, §3).
+    Metrics,
+    /// `bandwidth(s)` — terminal aggregate over a `metrics` stream:
+    /// total delivered bytes divided by the time of the last sample, in
+    /// bytes/second (the Fig. 6 quotient, computed inside the query).
+    Bandwidth,
 }
 
 impl Builtin {
@@ -116,6 +127,8 @@ impl Builtin {
             "winagg" => Builtin::WindowAgg,
             "take" => Builtin::Take,
             "nodes" => Builtin::Nodes,
+            "metrics" => Builtin::Metrics,
+            "bandwidth" => Builtin::Bandwidth,
             _ => return None,
         })
     }
@@ -141,6 +154,8 @@ impl Builtin {
             | Builtin::RadixCombine
             | Builtin::Receiver
             | Builtin::Nodes
+            | Builtin::Metrics
+            | Builtin::Bandwidth
             | Builtin::Filename => (1, 1),
             Builtin::Iota | Builtin::GenArray | Builtin::Grep | Builtin::Take => (2, 2),
             Builtin::PsetRr => (0, 0),

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # scsq-ql — the SCSQL continuous query language
 //!
 //! §2.4 of the paper: "SCSQL is a query language similar to SQL, but

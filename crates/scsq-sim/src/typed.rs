@@ -61,6 +61,11 @@ pub struct TypedSimulator<W, E> {
     executed: u64,
     limit: Option<u64>,
     limit_exceeded: bool,
+    /// High-water mark of the pending-event population. A monotone max
+    /// over the queue length, which the coalescing probe walks as shape
+    /// (and which a period jump leaves unchanged), so this needs no
+    /// probe entry of its own.
+    pending_hwm: usize,
 }
 
 impl<W, E> TypedSimulator<W, E> {
@@ -73,6 +78,7 @@ impl<W, E> TypedSimulator<W, E> {
             executed: 0,
             limit: None,
             limit_exceeded: false,
+            pending_hwm: 0,
         }
     }
 
@@ -86,6 +92,7 @@ impl<W, E> TypedSimulator<W, E> {
             executed: 0,
             limit: None,
             limit_exceeded: false,
+            pending_hwm: 0,
         }
     }
 
@@ -140,6 +147,14 @@ impl<W, E> TypedSimulator<W, E> {
         self.queue.len()
     }
 
+    /// The largest pending-event population observed so far — the peak
+    /// concurrent event load the queue had to absorb. Coalescing jumps
+    /// do not perturb it: the queue length is probed as shape, so it is
+    /// constant across a jumped period.
+    pub fn events_pending_high_water(&self) -> usize {
+        self.pending_hwm
+    }
+
     /// Schedules `event` to fire at absolute time `at`.
     ///
     /// # Panics
@@ -153,6 +168,10 @@ impl<W, E> TypedSimulator<W, E> {
             at
         );
         self.queue.push(at, event);
+        let pending = self.queue.len();
+        if pending > self.pending_hwm {
+            self.pending_hwm = pending;
+        }
     }
 
     /// Schedules `event` to fire `after` from now.
@@ -300,6 +319,20 @@ mod tests {
         assert!(sim.limit_exceeded());
         assert_eq!(sim.events_executed(), 3);
         assert_eq!(sim.events_pending(), 1, "the chained event stays queued");
+    }
+
+    #[test]
+    fn pending_high_water_tracks_the_peak_population() {
+        let mut sim = TypedSimulator::new(Vec::new());
+        assert_eq!(sim.events_pending_high_water(), 0);
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_nanos(10 + i), Ev::Push(i as u32));
+        }
+        assert_eq!(sim.events_pending_high_water(), 5);
+        sim.run_to_completion();
+        // Draining the queue never lowers the mark.
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_pending_high_water(), 5);
     }
 
     #[test]

@@ -86,6 +86,11 @@ pub struct ChannelStats {
     pub first_send: Option<SimTime>,
     /// When the most recent buffer finished de-marshaling.
     pub last_delivery: SimTime,
+    /// High-water mark of the send queue, in trains (a run of identical
+    /// elements counts once — see the train coalescing notes on
+    /// [`StreamChannel::enqueue`]). Gauges how far the producer ran
+    /// ahead of the carrier.
+    pub queue_peak_trains: u64,
 }
 
 impl ChannelStats {
@@ -235,7 +240,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
     /// engine schedules an event there).
     ///
     /// A run of identical elements whose ready times form an arithmetic
-    /// progression coalesces into the tail [`Train`] instead of growing
+    /// progression coalesces into the tail `Train` instead of growing
     /// the queue; packing and delivery are byte-for-byte identical either
     /// way.
     ///
@@ -274,6 +279,10 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             step: SimDur::ZERO,
             head_corrupted: false,
         });
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_peak_trains {
+            self.stats.queue_peak_trains = depth;
+        }
         ready
     }
 
@@ -507,6 +516,10 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
         p.num(&mut s.buffers_sent);
         p.num(&mut s.buffers_dropped);
         p.num(&mut s.elements_lost);
+        // A monotone max over the queue length, which is probed as shape
+        // above: constant across a jumped period, so extrapolating its
+        // (zero) delta is exact.
+        p.num(&mut s.queue_peak_trains);
         p.shape(s.first_send.is_some() as u64);
         if let Some(t) = &mut s.first_send {
             p.time(t);
@@ -806,6 +819,27 @@ mod tests {
         let (t_distinct, eos_distinct) = run(true);
         assert_eq!(t_merged, t_distinct);
         assert_eq!(eos_merged, eos_distinct);
+    }
+
+    #[test]
+    fn queue_peak_tracks_the_deepest_backlog() {
+        let mut env = Environment::lofar();
+        let mut ch = StreamChannel::new(mpi_cfg(1000, false), &mut env);
+        // Three distinct payloads → three trains queued at once.
+        ch.enqueue("a", 250, SimTime::ZERO);
+        ch.enqueue("b", 250, SimTime::ZERO);
+        ch.enqueue("c", 250, SimTime::ZERO);
+        assert_eq!(ch.stats().queue_peak_trains, 3);
+        ch.finish(SimTime::ZERO);
+        drain(&mut ch, &mut env);
+        // Draining never lowers the mark.
+        assert_eq!(ch.stats().queue_peak_trains, 3);
+        // Extending a train does not count as extra depth.
+        let mut ch2 = StreamChannel::new(mpi_cfg(1000, false), &mut env);
+        for _ in 0..100 {
+            ch2.enqueue("x", 250, SimTime::ZERO);
+        }
+        assert_eq!(ch2.stats().queue_peak_trains, 1);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repository's docs
+# points at a file that exists. External (http) links and pure anchors
+# are skipped. Exits non-zero listing each broken link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+broken=$(
+    for doc in README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/*.md; do
+        [ -f "$doc" ] || continue
+        dir=$(dirname "$doc")
+        # Pull out each markdown link target: [text](target)
+        grep -o ']([^)]*)' "$doc" 2>/dev/null | sed 's/^](//; s/)$//' |
+            while read -r target; do
+                case "$target" in
+                http://* | https://* | "#"*) continue ;;
+                esac
+                path="${target%%#*}"
+                [ -n "$path" ] || continue
+                if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+                    echo "BROKEN: $doc -> $target"
+                fi
+            done
+    done || true
+)
+
+if [ -n "$broken" ]; then
+    echo "$broken"
+    echo "broken markdown links found"
+    exit 1
+fi
+echo "all markdown links resolve"

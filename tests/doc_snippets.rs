@@ -1,0 +1,85 @@
+//! Compiles and runs every runnable SCSQL snippet in the documentation.
+//!
+//! Markdown code blocks fenced as ```` ```scsql ```` in `docs/` are
+//! executed through the `scsql` shell binary in script mode; a snippet
+//! that fails to parse, bind, place, or run fails this test. Blocks with
+//! any other fence tag (grammar sketches, shell transcripts, JSON) are
+//! ignored. This keeps the documentation's examples from rotting.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Extracts the contents of every ```` ```scsql ````-fenced block.
+fn scsql_blocks(markdown: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            Some(block) => {
+                if line.trim_start().starts_with("```") {
+                    blocks.push(current.take().expect("in a block"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+            None => {
+                if line.trim() == "```scsql" {
+                    current = Some(String::new());
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```scsql block");
+    blocks
+}
+
+/// Runs one snippet through the shell binary and panics with the
+/// shell's stderr if it failed.
+fn run_snippet(doc: &str, index: usize, snippet: &str) {
+    let path = std::env::temp_dir().join(format!(
+        "scsq_doc_snippet_{}_{index}.scsql",
+        doc.replace(['/', '.'], "_")
+    ));
+    std::fs::write(&path, snippet).expect("write snippet");
+    let out = Command::new(env!("CARGO_BIN_EXE_scsql"))
+        .arg(&path)
+        .output()
+        .expect("shell binary runs");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success() && !stderr.contains("error:"),
+        "{doc} snippet #{index} failed:\n{snippet}\n--- stderr ---\n{stderr}"
+    );
+}
+
+fn check_doc(rel: &str, expect_at_least: usize) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {rel}: {e}"));
+    let blocks = scsql_blocks(&text);
+    assert!(
+        blocks.len() >= expect_at_least,
+        "{rel}: expected at least {expect_at_least} runnable snippets, found {}",
+        blocks.len()
+    );
+    for (i, block) in blocks.iter().enumerate() {
+        run_snippet(rel, i, block);
+    }
+}
+
+#[test]
+fn scsql_reference_snippets_run() {
+    check_doc("docs/scsql_reference.md", 3);
+}
+
+#[test]
+fn observability_snippets_run() {
+    check_doc("docs/observability.md", 1);
+}
+
+#[test]
+fn block_extraction_is_exact() {
+    let md = "intro\n```scsql\nselect 1;\n```\n```\ngrammar\n```\n```scsql\nmerge({});\n```\n";
+    assert_eq!(scsql_blocks(md), vec!["select 1;\n", "merge({});\n"]);
+}

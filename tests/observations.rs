@@ -5,7 +5,7 @@
 //! paper's text. These are the claims `EXPERIMENTS.md` tracks.
 
 use scsq_bench::{ablation, fig15, fig6, fig8, Scale};
-use scsq_core::HardwareSpec;
+use scsq_core::{HardwareSpec, NodeId, Scsq, Value};
 
 fn spec() -> HardwareSpec {
     HardwareSpec::lofar()
@@ -65,6 +65,42 @@ fn fig6_double_buffering_pays_off_for_large_buffers() {
     let gain_large = double.y_at(200_000.0).unwrap() / single.y_at(200_000.0).unwrap();
     assert!(gain_small < 1.1, "modes converge for tiny buffers");
     assert!(gain_large > 1.15, "double buffering wins for large buffers");
+}
+
+#[test]
+fn fig6_bandwidth_is_reproducible_from_metric_streams_alone() {
+    // The paper's self-measurement claim: SCSQ measures its own
+    // communication performance with stream queries. An observer SP
+    // running `bandwidth(metrics(a))` must agree with the externally
+    // computed Figure 6 quotient (delivered bytes / query time) within
+    // 1% — they differ only by the post-last-delivery EOS tail.
+    let mut scsq = Scsq::lofar();
+    let external = scsq
+        .run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000000,30),'bg',1);",
+        )
+        .unwrap()
+        .bandwidth_into(NodeId::bg(0));
+    let r = scsq
+        .run(
+            "select extract(m) from sp a, sp b, sp m
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000000,30),'bg',1)
+             and m=sp(streamof(bandwidth(metrics(a))), 'bg', 2);",
+        )
+        .unwrap();
+    let measured = match r.values() {
+        [Value::Real(x)] => *x,
+        other => panic!("expected one real bandwidth value, got {other:?}"),
+    };
+    let rel = (measured - external).abs() / external;
+    assert!(
+        rel < 0.01,
+        "self-measured {measured:.0} B/s vs external {external:.0} B/s ({:.3}% apart)",
+        rel * 100.0
+    );
 }
 
 // ---------- Figure 8 ---------------------------------------------------
