@@ -1,15 +1,19 @@
 //! Microbenchmarks for the event-kernel hot path: raw event-queue
 //! throughput, batch hand-off cost (Arc-backed [`Batch`] slicing vs
-//! cloning the underlying tuples), the Figure 6 inner loop in both
-//! execution modes (per-event vs train-coalesced), the fused stage
-//! programs against the interpreted fallback, and route-table lookups
-//! against fresh dimension-ordered route computation.
+//! cloning the underlying tuples), the whole-column compute kernels
+//! (map / filter+gather / aggregate at 64, 4k, and 64k rows), the
+//! Figure 6 inner loop in both execution modes (per-event vs
+//! train-coalesced), the fused stage programs against the interpreted
+//! fallback, and route-table lookups against fresh dimension-ordered
+//! route computation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scsq_bench::{fig6, ExecMode, Scale};
 use scsq_core::HardwareSpec;
+use scsq_engine::columnar;
 use scsq_net::{TorusDims, TorusNet, TorusParams};
 use scsq_ql::batch::Batch;
+use scsq_ql::column::{Column, ColumnData};
 use scsq_ql::value::Value;
 use scsq_sim::{EventQueue, SimTime};
 use std::hint::black_box;
@@ -65,6 +69,46 @@ fn bench_batch_handoff(c: &mut Criterion) {
     group.finish();
 }
 
+/// The whole-column compute kernels behind the columnar fast path:
+/// elementwise map, filter+gather, and the aggregate folds, at batch
+/// sizes spanning a delivered train (64) to a full receive buffer run
+/// (64k). The same work per element on the interpreted path costs an
+/// enum match and a `Value` move; these loops are the ceiling the fused
+/// columnar dispatch is measured against.
+fn bench_column_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_kernels");
+    for n in [64usize, 4_096, 65_536] {
+        let ints = Column::new(ColumnData::Int64((0..n as i64).collect()));
+        let floats = Column::new(ColumnData::Float64(
+            (0..n).map(|i| i as f64 * 0.5).collect(),
+        ));
+        let mid = (n / 2) as i64;
+        group.bench_with_input(BenchmarkId::new("map_add_i64", n), &ints, |b, col| {
+            b.iter(|| black_box(columnar::add_i64(col, 7)));
+        });
+        group.bench_with_input(BenchmarkId::new("map_mul_f64", n), &floats, |b, col| {
+            b.iter(|| black_box(columnar::mul_f64(col, 1.0625)));
+        });
+        group.bench_with_input(BenchmarkId::new("filter_take_i64", n), &ints, |b, col| {
+            b.iter(|| {
+                let mask = columnar::cmp_lt_i64(col, mid).expect("int column");
+                let sel = columnar::filter_to_selection(&mask).expect("bool mask");
+                black_box(columnar::take(col, &sel))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sum_i64", n), &ints, |b, col| {
+            b.iter(|| black_box(columnar::sum_i64(col)));
+        });
+        group.bench_with_input(BenchmarkId::new("sum_f64", n), &floats, |b, col| {
+            b.iter(|| black_box(columnar::sum_f64(col)));
+        });
+        group.bench_with_input(BenchmarkId::new("count", n), &ints, |b, col| {
+            b.iter(|| black_box(columnar::count(col)));
+        });
+    }
+    group.finish();
+}
+
 /// The Figure 6 inner loop at a coalescing-friendly point (paper-size
 /// arrays, small MPI buffer => long periodic trains), in both modes.
 fn bench_fig6_inner(c: &mut Criterion) {
@@ -82,7 +126,7 @@ fn bench_fig6_inner(c: &mut Criterion) {
             b.iter(|| {
                 let mode = ExecMode {
                     coalesce,
-                    fuse: true,
+                    ..ExecMode::default()
                 };
                 let series =
                     fig6::run_with_jobs(&spec, scale, &[1_000], 1, mode).expect("fig6 runs");
@@ -112,6 +156,7 @@ fn bench_fused_vs_interpreted(c: &mut Criterion) {
                 let mode = ExecMode {
                     coalesce: false,
                     fuse,
+                    columnar: fuse,
                 };
                 let series =
                     fig6::run_with_jobs(&spec, scale, &[1_000], 1, mode).expect("fig6 runs");
@@ -155,6 +200,7 @@ criterion_group!(
     micro,
     bench_event_queue,
     bench_batch_handoff,
+    bench_column_kernels,
     bench_fig6_inner,
     bench_fused_vs_interpreted,
     bench_route_cache

@@ -73,6 +73,7 @@ pub fn run_with_jobs(
             placement: policy,
             coalesce: mode.coalesce,
             fuse: mode.fuse,
+            columnar: mode.columnar,
             ..RunOptions::default()
         };
         *scsq.options_mut() = options.clone();

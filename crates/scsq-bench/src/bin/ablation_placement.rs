@@ -1,11 +1,11 @@
 //! Ablation: naïve vs topology-aware node selection on an unconstrained
 //! inbound workload (the §5 future-work refinement).
 //!
-//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
+//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    ablation, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure, series_to_csv,
-    write_hub_metrics, Scale,
+    ablation, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, print_figure,
+    series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -21,6 +21,7 @@ fn main() {
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
+        columnar: parse_columnar(&args),
     };
     let scale = if quick {
         Scale::quick()

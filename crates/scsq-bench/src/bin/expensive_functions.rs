@@ -2,11 +2,11 @@
 //! Compares a single-node FFT pipeline with the paper's radix2
 //! distribution over the array-size sweep.
 //!
-//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
+//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    expensive, parse_coalesce, parse_fuse, parse_metrics, print_figure, series_to_csv,
-    write_hub_metrics, Scale,
+    expensive, parse_coalesce, parse_columnar, parse_fuse, parse_metrics, print_figure,
+    series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -21,6 +21,7 @@ fn main() {
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
+        columnar: parse_columnar(&args),
     };
     let scale = if quick {
         Scale {

@@ -1,11 +1,11 @@
 //! Regenerates paper Figure 15: BlueGene inbound streaming bandwidth of
 //! Queries 1–6 vs the number of back-end generator RPs.
 //!
-//! Usage: `fig15_inbound [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
+//! Usage: `fig15_inbound [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    fig15, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure, series_to_csv,
-    write_hub_metrics, Scale,
+    fig15, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, print_figure,
+    series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -21,6 +21,7 @@ fn main() {
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
+        columnar: parse_columnar(&args),
     };
     let scale = if quick {
         Scale::quick()

@@ -1,11 +1,11 @@
 //! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
 //! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
 //!
-//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
+//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    buffer_sweep, fig8, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure,
-    series_to_csv, write_hub_metrics, Scale,
+    buffer_sweep, fig8, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics,
+    print_figure, series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -21,6 +21,7 @@ fn main() {
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
+        columnar: parse_columnar(&args),
     };
     let scale = if quick {
         Scale::quick()

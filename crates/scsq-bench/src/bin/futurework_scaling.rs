@@ -3,11 +3,11 @@
 //! plus the sender-host sweep that quantifies "co-locate back-end RPs
 //! until saturation".
 //!
-//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--metrics PATH]`
+//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
 
 use scsq_bench::{
-    parse_coalesce, parse_fuse, parse_jobs, parse_metrics, print_figure, scaling, series_to_csv,
-    write_hub_metrics, Scale,
+    parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, print_figure, scaling,
+    series_to_csv, write_hub_metrics, Scale,
 };
 
 fn main() {
@@ -22,6 +22,7 @@ fn main() {
     let mode = scsq_bench::ExecMode {
         coalesce: parse_coalesce(&args),
         fuse: parse_fuse(&args),
+        columnar: parse_columnar(&args),
     };
     let scale = if quick {
         Scale::quick()

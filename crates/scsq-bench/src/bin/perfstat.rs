@@ -32,6 +32,15 @@
 //!    `per_event_events_per_s` headline. A coalescing-enabled control
 //!    run must produce byte-identical series (proof that coalescing
 //!    never fired).
+//! 5. **columnar batch** — a pipeline (one integer generator, a
+//!    take-then-sum receiver) at an element-dense scale: 9-byte
+//!    integers, so one buffer period delivers thousands of elements in
+//!    a single batch, jittered so trains cannot form. Three legs: the
+//!    interpreted per-element chain (the byte-identity reference), the
+//!    fused per-element scalar path, and the fused columnar batch path.
+//!    `columnar_speedup` is interpreted-wall over columnar-wall; all
+//!    three legs must produce byte-identical series, and the report
+//!    fails (exit 1) if they do not or if the ratio drops below 1.0.
 
 use scsq_bench::{
     buffer_sweep, fig15, fig6, parse_jobs, parse_metrics, sweep, write_hub_metrics, ExecMode,
@@ -118,6 +127,115 @@ fn jittered_workload(jobs: usize, coalesce: bool) -> Result<Vec<Series>, ScsqErr
         scale,
         |r| r.bandwidth_into(scsq_core::NodeId::bg(0)) / 1e6,
         jobs,
+    )
+}
+
+/// The columnar-pass scale: `arrays` is the integer-stream length (the
+/// query below generates 9-byte integers, not arrays) — enough elements
+/// that the scalar legs stay well clear of timer noise.
+fn columnar_scale(arrays: u64) -> Scale {
+    Scale {
+        array_bytes: 9,
+        arrays,
+        ..Scale::quick()
+    }
+}
+
+/// The columnar-pass query: one integer generator streaming into a
+/// take-then-sum receiver whose final lands at a client. `take`
+/// exercises the columnar view-slicing kernel where the interpreted
+/// chain pays one more per-element dispatch; `sum` makes every
+/// delivered element carry real aggregation work (a numeric fold the
+/// column kernels vectorize) rather than a bare counter bump. Integers
+/// marshal to 9 bytes, so one MPI buffer delivers thousands of
+/// elements per batch. A single receiver (rather than a wide fan-out)
+/// keeps the shared transport cost — enqueue, packing, delivery, paid
+/// identically by every leg — to one channel's worth per element, so
+/// the pass isolates what it is meant to measure: the per-element
+/// chain-dispatch cost the columnar kernels replace. It also keeps the
+/// per-leg footprint small enough that walls are allocator-stable run
+/// to run.
+fn columnar_query(scale: Scale) -> String {
+    let receivers = 1;
+    let merge = (1..=receivers)
+        .map(|i| format!("b{i}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let from = (1..=receivers)
+        .map(|i| format!("sp b{i}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let taps = (1..=receivers)
+        .map(|i| {
+            format!(
+                "and b{i}=sp(streamof(sum(take(extract(a), {n}))), 'bg', {node}) ",
+                n = scale.arrays,
+                node = i + 1
+            )
+        })
+        .collect::<String>();
+    format!(
+        "select extract(c) \
+         from sp a, {from}, sp c \
+         where c=sp(streamof(sum(merge({{{merge}}}))), 'bg', 0) \
+         {taps}\
+         and a=sp(streamof(iota(1,{n})),'bg',1);",
+        n = scale.arrays
+    )
+}
+
+/// Prepares the take-sum pipeline at the element-dense scale for one
+/// chain-execution tier: the interpreted per-element reference
+/// (`fuse: false`), the fused per-element scalar path, or the fused
+/// columnar batch path. Preparation (spec construction, parse, bind,
+/// placement) happens here, outside the timed region — it is identical
+/// for every tier, and on sub-second legs a shared fixed cost inside
+/// the timer would compress the ratio between them.
+fn columnar_points(
+    arrays: u64,
+    fuse: bool,
+    columnar: bool,
+) -> Result<(Scale, Vec<SweepPoint>), ScsqError> {
+    let spec = HardwareSpec::lofar();
+    let scale = columnar_scale(arrays);
+    let mut scsq = Scsq::with_spec(spec.clone());
+    let plan = scsq.prepare(&columnar_query(scale))?;
+    let buffer = 50_000u64;
+    let points = vec![SweepPoint {
+        series: 0,
+        x: buffer as f64,
+        plan,
+        options: RunOptions {
+            mpi_buffer: buffer,
+            service_jitter: JITTER,
+            coalesce: false,
+            fuse,
+            columnar,
+            ..RunOptions::default()
+        },
+        spec,
+    }];
+    Ok((scale, points))
+}
+
+/// Runs a prepared columnar-pass tier (jittered service times, so
+/// trains provably cannot form and every delivery walks the per-event
+/// path).
+fn columnar_run(scale: Scale, points: &[SweepPoint]) -> Result<Vec<Series>, ScsqError> {
+    sweep(
+        &["take-sum columnar"],
+        points,
+        scale,
+        // The query's actual answer (the pipeline's summed total): any
+        // miscount by a column kernel shifts it, which the cross-tier
+        // equality check below then catches.
+        |r| {
+            r.values()
+                .iter()
+                .map(|v| v.as_real().unwrap_or(f64::NAN))
+                .sum::<f64>()
+        },
+        1,
     )
 }
 
@@ -228,7 +346,7 @@ fn main() {
 
     let per_event_mode = ExecMode {
         coalesce: false,
-        fuse: true,
+        ..ExecMode::default()
     };
     let t0 = Instant::now();
     let per_event = workload(1, per_event_mode).unwrap_or_else(|e| fail(e));
@@ -250,9 +368,68 @@ fn main() {
     // makes every period digest unique.
     let jittered_control = jittered_workload(1, true).unwrap_or_else(|e| fail(e));
 
-    let identical = per_event == coalesced && coalesced == parallel && jittered == jittered_control;
+    // The columnar pass: element-dense batches through the interpreted
+    // per-element reference, the fused per-element scalar path, and the
+    // fused columnar batch path. A short untimed run first, so the
+    // first timed leg does not absorb the pass's first-touch costs and
+    // skew the ratios. Each leg runs three times and reports its
+    // fastest wall — the run least perturbed by the host — because a
+    // single scheduler hiccup on a sub-second leg can swing a ratio by
+    // tens of percent; the simulation itself is deterministic, so every
+    // repetition must produce the same series.
+    const COLUMNAR_ARRAYS: u64 = 1_000_000;
+    const COLUMNAR_REPS: usize = 3;
+    {
+        let (scale, points) =
+            columnar_points(COLUMNAR_ARRAYS / 10, true, true).unwrap_or_else(|e| fail(e));
+        columnar_run(scale, &points).unwrap_or_else(|e| fail(e));
+    }
+    let timed_leg = |fuse: bool, columnar: bool| {
+        let (scale, points) =
+            columnar_points(COLUMNAR_ARRAYS, fuse, columnar).unwrap_or_else(|e| fail(e));
+        let mut best: Option<(f64, Vec<Series>)> = None;
+        for _ in 0..COLUMNAR_REPS {
+            let t = Instant::now();
+            let series = columnar_run(scale, &points).unwrap_or_else(|e| fail(e));
+            let wall = t.elapsed().as_secs_f64();
+            match &best {
+                Some((_, prev)) if *prev != series => {
+                    eprintln!(
+                        "perfstat workload failed: columnar leg (fuse={fuse}, \
+                         columnar={columnar}) is not deterministic across repetitions"
+                    );
+                    std::process::exit(1);
+                }
+                Some((w, _)) if *w <= wall => {}
+                _ => best = Some((wall, series)),
+            }
+        }
+        best.expect("at least one repetition ran")
+    };
+    let (columnar_ref_s, columnar_ref) = timed_leg(false, false);
+    let (columnar_scalar_s, columnar_scalar) = timed_leg(true, false);
+    let (columnar_on_s, columnar_on) = timed_leg(true, true);
+    // The headline ratio is against the interpreted per-element chain —
+    // the byte-identity reference the columnar path is proven against;
+    // the fused-scalar wall is reported so the fusion and columnar
+    // contributions stay separable.
+    let columnar_speedup = columnar_ref_s / columnar_on_s;
+
+    let identical = per_event == coalesced
+        && coalesced == parallel
+        && jittered == jittered_control
+        && columnar_ref == columnar_scalar
+        && columnar_scalar == columnar_on;
     if !identical {
-        eprintln!("ERROR: coalesced/parallel/jittered series differ from their references");
+        eprintln!(
+            "ERROR: coalesced/parallel/jittered/columnar series differ from their references"
+        );
+    }
+    if columnar_speedup < 1.0 {
+        eprintln!(
+            "ERROR: columnar batch pass is a slowdown ({columnar_ref_s:.3}s interpreted vs \
+             {columnar_on_s:.3}s columnar)"
+        );
     }
 
     let events = workload_events(jobs).unwrap_or_else(|e| fail(e));
@@ -288,6 +465,8 @@ fn main() {
          \"sequential_coalesced\": {{ \"wall_s\": {coalesced_s:.4}, \"events_per_s\": {co_eps:.0} }},\n  \
          \"parallel_coalesced\": {{ \"wall_s\": {parallel_s:.4}, \"events_per_s\": {pa_eps:.0} }},\n  \
          \"jittered_per_event\": {{ \"wall_s\": {jittered_s:.4}, \"events\": {jit_events}, \"events_per_s\": {per_event_eps:.0} }},\n  \
+         \"columnar_batch\": {{ \"workload\": \"take-sum pipeline jittered, iota integers x{COLUMNAR_ARRAYS}\", \"wall_interpreted_s\": {columnar_ref_s:.4}, \"wall_fused_scalar_s\": {columnar_scalar_s:.4}, \"wall_columnar_s\": {columnar_on_s:.4} }},\n  \
+         \"columnar_speedup\": {columnar_speedup:.3},\n  \
          \"per_event_events_per_s\": {per_event_eps:.0},\n  \
          \"coalesce_speedup\": {coalesce_speedup:.3},\n  \
          \"parallel_speedup\": {parallel_speedup}{parallel_note}\n}}\n",
@@ -301,7 +480,7 @@ fn main() {
     }
     print!("{json}");
     eprintln!("wrote {out_path}");
-    if !identical {
+    if !identical || columnar_speedup < 1.0 {
         std::process::exit(1);
     }
 }

@@ -72,6 +72,7 @@ pub fn run_with_mode(
         mpi_buffer: 100_000,
         coalesce: mode.coalesce,
         fuse: mode.fuse,
+        columnar: mode.columnar,
         ..RunOptions::default()
     };
     let mut single = Series::new("single-node fft");

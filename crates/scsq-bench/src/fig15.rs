@@ -93,6 +93,7 @@ pub fn run_with_jobs(
     let options = RunOptions {
         coalesce: mode.coalesce,
         fuse: mode.fuse,
+        columnar: mode.columnar,
         ..RunOptions::default()
     };
     let mut labels = Vec::new();

@@ -74,6 +74,7 @@ pub fn run_with_jobs(
                     mpi_double: double,
                     coalesce: mode.coalesce,
                     fuse: mode.fuse,
+                    columnar: mode.columnar,
                     ..RunOptions::default()
                 },
                 spec: spec.clone(),

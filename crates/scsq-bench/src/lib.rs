@@ -27,7 +27,10 @@ pub mod pool;
 pub mod report;
 pub mod scaling;
 
-pub use pool::{default_jobs, parse_coalesce, parse_fuse, parse_jobs, parse_metrics, run_indexed};
+pub use pool::{
+    default_jobs, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics,
+    run_indexed,
+};
 pub use report::{print_figure, series_to_csv, write_hub_metrics};
 
 use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};
@@ -80,6 +83,8 @@ pub struct ExecMode {
     pub coalesce: bool,
     /// Fused stage programs ([`RunOptions::fuse`]).
     pub fuse: bool,
+    /// Columnar batch absorption ([`RunOptions::columnar`]).
+    pub columnar: bool,
 }
 
 impl Default for ExecMode {
@@ -87,6 +92,7 @@ impl Default for ExecMode {
         ExecMode {
             coalesce: true,
             fuse: true,
+            columnar: true,
         }
     }
 }
@@ -97,6 +103,7 @@ impl ExecMode {
         RunOptions {
             coalesce: self.coalesce,
             fuse: self.fuse,
+            columnar: self.columnar,
             ..options
         }
     }

@@ -126,6 +126,32 @@ pub fn parse_fuse(args: &[String]) -> bool {
     true
 }
 
+/// Parses a `--columnar on|off` / `--columnar=on|off` command-line
+/// flag, defaulting to `true` (columnar batch absorption on) when
+/// absent. Anything other than `on` or `off` aborts with a usage
+/// message.
+pub fn parse_columnar(args: &[String]) -> bool {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--columnar" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--columnar=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value {
+            Some("on") => true,
+            Some("off") => false,
+            _ => {
+                eprintln!("--columnar expects 'on' or 'off' (e.g. --columnar off)");
+                std::process::exit(2);
+            }
+        };
+    }
+    true
+}
+
 /// Runs every job and returns their results in job order.
 ///
 /// With `workers <= 1` (or fewer than two jobs) the jobs run inline on

@@ -94,6 +94,7 @@ pub fn run_with_jobs(
     let options = RunOptions {
         coalesce: mode.coalesce,
         fuse: mode.fuse,
+        columnar: mode.columnar,
         ..RunOptions::default()
     };
     let mut labels = Vec::new();
@@ -155,6 +156,7 @@ pub fn run_host_sweep_with_jobs(
     let options = RunOptions {
         coalesce: mode.coalesce,
         fuse: mode.fuse,
+        columnar: mode.columnar,
         ..RunOptions::default()
     };
     let streams = 16u32;

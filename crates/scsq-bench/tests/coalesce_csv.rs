@@ -8,6 +8,7 @@ use scsq_core::HardwareSpec;
 const PER_EVENT: ExecMode = ExecMode {
     coalesce: false,
     fuse: true,
+    columnar: true,
 };
 
 fn scale() -> Scale {

@@ -9,12 +9,14 @@ use scsq_core::HardwareSpec;
 const FUSED: ExecMode = ExecMode {
     coalesce: true,
     fuse: true,
+    columnar: true,
 };
 
 /// The interpreted fallback (`--fuse off`).
 const INTERPRETED: ExecMode = ExecMode {
     coalesce: true,
     fuse: false,
+    columnar: false,
 };
 
 fn scale() -> Scale {
@@ -100,6 +102,7 @@ fn default_mode_matches_fully_interpreted_per_event() {
     let base = ExecMode {
         coalesce: false,
         fuse: false,
+        columnar: false,
     };
     let on = fig6::run_with_jobs(&spec, scale(), &[1_000], 1, ExecMode::default()).unwrap();
     let off = fig6::run_with_jobs(&spec, scale(), &[1_000], 1, base).unwrap();

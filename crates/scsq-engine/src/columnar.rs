@@ -1,0 +1,377 @@
+//! Whole-column compute kernels for the fused executor.
+//!
+//! The per-element executors ([`crate::ops::StageChain`] and the fused
+//! jump table) pay one dynamic dispatch, one `Value` match, and one
+//! move per tuple. For the engine's dominant shapes — long runs of
+//! identically-typed tuples flowing into a terminal aggregate — the
+//! same work is a single tight loop over a flat array. This module
+//! holds those loops: public map/filter/aggregate kernels over
+//! [`Column`]s (the substrate the micro-benches measure), plus the
+//! `pub(crate)` folds the fused chain uses to absorb a whole
+//! [`ColumnarBatch`] into a [`StageState`](crate::ops::StageState)
+//! accumulator.
+//!
+//! Correctness bar: every fold mutates the interpreter's own
+//! `StageState` fields by replaying the interpreter's per-element
+//! updates *in element order* — integer sums use the same wrapping
+//! discipline (plain `+=`), float sums accumulate sequentially so the
+//! rounding is bit-identical, max/min replace only on the same strict
+//! comparison — so a columnar pass and a per-element pass over the same
+//! run leave byte-identical state. `tests/columnar_equiv.rs` enforces
+//! this against random pipelines.
+
+use crate::error::EngineError;
+use crate::ops::bandwidth_accumulate;
+use scsq_ql::column::{Column, ColumnData, SelectionVector, ValidityBitmap};
+use scsq_ql::Value;
+
+/// The validity of a column view as an owned bitmap (all-valid stays
+/// allocation-free).
+fn view_validity(c: &Column) -> ValidityBitmap {
+    if c.all_valid() {
+        ValidityBitmap::new_valid(c.len())
+    } else {
+        let bools: Vec<bool> = (0..c.len()).map(|i| c.is_valid(i)).collect();
+        ValidityBitmap::from_bools(&bools)
+    }
+}
+
+/// Adds `rhs` to every row of an `Int64` column (wrapping, so invalid
+/// slots cannot abort the loop). Validity propagates unchanged.
+/// `None` when the column is not `Int64`-backed.
+pub fn add_i64(c: &Column, rhs: i64) -> Option<Column> {
+    let xs = c.as_i64()?;
+    let out: Vec<i64> = xs.iter().map(|x| x.wrapping_add(rhs)).collect();
+    Some(Column::with_validity(
+        ColumnData::Int64(out),
+        view_validity(c),
+    ))
+}
+
+/// Multiplies every row of a `Float64` column by `rhs`. Validity
+/// propagates unchanged. `None` when the column is not `Float64`-backed.
+pub fn mul_f64(c: &Column, rhs: f64) -> Option<Column> {
+    let xs = c.as_f64()?;
+    let out: Vec<f64> = xs.iter().map(|x| x * rhs).collect();
+    Some(Column::with_validity(
+        ColumnData::Float64(out),
+        view_validity(c),
+    ))
+}
+
+/// Compares every row of an `Int64` column against `rhs`, producing a
+/// `Bool` column of `row < rhs`. Validity propagates unchanged. `None`
+/// when the column is not `Int64`-backed.
+pub fn cmp_lt_i64(c: &Column, rhs: i64) -> Option<Column> {
+    let xs = c.as_i64()?;
+    let out: Vec<bool> = xs.iter().map(|x| *x < rhs).collect();
+    Some(Column::with_validity(
+        ColumnData::Bool(out),
+        view_validity(c),
+    ))
+}
+
+/// Collects the rows of a `Bool` column that are valid and true into a
+/// selection vector — the filter half of filter+gather. `None` when
+/// the column is not `Bool`-backed.
+pub fn filter_to_selection(mask: &Column) -> Option<SelectionVector> {
+    let xs = mask.as_bool()?;
+    let mut sel = SelectionVector::new();
+    if mask.all_valid() {
+        for (i, &keep) in xs.iter().enumerate() {
+            if keep {
+                sel.push(i as u32);
+            }
+        }
+    } else {
+        for (i, &keep) in xs.iter().enumerate() {
+            if keep && mask.is_valid(i) {
+                sel.push(i as u32);
+            }
+        }
+    }
+    Some(sel)
+}
+
+/// Gathers the selected rows of a column into a new owned column — the
+/// gather half of filter+gather. Validity of the selected rows
+/// propagates.
+///
+/// # Panics
+///
+/// Panics if any selected row is out of range for the column view.
+pub fn take(c: &Column, sel: &SelectionVector) -> Column {
+    let gather_valid = |c: &Column| {
+        ValidityBitmap::from_bools(
+            &sel.rows()
+                .iter()
+                .map(|&i| c.is_valid(i as usize))
+                .collect::<Vec<_>>(),
+        )
+    };
+    if let Some(xs) = c.as_i64() {
+        let out: Vec<i64> = sel.rows().iter().map(|&i| xs[i as usize]).collect();
+        return Column::with_validity(ColumnData::Int64(out), gather_valid(c));
+    }
+    if let Some(xs) = c.as_f64() {
+        let out: Vec<f64> = sel.rows().iter().map(|&i| xs[i as usize]).collect();
+        return Column::with_validity(ColumnData::Float64(out), gather_valid(c));
+    }
+    if let Some(xs) = c.as_bool() {
+        let out: Vec<bool> = sel.rows().iter().map(|&i| xs[i as usize]).collect();
+        return Column::with_validity(ColumnData::Bool(out), gather_valid(c));
+    }
+    if let Some(xs) = c.as_synthetic() {
+        let out: Vec<u64> = sel.rows().iter().map(|&i| xs[i as usize]).collect();
+        return Column::with_validity(ColumnData::Synthetic(out), gather_valid(c));
+    }
+    // Utf8 and the row fallback gather through `value_at`, staying
+    // lossless at O(selected) values.
+    let out: Vec<Value> = sel
+        .rows()
+        .iter()
+        .map(|&i| c.value_at(i as usize).unwrap_or(Value::Bag(Vec::new())))
+        .collect();
+    Column::with_validity(ColumnData::Values(out), gather_valid(c))
+}
+
+/// Number of valid rows in a column view.
+pub fn count(c: &Column) -> usize {
+    if c.all_valid() {
+        c.len()
+    } else {
+        (0..c.len()).filter(|&i| c.is_valid(i)).count()
+    }
+}
+
+/// Wrapping sum of an `Int64` column's rows (invalid rows are treated
+/// as zero). `None` when the column is not `Int64`-backed.
+pub fn sum_i64(c: &Column) -> Option<i64> {
+    let xs = c.as_i64()?;
+    if c.all_valid() {
+        Some(xs.iter().fold(0i64, |acc, x| acc.wrapping_add(*x)))
+    } else {
+        Some(
+            xs.iter()
+                .enumerate()
+                .filter(|(i, _)| c.is_valid(*i))
+                .fold(0i64, |acc, (_, x)| acc.wrapping_add(*x)),
+        )
+    }
+}
+
+/// Sequential (element-order) sum of a `Float64` column's rows, so
+/// rounding matches a per-element fold bit for bit (invalid rows are
+/// skipped). `None` when the column is not `Float64`-backed.
+pub fn sum_f64(c: &Column) -> Option<f64> {
+    let xs = c.as_f64()?;
+    if c.all_valid() {
+        Some(xs.iter().fold(0f64, |acc, x| acc + x))
+    } else {
+        Some(
+            xs.iter()
+                .enumerate()
+                .filter(|(i, _)| c.is_valid(*i))
+                .fold(0f64, |acc, (_, x)| acc + x),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// pub(crate) folds into the interpreter's own StageState accumulators.
+// Callers (`FusedChain::process_batch_columnar`) guarantee the columns
+// are all-valid — engine-built batches always are.
+// ---------------------------------------------------------------------
+
+/// Folds a whole `Int64` column into a sum/avg accumulator exactly as
+/// the interpreter would: `count` once and `sum_int += x` per element,
+/// in order (same overflow discipline as the per-element path).
+pub(crate) fn fold_sum_i64(count: &mut i64, sum_int: &mut i64, xs: &[i64]) {
+    *count += xs.len() as i64;
+    for x in xs {
+        *sum_int += *x;
+    }
+}
+
+/// Folds a whole `Float64` column into a sum/avg accumulator exactly as
+/// the interpreter would: sequential adds, so rounding is
+/// bit-identical to feeding the elements one at a time. An empty run
+/// leaves `saw_real` untouched — the interpreter only flips it per
+/// real element seen, and the flush type hangs on it.
+pub(crate) fn fold_sum_f64(count: &mut i64, sum_real: &mut f64, saw_real: &mut bool, xs: &[f64]) {
+    *count += xs.len() as i64;
+    for x in xs {
+        *saw_real = true;
+        *sum_real += *x;
+    }
+}
+
+/// Folds a whole `Int64` column into a max/min accumulator: the same
+/// first-best strict comparison over `f64` the interpreter applies,
+/// keeping the original integer value.
+pub(crate) fn fold_best_i64(
+    count: &mut i64,
+    best: &mut Option<Value>,
+    xs: &[i64],
+    is_better: fn(f64, f64) -> bool,
+) {
+    *count += xs.len() as i64;
+    let mut cur = best.as_ref().and_then(Value::as_real);
+    let mut cur_raw: Option<i64> = None;
+    for &i in xs {
+        let x = i as f64;
+        if cur.is_none_or(|b| is_better(x, b)) {
+            cur = Some(x);
+            cur_raw = Some(i);
+        }
+    }
+    if let Some(i) = cur_raw {
+        *best = Some(Value::Integer(i));
+    }
+}
+
+/// Folds a whole `Float64` column into a max/min accumulator (see
+/// [`fold_best_i64`]).
+pub(crate) fn fold_best_f64(
+    count: &mut i64,
+    best: &mut Option<Value>,
+    xs: &[f64],
+    is_better: fn(f64, f64) -> bool,
+) {
+    *count += xs.len() as i64;
+    let mut cur = best.as_ref().and_then(Value::as_real);
+    let mut cur_raw: Option<f64> = None;
+    for &x in xs {
+        if cur.is_none_or(|b| is_better(x, b)) {
+            cur = Some(x);
+            cur_raw = Some(x);
+        }
+    }
+    if let Some(x) = cur_raw {
+        *best = Some(Value::Real(x));
+    }
+}
+
+/// Folds a decomposed metric-sample run (`channel`/`time_ns`/`bytes`
+/// `Int64` columns) into a bandwidth accumulator, row by row in order.
+///
+/// # Errors
+///
+/// A row whose timestamp or byte count is negative reproduces the
+/// interpreter's "metric sample" type error for the reconstructed bag
+/// (state mutated by earlier rows stays mutated, exactly as the
+/// per-element path leaves it).
+pub(crate) fn fold_bandwidth(
+    bytes: &mut u64,
+    last_nanos: &mut u64,
+    channel: &[i64],
+    time_ns: &[i64],
+    sample_bytes: &[i64],
+) -> Result<(), EngineError> {
+    for ((&ch, &t), &b) in channel.iter().zip(time_ns).zip(sample_bytes) {
+        if t < 0 || b < 0 {
+            let bag = Value::Bag(vec![
+                Value::Integer(ch),
+                Value::Integer(t),
+                Value::Integer(b),
+            ]);
+            return bandwidth_accumulate(bytes, last_nanos, &bag);
+        }
+        *bytes += b as u64;
+        if t as u64 > *last_nanos {
+            *last_nanos = t as u64;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::metric_sample;
+
+    fn ints(xs: &[i64]) -> Column {
+        Column::new(ColumnData::Int64(xs.to_vec()))
+    }
+
+    #[test]
+    fn map_kernels_transform_whole_columns() {
+        let c = ints(&[1, 2, 3]);
+        assert_eq!(
+            add_i64(&c, 10).unwrap().as_i64(),
+            Some(&[11i64, 12, 13][..])
+        );
+        assert_eq!(
+            cmp_lt_i64(&c, 3).unwrap().as_bool(),
+            Some(&[true, true, false][..])
+        );
+        let f = Column::new(ColumnData::Float64(vec![0.5, -1.0]));
+        assert_eq!(
+            mul_f64(&f, 2.0).unwrap().as_f64(),
+            Some(&[1.0f64, -2.0][..])
+        );
+        assert!(add_i64(&f, 1).is_none());
+    }
+
+    #[test]
+    fn filter_and_take_compose() {
+        let c = ints(&[5, 1, 7, 2, 9]);
+        let sel = filter_to_selection(&cmp_lt_i64(&c, 5).unwrap()).unwrap();
+        assert_eq!(sel.rows(), &[1, 3]);
+        assert_eq!(take(&c, &sel).as_i64(), Some(&[1i64, 2][..]));
+    }
+
+    #[test]
+    fn filter_skips_invalid_rows() {
+        let mut validity = ValidityBitmap::new_valid(3);
+        validity.set_invalid(1);
+        let mask = Column::with_validity(ColumnData::Bool(vec![true, true, true]), validity);
+        let sel = filter_to_selection(&mask).unwrap();
+        assert_eq!(sel.rows(), &[0, 2]);
+    }
+
+    #[test]
+    fn aggregate_kernels_match_scalar_folds() {
+        let c = ints(&[3, -1, 4]);
+        assert_eq!(count(&c), 3);
+        assert_eq!(sum_i64(&c), Some(6));
+        let f = Column::new(ColumnData::Float64(vec![0.1, 0.2, 0.3]));
+        assert_eq!(sum_f64(&f), Some(0.1 + 0.2 + 0.3));
+    }
+
+    #[test]
+    fn folds_replay_interpreter_state_updates() {
+        let (mut count, mut sum_int) = (2i64, 10i64);
+        fold_sum_i64(&mut count, &mut sum_int, &[1, 2, 3]);
+        assert_eq!((count, sum_int), (5, 16));
+
+        let mut best = Some(Value::Integer(5));
+        let mut c = 0i64;
+        fold_best_i64(&mut c, &mut best, &[3, 9, 9], |x, b| x > b);
+        assert_eq!(best, Some(Value::Integer(9)));
+        fold_best_i64(&mut c, &mut best, &[1, 2], |x, b| x < b);
+        assert_eq!(best, Some(Value::Integer(1)));
+
+        let mut bestf = None;
+        let mut cf = 0i64;
+        fold_best_f64(&mut cf, &mut bestf, &[1.5, -2.0], |x, b| x < b);
+        assert_eq!(bestf, Some(Value::Real(-2.0)));
+    }
+
+    #[test]
+    fn bandwidth_fold_matches_per_sample_accumulation() {
+        let (mut bytes, mut last) = (0u64, 0u64);
+        fold_bandwidth(&mut bytes, &mut last, &[0, 0], &[100, 300], &[10, 20]).unwrap();
+        assert_eq!((bytes, last), (30, 300));
+
+        let (mut b2, mut l2) = (0u64, 0u64);
+        for s in [metric_sample(0, 100, 10), metric_sample(0, 300, 20)] {
+            bandwidth_accumulate(&mut b2, &mut l2, &s).unwrap();
+        }
+        assert_eq!((bytes, last), (b2, l2));
+
+        let err = fold_bandwidth(&mut bytes, &mut last, &[0], &[-1], &[5]).unwrap_err();
+        assert!(err.to_string().contains("metric sample"));
+        assert_eq!((bytes, last), (30, 300), "failed row mutates nothing");
+    }
+}

@@ -21,10 +21,12 @@
 //! to the interpreted chain. Byte-identical figure CSVs with fusion on
 //! or off are enforced by `tests/fuse_csv.rs`.
 
+use crate::columnar;
 use crate::error::EngineError;
 use crate::funcs;
 use crate::ops::{AggKind, MapFunc, Pipeline, Stage, StageChain, StageState};
-use scsq_ql::{SpHandle, Value};
+use scsq_ql::column::METRIC_COLUMNS;
+use scsq_ql::{Batch, ColumnarBatch, SpHandle, Value};
 use scsq_sim::StateProbe;
 
 /// One compiled compute-cost operation. Only stages that charge CPU
@@ -131,17 +133,34 @@ pub struct FusedChain {
     ops: Vec<StageFn>,
     cur: Vec<Value>,
     nxt: Vec<Value>,
+    /// Whether [`FusedChain::process_batch_columnar`] may apply: every
+    /// stage is vectorizable (aggregate / `streamof` / `take` /
+    /// `bandwidth` — none of which charge CPU cost, so skipping the
+    /// per-element cost walk cannot shift time or consume jitter
+    /// randomness) and the chain ends in an absorbing aggregate, so a
+    /// columnar pass never has to reconstruct leftover tuples.
+    columnar_ok: bool,
 }
 
 impl FusedChain {
     /// Instantiates runtime state for a fused program.
     pub fn new(program: &FusedProgram) -> FusedChain {
         let ops = program.stages.iter().map(resolve).collect();
+        let vectorizable = |s: &Stage| {
+            matches!(
+                s,
+                Stage::Agg(_) | Stage::StreamOf | Stage::Take { .. } | Stage::Bandwidth
+            )
+        };
+        let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
+        let columnar_ok =
+            program.stages.iter().all(vectorizable) && program.stages.iter().any(absorber);
         FusedChain {
             chain: StageChain::from_stages(&program.stages),
             ops,
             cur: Vec::new(),
             nxt: Vec::new(),
+            columnar_ok,
         }
     }
 
@@ -178,6 +197,146 @@ impl FusedChain {
         }
         out.append(&mut self.cur);
         Ok(())
+    }
+
+    /// Feeds a whole delivered batch through the chain as columns,
+    /// dispatching once per column instead of once per element.
+    ///
+    /// Returns `Ok(true)` when the batch was absorbed columnar-ly —
+    /// the chain's stage states then hold exactly what feeding the
+    /// elements one at a time would have left (see the fold contracts
+    /// in [`crate::columnar`]) and, because the chain ends in an
+    /// absorbing aggregate, nothing is emitted before end of stream.
+    /// Returns `Ok(false)` without touching any state when the chain
+    /// or the batch's column shape is not vectorizable; the caller
+    /// falls back to the per-element path, which also reproduces
+    /// type-error semantics for ill-typed runs.
+    ///
+    /// # Errors
+    ///
+    /// The same error the per-element path would raise on the first
+    /// failing element (only `bandwidth` over malformed samples can
+    /// fail on a vectorizable shape).
+    pub fn process_batch_columnar(&mut self, batch: &Batch) -> Result<bool, EngineError> {
+        if !self.columnar_ok || batch.len() < 2 {
+            return Ok(false);
+        }
+        let cols = ColumnarBatch::from_batch(batch);
+
+        // Pre-check (no mutation): the first absorber must be able to
+        // consume the batch's column shape. `streamof`/`take` preserve
+        // the shape, so only the absorber's requirement matters.
+        enum Shape {
+            Int64,
+            Float64,
+            Metric,
+            Other,
+        }
+        let shape = if cols.width() == 3
+            && METRIC_COLUMNS
+                .iter()
+                .zip(cols.columns())
+                .all(|(want, (name, _))| name == want)
+        {
+            Shape::Metric
+        } else {
+            match cols.single() {
+                Some(c) if !c.all_valid() => Shape::Other,
+                Some(c) if c.as_i64().is_some() => Shape::Int64,
+                Some(c) if c.as_f64().is_some() => Shape::Float64,
+                _ => Shape::Other,
+            }
+        };
+        let absorber = self
+            .chain
+            .stages
+            .iter()
+            .find(|s| matches!(s, StageState::Agg { .. } | StageState::Bandwidth { .. }))
+            .expect("columnar_ok implies an absorber");
+        let ok = match absorber {
+            StageState::Agg {
+                kind: AggKind::Count,
+                ..
+            } => true,
+            StageState::Agg { .. } => matches!(shape, Shape::Int64 | Shape::Float64),
+            StageState::Bandwidth { .. } => {
+                matches!(shape, Shape::Metric) && cols.columns().iter().all(|(_, c)| c.all_valid())
+            }
+            _ => unreachable!("absorber match above"),
+        };
+        if !ok {
+            return Ok(false);
+        }
+
+        // Execute: `take` trims the view, the absorber folds it.
+        let mut view = cols;
+        for state in &mut self.chain.stages {
+            match state {
+                StageState::StreamOf => {}
+                StageState::Take { remaining } => {
+                    let k = (view.rows() as u64).min(*remaining);
+                    *remaining -= k;
+                    view = view.slice(0, k as usize);
+                }
+                StageState::Agg {
+                    kind,
+                    count,
+                    sum_int,
+                    sum_real,
+                    saw_real,
+                    best,
+                } => {
+                    match kind {
+                        AggKind::Count => *count += view.rows() as i64,
+                        AggKind::Sum | AggKind::Avg => {
+                            let c = view.single().expect("pre-checked: single column");
+                            if let Some(xs) = c.as_i64() {
+                                columnar::fold_sum_i64(count, sum_int, xs);
+                            } else {
+                                let xs = c.as_f64().expect("pre-checked: numeric column");
+                                columnar::fold_sum_f64(count, sum_real, saw_real, xs);
+                            }
+                        }
+                        AggKind::Max | AggKind::Min => {
+                            let is_better: fn(f64, f64) -> bool = if *kind == AggKind::Max {
+                                |x, b| x > b
+                            } else {
+                                |x, b| x < b
+                            };
+                            let c = view.single().expect("pre-checked: single column");
+                            if let Some(xs) = c.as_i64() {
+                                columnar::fold_best_i64(count, best, xs, is_better);
+                            } else {
+                                let xs = c.as_f64().expect("pre-checked: numeric column");
+                                columnar::fold_best_f64(count, best, xs, is_better);
+                            }
+                        }
+                    }
+                    return Ok(true);
+                }
+                StageState::Bandwidth { bytes, last_nanos } => {
+                    let col = |name| {
+                        view.column(name)
+                            .expect("pre-checked: metric columns present")
+                    };
+                    let (channel, time_ns, sample_bytes) = (
+                        col(METRIC_COLUMNS[0]),
+                        col(METRIC_COLUMNS[1]),
+                        col(METRIC_COLUMNS[2]),
+                    );
+                    columnar::fold_bandwidth(
+                        bytes,
+                        last_nanos,
+                        channel.as_i64().expect("metric columns are Int64"),
+                        time_ns.as_i64().expect("metric columns are Int64"),
+                        sample_bytes.as_i64().expect("metric columns are Int64"),
+                    )?;
+                    return Ok(true);
+                }
+                _ => unreachable!("columnar_ok excludes non-vectorizable stages"),
+            }
+        }
+        unreachable!("columnar_ok implies an absorber terminates the walk")
     }
 
     /// Signals end of stream; aggregates flush. Delegates to the
@@ -441,6 +600,18 @@ impl ExecChain {
                 Ok(())
             }
             ExecChain::Fused(f) => f.process_into(value, from, out),
+        }
+    }
+
+    /// Attempts to absorb a whole delivered batch as columns. `Ok(true)`
+    /// means the batch is fully consumed; `Ok(false)` means the caller
+    /// must fall back to feeding elements one at a time (always the
+    /// case for the interpreted executor, which is the byte-identity
+    /// reference).
+    pub(crate) fn try_process_batch(&mut self, batch: &Batch) -> Result<bool, EngineError> {
+        match self {
+            ExecChain::Interpreted(_) => Ok(false),
+            ExecChain::Fused(f) => f.process_batch_columnar(batch),
         }
     }
 

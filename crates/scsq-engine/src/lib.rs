@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! # scsq-engine — the SCSQ query engine and distributed runtime
 //!
 //! This crate turns parsed SCSQL (from `scsq-ql`) into running stream
@@ -34,6 +34,7 @@
 //!   communication performance.
 
 pub mod builder;
+pub mod columnar;
 pub mod coordinator;
 pub mod error;
 pub mod explain;

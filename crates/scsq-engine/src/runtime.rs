@@ -56,6 +56,12 @@ pub struct RunOptions {
     /// recursive interpreter. Identical outputs either way; disable to
     /// measure the interpreted baseline (`--fuse off`).
     pub fuse: bool,
+    /// Absorb whole delivered batches with one dispatch per typed
+    /// column when the destination's fused chain qualifies (aggregate
+    /// sinks over cost-free stages). Identical outputs either way —
+    /// the per-element interpreter is the byte-identity reference
+    /// (`--columnar off`). Requires `fuse`; ignored when fusion is off.
+    pub columnar: bool,
     /// Relative amplitude of multiplicative service-time jitter applied
     /// to every CPU-side service (element generation, marshal, compute,
     /// de-marshal; 0.0 disables it). Non-zero jitter makes every buffer
@@ -76,6 +82,7 @@ impl Default for RunOptions {
             udp_inter_cluster: false,
             coalesce: true,
             fuse: true,
+            columnar: true,
             service_jitter: 0.0,
         }
     }
@@ -132,6 +139,9 @@ pub(crate) struct World {
     /// empty when the query has no observers, so the per-delivery check
     /// is a single `is_empty()`. Immutable after set-up.
     observers: Vec<Vec<usize>>,
+    /// Whether `deliver` may hand whole batches to the columnar fast
+    /// path (`RunOptions::columnar`, gated on fusion being on).
+    columnar: bool,
 }
 
 pub(crate) type Sim = TypedSimulator<World, Ev>;
@@ -289,8 +299,10 @@ impl World {
             scratch: _,
             // Immutable after set-up: the per-channel observer lists are
             // fixed by the query graph, so they carry no mutable state
-            // for the coalescer to track.
+            // for the coalescer to track; the columnar flag is a run
+            // option.
             observers: _,
+            columnar: _,
         } = self;
         // UDP drop decisions depend on I/O-node backlog; tell the
         // environment to guard it while any UDP channel is still live.
@@ -512,6 +524,7 @@ pub fn run_graph(
         error: None,
         scratch: Vec::new(),
         observers,
+        columnar: options.columnar && options.fuse,
     };
     // Pending-event population is bounded by the graph shape (each RP
     // has at most one self-scheduled tick; each channel a handful of
@@ -723,8 +736,32 @@ fn emit(world: &mut World, sim: &mut Sim, idx: usize, out: &mut Vec<Value>, at: 
                     .clone()
             };
             let size = item.marshaled_size();
-            let when = world.channels[ci].chan.enqueue(item, size, at);
-            sim.schedule_at(when.max(sim.now()), Ev::Cycle(ci));
+            let chan = &mut world.channels[ci].chan;
+            // Only schedule a buffer cycle when this enqueue completes
+            // another full buffer's worth of pending bytes. Under the
+            // schedule-per-enqueue baseline, the cycles that actually
+            // transmit are exactly the ones running at these crossing
+            // times: a cycle event transmits at most one buffer, needs
+            // a full buffer pending to do it, and the self-sustaining
+            // `next_cycle` chain never fires before the crossing (it
+            // schedules at `ready.max(constraint)`). Cycles between
+            // crossings only shuffle bytes from the queue into the
+            // filling buffer — work the next transmitting cycle does
+            // anyway, with identical results, because transmit times
+            // derive from the data's own ready times, never from when
+            // the cycle runs. Scheduling one cycle per crossing (not
+            // just on the 0→1 edge) therefore reproduces the baseline's
+            // transmit call times and order exactly — which matters
+            // because `env.marshal` runs a stateful per-node server
+            // whose serve() call order is part of the simulated
+            // schedule — while keeping the event count O(transmits)
+            // instead of O(enqueues). The end-of-stream flush is driven
+            // by `finish_rp` and the cycle's own `next_cycle` chain.
+            let before = chan.pending_buffers(&world.env);
+            let when = chan.enqueue(item, size, at);
+            if chan.pending_buffers(&world.env) > before {
+                sim.schedule_at(when.max(sim.now()), Ev::Cycle(ci));
+            }
         }
     }
 }
@@ -798,6 +835,28 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
             let sample = crate::ops::metric_sample(ci, now.as_nanos(), bytes);
             process_and_emit(world, sim, o, sample, None, now);
             if world.error.is_some() {
+                return;
+            }
+        }
+    }
+    // Columnar fast path: absorb the whole batch with one dispatch per
+    // typed column instead of one per element. Only chains whose stages
+    // charge no compute cost qualify (`FusedChain::process_batch_columnar`),
+    // so skipping the per-element cost walk and `env.compute` calls —
+    // which return immediately at zero cost without drawing jitter —
+    // cannot shift simulated time or perturb the RNG streams.
+    if world.columnar && batch.len() > 1 {
+        match world.rps[dst].chain.try_process_batch(&batch) {
+            Ok(true) => {
+                // An absorbed batch emits nothing before end of stream;
+                // only the monitoring counter needs the per-element
+                // accounting.
+                world.rps[dst].elements_in += batch.len() as u64;
+                return;
+            }
+            Ok(false) => {}
+            Err(e) => {
+                world.error = Some(e);
                 return;
             }
         }

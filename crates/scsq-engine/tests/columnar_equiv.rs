@@ -1,0 +1,224 @@
+//! Property-based equivalence of the columnar batch fast path.
+//!
+//! [`FusedChain::process_batch_columnar`] absorbs a whole delivered
+//! batch with one dispatch per column; its contract is that the result
+//! is byte-identical to feeding the same elements one at a time — the
+//! accumulators land in the same state (same wrapping integer sums,
+//! same sequential float rounding, same strict first-best winners), the
+//! end-of-stream flush emits the same values, and error *messages*
+//! match, because the runtime surfaces them to the client verbatim.
+//!
+//! The driver below mirrors `World::deliver`: try the columnar pass,
+//! and fall back to the per-element fused path when it declines
+//! (`Ok(false)`), exactly as the engine does.
+
+use proptest::prelude::*;
+use scsq_engine::ops::{AggKind, MapFunc, Pipeline, Stage, StageChain};
+use scsq_engine::{FusedChain, FusedProgram};
+use scsq_ql::{Batch, Value};
+
+fn agg() -> impl Strategy<Value = AggKind> {
+    prop_oneof![
+        Just(AggKind::Count),
+        Just(AggKind::Sum),
+        Just(AggKind::Max),
+        Just(AggKind::Min),
+        Just(AggKind::Avg),
+    ]
+}
+
+/// Strategy over stages, dominated by the vectorizable set so most
+/// generated chains qualify for the columnar pass, with one map stage
+/// variant to force the per-element fallback branch.
+fn stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        agg().prop_map(Stage::Agg),
+        Just(Stage::StreamOf),
+        (0u64..8).prop_map(|limit| Stage::Take { limit }),
+        Just(Stage::Bandwidth),
+        Just(Stage::Map(MapFunc::Power)),
+    ]
+}
+
+/// A metric sample bag; negative timestamps and byte counts are
+/// generated on purpose so the bandwidth error path is exercised.
+fn metric() -> impl Strategy<Value = Value> {
+    (-3i64..3, -50i64..500, -10i64..100).prop_map(|(c, t, b)| {
+        Value::Bag(vec![
+            Value::Integer(c),
+            Value::Integer(t),
+            Value::Integer(b),
+        ])
+    })
+}
+
+/// Any value the engine can deliver, including the kinds that make
+/// aggregates fail.
+fn mixed_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-100i64..100).prop_map(Value::Integer),
+        (-100.0f64..100.0).prop_map(Value::Real),
+        any::<bool>().prop_map(Value::Bool),
+        (8u64..256).prop_map(Value::synthetic_array),
+        Just(Value::Str("x".to_string())),
+        metric(),
+    ]
+}
+
+/// One delivered batch: homogeneous integer / float / metric runs (the
+/// shapes the columnar pass accepts) plus mixed runs it must decline.
+fn batch_values() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 0..10),
+        proptest::collection::vec((-100.0f64..100.0).prop_map(Value::Real), 0..10),
+        proptest::collection::vec(metric(), 0..10),
+        proptest::collection::vec(mixed_value(), 0..10),
+    ]
+}
+
+/// Feeds the same batches through the interpreted chain (per element)
+/// and the fused chain driven the way `World::deliver` drives it
+/// (columnar pass first, per-element fallback on decline), comparing
+/// outputs, errors, and the end-of-stream flush.
+fn assert_equivalent(stages: Vec<Stage>, batches: Vec<Vec<Value>>) -> Result<(), TestCaseError> {
+    let pipeline = Pipeline {
+        input: scsq_engine::InputKind::Const { values: Vec::new() },
+        stages,
+    };
+    let mut interpreted = StageChain::new(&pipeline);
+    let mut fused = FusedChain::new(&FusedProgram::compile(&pipeline));
+
+    for values in batches {
+        let batch = Batch::new(values.clone());
+
+        // Reference: the interpreter, one element at a time.
+        let mut ref_out = Vec::new();
+        let mut ref_err = None;
+        for v in &values {
+            match interpreted.process(v.clone(), None) {
+                Ok(mut o) => ref_out.append(&mut o),
+                Err(e) => {
+                    ref_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        // Candidate: the deliver-path driver.
+        match fused.process_batch_columnar(&batch) {
+            Ok(true) => {
+                // The columnar pass only fires for absorber-terminated
+                // chains, which emit nothing per element and never fail
+                // on the shapes the pre-check admits.
+                prop_assert!(ref_err.is_none(), "interpreter failed, columnar did not");
+                prop_assert!(ref_out.is_empty(), "absorbed batch must emit nothing");
+            }
+            Ok(false) => {
+                let mut out = Vec::new();
+                let mut err = None;
+                for v in &values {
+                    if let Err(e) = fused.process_into(v.clone(), None, &mut out) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+                match (ref_err, err) {
+                    (None, None) => prop_assert_eq!(&ref_out, &out, "per-element outputs"),
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.to_string(), b.to_string(), "error messages");
+                        return Ok(()); // the runtime stops at the first error
+                    }
+                    (a, b) => {
+                        return Err(TestCaseError::fail(format!(
+                            "one path failed, the other did not: {a:?} vs {b:?}"
+                        )))
+                    }
+                }
+            }
+            Err(e) => {
+                let Some(a) = ref_err else {
+                    return Err(TestCaseError::fail(format!(
+                        "columnar pass failed, interpreter did not: {e}"
+                    )));
+                };
+                prop_assert_eq!(a.to_string(), e.to_string(), "error messages");
+                return Ok(());
+            }
+        }
+    }
+
+    match (interpreted.finish(), fused.finish()) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "end-of-stream flush"),
+        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string(), "flush errors"),
+        (a, b) => {
+            return Err(TestCaseError::fail(format!(
+                "flush disagreement: {a:?} vs {b:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The columnar batch pass (with its per-element fallback) agrees
+    /// with the interpreted reference on outputs, accumulator state (via
+    /// the flush), and errors, over randomized chains and batch streams.
+    #[test]
+    fn columnar_equals_interpreted(
+        stages in proptest::collection::vec(stage(), 1..4),
+        batches in proptest::collection::vec(batch_values(), 0..5),
+    ) {
+        assert_equivalent(stages, batches)?;
+    }
+}
+
+/// The columnar pass fires for an absorber-terminated chain and leaves
+/// the same accumulator state as per-element execution.
+#[test]
+fn columnar_pass_absorbs_metric_batches() {
+    let pipeline = Pipeline {
+        input: scsq_engine::InputKind::Const { values: Vec::new() },
+        stages: vec![Stage::StreamOf, Stage::Bandwidth],
+    };
+    let sample = |t: i64, b: i64| {
+        Value::Bag(vec![
+            Value::Integer(0),
+            Value::Integer(t),
+            Value::Integer(b),
+        ])
+    };
+    let values = vec![sample(100, 10), sample(250, 20), sample(900, 30)];
+
+    let mut fused = FusedChain::new(&FusedProgram::compile(&pipeline));
+    assert!(fused
+        .process_batch_columnar(&Batch::new(values.clone()))
+        .unwrap());
+
+    let mut interpreted = StageChain::new(&pipeline);
+    for v in values {
+        interpreted.process(v, None).unwrap();
+    }
+    assert_eq!(fused.finish().unwrap(), interpreted.finish().unwrap());
+}
+
+/// A chain with no absorbing aggregate declines the columnar pass: a
+/// relay would have to reconstruct every leftover tuple, which costs
+/// more than the per-element path it replaces.
+#[test]
+fn relay_chains_decline_the_columnar_pass() {
+    for stages in [
+        vec![Stage::StreamOf],
+        vec![Stage::Take { limit: 4 }],
+        vec![Stage::StreamOf, Stage::Take { limit: 4 }],
+    ] {
+        let pipeline = Pipeline {
+            input: scsq_engine::InputKind::Const { values: Vec::new() },
+            stages,
+        };
+        let mut fused = FusedChain::new(&FusedProgram::compile(&pipeline));
+        let batch = Batch::new((0..6).map(Value::Integer).collect());
+        assert!(!fused.process_batch_columnar(&batch).unwrap());
+    }
+}

@@ -33,6 +33,9 @@ enum Repr {
     /// satisfies [`Value::is_inline`], so cloning this variant never
     /// allocates.
     One(Value),
+    /// A single heap-holding tuple behind one `Arc` — fan-out clones
+    /// share the value without the `Vec` a full shared run would cost.
+    OneShared(Arc<Value>),
     /// A reference-counted run with a sub-range view.
     Shared {
         values: Arc<Vec<Value>>,
@@ -45,7 +48,7 @@ impl Batch {
     /// Wraps a freshly produced run of tuples. A single heap-free tuple
     /// is stored inline; everything else becomes a shared run.
     pub fn new(mut values: Vec<Value>) -> Self {
-        if values.len() == 1 && values[0].is_inline() {
+        if values.len() == 1 {
             return Batch::one(values.pop().expect("length checked"));
         }
         let end = values.len();
@@ -59,8 +62,10 @@ impl Batch {
     }
 
     /// Wraps a single tuple without touching the allocator when the
-    /// value is heap-free; falls back to a shared run otherwise (so a
-    /// lone `Str`/`Bag` still fans out by `Arc` clone, not deep copy).
+    /// value is heap-free; a heap-holding value goes behind a single
+    /// `Arc` (no `Vec`), so a lone `Str`/`Bag` — every metric sample —
+    /// costs one allocation to batch and fans out by `Arc` clone, not
+    /// deep copy.
     pub fn one(value: Value) -> Self {
         if value.is_inline() {
             Batch {
@@ -68,11 +73,7 @@ impl Batch {
             }
         } else {
             Batch {
-                repr: Repr::Shared {
-                    values: Arc::new(vec![value]),
-                    start: 0,
-                    end: 1,
-                },
+                repr: Repr::OneShared(Arc::new(value)),
             }
         }
     }
@@ -80,7 +81,7 @@ impl Batch {
     /// Number of tuples in view.
     pub fn len(&self) -> usize {
         match &self.repr {
-            Repr::One(_) => 1,
+            Repr::One(_) | Repr::OneShared(_) => 1,
             Repr::Shared { start, end, .. } => end - start,
         }
     }
@@ -94,6 +95,7 @@ impl Batch {
     pub fn values(&self) -> &[Value] {
         match &self.repr {
             Repr::One(v) => std::slice::from_ref(v),
+            Repr::OneShared(v) => std::slice::from_ref(v),
             Repr::Shared { values, start, end } => &values[*start..*end],
         }
     }
@@ -107,11 +109,9 @@ impl Batch {
     pub fn slice(&self, start: usize, end: usize) -> Batch {
         assert!(start <= end && end <= self.len(), "slice out of range");
         match &self.repr {
-            Repr::One(v) => {
+            Repr::One(_) | Repr::OneShared(_) => {
                 if start == 0 && end == 1 {
-                    Batch {
-                        repr: Repr::One(v.clone()),
-                    }
+                    self.clone()
                 } else {
                     Batch::new(Vec::new())
                 }
@@ -143,6 +143,9 @@ impl Batch {
     pub fn into_values(self) -> Vec<Value> {
         match self.repr {
             Repr::One(v) => vec![v],
+            Repr::OneShared(v) => {
+                vec![Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone())]
+            }
             Repr::Shared { values, start, end } => {
                 let full = start == 0 && end == values.len();
                 match Arc::try_unwrap(values) {
@@ -211,6 +214,9 @@ impl IntoIterator for Batch {
     fn into_iter(self) -> IntoIter {
         let inner = match self.repr {
             Repr::One(v) => IntoIterRepr::One(Some(v).into_iter()),
+            Repr::OneShared(v) => IntoIterRepr::One(
+                Some(Arc::try_unwrap(v).unwrap_or_else(|shared| (*shared).clone())).into_iter(),
+            ),
             repr => IntoIterRepr::Many(Batch { repr }.into_values().into_iter()),
         };
         IntoIter { inner }
@@ -272,11 +278,21 @@ mod tests {
         // Batch::new takes the same fast path for a 1-element run.
         let b2 = Batch::new(vec![Value::synthetic_array(1024)]);
         assert!(matches!(b2.repr, Repr::One(_)));
-        // A heap-holding single value stays Arc-backed so fan-out
-        // clones share rather than deep-copy.
+        // A heap-holding single value goes behind a lone Arc (no Vec),
+        // so fan-out clones share rather than deep-copy.
         let s = Batch::one(Value::Str("x".into()));
-        assert!(matches!(s.repr, Repr::Shared { .. }));
+        assert!(matches!(s.repr, Repr::OneShared(_)));
         assert_eq!(s.values(), &[Value::Str("x".into())]);
+        let s2 = Batch::new(vec![Value::Bag(vec![Value::Integer(1)])]);
+        assert!(matches!(s2.repr, Repr::OneShared(_)));
+        assert_eq!(s2.len(), 1);
+        // Unique ownership moves the value out; shared clones deep-copy.
+        let shared = s2.clone();
+        assert_eq!(s2.into_values(), vec![Value::Bag(vec![Value::Integer(1)])]);
+        assert_eq!(
+            shared.into_iter().collect::<Vec<_>>(),
+            vec![Value::Bag(vec![Value::Integer(1)])]
+        );
     }
 
     #[test]

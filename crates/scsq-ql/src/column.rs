@@ -1,0 +1,837 @@
+//! Typed columnar batches.
+//!
+//! The row interchange ([`crate::Batch`]) moves `Vec<Value>` runs; every
+//! consumer then re-discovers each tuple's type with a `match`. This
+//! module adds the columnar alternative: a [`Column`] is one typed array
+//! plus a validity bitmap, a [`ColumnarBatch`] is a set of named columns
+//! of equal length, and both clone and slice in O(1) by sharing `Arc`s
+//! (the layout follows validity-bitmapped array libraries such as
+//! Arrow). Conversion to and from `Batch` is lossless — see
+//! [`ColumnarBatch::from_batch`] / [`ColumnarBatch::to_batch`] — so the
+//! engine can pick per delivery whether a run is worth transposing.
+
+use crate::value::{ArrayData, Value};
+use std::sync::Arc;
+
+/// Per-row validity of a column, one bit per row.
+///
+/// The common case — every row valid — is represented by an *empty*
+/// word vector, so constructing an all-valid bitmap never allocates and
+/// checking it is a single emptiness test ([`ValidityBitmap::all_valid`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidityBitmap {
+    /// Bit `i` of `words[i / 64]` is 1 when row `i` is valid. Empty
+    /// means "all rows valid".
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl ValidityBitmap {
+    /// An all-valid bitmap over `len` rows (allocation-free).
+    pub fn new_valid(len: usize) -> Self {
+        ValidityBitmap {
+            words: Vec::new(),
+            len,
+        }
+    }
+
+    /// Builds a bitmap from per-row booleans.
+    pub fn from_bools(valid: &[bool]) -> Self {
+        if valid.iter().all(|&v| v) {
+            return ValidityBitmap::new_valid(valid.len());
+        }
+        let mut words = vec![0u64; valid.len().div_ceil(64)];
+        for (i, &v) in valid.iter().enumerate() {
+            if v {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        ValidityBitmap {
+            words,
+            len: valid.len(),
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether every row is valid (O(1) for the allocation-free
+    /// representation, O(words) otherwise).
+    pub fn all_valid(&self) -> bool {
+        if self.words.is_empty() {
+            return true;
+        }
+        self.count_valid(0, self.len) == self.len
+    }
+
+    /// Whether row `row` is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn is_valid(&self, row: usize) -> bool {
+        assert!(row < self.len, "validity row out of range");
+        if self.words.is_empty() {
+            return true;
+        }
+        self.words[row / 64] & (1 << (row % 64)) != 0
+    }
+
+    /// Marks row `row` invalid, materializing the word vector if the
+    /// bitmap was in the allocation-free all-valid form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn set_invalid(&mut self, row: usize) {
+        assert!(row < self.len, "validity row out of range");
+        if self.words.is_empty() {
+            let mut words = vec![u64::MAX; self.len.div_ceil(64)];
+            let tail = self.len % 64;
+            if tail != 0 {
+                *words.last_mut().expect("len > 0") = (1u64 << tail) - 1;
+            }
+            self.words = words;
+        }
+        self.words[row / 64] &= !(1 << (row % 64));
+    }
+
+    /// Number of valid rows in `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn count_valid(&self, start: usize, end: usize) -> usize {
+        assert!(start <= end && end <= self.len, "validity range invalid");
+        if self.words.is_empty() {
+            return end - start;
+        }
+        (start..end).filter(|&i| self.is_valid(i)).count()
+    }
+}
+
+/// The typed backing storage of a [`Column`].
+///
+/// Homogeneous runs of primitives get a flat array; everything the
+/// typed layouts cannot express losslessly (bags, materialized arrays,
+/// handles, mixed runs) falls back to [`ColumnData::Values`], which is
+/// exactly the row representation and therefore always available.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers ([`Value::Integer`]).
+    Int64(Vec<i64>),
+    /// 64-bit floats ([`Value::Real`]).
+    Float64(Vec<f64>),
+    /// Booleans ([`Value::Bool`]).
+    Bool(Vec<bool>),
+    /// Strings ([`Value::Str`]), stored as one byte buffer with
+    /// `offsets.len() == rows + 1` delimiting offsets.
+    Utf8 {
+        /// Row `i` spans `bytes[offsets[i] as usize..offsets[i + 1] as usize]`.
+        offsets: Vec<u32>,
+        /// Concatenated UTF-8 payload of every row.
+        bytes: Vec<u8>,
+    },
+    /// Synthetic arrays ([`crate::ArrayData::Synthetic`]), stored as
+    /// their simulated byte sizes.
+    Synthetic(Vec<u64>),
+    /// Lossless row fallback for values the typed layouts cannot hold.
+    Values(Vec<Value>),
+}
+
+impl ColumnData {
+    /// Number of rows stored.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Utf8 { offsets, .. } => offsets.len().saturating_sub(1),
+            ColumnData::Synthetic(v) => v.len(),
+            ColumnData::Values(v) => v.len(),
+        }
+    }
+
+    /// Whether the storage holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared, immutable typed column with a sub-range view.
+///
+/// Cloning and [slicing](Column::slice) are O(1): both share the backing
+/// [`ColumnData`] and [`ValidityBitmap`] by `Arc` and adjust only the
+/// view bounds. Typed accessors ([`Column::as_i64`] and friends) return
+/// the viewed range of the flat array when the storage matches, letting
+/// kernels run one tight loop per column instead of one dispatch per
+/// element.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: Arc<ColumnData>,
+    validity: Arc<ValidityBitmap>,
+    start: usize,
+    end: usize,
+}
+
+impl Column {
+    /// Wraps storage with every row valid.
+    pub fn new(data: ColumnData) -> Self {
+        let len = data.len();
+        Column {
+            data: Arc::new(data),
+            validity: Arc::new(ValidityBitmap::new_valid(len)),
+            start: 0,
+            end: len,
+        }
+    }
+
+    /// Wraps storage with an explicit validity bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap length differs from the storage length.
+    pub fn with_validity(data: ColumnData, validity: ValidityBitmap) -> Self {
+        let len = data.len();
+        assert_eq!(validity.len(), len, "validity length mismatch");
+        Column {
+            data: Arc::new(data),
+            validity: Arc::new(validity),
+            start: 0,
+            end: len,
+        }
+    }
+
+    /// Builds a column from a run of row values, choosing the narrowest
+    /// typed layout that holds every row losslessly; heterogeneous runs
+    /// (or kinds without a typed layout) fall back to
+    /// [`ColumnData::Values`].
+    pub fn from_values(values: &[Value]) -> Self {
+        Column::new(column_data_from_values(values))
+    }
+
+    /// Number of rows in view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether every row in view is valid.
+    pub fn all_valid(&self) -> bool {
+        self.validity.count_valid(self.start, self.end) == self.len()
+    }
+
+    /// Whether view-relative row `row` is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn is_valid(&self, row: usize) -> bool {
+        assert!(row < self.len(), "column row out of range");
+        self.validity.is_valid(self.start + row)
+    }
+
+    /// A narrower O(1) view of the same storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        Column {
+            data: Arc::clone(&self.data),
+            validity: Arc::clone(&self.validity),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// The viewed rows as a flat `i64` slice, when backed by
+    /// [`ColumnData::Int64`].
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match &*self.data {
+            ColumnData::Int64(v) => Some(&v[self.start..self.end]),
+            _ => None,
+        }
+    }
+
+    /// The viewed rows as a flat `f64` slice, when backed by
+    /// [`ColumnData::Float64`].
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match &*self.data {
+            ColumnData::Float64(v) => Some(&v[self.start..self.end]),
+            _ => None,
+        }
+    }
+
+    /// The viewed rows as a flat `bool` slice, when backed by
+    /// [`ColumnData::Bool`].
+    pub fn as_bool(&self) -> Option<&[bool]> {
+        match &*self.data {
+            ColumnData::Bool(v) => Some(&v[self.start..self.end]),
+            _ => None,
+        }
+    }
+
+    /// The viewed rows as synthetic-array byte sizes, when backed by
+    /// [`ColumnData::Synthetic`].
+    pub fn as_synthetic(&self) -> Option<&[u64]> {
+        match &*self.data {
+            ColumnData::Synthetic(v) => Some(&v[self.start..self.end]),
+            _ => None,
+        }
+    }
+
+    /// The viewed rows as row values, when backed by the
+    /// [`ColumnData::Values`] fallback.
+    pub fn as_values(&self) -> Option<&[Value]> {
+        match &*self.data {
+            ColumnData::Values(v) => Some(&v[self.start..self.end]),
+            _ => None,
+        }
+    }
+
+    /// The string at view-relative row `row`, when backed by
+    /// [`ColumnData::Utf8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        assert!(row < self.len(), "column row out of range");
+        match &*self.data {
+            ColumnData::Utf8 { offsets, bytes } => {
+                let i = self.start + row;
+                let span = offsets[i] as usize..offsets[i + 1] as usize;
+                Some(std::str::from_utf8(&bytes[span]).expect("column stores UTF-8"))
+            }
+            _ => None,
+        }
+    }
+
+    /// The row value at view-relative row `row`, or `None` when the row
+    /// is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.len()`.
+    pub fn value_at(&self, row: usize) -> Option<Value> {
+        assert!(row < self.len(), "column row out of range");
+        if !self.is_valid(row) {
+            return None;
+        }
+        let i = self.start + row;
+        Some(match &*self.data {
+            ColumnData::Int64(v) => Value::Integer(v[i]),
+            ColumnData::Float64(v) => Value::Real(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Utf8 { offsets, bytes } => {
+                let span = offsets[i] as usize..offsets[i + 1] as usize;
+                Value::Str(
+                    std::str::from_utf8(&bytes[span])
+                        .expect("column stores UTF-8")
+                        .to_string(),
+                )
+            }
+            ColumnData::Synthetic(v) => Value::Array(ArrayData::Synthetic { bytes: v[i] }),
+            ColumnData::Values(v) => v[i].clone(),
+        })
+    }
+}
+
+/// Ascending row indices selected out of a column view — the output of
+/// filter kernels, consumed by gather/`take` kernels. Keeping a
+/// selection instead of copying survivors lets a filter cost O(matches)
+/// rather than O(rows × row width).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    rows: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// An empty selection.
+    pub fn new() -> Self {
+        SelectionVector::default()
+    }
+
+    /// Wraps pre-computed ascending row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are not strictly ascending.
+    pub fn from_rows(rows: Vec<u32>) -> Self {
+        assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "selection rows must be strictly ascending"
+        );
+        SelectionVector { rows }
+    }
+
+    /// Appends a row index (must exceed every index already present).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not exceed the last stored index.
+    pub fn push(&mut self, row: u32) {
+        assert!(
+            self.rows.last().is_none_or(|&last| row > last),
+            "selection rows must be strictly ascending"
+        );
+        self.rows.push(row);
+    }
+
+    /// The selected row indices, ascending.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Column names used when a metric-sample run is decomposed into typed
+/// columns (`{channel, time_ns, bytes}` — the bag layout `metrics(p)`
+/// emits).
+pub const METRIC_COLUMNS: [&str; 3] = ["channel", "time_ns", "bytes"];
+
+/// A set of equally long named [`Column`]s with O(1) clone and slice.
+///
+/// The batch-level counterpart of [`crate::Batch`]: one columnar batch
+/// represents the same run of tuples, transposed. Single-column batches
+/// hold the run under the name `"v"`; runs of metric-sample bags
+/// (`{channel, time_ns, bytes}` integer triples) decompose into the
+/// three [`METRIC_COLUMNS`], which [`ColumnarBatch::to_batch`] inverts
+/// exactly.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    columns: Arc<Vec<(String, Column)>>,
+    start: usize,
+    end: usize,
+}
+
+impl ColumnarBatch {
+    /// Wraps named columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns differ in length.
+    pub fn new(columns: Vec<(String, Column)>) -> Self {
+        let rows = columns.first().map_or(0, |(_, c)| c.len());
+        assert!(
+            columns.iter().all(|(_, c)| c.len() == rows),
+            "columns must be equally long"
+        );
+        ColumnarBatch {
+            columns: Arc::new(columns),
+            start: 0,
+            end: rows,
+        }
+    }
+
+    /// Transposes a run of row values into columns.
+    ///
+    /// A non-empty run in which every row is a metric-sample bag (a
+    /// three-integer `Bag`) becomes the three [`METRIC_COLUMNS`]; any
+    /// other run becomes one column named `"v"` via
+    /// [`Column::from_values`].
+    pub fn from_values(values: &[Value]) -> Self {
+        if !values.is_empty() && values.iter().all(is_metric_sample) {
+            let mut channel = Vec::with_capacity(values.len());
+            let mut time_ns = Vec::with_capacity(values.len());
+            let mut bytes = Vec::with_capacity(values.len());
+            for v in values {
+                let items = v.as_bag().expect("checked: metric bag");
+                channel.push(items[0].as_integer().expect("checked: integer"));
+                time_ns.push(items[1].as_integer().expect("checked: integer"));
+                bytes.push(items[2].as_integer().expect("checked: integer"));
+            }
+            return ColumnarBatch::new(vec![
+                (
+                    METRIC_COLUMNS[0].to_string(),
+                    Column::new(ColumnData::Int64(channel)),
+                ),
+                (
+                    METRIC_COLUMNS[1].to_string(),
+                    Column::new(ColumnData::Int64(time_ns)),
+                ),
+                (
+                    METRIC_COLUMNS[2].to_string(),
+                    Column::new(ColumnData::Int64(bytes)),
+                ),
+            ]);
+        }
+        ColumnarBatch::new(vec![("v".to_string(), Column::from_values(values))])
+    }
+
+    /// Transposes a row batch (see [`ColumnarBatch::from_values`]).
+    pub fn from_batch(batch: &crate::Batch) -> Self {
+        ColumnarBatch::from_values(batch.values())
+    }
+
+    /// Number of rows in view.
+    pub fn rows(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows() == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The named columns (name, full-run column) backing this view.
+    /// Use [`ColumnarBatch::column`] for view-sliced access.
+    pub fn columns(&self) -> &[(String, Column)] {
+        &self.columns
+    }
+
+    /// The view-sliced column called `name`, if present.
+    pub fn column(&self, name: &str) -> Option<Column> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.slice(self.start, self.end))
+    }
+
+    /// The view-sliced only column, when the batch has exactly one.
+    pub fn single(&self) -> Option<Column> {
+        match &self.columns[..] {
+            [(_, c)] => Some(c.slice(self.start, self.end)),
+            _ => None,
+        }
+    }
+
+    /// A narrower O(1) view of the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn slice(&self, start: usize, end: usize) -> ColumnarBatch {
+        assert!(start <= end && end <= self.rows(), "slice out of range");
+        ColumnarBatch {
+            columns: Arc::clone(&self.columns),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// The row value at view-relative row `row`, or `None` when any
+    /// cell in the row is invalid. Multi-column rows reassemble into a
+    /// `Bag` of the cells in column order, which inverts the
+    /// metric-sample decomposition of [`ColumnarBatch::from_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn value_at(&self, row: usize) -> Option<Value> {
+        assert!(row < self.rows(), "batch row out of range");
+        let i = self.start + row;
+        match &self.columns[..] {
+            [] => None,
+            [(_, c)] => c.value_at(i),
+            cols => {
+                let mut items = Vec::with_capacity(cols.len());
+                for (_, c) in cols {
+                    items.push(c.value_at(i)?);
+                }
+                Some(Value::Bag(items))
+            }
+        }
+    }
+
+    /// Appends the viewed rows to `out` as row values, in order. Rows
+    /// with any invalid cell are omitted — they represent tuples
+    /// filtered out in place.
+    pub fn to_values_into(&self, out: &mut Vec<Value>) {
+        out.reserve(self.rows());
+        for row in 0..self.rows() {
+            if let Some(v) = self.value_at(row) {
+                out.push(v);
+            }
+        }
+    }
+
+    /// The viewed rows as a row batch (see
+    /// [`ColumnarBatch::to_values_into`] for the invalid-row rule).
+    pub fn to_batch(&self) -> crate::Batch {
+        let mut out = Vec::new();
+        self.to_values_into(&mut out);
+        crate::Batch::new(out)
+    }
+}
+
+/// Whether `v` is a metric-sample bag: `{channel, time_ns, bytes}` as
+/// three integers (the shape `metrics(p)` emits).
+fn is_metric_sample(v: &Value) -> bool {
+    matches!(
+        v.as_bag(),
+        Some([Value::Integer(_), Value::Integer(_), Value::Integer(_)])
+    )
+}
+
+/// Scans a run once and picks the narrowest lossless storage.
+fn column_data_from_values(values: &[Value]) -> ColumnData {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Kind {
+        Int,
+        Float,
+        Bool,
+        Str,
+        Synthetic,
+        Other,
+    }
+    let kind_of = |v: &Value| match v {
+        Value::Integer(_) => Kind::Int,
+        Value::Real(_) => Kind::Float,
+        Value::Bool(_) => Kind::Bool,
+        Value::Str(_) => Kind::Str,
+        Value::Array(ArrayData::Synthetic { .. }) => Kind::Synthetic,
+        _ => Kind::Other,
+    };
+    let Some(first) = values.first() else {
+        return ColumnData::Values(Vec::new());
+    };
+    let kind = kind_of(first);
+    if kind == Kind::Other || values[1..].iter().any(|v| kind_of(v) != kind) {
+        return ColumnData::Values(values.to_vec());
+    }
+    match kind {
+        Kind::Int => ColumnData::Int64(
+            values
+                .iter()
+                .map(|v| v.as_integer().expect("checked: integer"))
+                .collect(),
+        ),
+        Kind::Float => ColumnData::Float64(
+            values
+                .iter()
+                .map(|v| match v {
+                    Value::Real(r) => *r,
+                    _ => unreachable!("checked: real"),
+                })
+                .collect(),
+        ),
+        Kind::Bool => ColumnData::Bool(
+            values
+                .iter()
+                .map(|v| v.as_bool().expect("checked: bool"))
+                .collect(),
+        ),
+        Kind::Str => {
+            let mut offsets = Vec::with_capacity(values.len() + 1);
+            let mut bytes = Vec::new();
+            offsets.push(0u32);
+            for v in values {
+                let s = v.as_str().expect("checked: string");
+                bytes.extend_from_slice(s.as_bytes());
+                offsets.push(u32::try_from(bytes.len()).expect("string column under 4 GiB"));
+            }
+            ColumnData::Utf8 { offsets, bytes }
+        }
+        Kind::Synthetic => ColumnData::Synthetic(
+            values
+                .iter()
+                .map(|v| match v {
+                    Value::Array(ArrayData::Synthetic { bytes }) => *bytes,
+                    _ => unreachable!("checked: synthetic"),
+                })
+                .collect(),
+        ),
+        Kind::Other => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Batch;
+
+    fn metric(channel: i64, time_ns: i64, bytes: i64) -> Value {
+        Value::Bag(vec![
+            Value::Integer(channel),
+            Value::Integer(time_ns),
+            Value::Integer(bytes),
+        ])
+    }
+
+    #[test]
+    fn validity_all_valid_is_allocation_free() {
+        let v = ValidityBitmap::new_valid(100);
+        assert!(v.all_valid());
+        assert!(v.is_valid(0) && v.is_valid(99));
+        assert_eq!(v.count_valid(10, 90), 80);
+    }
+
+    #[test]
+    fn validity_set_invalid_materializes() {
+        let mut v = ValidityBitmap::new_valid(70);
+        v.set_invalid(64);
+        assert!(!v.all_valid());
+        assert!(!v.is_valid(64));
+        assert!(v.is_valid(63) && v.is_valid(65) && v.is_valid(69));
+        assert_eq!(v.count_valid(0, 70), 69);
+        let bools: Vec<bool> = (0..70).map(|i| i != 64).collect();
+        assert_eq!(v, ValidityBitmap::from_bools(&bools));
+    }
+
+    #[test]
+    fn from_bools_all_true_stays_compact() {
+        let v = ValidityBitmap::from_bools(&[true; 65]);
+        assert!(v.all_valid());
+        assert_eq!(v.count_valid(0, 65), 65);
+    }
+
+    #[test]
+    fn homogeneous_runs_get_typed_storage() {
+        let ints: Vec<Value> = (0..4).map(Value::Integer).collect();
+        let c = Column::from_values(&ints);
+        assert_eq!(c.as_i64(), Some(&[0i64, 1, 2, 3][..]));
+        assert_eq!(c.value_at(2), Some(Value::Integer(2)));
+
+        let reals = vec![Value::Real(1.5), Value::Real(-0.0)];
+        let c = Column::from_values(&reals);
+        assert_eq!(c.as_f64().map(<[f64]>::len), Some(2));
+
+        let bools = vec![Value::Bool(true), Value::Bool(false)];
+        assert_eq!(
+            Column::from_values(&bools).as_bool(),
+            Some(&[true, false][..])
+        );
+
+        let syn = vec![Value::synthetic_array(8), Value::synthetic_array(16)];
+        assert_eq!(
+            Column::from_values(&syn).as_synthetic(),
+            Some(&[8u64, 16][..])
+        );
+
+        let strs = vec![Value::from("ab"), Value::from(""), Value::from("c")];
+        let c = Column::from_values(&strs);
+        assert_eq!(c.str_at(0), Some("ab"));
+        assert_eq!(c.str_at(1), Some(""));
+        assert_eq!(c.str_at(2), Some("c"));
+        assert_eq!(c.value_at(2), Some(Value::from("c")));
+    }
+
+    #[test]
+    fn mixed_runs_fall_back_to_values() {
+        let mixed = vec![Value::Integer(1), Value::Real(2.0)];
+        let c = Column::from_values(&mixed);
+        assert!(c.as_i64().is_none());
+        assert_eq!(c.as_values(), Some(&mixed[..]));
+        let bags = vec![Value::Bag(vec![])];
+        assert!(Column::from_values(&bags).as_values().is_some());
+    }
+
+    #[test]
+    fn column_slices_are_views() {
+        let c = Column::from_values(&(0..6).map(Value::Integer).collect::<Vec<_>>());
+        let s = c.slice(2, 5);
+        assert_eq!(s.as_i64(), Some(&[2i64, 3, 4][..]));
+        let ss = s.slice(1, 2);
+        assert_eq!(ss.as_i64(), Some(&[3i64][..]));
+        assert_eq!(ss.value_at(0), Some(Value::Integer(3)));
+        assert!(ss.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    fn invalid_rows_yield_none_and_are_skipped() {
+        let mut validity = ValidityBitmap::new_valid(3);
+        validity.set_invalid(1);
+        let c = Column::with_validity(ColumnData::Int64(vec![10, 20, 30]), validity);
+        assert!(!c.all_valid());
+        assert_eq!(c.value_at(0), Some(Value::Integer(10)));
+        assert_eq!(c.value_at(1), None);
+        let b = ColumnarBatch::new(vec![("v".into(), c)]);
+        assert_eq!(
+            b.to_batch().values(),
+            &[Value::Integer(10), Value::Integer(30)]
+        );
+    }
+
+    #[test]
+    fn selection_vector_enforces_ascending_rows() {
+        let mut s = SelectionVector::new();
+        s.push(1);
+        s.push(5);
+        assert_eq!(s.rows(), &[1, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(SelectionVector::from_rows(vec![0, 2, 9]).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn selection_vector_rejects_descending_rows() {
+        SelectionVector::from_rows(vec![3, 1]);
+    }
+
+    #[test]
+    fn metric_runs_decompose_into_named_columns() {
+        let run = vec![metric(1, 100, 1000), metric(1, 200, 2000)];
+        let b = ColumnarBatch::from_values(&run);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.column("channel").unwrap().as_i64(), Some(&[1i64, 1][..]));
+        assert_eq!(
+            b.column("time_ns").unwrap().as_i64(),
+            Some(&[100i64, 200][..])
+        );
+        assert_eq!(
+            b.column("bytes").unwrap().as_i64(),
+            Some(&[1000i64, 2000][..])
+        );
+        assert_eq!(b.value_at(1), Some(metric(1, 200, 2000)));
+        assert_eq!(b.to_batch().values(), &run[..]);
+    }
+
+    #[test]
+    fn batch_round_trip_is_lossless() {
+        let runs: Vec<Vec<Value>> = vec![
+            vec![],
+            (0..5).map(Value::Integer).collect(),
+            vec![Value::Real(0.5), Value::Real(f64::NAN)],
+            vec![Value::from("a"), Value::from("bb")],
+            vec![Value::synthetic_array(3_000_000); 3],
+            vec![Value::Integer(1), Value::from("x"), Value::Bag(vec![])],
+            vec![metric(0, 1, 2), metric(3, 4, 5)],
+        ];
+        for run in runs {
+            let b = Batch::new(run.clone());
+            let round = ColumnarBatch::from_batch(&b).to_batch();
+            // NaN != NaN under PartialEq; compare via debug formatting.
+            assert_eq!(format!("{:?}", round.values()), format!("{:?}", &run[..]));
+        }
+    }
+
+    #[test]
+    fn batch_views_slice_all_columns() {
+        let run = vec![metric(0, 1, 10), metric(0, 2, 20), metric(0, 3, 30)];
+        let b = ColumnarBatch::from_values(&run).slice(1, 3);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.column("bytes").unwrap().as_i64(), Some(&[20i64, 30][..]));
+        assert_eq!(b.value_at(0), Some(metric(0, 2, 20)));
+        assert!(b.single().is_none());
+        let single = ColumnarBatch::from_values(&[Value::Integer(9)]);
+        assert_eq!(single.single().unwrap().as_i64(), Some(&[9i64][..]));
+    }
+}

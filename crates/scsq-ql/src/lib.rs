@@ -39,6 +39,7 @@ pub mod ast;
 pub mod batch;
 pub mod catalog;
 pub mod codec;
+pub mod column;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -48,6 +49,7 @@ pub mod value;
 pub use ast::{Expr, FunctionDef, PredOp, Predicate, SelectQuery, Statement, TypeName, VarDecl};
 pub use batch::Batch;
 pub use catalog::{Builtin, Catalog, Resolved};
+pub use column::{Column, ColumnData, ColumnarBatch, SelectionVector, ValidityBitmap};
 pub use error::QlError;
 pub use lexer::{Lexer, Token, TokenKind};
 pub use parser::{parse_program, parse_statement};

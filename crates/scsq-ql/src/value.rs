@@ -133,6 +133,14 @@ impl Value {
         }
     }
 
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The SP handle inside, if this is a stream process.
     pub fn as_sp(&self) -> Option<SpHandle> {
         match self {
@@ -289,6 +297,8 @@ mod tests {
         assert_eq!(Value::Real(2.5).as_real(), Some(2.5));
         assert_eq!(Value::Real(2.5).as_integer(), None);
         assert_eq!(Value::from("s").as_str(), Some("s"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Integer(1).as_bool(), None);
         assert_eq!(Value::Sp(SpHandle(4)).as_sp(), Some(SpHandle(4)));
         assert!(Value::Bag(vec![]).as_bag().unwrap().is_empty());
     }

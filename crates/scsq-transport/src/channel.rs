@@ -112,6 +112,11 @@ impl ChannelStats {
 /// them as one train keeps the send queue O(1) instead of O(n) and makes
 /// its growth visible to the coalescer as a plain counter. A train of one
 /// is exactly the old per-element representation.
+///
+/// Trains are a transport-side encoding only: delivery hands the receiver
+/// a materialized batch per buffer, and any columnar conversion of that
+/// batch happens inside the engine's `deliver` step, after transport —
+/// neither trains nor the coalescer ever see columns.
 #[derive(Debug)]
 struct Train<T> {
     /// The element every copy materializes as. `None` only transiently
@@ -182,6 +187,11 @@ pub struct StreamChannel<T> {
     /// Elements completing inside the currently-filling buffer, with
     /// their corruption flag (UDP losses poison spanning elements).
     fill_items: Vec<(T, bool)>,
+    /// Bytes accepted but not yet handed to the carrier: the filling
+    /// buffer plus everything still queued. Answers
+    /// [`Self::pending_buffers`] in O(1) so the engine can skip
+    /// scheduling cycles that could not transmit anything.
+    pending_bytes: u64,
     /// Send-completion times of recent buffers, at most `window` entries.
     inflight: VecDeque<SimTime>,
     eos_queued: bool,
@@ -212,6 +222,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             fill: 0,
             fill_ready: SimTime::ZERO,
             fill_items: Vec::new(),
+            pending_bytes: 0,
             inflight: VecDeque::new(),
             eos_queued: false,
             eos_reported: false,
@@ -256,6 +267,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
         );
         assert!(bytes > 0, "elements must have positive marshaled size");
         self.stats.bytes_enqueued += bytes;
+        self.pending_bytes += bytes;
         if let Some(tail) = self.queue.back_mut() {
             if tail.bytes_each == bytes && tail.item.as_ref() == Some(&item) {
                 if tail.copies == 1 && ready >= tail.head_ready {
@@ -293,6 +305,21 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
     pub fn finish(&mut self, now: SimTime) -> SimTime {
         self.eos_queued = true;
         now
+    }
+
+    /// How many complete buffers' worth of bytes are pending (filling
+    /// buffer plus queue). A cycle run transmits at most one buffer, so
+    /// this is the number of transmits a cycle chain could perform right
+    /// now; the engine schedules a cycle only when an enqueue increases
+    /// it (each increase is one future transmit, and transmit times are
+    /// computed from the data's own ready times, never from when the
+    /// cycle runs). Cycles scheduled while the count is flat would only
+    /// move bytes from the queue into the filling buffer, which the
+    /// next transmitting cycle does anyway. The end-of-stream flush is
+    /// driven by [`Self::finish`] and the cycle's own `next_cycle`
+    /// chain, not by this count.
+    pub fn pending_buffers(&self, env: &Environment) -> u64 {
+        self.pending_bytes / self.buffer_size(env)
     }
 
     /// The buffer size currently in effect.
@@ -387,6 +414,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
                     }
                 }
             }
+            self.pending_bytes -= bytes;
             self.fill = 0;
             self.fill_ready = SimTime::ZERO;
 
@@ -525,6 +553,16 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             p.time(t);
         }
         p.time(&mut s.last_delivery);
+        // `pending_bytes` is derived state (filling buffer plus queue);
+        // rebuild it from the possibly-extrapolated fields above rather
+        // than probing it independently, so it can never drift from
+        // what it summarizes.
+        self.pending_bytes = self.fill
+            + self
+                .queue
+                .iter()
+                .map(|t| t.head_bytes_left + (t.copies - 1) * t.bytes_each)
+                .sum::<u64>();
     }
 }
 

@@ -17,4 +17,12 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> perfstat (byte-identity across execution tiers + columnar gate)"
+# perfstat exits non-zero if any execution tier (coalesced, parallel,
+# jittered, fused-scalar, columnar) deviates from the interpreted
+# reference series, or if the columnar batch pass fails to beat the
+# interpreted per-element chain (columnar_speedup < 1.0).
+./target/release/perfstat --out /tmp/perfstat-verify.json
+rm -f /tmp/perfstat-verify.json
+
 echo "verify: OK"

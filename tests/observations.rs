@@ -103,6 +103,52 @@ fn fig6_bandwidth_is_reproducible_from_metric_streams_alone() {
     );
 }
 
+#[test]
+fn fig6_self_measured_bandwidth_survives_columnar_batching() {
+    // The same self-measurement claim, with the metric stream forwarded
+    // over a channel to a downstream bandwidth SP — the topology where
+    // delivered metric samples arrive in multi-row batches and the
+    // columnar bandwidth fold (rather than the per-sample chain) can
+    // absorb them. The fold must change nothing: the columnar and
+    // per-element runs must agree bit for bit, and both must still
+    // match the externally computed Figure 6 quotient within 1%.
+    let query = "select extract(w) from sp a, sp b, sp m, sp w
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,300),'bg',1)
+         and m=sp(streamof(metrics(a)), 'bg', 2)
+         and w=sp(streamof(bandwidth(extract(m))), 'bg', 3);";
+    let mut scsq = Scsq::lofar();
+    let external = scsq
+        .run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(100000,300),'bg',1);",
+        )
+        .unwrap()
+        .bandwidth_into(NodeId::bg(0));
+    let bandwidth_of = |scsq: &mut Scsq, columnar: bool| {
+        scsq.options_mut().columnar = columnar;
+        let r = scsq.run(query).unwrap();
+        match r.values() {
+            [Value::Real(x)] => *x,
+            other => panic!("expected one real bandwidth value, got {other:?}"),
+        }
+    };
+    let columnar = bandwidth_of(&mut scsq, true);
+    let per_element = bandwidth_of(&mut scsq, false);
+    assert_eq!(
+        columnar.to_bits(),
+        per_element.to_bits(),
+        "columnar bandwidth fold must be bit-identical to the per-sample chain"
+    );
+    let rel = (columnar - external).abs() / external;
+    assert!(
+        rel < 0.01,
+        "self-measured {columnar:.0} B/s vs external {external:.0} B/s ({:.3}% apart)",
+        rel * 100.0
+    );
+}
+
 // ---------- Figure 8 ---------------------------------------------------
 
 #[test]
