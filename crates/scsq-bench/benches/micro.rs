@@ -99,11 +99,47 @@ fn bench_column_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sum_i64", n), &ints, |b, col| {
             b.iter(|| black_box(columnar::sum_i64(col)));
         });
+        // The pre-vectorization shape of the integer fold: one serial
+        // wrapping accumulator, a loop-carried dependence the compiler
+        // cannot break. `sum_i64` above runs the chunked multi-lane
+        // shape; the gap between the two is the fold rework's win.
+        group.bench_with_input(BenchmarkId::new("sum_i64_serial", n), &ints, |b, col| {
+            b.iter(|| {
+                let xs = col.as_i64().expect("int column");
+                let mut acc = 0i64;
+                for &x in xs {
+                    acc = acc.wrapping_add(black_box(x));
+                }
+                black_box(acc)
+            });
+        });
         group.bench_with_input(BenchmarkId::new("sum_f64", n), &floats, |b, col| {
             b.iter(|| black_box(columnar::sum_f64(col)));
         });
         group.bench_with_input(BenchmarkId::new("count", n), &ints, |b, col| {
             b.iter(|| black_box(columnar::count(col)));
+        });
+        // The stateful-stage kernels: elementwise arithmetic, a
+        // comparison mask, and the filter-heavy composition the fused
+        // chain runs per admitted batch (arith → filter → cmp over the
+        // surviving selection).
+        group.bench_with_input(BenchmarkId::new("arith_mul_i64", n), &ints, |b, col| {
+            b.iter(|| black_box(columnar::arith_i64(col, scsq_engine::ArithOp::Mul, 3)));
+        });
+        group.bench_with_input(BenchmarkId::new("cmp_mask_ge_i64", n), &ints, |b, col| {
+            b.iter(|| black_box(columnar::cmp_mask_i64(col, scsq_engine::CmpOp::Ge, mid)));
+        });
+        group.bench_with_input(BenchmarkId::new("arith_filter_cmp", n), &ints, |b, col| {
+            b.iter(|| {
+                let scaled =
+                    columnar::arith_i64(col, scsq_engine::ArithOp::Mul, 3).expect("int column");
+                let keep = columnar::cmp_mask_i64(&scaled, scsq_engine::CmpOp::Gt, mid)
+                    .expect("int column");
+                let sel = columnar::filter_to_selection(&keep).expect("bool mask");
+                let second = columnar::cmp_mask_i64(&scaled, scsq_engine::CmpOp::Lt, 3 * mid)
+                    .expect("int column");
+                black_box(columnar::intersect_selection(&second, &sel).expect("bool mask"))
+            });
         });
     }
     group.finish();

@@ -40,7 +40,19 @@
 //!    fused per-element scalar path, and the fused columnar batch path.
 //!    `columnar_speedup` is interpreted-wall over columnar-wall; all
 //!    three legs must produce byte-identical series, and the report
-//!    fails (exit 1) if they do not or if the ratio drops below 1.0.
+//!    fails (exit 1) if they do not or if the ratio drops below 1.3.
+//! 6. **filter batch** — the same three legs over a filter-heavy
+//!    pipeline (`arith → filter → cmp → count` on a million jittered
+//!    integers), where the columnar path runs selection-vector kernels
+//!    instead of per-element dispatch. `filter_speedup` must stay
+//!    ≥ 2.0 against the interpreted reference.
+//!
+//! Both batch passes additionally take one untimed *accounting* run per
+//! leg and record the query answer, completion time, RNG jitter-draw
+//! count and columnar batch count in the report. All three legs of a
+//! pass must agree on answer, completion time and draw count (the
+//! determinism contract), and only the columnar leg may absorb batches;
+//! any disagreement fails the report.
 
 use scsq_bench::{
     buffer_sweep, fig15, fig6, parse_jobs, parse_metrics, sweep, write_hub_metrics, ExecMode,
@@ -184,14 +196,39 @@ fn columnar_query(scale: Scale) -> String {
     )
 }
 
-/// Prepares the take-sum pipeline at the element-dense scale for one
+/// The filter-pass query: the same single-generator shape as
+/// [`columnar_query`], but the receiver runs the filter-heavy chain
+/// `arith('*',3) → arith('+',1) → arith('-',1) → filter('>', 3n/2) →
+/// arith('*',2) → cmp('<', 7n) → count`. Every element pays six
+/// cost-bearing stages
+/// (the regime the ISSUE targets: chain-dispatch cost dominating), the
+/// filter keeps roughly half the stream (so the selection vector is
+/// non-trivial in both directions), and the arithmetic and comparison
+/// after the filter exercise the selection-carrying dense kernels. The
+/// terminal `count` makes the answer a single integer any kernel
+/// miscount would shift.
+fn filter_query(scale: Scale) -> String {
+    let n = scale.arrays;
+    format!(
+        "select extract(c) \
+         from sp a, sp b1, sp c \
+         where c=sp(streamof(sum(merge({{b1}}))), 'bg', 0) \
+         and b1=sp(streamof(count(cmp(arith(filter(arith(arith(arith(extract(a), '*', 3), '+', 1), '-', 1), '>', {half}), '*', 2), '<', {cap}))), 'bg', 2) \
+         and a=sp(streamof(iota(1,{n})),'bg',1);",
+        half = 3 * n / 2,
+        cap = 7 * n,
+    )
+}
+
+/// Prepares a batch-pass pipeline at the element-dense scale for one
 /// chain-execution tier: the interpreted per-element reference
 /// (`fuse: false`), the fused per-element scalar path, or the fused
 /// columnar batch path. Preparation (spec construction, parse, bind,
 /// placement) happens here, outside the timed region — it is identical
 /// for every tier, and on sub-second legs a shared fixed cost inside
 /// the timer would compress the ratio between them.
-fn columnar_points(
+fn batch_points(
+    query: fn(Scale) -> String,
     arrays: u64,
     fuse: bool,
     columnar: bool,
@@ -199,7 +236,7 @@ fn columnar_points(
     let spec = HardwareSpec::lofar();
     let scale = columnar_scale(arrays);
     let mut scsq = Scsq::with_spec(spec.clone());
-    let plan = scsq.prepare(&columnar_query(scale))?;
+    let plan = scsq.prepare(&query(scale))?;
     let buffer = 50_000u64;
     let points = vec![SweepPoint {
         series: 0,
@@ -218,12 +255,15 @@ fn columnar_points(
     Ok((scale, points))
 }
 
-/// Runs a prepared columnar-pass tier (jittered service times, so
-/// trains provably cannot form and every delivery walks the per-event
-/// path).
-fn columnar_run(scale: Scale, points: &[SweepPoint]) -> Result<Vec<Series>, ScsqError> {
+/// Runs a prepared batch-pass tier (jittered service times, so trains
+/// provably cannot form and every delivery walks the per-event path).
+fn batch_run(
+    label: &'static str,
+    scale: Scale,
+    points: &[SweepPoint],
+) -> Result<Vec<Series>, ScsqError> {
     sweep(
-        &["take-sum columnar"],
+        &[label],
         points,
         scale,
         // The query's actual answer (the pipeline's summed total): any
@@ -237,6 +277,101 @@ fn columnar_run(scale: Scale, points: &[SweepPoint]) -> Result<Vec<Series>, Scsq
         },
         1,
     )
+}
+
+/// Exits the process with the workload error (shared by the batch-pass
+/// helpers, which run outside `main`'s closures).
+fn fail(e: ScsqError) -> ! {
+    eprintln!("perfstat workload failed: {e}");
+    std::process::exit(1);
+}
+
+/// Times one batch-pass leg: `reps` runs, keeping the fastest wall —
+/// the run least perturbed by the host — because a single scheduler
+/// hiccup on a sub-second leg can swing a ratio by tens of percent.
+/// The simulation itself is deterministic, so every repetition must
+/// produce the same series; a mismatch aborts the report.
+fn timed_leg(
+    label: &'static str,
+    query: fn(Scale) -> String,
+    arrays: u64,
+    reps: usize,
+    fuse: bool,
+    columnar: bool,
+) -> (f64, Vec<Series>) {
+    let (scale, points) = batch_points(query, arrays, fuse, columnar).unwrap_or_else(|e| fail(e));
+    let mut best: Option<(f64, Vec<Series>)> = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let series = batch_run(label, scale, &points).unwrap_or_else(|e| fail(e));
+        let wall = t.elapsed().as_secs_f64();
+        match &best {
+            Some((_, prev)) if *prev != series => {
+                eprintln!(
+                    "perfstat workload failed: {label} leg (fuse={fuse}, \
+                     columnar={columnar}) is not deterministic across repetitions"
+                );
+                std::process::exit(1);
+            }
+            Some((w, _)) if *w <= wall => {}
+            _ => best = Some((wall, series)),
+        }
+    }
+    best.expect("at least one repetition ran")
+}
+
+/// One leg's untimed accounting run: the query answer, completion
+/// time, RNG jitter-draw count and columnar batch count. The three
+/// legs of a pass must agree on everything but the batch count — that
+/// is the determinism contract the columnar bulk-charging path upholds.
+#[derive(Debug, PartialEq)]
+struct LegAccounting {
+    answer: Vec<Value>,
+    finished_ns: u64,
+    jitter_draws: u64,
+    columnar_batches: u64,
+}
+
+fn leg_accounting(
+    query: fn(Scale) -> String,
+    arrays: u64,
+    fuse: bool,
+    columnar: bool,
+) -> LegAccounting {
+    let (_, points) = batch_points(query, arrays, fuse, columnar).unwrap_or_else(|e| fail(e));
+    let p = &points[0];
+    let r = p.plan.run(&p.spec, &p.options).unwrap_or_else(|e| fail(e));
+    LegAccounting {
+        answer: r.values().to_vec(),
+        finished_ns: r.finished().as_nanos(),
+        jitter_draws: r.stats().jitter_draws,
+        columnar_batches: r.stats().columnar_batches,
+    }
+}
+
+/// Runs the three accounting legs of one batch pass and checks the
+/// determinism contract: identical answer, completion time and RNG
+/// draw count on every leg; batches absorbed only by the columnar leg.
+/// Returns the columnar leg's accounting and whether the contract held.
+fn pass_accounting(label: &str, query: fn(Scale) -> String, arrays: u64) -> (LegAccounting, bool) {
+    let interp = leg_accounting(query, arrays, false, false);
+    let scalar = leg_accounting(query, arrays, true, false);
+    let on = leg_accounting(query, arrays, true, true);
+    let agree = |a: &LegAccounting, b: &LegAccounting| {
+        a.answer == b.answer && a.finished_ns == b.finished_ns && a.jitter_draws == b.jitter_draws
+    };
+    let ok = agree(&interp, &scalar)
+        && agree(&scalar, &on)
+        && interp.columnar_batches == 0
+        && scalar.columnar_batches == 0
+        && on.columnar_batches > 0;
+    if !ok {
+        eprintln!(
+            "ERROR: {label} accounting diverges across legs: \
+             interpreted={interp:?} fused-scalar={scalar:?} columnar={on:?}"
+        );
+    }
+    (on, ok)
 }
 
 /// Counts the simulated events the jittered grid executes, by re-running
@@ -322,11 +457,6 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_sweep.json".to_string());
 
-    let fail = |e: ScsqError| -> ! {
-        eprintln!("perfstat workload failed: {e}");
-        std::process::exit(1);
-    };
-
     // Warm-up run so no timed pass pays first-touch costs. The metrics
     // hub records this pass only: it is disabled again before any timer
     // starts, so the timed passes pay exactly one relaxed atomic load
@@ -368,67 +498,83 @@ fn main() {
     // makes every period digest unique.
     let jittered_control = jittered_workload(1, true).unwrap_or_else(|e| fail(e));
 
-    // The columnar pass: element-dense batches through the interpreted
+    // The batch passes: element-dense batches through the interpreted
     // per-element reference, the fused per-element scalar path, and the
-    // fused columnar batch path. A short untimed run first, so the
-    // first timed leg does not absorb the pass's first-touch costs and
-    // skew the ratios. Each leg runs three times and reports its
-    // fastest wall — the run least perturbed by the host — because a
-    // single scheduler hiccup on a sub-second leg can swing a ratio by
-    // tens of percent; the simulation itself is deterministic, so every
-    // repetition must produce the same series.
+    // fused columnar batch path — once over the take-sum pipeline and
+    // once over the filter-heavy pipeline. A short untimed run of each
+    // pipeline first, so the first timed leg does not absorb the pass's
+    // first-touch costs and skew the ratios.
     const COLUMNAR_ARRAYS: u64 = 1_000_000;
     const COLUMNAR_REPS: usize = 3;
-    {
+    for query in [columnar_query as fn(Scale) -> String, filter_query] {
         let (scale, points) =
-            columnar_points(COLUMNAR_ARRAYS / 10, true, true).unwrap_or_else(|e| fail(e));
-        columnar_run(scale, &points).unwrap_or_else(|e| fail(e));
+            batch_points(query, COLUMNAR_ARRAYS / 10, true, true).unwrap_or_else(|e| fail(e));
+        batch_run("warm-up", scale, &points).unwrap_or_else(|e| fail(e));
     }
-    let timed_leg = |fuse: bool, columnar: bool| {
-        let (scale, points) =
-            columnar_points(COLUMNAR_ARRAYS, fuse, columnar).unwrap_or_else(|e| fail(e));
-        let mut best: Option<(f64, Vec<Series>)> = None;
-        for _ in 0..COLUMNAR_REPS {
-            let t = Instant::now();
-            let series = columnar_run(scale, &points).unwrap_or_else(|e| fail(e));
-            let wall = t.elapsed().as_secs_f64();
-            match &best {
-                Some((_, prev)) if *prev != series => {
-                    eprintln!(
-                        "perfstat workload failed: columnar leg (fuse={fuse}, \
-                         columnar={columnar}) is not deterministic across repetitions"
-                    );
-                    std::process::exit(1);
-                }
-                Some((w, _)) if *w <= wall => {}
-                _ => best = Some((wall, series)),
-            }
-        }
-        best.expect("at least one repetition ran")
+    let take_sum = |fuse, columnar| {
+        timed_leg(
+            "take-sum columnar",
+            columnar_query,
+            COLUMNAR_ARRAYS,
+            COLUMNAR_REPS,
+            fuse,
+            columnar,
+        )
     };
-    let (columnar_ref_s, columnar_ref) = timed_leg(false, false);
-    let (columnar_scalar_s, columnar_scalar) = timed_leg(true, false);
-    let (columnar_on_s, columnar_on) = timed_leg(true, true);
+    let (columnar_ref_s, columnar_ref) = take_sum(false, false);
+    let (columnar_scalar_s, columnar_scalar) = take_sum(true, false);
+    let (columnar_on_s, columnar_on) = take_sum(true, true);
     // The headline ratio is against the interpreted per-element chain —
     // the byte-identity reference the columnar path is proven against;
     // the fused-scalar wall is reported so the fusion and columnar
     // contributions stay separable.
     let columnar_speedup = columnar_ref_s / columnar_on_s;
 
+    let filter_heavy = |fuse, columnar| {
+        timed_leg(
+            "filter columnar",
+            filter_query,
+            COLUMNAR_ARRAYS,
+            COLUMNAR_REPS,
+            fuse,
+            columnar,
+        )
+    };
+    let (filter_ref_s, filter_ref) = filter_heavy(false, false);
+    let (filter_scalar_s, filter_scalar) = filter_heavy(true, false);
+    let (filter_on_s, filter_on) = filter_heavy(true, true);
+    let filter_speedup = filter_ref_s / filter_on_s;
+
+    // Accounting runs: one untimed execution per leg, proving the RNG
+    // and simulated-time contract and counting absorbed batches.
+    let (columnar_acct, columnar_acct_ok) =
+        pass_accounting("take-sum", columnar_query, COLUMNAR_ARRAYS);
+    let (filter_acct, filter_acct_ok) = pass_accounting("filter", filter_query, COLUMNAR_ARRAYS);
+    let accounting_ok = columnar_acct_ok && filter_acct_ok;
+
     let identical = per_event == coalesced
         && coalesced == parallel
         && jittered == jittered_control
         && columnar_ref == columnar_scalar
-        && columnar_scalar == columnar_on;
+        && columnar_scalar == columnar_on
+        && filter_ref == filter_scalar
+        && filter_scalar == filter_on;
     if !identical {
         eprintln!(
-            "ERROR: coalesced/parallel/jittered/columnar series differ from their references"
+            "ERROR: coalesced/parallel/jittered/columnar/filter series differ from their \
+             references"
         );
     }
-    if columnar_speedup < 1.0 {
+    if columnar_speedup < 1.3 {
         eprintln!(
-            "ERROR: columnar batch pass is a slowdown ({columnar_ref_s:.3}s interpreted vs \
-             {columnar_on_s:.3}s columnar)"
+            "ERROR: take-sum columnar pass fell below its 1.3x floor ({columnar_ref_s:.3}s \
+             interpreted vs {columnar_on_s:.3}s columnar)"
+        );
+    }
+    if filter_speedup < 2.0 {
+        eprintln!(
+            "ERROR: filter columnar pass fell below its 2.0x floor ({filter_ref_s:.3}s \
+             interpreted vs {filter_on_s:.3}s columnar)"
         );
     }
 
@@ -465,14 +611,24 @@ fn main() {
          \"sequential_coalesced\": {{ \"wall_s\": {coalesced_s:.4}, \"events_per_s\": {co_eps:.0} }},\n  \
          \"parallel_coalesced\": {{ \"wall_s\": {parallel_s:.4}, \"events_per_s\": {pa_eps:.0} }},\n  \
          \"jittered_per_event\": {{ \"wall_s\": {jittered_s:.4}, \"events\": {jit_events}, \"events_per_s\": {per_event_eps:.0} }},\n  \
-         \"columnar_batch\": {{ \"workload\": \"take-sum pipeline jittered, iota integers x{COLUMNAR_ARRAYS}\", \"wall_interpreted_s\": {columnar_ref_s:.4}, \"wall_fused_scalar_s\": {columnar_scalar_s:.4}, \"wall_columnar_s\": {columnar_on_s:.4} }},\n  \
+         \"columnar_batch\": {{ \"workload\": {{ \"pipeline\": \"take-sum\", \"elements\": {COLUMNAR_ARRAYS}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {COLUMNAR_REPS}\" }}, \"wall_interpreted_s\": {columnar_ref_s:.4}, \"wall_fused_scalar_s\": {columnar_scalar_s:.4}, \"wall_columnar_s\": {columnar_on_s:.4}, \"finished_ns\": {c_fin}, \"jitter_draws\": {c_draws}, \"columnar_batches\": {c_batches} }},\n  \
          \"columnar_speedup\": {columnar_speedup:.3},\n  \
+         \"filter_batch\": {{ \"workload\": {{ \"pipeline\": \"arith x3, filter, arith, cmp, count\", \"elements\": {COLUMNAR_ARRAYS}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {COLUMNAR_REPS}\" }}, \"wall_interpreted_s\": {filter_ref_s:.4}, \"wall_fused_scalar_s\": {filter_scalar_s:.4}, \"wall_columnar_s\": {filter_on_s:.4}, \"finished_ns\": {f_fin}, \"jitter_draws\": {f_draws}, \"columnar_batches\": {f_batches} }},\n  \
+         \"filter_speedup\": {filter_speedup:.3},\n  \
+         \"accounting_identical\": {accounting_ok},\n  \
          \"per_event_events_per_s\": {per_event_eps:.0},\n  \
          \"coalesce_speedup\": {coalesce_speedup:.3},\n  \
+         \"coalesce_workload\": {{ \"sweep\": \"fig6 buffers x2 + fig15 n=1..4\", \"array_bytes\": 3000000, \"arrays\": 60, \"service_jitter\": 0.0 }},\n  \
          \"parallel_speedup\": {parallel_speedup}{parallel_note}\n}}\n",
         pe_eps = events / per_event_s,
         co_eps = events / coalesced_s,
         pa_eps = events / parallel_s,
+        c_fin = columnar_acct.finished_ns,
+        c_draws = columnar_acct.jitter_draws,
+        c_batches = columnar_acct.columnar_batches,
+        f_fin = filter_acct.finished_ns,
+        f_draws = filter_acct.jitter_draws,
+        f_batches = filter_acct.columnar_batches,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -480,7 +636,7 @@ fn main() {
     }
     print!("{json}");
     eprintln!("wrote {out_path}");
-    if !identical || columnar_speedup < 1.0 {
+    if !identical || !accounting_ok || columnar_speedup < 1.3 || filter_speedup < 2.0 {
         std::process::exit(1);
     }
 }

@@ -78,6 +78,12 @@ pub struct Environment {
     service_jitter: f64,
     /// Deterministic factor stream for the jitter draws.
     jitter_rng: SplitMix64,
+    /// Number of factors drawn from `jitter_rng` since construction or
+    /// the last [`Environment::set_service_jitter`]. Part of the
+    /// determinism contract: every executor tier must consume the same
+    /// stream positions, and this counter is how tests and perfstat
+    /// verify it. Derived from the RNG state, so never probed.
+    jitter_draws: u64,
     /// One-entry service memo for the marshal path (streams send runs of
     /// equal-sized buffers, so the division in `SimDur::for_bytes`
     /// almost always repeats verbatim).
@@ -171,6 +177,7 @@ impl Environment {
             io_host_of_pset: (0..psets).map(|p| linux_count + p).collect(),
             service_jitter: 0.0,
             jitter_rng: SplitMix64::new(JITTER_SEED),
+            jitter_draws: 0,
             marshal_memo: SvcMemo::default(),
             demarshal_memo: SvcMemo::default(),
             spec,
@@ -187,16 +194,25 @@ impl Environment {
         assert!((0.0..1.0).contains(&amp), "amplitude must be in [0,1)");
         self.service_jitter = amp;
         self.jitter_rng = SplitMix64::new(JITTER_SEED);
+        self.jitter_draws = 0;
     }
 
     /// The next service-scale factor (exactly 1.0 with jitter off — the
     /// scaling fast paths compare against it).
     fn jitter_factor(&mut self) -> f64 {
         if self.service_jitter > 0.0 {
+            self.jitter_draws += 1;
             self.jitter_rng.jitter(self.service_jitter)
         } else {
             1.0
         }
+    }
+
+    /// Factors drawn from the jitter stream so far (0 with jitter off).
+    /// Equal counts across executor tiers certify that bulk charging
+    /// consumed exactly the per-element stream positions.
+    pub fn jitter_draws(&self) -> u64 {
+        self.jitter_draws
     }
 
     /// The standard LOFAR configuration ([`HardwareSpec::lofar`]).
@@ -339,6 +355,49 @@ impl Environment {
             service * factor
         };
         server.serve(ready, service).finish
+    }
+
+    /// Bulk form of [`Environment::compute`]: charges `count` elements
+    /// of `bytes_equiv` compute each, all ready at `ready`, in a single
+    /// FIFO serve of the summed service time. Because every element of a
+    /// delivered batch shares one arrival time, N back-to-back serves
+    /// and one serve of the sum produce the same finish time, busy-until
+    /// and busy-total — so this is observably identical to the
+    /// per-element loop while doing one queue transaction. It draws
+    /// exactly `count` jitter factors (the same stream positions the
+    /// scalar path consumes) and rounds each element's service
+    /// individually before summing, keeping jittered runs byte-identical
+    /// across tiers. `bytes_equiv == 0` returns `ready` without drawing,
+    /// matching the per-element fast path.
+    pub fn compute_bulk(
+        &mut self,
+        node: NodeId,
+        bytes_equiv: u64,
+        count: u64,
+        ready: SimTime,
+    ) -> SimTime {
+        if bytes_equiv == 0 || count == 0 {
+            return ready;
+        }
+        // The non-generating tx rate, same selection as `tx_server`.
+        let rate = match node.cluster {
+            ClusterName::BlueGene => self.spec.cn_marshal.bytes_per_sec(),
+            _ => self.spec.linux_marshal.bytes_per_sec(),
+        };
+        let base = SimDur::for_bytes(bytes_equiv, rate);
+        let total = if self.service_jitter == 0.0 {
+            // No draws with jitter off, exactly like `count` scalar calls.
+            base * count
+        } else {
+            let mut total = SimDur::ZERO;
+            for _ in 0..count {
+                let factor = self.jitter_factor();
+                total += if factor == 1.0 { base } else { base * factor };
+            }
+            total
+        };
+        let (server, _) = self.tx_server(node, false);
+        server.serve(ready, total).finish
     }
 
     /// Charges de-marshaling CPU time (§2.3 step v) on `node` for a

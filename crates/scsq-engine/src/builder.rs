@@ -17,7 +17,7 @@ use crate::coordinator::Coordinator;
 use crate::error::EngineError;
 use crate::funcs;
 use crate::fused::FusedProgram;
-use crate::ops::{AggKind, InputKind, MapFunc, Pipeline, Stage};
+use crate::ops::{AggKind, ArithOp, CmpOp, InputKind, MapFunc, Pipeline, Stage};
 use crate::placement::PlacementPolicy;
 use crate::runtime::RunOptions;
 use crate::window::WindowSpec;
@@ -773,6 +773,42 @@ impl<'a> QueryBuilder<'a> {
             Builtin::Bandwidth => {
                 let mut p = self.compile_stream(&args[0], bindings)?;
                 p.stages.push(Stage::Bandwidth);
+                Ok(p)
+            }
+            Builtin::Arith => {
+                let mut p = self.compile_stream(&args[0], bindings)?;
+                let spelled = self.eval_string(&args[1], bindings, "arith operator")?;
+                let op = ArithOp::parse(&spelled).ok_or_else(|| {
+                    EngineError::bind(format!("arith supports '+', '-', '*'; got '{spelled}'"))
+                })?;
+                let rhs = self.eval(&args[2], bindings)?;
+                if !matches!(rhs, Value::Integer(_) | Value::Real(_)) {
+                    return Err(EngineError::type_error("number", &rhs, "arith constant"));
+                }
+                p.stages.push(Stage::Arith { op, rhs });
+                Ok(p)
+            }
+            Builtin::Cmp | Builtin::Filter => {
+                let mut p = self.compile_stream(&args[0], bindings)?;
+                let spelled = self.eval_string(&args[1], bindings, "comparison operator")?;
+                let op = CmpOp::parse(&spelled).ok_or_else(|| {
+                    EngineError::bind(format!(
+                        "{name} supports '<', '<=', '>', '>=', '=', '!='; got '{spelled}'"
+                    ))
+                })?;
+                let rhs = self.eval(&args[2], bindings)?;
+                if !matches!(rhs, Value::Integer(_) | Value::Real(_) | Value::Str(_)) {
+                    return Err(EngineError::type_error(
+                        "number or string",
+                        &rhs,
+                        "comparison constant",
+                    ));
+                }
+                p.stages.push(if b == Builtin::Cmp {
+                    Stage::Cmp { op, rhs }
+                } else {
+                    Stage::Filter { op, rhs }
+                });
                 Ok(p)
             }
             Builtin::Iota | Builtin::Filename | Builtin::Nodes => {

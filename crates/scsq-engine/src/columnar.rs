@@ -21,9 +21,14 @@
 //! this against random pipelines.
 
 use crate::error::EngineError;
-use crate::ops::bandwidth_accumulate;
+use crate::ops::{bandwidth_accumulate, ArithOp, CmpOp, MapFunc};
 use scsq_ql::column::{Column, ColumnData, SelectionVector, ValidityBitmap};
 use scsq_ql::Value;
+
+/// Lane count of the chunked fold kernels: wide enough to fill a
+/// 512-bit vector of `i64`/`f64`, small enough that the scalar drain of
+/// a short column stays trivial.
+const LANES: usize = 8;
 
 /// The validity of a column view as an owned bitmap (all-valid stays
 /// allocation-free).
@@ -36,39 +41,146 @@ fn view_validity(c: &Column) -> ValidityBitmap {
     }
 }
 
-/// Adds `rhs` to every row of an `Int64` column (wrapping, so invalid
-/// slots cannot abort the loop). Validity propagates unchanged.
-/// `None` when the column is not `Int64`-backed.
-pub fn add_i64(c: &Column, rhs: i64) -> Option<Column> {
+/// Applies `row op rhs` to every row of an `Int64` column (wrapping,
+/// the same discipline as the scalar `arith` stage, so invalid slots
+/// cannot abort the loop). Validity propagates unchanged. `None` when
+/// the column is not `Int64`-backed.
+pub fn arith_i64(c: &Column, op: ArithOp, rhs: i64) -> Option<Column> {
     let xs = c.as_i64()?;
-    let out: Vec<i64> = xs.iter().map(|x| x.wrapping_add(rhs)).collect();
+    let out: Vec<i64> = match op {
+        ArithOp::Add => xs.iter().map(|x| x.wrapping_add(rhs)).collect(),
+        ArithOp::Sub => xs.iter().map(|x| x.wrapping_sub(rhs)).collect(),
+        ArithOp::Mul => xs.iter().map(|x| x.wrapping_mul(rhs)).collect(),
+    };
     Some(Column::with_validity(
         ColumnData::Int64(out),
         view_validity(c),
     ))
 }
 
-/// Multiplies every row of a `Float64` column by `rhs`. Validity
-/// propagates unchanged. `None` when the column is not `Float64`-backed.
-pub fn mul_f64(c: &Column, rhs: f64) -> Option<Column> {
-    let xs = c.as_f64()?;
-    let out: Vec<f64> = xs.iter().map(|x| x * rhs).collect();
+/// Applies `row op rhs` over `f64` to every row of a numeric column —
+/// `Float64` directly, `Int64` widened per element exactly as the
+/// scalar `arith` stage widens via `Value::as_real`. Produces a
+/// `Float64` column; validity propagates unchanged. `None` for
+/// non-numeric columns.
+pub fn arith_f64(c: &Column, op: ArithOp, rhs: f64) -> Option<Column> {
+    fn apply(xs: impl Iterator<Item = f64>, op: ArithOp, rhs: f64) -> Vec<f64> {
+        match op {
+            ArithOp::Add => xs.map(|x| x + rhs).collect(),
+            ArithOp::Sub => xs.map(|x| x - rhs).collect(),
+            ArithOp::Mul => xs.map(|x| x * rhs).collect(),
+        }
+    }
+    let out = if let Some(xs) = c.as_f64() {
+        apply(xs.iter().copied(), op, rhs)
+    } else {
+        let xs = c.as_i64()?;
+        apply(xs.iter().map(|&x| x as f64), op, rhs)
+    };
     Some(Column::with_validity(
         ColumnData::Float64(out),
         view_validity(c),
     ))
 }
 
-/// Compares every row of an `Int64` column against `rhs`, producing a
-/// `Bool` column of `row < rhs`. Validity propagates unchanged. `None`
-/// when the column is not `Int64`-backed.
-pub fn cmp_lt_i64(c: &Column, rhs: i64) -> Option<Column> {
+/// Compares every row of an `Int64` column against `rhs` with exact
+/// integer ordering (the scalar `cmp` stage's integer/integer arm),
+/// producing a `Bool` mask. Validity propagates unchanged. `None` when
+/// the column is not `Int64`-backed.
+pub fn cmp_mask_i64(c: &Column, op: CmpOp, rhs: i64) -> Option<Column> {
     let xs = c.as_i64()?;
-    let out: Vec<bool> = xs.iter().map(|x| *x < rhs).collect();
+    let out: Vec<bool> = match op {
+        CmpOp::Lt => xs.iter().map(|x| *x < rhs).collect(),
+        CmpOp::Le => xs.iter().map(|x| *x <= rhs).collect(),
+        CmpOp::Gt => xs.iter().map(|x| *x > rhs).collect(),
+        CmpOp::Ge => xs.iter().map(|x| *x >= rhs).collect(),
+        CmpOp::Eq => xs.iter().map(|x| *x == rhs).collect(),
+        CmpOp::Ne => xs.iter().map(|x| *x != rhs).collect(),
+    };
     Some(Column::with_validity(
         ColumnData::Bool(out),
         view_validity(c),
     ))
+}
+
+/// Compares every row of a numeric column against `rhs` with raw IEEE
+/// `f64` operators (`Int64` rows widen per element) — the scalar `cmp`
+/// stage's mixed-numeric arm. Produces a `Bool` mask; validity
+/// propagates unchanged. `None` for non-numeric columns.
+pub fn cmp_mask_f64(c: &Column, op: CmpOp, rhs: f64) -> Option<Column> {
+    fn apply(xs: impl Iterator<Item = f64>, op: CmpOp, rhs: f64) -> Vec<bool> {
+        match op {
+            CmpOp::Lt => xs.map(|x| x < rhs).collect(),
+            CmpOp::Le => xs.map(|x| x <= rhs).collect(),
+            CmpOp::Gt => xs.map(|x| x > rhs).collect(),
+            CmpOp::Ge => xs.map(|x| x >= rhs).collect(),
+            CmpOp::Eq => xs.map(|x| x == rhs).collect(),
+            CmpOp::Ne => xs.map(|x| x != rhs).collect(),
+        }
+    }
+    let out = if let Some(xs) = c.as_f64() {
+        apply(xs.iter().copied(), op, rhs)
+    } else {
+        let xs = c.as_i64()?;
+        apply(xs.iter().map(|&x| x as f64), op, rhs)
+    };
+    Some(Column::with_validity(
+        ColumnData::Bool(out),
+        view_validity(c),
+    ))
+}
+
+/// Compares every row of a `Utf8` column against `rhs`
+/// lexicographically (the scalar `cmp` stage's string/string arm),
+/// producing a `Bool` mask over the flat offset/byte storage — no
+/// per-row `Value` is materialized. Validity propagates unchanged.
+/// `None` when the column is not `Utf8`-backed.
+pub fn cmp_mask_utf8(c: &Column, op: CmpOp, rhs: &str) -> Option<Column> {
+    let (offsets, bytes) = c.as_utf8()?;
+    let rhs = rhs.as_bytes();
+    // Byte-wise comparison equals `str` comparison for UTF-8.
+    let out: Vec<bool> = offsets
+        .windows(2)
+        .map(|w| op.holds(bytes[w[0] as usize..w[1] as usize].cmp(rhs)))
+        .collect();
+    Some(Column::with_validity(
+        ColumnData::Bool(out),
+        view_validity(c),
+    ))
+}
+
+/// Applies an elementwise map function to a `Synthetic` column
+/// symbolically, exactly like `funcs::apply_map` on synthetic arrays:
+/// decimation halves each byte size, `fft`/`power` preserve it.
+/// Validity propagates unchanged. `None` when the column is not
+/// `Synthetic`-backed.
+pub fn map_synthetic(c: &Column, f: MapFunc) -> Option<Column> {
+    let xs = c.as_synthetic()?;
+    let out: Vec<u64> = match f {
+        MapFunc::Odd | MapFunc::Even => xs.iter().map(|b| b / 2).collect(),
+        MapFunc::Fft | MapFunc::Power => xs.to_vec(),
+    };
+    Some(Column::with_validity(
+        ColumnData::Synthetic(out),
+        view_validity(c),
+    ))
+}
+
+/// Legacy spelling of [`arith_i64`] with [`ArithOp::Add`].
+pub fn add_i64(c: &Column, rhs: i64) -> Option<Column> {
+    arith_i64(c, ArithOp::Add, rhs)
+}
+
+/// Legacy spelling of [`arith_f64`] with [`ArithOp::Mul`] on a
+/// `Float64` column.
+pub fn mul_f64(c: &Column, rhs: f64) -> Option<Column> {
+    c.as_f64()?;
+    arith_f64(c, ArithOp::Mul, rhs)
+}
+
+/// Legacy spelling of [`cmp_mask_i64`] with [`CmpOp::Lt`].
+pub fn cmp_lt_i64(c: &Column, rhs: i64) -> Option<Column> {
+    cmp_mask_i64(c, CmpOp::Lt, rhs)
 }
 
 /// Collects the rows of a `Bool` column that are valid and true into a
@@ -91,6 +203,30 @@ pub fn filter_to_selection(mask: &Column) -> Option<SelectionVector> {
         }
     }
     Some(sel)
+}
+
+/// Narrows an existing selection by a `Bool` mask indexed in the
+/// *original* row space: row `r` survives when it was already selected
+/// and `mask[r]` is valid and true. This is how a second `filter` stage
+/// composes with the survivors of the first without gathering the data
+/// column in between. `None` when the mask is not `Bool`-backed.
+pub fn intersect_selection(mask: &Column, sel: &SelectionVector) -> Option<SelectionVector> {
+    let xs = mask.as_bool()?;
+    let mut out = SelectionVector::new();
+    if mask.all_valid() {
+        for &r in sel.rows() {
+            if xs[r as usize] {
+                out.push(r);
+            }
+        }
+    } else {
+        for &r in sel.rows() {
+            if xs[r as usize] && mask.is_valid(r as usize) {
+                out.push(r);
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Gathers the selected rows of a column into a new owned column — the
@@ -184,13 +320,29 @@ pub fn sum_f64(c: &Column) -> Option<f64> {
 // ---------------------------------------------------------------------
 
 /// Folds a whole `Int64` column into a sum/avg accumulator exactly as
-/// the interpreter would: `count` once and `sum_int += x` per element,
-/// in order (same overflow discipline as the per-element path).
+/// the interpreter would. Integer addition is associative modulo 2^64,
+/// so the fold can run `LANES` independent wrapping accumulators (the
+/// shape LLVM turns into vector adds) and still land on the identical
+/// sum the sequential per-element path produces. Release builds wrap
+/// either way; the lane split only changes *where* a debug build would
+/// trip an overflow check, which is why the lanes wrap explicitly while
+/// the interpreter's `+=` stays the semantic reference.
 pub(crate) fn fold_sum_i64(count: &mut i64, sum_int: &mut i64, xs: &[i64]) {
     *count += xs.len() as i64;
-    for x in xs {
-        *sum_int += *x;
+    let mut lanes = [0i64; LANES];
+    let mut chunks = xs.chunks_exact(LANES);
+    for chunk in &mut chunks {
+        for (lane, x) in lanes.iter_mut().zip(chunk) {
+            *lane = lane.wrapping_add(*x);
+        }
     }
+    let mut acc = lanes
+        .into_iter()
+        .fold(0i64, |acc, lane| acc.wrapping_add(lane));
+    for x in chunks.remainder() {
+        acc = acc.wrapping_add(*x);
+    }
+    *sum_int = sum_int.wrapping_add(acc);
 }
 
 /// Folds a whole `Float64` column into a sum/avg accumulator exactly as
@@ -206,49 +358,94 @@ pub(crate) fn fold_sum_f64(count: &mut i64, sum_real: &mut f64, saw_real: &mut b
     }
 }
 
-/// Folds a whole `Int64` column into a max/min accumulator: the same
-/// first-best strict comparison over `f64` the interpreter applies,
-/// keeping the original integer value.
-pub(crate) fn fold_best_i64(
-    count: &mut i64,
-    best: &mut Option<Value>,
-    xs: &[i64],
-    is_better: fn(f64, f64) -> bool,
-) {
-    *count += xs.len() as i64;
-    let mut cur = best.as_ref().and_then(Value::as_real);
-    let mut cur_raw: Option<i64> = None;
-    for &i in xs {
-        let x = i as f64;
-        if cur.is_none_or(|b| is_better(x, b)) {
-            cur = Some(x);
-            cur_raw = Some(i);
-        }
+/// Extremum of a non-empty `f64` key slice via `LANES` independent
+/// `f64::max`/`f64::min` accumulators — the branch-free shape LLVM
+/// vectorizes. Callers must rule out NaN keys first: `max`/`min`
+/// silently drop a NaN operand, which would diverge from the
+/// interpreter's strict-comparison walk.
+fn column_extremum(keys: impl Iterator<Item = f64>, maximize: bool) -> f64 {
+    let init = if maximize {
+        f64::NEG_INFINITY
+    } else {
+        f64::INFINITY
+    };
+    let mut lanes = [init; LANES];
+    for (i, k) in keys.enumerate() {
+        let lane = &mut lanes[i % LANES];
+        *lane = if maximize { lane.max(k) } else { lane.min(k) };
     }
-    if let Some(i) = cur_raw {
-        *best = Some(Value::Integer(i));
+    lanes
+        .into_iter()
+        .fold(init, |a, l| if maximize { a.max(l) } else { a.min(l) })
+}
+
+/// Whether `x` beats `b` under the interpreter's strict max/min
+/// comparison over `f64` keys.
+fn beats(x: f64, b: f64, maximize: bool) -> bool {
+    if maximize {
+        x > b
+    } else {
+        x < b
+    }
+}
+
+/// Folds a whole `Int64` column into a max/min accumulator: the same
+/// first-best strict comparison over `f64` keys the interpreter
+/// applies, keeping the original integer value. Runs in two passes —
+/// a chunked [`column_extremum`] over the keys, then a scan for the
+/// first element whose key equals it — which lands on the same winner
+/// as the sequential walk: strict comparison keeps the *first*
+/// occurrence of the best key, and equal `f64` keys from distinct
+/// integers (possible past 2^53) tie exactly the way the interpreter
+/// ties, first one wins.
+pub(crate) fn fold_best_i64(count: &mut i64, best: &mut Option<Value>, xs: &[i64], maximize: bool) {
+    *count += xs.len() as i64;
+    let Some(&first) = xs.first() else { return };
+    let m = column_extremum(xs.iter().map(|&i| i as f64), maximize);
+    let winner = if m == first as f64 {
+        first
+    } else {
+        xs[xs.iter().position(|&i| i as f64 == m).unwrap()]
+    };
+    if best
+        .as_ref()
+        .and_then(Value::as_real)
+        .is_none_or(|b| beats(m, b, maximize))
+    {
+        *best = Some(Value::Integer(winner));
     }
 }
 
 /// Folds a whole `Float64` column into a max/min accumulator (see
-/// [`fold_best_i64`]).
-pub(crate) fn fold_best_f64(
-    count: &mut i64,
-    best: &mut Option<Value>,
-    xs: &[f64],
-    is_better: fn(f64, f64) -> bool,
-) {
+/// [`fold_best_i64`]). A column containing NaN falls back to the
+/// sequential walk: NaN loses every strict comparison, so once a NaN
+/// seeds the accumulator it sticks — semantics `f64::max`/`f64::min`
+/// cannot reproduce.
+pub(crate) fn fold_best_f64(count: &mut i64, best: &mut Option<Value>, xs: &[f64], maximize: bool) {
     *count += xs.len() as i64;
-    let mut cur = best.as_ref().and_then(Value::as_real);
-    let mut cur_raw: Option<f64> = None;
-    for &x in xs {
-        if cur.is_none_or(|b| is_better(x, b)) {
-            cur = Some(x);
-            cur_raw = Some(x);
-        }
+    if xs.is_empty() {
+        return;
     }
-    if let Some(x) = cur_raw {
-        *best = Some(Value::Real(x));
+    let mut cur = best.as_ref().and_then(Value::as_real);
+    if xs.iter().any(|x| x.is_nan()) {
+        let mut cur_raw: Option<f64> = None;
+        for &x in xs {
+            if cur.is_none_or(|b| beats(x, b, maximize)) {
+                cur = Some(x);
+                cur_raw = Some(x);
+            }
+        }
+        if let Some(x) = cur_raw {
+            *best = Some(Value::Real(x));
+        }
+        return;
+    }
+    let m = column_extremum(xs.iter().copied(), maximize);
+    if cur.is_none_or(|b| beats(m, b, maximize)) {
+        // -0.0 == 0.0 makes the equality scan honor the same "first of
+        // equals wins" rule as the strict walk.
+        let winner = xs[xs.iter().position(|&x| x == m).unwrap()];
+        *best = Some(Value::Real(winner));
     }
 }
 
@@ -268,21 +465,123 @@ pub(crate) fn fold_bandwidth(
     time_ns: &[i64],
     sample_bytes: &[i64],
 ) -> Result<(), EngineError> {
-    for ((&ch, &t), &b) in channel.iter().zip(time_ns).zip(sample_bytes) {
-        if t < 0 || b < 0 {
-            let bag = Value::Bag(vec![
-                Value::Integer(ch),
-                Value::Integer(t),
-                Value::Integer(b),
-            ]);
-            return bandwidth_accumulate(bytes, last_nanos, &bag);
+    // Negative timestamps/byte counts are the error path, so the hot
+    // loop works a chunk at a time: one sign-bit sweep (OR of the raw
+    // i64s goes negative iff any element does) clears a whole chunk for
+    // branch-free sum/max, and only a dirty chunk replays row by row to
+    // reproduce the exact failing sample and the partial state the
+    // per-element path would leave behind.
+    const CHUNK: usize = 1024;
+    let dirty = |xs: &[i64]| xs.iter().fold(0i64, |acc, &v| acc | v) < 0;
+    for start in (0..time_ns.len()).step_by(CHUNK) {
+        let end = (start + CHUNK).min(time_ns.len());
+        let (t, b) = (&time_ns[start..end], &sample_bytes[start..end]);
+        if dirty(t) || dirty(b) {
+            for ((&ch, &t), &b) in channel[start..end].iter().zip(t).zip(b) {
+                if t < 0 || b < 0 {
+                    let bag = Value::Bag(vec![
+                        Value::Integer(ch),
+                        Value::Integer(t),
+                        Value::Integer(b),
+                    ]);
+                    return bandwidth_accumulate(bytes, last_nanos, &bag);
+                }
+                *bytes += b as u64;
+                if t as u64 > *last_nanos {
+                    *last_nanos = t as u64;
+                }
+            }
+            unreachable!("a dirty chunk must contain a negative sample");
         }
-        *bytes += b as u64;
-        if t as u64 > *last_nanos {
-            *last_nanos = t as u64;
+        *bytes += b.iter().map(|&v| v as u64).sum::<u64>();
+        let mx = t.iter().fold(i64::MIN, |a, &v| a.max(v));
+        if end > start && mx as u64 > *last_nanos {
+            *last_nanos = mx as u64;
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Selection-aware folds: same accumulators, but only the rows a filter
+// stage kept. These replay the interpreter walk index by index — the
+// survivors of a filter are rarely the hot path's long dense run, and
+// sequential order is what keeps float rounding byte-identical.
+// ---------------------------------------------------------------------
+
+/// [`fold_sum_i64`] restricted to the selected rows.
+pub(crate) fn fold_sum_i64_sel(
+    count: &mut i64,
+    sum_int: &mut i64,
+    xs: &[i64],
+    sel: &SelectionVector,
+) {
+    *count += sel.len() as i64;
+    for &r in sel.rows() {
+        *sum_int = sum_int.wrapping_add(xs[r as usize]);
+    }
+}
+
+/// [`fold_sum_f64`] restricted to the selected rows.
+pub(crate) fn fold_sum_f64_sel(
+    count: &mut i64,
+    sum_real: &mut f64,
+    saw_real: &mut bool,
+    xs: &[f64],
+    sel: &SelectionVector,
+) {
+    *count += sel.len() as i64;
+    for &r in sel.rows() {
+        *saw_real = true;
+        *sum_real += xs[r as usize];
+    }
+}
+
+/// [`fold_best_i64`] restricted to the selected rows.
+pub(crate) fn fold_best_i64_sel(
+    count: &mut i64,
+    best: &mut Option<Value>,
+    xs: &[i64],
+    sel: &SelectionVector,
+    maximize: bool,
+) {
+    *count += sel.len() as i64;
+    let mut cur = best.as_ref().and_then(Value::as_real);
+    let mut cur_raw: Option<i64> = None;
+    for &r in sel.rows() {
+        let i = xs[r as usize];
+        let x = i as f64;
+        if cur.is_none_or(|b| beats(x, b, maximize)) {
+            cur = Some(x);
+            cur_raw = Some(i);
+        }
+    }
+    if let Some(i) = cur_raw {
+        *best = Some(Value::Integer(i));
+    }
+}
+
+/// [`fold_best_f64`] restricted to the selected rows.
+pub(crate) fn fold_best_f64_sel(
+    count: &mut i64,
+    best: &mut Option<Value>,
+    xs: &[f64],
+    sel: &SelectionVector,
+    maximize: bool,
+) {
+    *count += sel.len() as i64;
+    let mut cur = best.as_ref().and_then(Value::as_real);
+    let mut cur_raw: Option<f64> = None;
+    for &r in sel.rows() {
+        let x = xs[r as usize];
+        if cur.is_none_or(|b| beats(x, b, maximize)) {
+            cur = Some(x);
+            cur_raw = Some(x);
+        }
+    }
+    if let Some(x) = cur_raw {
+        *best = Some(Value::Real(x));
+    }
 }
 
 #[cfg(test)]
@@ -347,15 +646,176 @@ mod tests {
 
         let mut best = Some(Value::Integer(5));
         let mut c = 0i64;
-        fold_best_i64(&mut c, &mut best, &[3, 9, 9], |x, b| x > b);
+        fold_best_i64(&mut c, &mut best, &[3, 9, 9], true);
         assert_eq!(best, Some(Value::Integer(9)));
-        fold_best_i64(&mut c, &mut best, &[1, 2], |x, b| x < b);
+        fold_best_i64(&mut c, &mut best, &[1, 2], false);
         assert_eq!(best, Some(Value::Integer(1)));
 
         let mut bestf = None;
         let mut cf = 0i64;
-        fold_best_f64(&mut cf, &mut bestf, &[1.5, -2.0], |x, b| x < b);
+        fold_best_f64(&mut cf, &mut bestf, &[1.5, -2.0], false);
         assert_eq!(bestf, Some(Value::Real(-2.0)));
+    }
+
+    #[test]
+    fn chunked_folds_match_sequential_reference() {
+        // Long enough to exercise full lanes plus a remainder.
+        let xs: Vec<i64> = (0..1003).map(|i| i * 7 - 2500).collect();
+        let (mut count, mut sum) = (0i64, 0i64);
+        fold_sum_i64(&mut count, &mut sum, &xs);
+        let mut reference = 0i64;
+        for &x in &xs {
+            reference += x;
+        }
+        assert_eq!((count, sum), (1003, reference));
+
+        let mut best = None;
+        let mut c = 0i64;
+        fold_best_i64(&mut c, &mut best, &xs, true);
+        assert_eq!(best, Some(Value::Integer(*xs.iter().max().unwrap())));
+        let mut best = None;
+        fold_best_i64(&mut c, &mut best, &xs, false);
+        assert_eq!(best, Some(Value::Integer(*xs.iter().min().unwrap())));
+
+        let fs: Vec<f64> = (0..517).map(|i| ((i * 31) % 97) as f64 - 48.0).collect();
+        let mut best = None;
+        fold_best_f64(&mut c, &mut best, &fs, true);
+        // First occurrence of the extremum wins, as in the strict walk.
+        let seq_max = fs
+            .iter()
+            .copied()
+            .fold(None::<f64>, |b, x| match b {
+                Some(b) if x <= b => Some(b),
+                _ => Some(x),
+            })
+            .unwrap();
+        assert_eq!(best, Some(Value::Real(seq_max)));
+    }
+
+    #[test]
+    fn best_fold_nan_falls_back_to_strict_walk() {
+        // NaN seeds the accumulator and then loses every strict
+        // comparison, so it sticks — the chunked path must defer.
+        let mut best = None;
+        let mut c = 0i64;
+        fold_best_f64(&mut c, &mut best, &[f64::NAN, 3.0, 7.0], true);
+        assert!(matches!(best, Some(Value::Real(x)) if x.is_nan()));
+    }
+
+    #[test]
+    fn arith_kernels_match_scalar_ops() {
+        let c = ints(&[4, -3, i64::MAX]);
+        assert_eq!(
+            arith_i64(&c, ArithOp::Mul, 2).unwrap().as_i64(),
+            Some(&[8i64, -6, -2][..]),
+            "wrapping multiply mirrors the scalar stage"
+        );
+        assert_eq!(
+            arith_i64(&c, ArithOp::Sub, 1).unwrap().as_i64(),
+            Some(&[3i64, -4, i64::MAX - 1][..])
+        );
+        // Int column with real constant widens to Float64.
+        assert_eq!(
+            arith_f64(&c, ArithOp::Add, 0.5).unwrap().as_f64(),
+            Some(&[4.5f64, -2.5, i64::MAX as f64 + 0.5][..])
+        );
+        let f = Column::new(ColumnData::Float64(vec![1.0, -2.0]));
+        assert_eq!(
+            arith_f64(&f, ArithOp::Sub, 3.0).unwrap().as_f64(),
+            Some(&[-2.0f64, -5.0][..])
+        );
+        assert!(arith_i64(&f, ArithOp::Add, 1).is_none());
+    }
+
+    #[test]
+    fn cmp_kernels_match_scalar_ops() {
+        let c = ints(&[1, 5, 5, 9]);
+        assert_eq!(
+            cmp_mask_i64(&c, CmpOp::Ge, 5).unwrap().as_bool(),
+            Some(&[false, true, true, true][..])
+        );
+        assert_eq!(
+            cmp_mask_i64(&c, CmpOp::Ne, 5).unwrap().as_bool(),
+            Some(&[true, false, false, true][..])
+        );
+        assert_eq!(
+            cmp_mask_f64(&c, CmpOp::Lt, 5.5).unwrap().as_bool(),
+            Some(&[true, true, true, false][..])
+        );
+        // NaN constant compares false everywhere except `!=`.
+        let f = Column::new(ColumnData::Float64(vec![1.0, f64::NAN]));
+        assert_eq!(
+            cmp_mask_f64(&f, CmpOp::Eq, f64::NAN).unwrap().as_bool(),
+            Some(&[false, false][..])
+        );
+        assert_eq!(
+            cmp_mask_f64(&f, CmpOp::Ne, f64::NAN).unwrap().as_bool(),
+            Some(&[true, true][..])
+        );
+
+        let s = Column::from_values(&[
+            Value::Str("alpha".into()),
+            Value::Str("beta".into()),
+            Value::Str("ant".into()),
+        ]);
+        assert_eq!(
+            cmp_mask_utf8(&s, CmpOp::Lt, "az").unwrap().as_bool(),
+            Some(&[true, false, true][..])
+        );
+        assert_eq!(
+            cmp_mask_utf8(&s, CmpOp::Eq, "beta").unwrap().as_bool(),
+            Some(&[false, true, false][..])
+        );
+    }
+
+    #[test]
+    fn map_synthetic_mirrors_apply_map() {
+        let c = Column::new(ColumnData::Synthetic(vec![100, 7]));
+        assert_eq!(
+            map_synthetic(&c, MapFunc::Odd).unwrap().as_synthetic(),
+            Some(&[50u64, 3][..])
+        );
+        assert_eq!(
+            map_synthetic(&c, MapFunc::Fft).unwrap().as_synthetic(),
+            Some(&[100u64, 7][..])
+        );
+    }
+
+    #[test]
+    fn intersect_narrows_existing_selection() {
+        let sel = SelectionVector::from_rows(vec![0, 2, 3]);
+        let mask = Column::new(ColumnData::Bool(vec![true, true, false, true, true]));
+        let out = intersect_selection(&mask, &sel).unwrap();
+        assert_eq!(out.rows(), &[0, 3]);
+
+        let mut validity = ValidityBitmap::new_valid(5);
+        validity.set_invalid(3);
+        let masked = Column::with_validity(ColumnData::Bool(vec![true; 5]), validity);
+        let out = intersect_selection(&masked, &sel).unwrap();
+        assert_eq!(out.rows(), &[0, 2], "invalid mask rows drop out");
+    }
+
+    #[test]
+    fn selection_folds_only_touch_selected_rows() {
+        let xs = [10i64, 20, 30, 40];
+        let sel = SelectionVector::from_rows(vec![1, 3]);
+        let (mut count, mut sum) = (0i64, 0i64);
+        fold_sum_i64_sel(&mut count, &mut sum, &xs, &sel);
+        assert_eq!((count, sum), (2, 60));
+
+        let mut best = None;
+        let mut c = 0i64;
+        fold_best_i64_sel(&mut c, &mut best, &xs, &sel, false);
+        assert_eq!(best, Some(Value::Integer(20)));
+
+        let fs = [1.0f64, -5.0, 2.5, 9.0];
+        let (mut count, mut sum, mut saw) = (0i64, 0f64, false);
+        fold_sum_f64_sel(&mut count, &mut sum, &mut saw, &fs, &sel);
+        assert_eq!((count, sum, saw), (2, 4.0, true));
+
+        let mut best = None;
+        fold_best_f64_sel(&mut c, &mut best, &fs, &sel, true);
+        assert_eq!(best, Some(Value::Real(9.0)));
     }
 
     #[test]
@@ -373,5 +833,71 @@ mod tests {
         let err = fold_bandwidth(&mut bytes, &mut last, &[0], &[-1], &[5]).unwrap_err();
         assert!(err.to_string().contains("metric sample"));
         assert_eq!((bytes, last), (30, 300), "failed row mutates nothing");
+    }
+
+    #[test]
+    fn cmp_kernels_propagate_nontrivial_validity() {
+        let mut validity = ValidityBitmap::new_valid(5);
+        validity.set_invalid(1);
+        validity.set_invalid(4);
+        let c = Column::with_validity(ColumnData::Int64(vec![1, 2, 3, 4, 5]), validity);
+
+        // The mask computes over every slot, but the invalid rows stay
+        // invalid, so a filter over the mask never selects them even
+        // when the predicate holds there.
+        let mask = cmp_mask_i64(&c, CmpOp::Ge, 2).unwrap();
+        assert_eq!(mask.as_bool(), Some(&[false, true, true, true, true][..]));
+        assert!(!mask.is_valid(1));
+        assert!(!mask.is_valid(4));
+        let sel = filter_to_selection(&mask).unwrap();
+        assert_eq!(sel.rows(), &[2, 3]);
+
+        // Same contract through the arithmetic kernels: validity rides
+        // along unchanged.
+        let shifted = arith_i64(&c, ArithOp::Add, 10).unwrap();
+        assert!(!shifted.is_valid(1) && shifted.is_valid(2));
+        let widened = arith_f64(&c, ArithOp::Mul, 0.5).unwrap();
+        assert!(!widened.is_valid(4) && widened.is_valid(0));
+    }
+
+    #[test]
+    fn selection_extremes_all_none_alternating() {
+        let c = ints(&[3, 8, 1, 9, 4, 7]);
+
+        // All-pass: the selection is full and folds see every row.
+        let all = filter_to_selection(&cmp_mask_i64(&c, CmpOp::Lt, 100).unwrap()).unwrap();
+        assert_eq!(all.rows(), &[0, 1, 2, 3, 4, 5]);
+        let (mut n, mut sum) = (0i64, 0i64);
+        fold_sum_i64_sel(&mut n, &mut sum, c.as_i64().unwrap(), &all);
+        assert_eq!((n, sum), (6, 32));
+
+        // None-pass: the selection is empty; folds and intersections
+        // must leave every accumulator untouched.
+        let none = filter_to_selection(&cmp_mask_i64(&c, CmpOp::Gt, 100).unwrap()).unwrap();
+        assert!(none.is_empty());
+        let (mut n, mut sum) = (0i64, 0i64);
+        fold_sum_i64_sel(&mut n, &mut sum, c.as_i64().unwrap(), &none);
+        assert_eq!((n, sum), (0, 0));
+        let mut best = None;
+        fold_best_i64_sel(&mut n, &mut best, c.as_i64().unwrap(), &none, true);
+        assert_eq!(best, None);
+
+        // Alternating: every other row survives; a second filter
+        // intersects without re-ordering the original row space.
+        let odd_mask = Column::new(ColumnData::Bool(vec![
+            false, true, false, true, false, true,
+        ]));
+        let alternating = filter_to_selection(&odd_mask).unwrap();
+        assert_eq!(alternating.rows(), &[1, 3, 5]);
+        let second = cmp_mask_i64(&c, CmpOp::Gt, 7).unwrap();
+        let both = intersect_selection(&second, &alternating).unwrap();
+        assert_eq!(both.rows(), &[1, 3]);
+
+        // Intersecting with the extremes collapses predictably.
+        assert_eq!(
+            intersect_selection(&odd_mask, &all).unwrap().rows(),
+            &[1, 3, 5]
+        );
+        assert!(intersect_selection(&odd_mask, &none).unwrap().is_empty());
     }
 }

@@ -111,6 +111,9 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
             }
             Stage::Take { limit } => format!("take({limit})"),
             Stage::Bandwidth => "bandwidth".to_string(),
+            Stage::Arith { op, rhs } => format!("arith({} {rhs})", op.symbol()),
+            Stage::Cmp { op, rhs } => format!("cmp({} {rhs})", op.symbol()),
+            Stage::Filter { op, rhs } => format!("filter({} {rhs})", op.symbol()),
         });
     }
     s

@@ -24,8 +24,10 @@
 use crate::columnar;
 use crate::error::EngineError;
 use crate::funcs;
-use crate::ops::{AggKind, MapFunc, Pipeline, Stage, StageChain, StageState};
-use scsq_ql::column::METRIC_COLUMNS;
+use crate::ops::{
+    arith_apply, cmp_apply, AggKind, CmpOp, MapFunc, Pipeline, Stage, StageChain, StageState,
+};
+use scsq_ql::column::{Column, SelectionVector, METRIC_COLUMNS};
 use scsq_ql::{Batch, ColumnarBatch, SpHandle, Value};
 use scsq_sim::StateProbe;
 
@@ -38,6 +40,17 @@ pub enum CostOp {
     Map(MapFunc),
     /// A radix combine charged one unit per element byte.
     Radix,
+    /// An elementwise arithmetic transform charged one unit per element
+    /// byte; numeric in, numeric out, so the size is unchanged.
+    Arith,
+    /// An elementwise comparison charged one unit per element byte; the
+    /// boolean it emits is what downstream stages see.
+    Cmp,
+    /// An elementwise predicate charged one unit per element byte.
+    /// Survivors keep their size; the model charges every *input*
+    /// element, so elements the predicate drops still paid to be
+    /// examined.
+    Filter,
 }
 
 /// A pipeline lowered at prepare time: the validated stage list plus
@@ -60,6 +73,9 @@ impl FusedProgram {
             .filter_map(|s| match s {
                 Stage::Map(f) => Some(CostOp::Map(*f)),
                 Stage::RadixCombine { .. } => Some(CostOp::Radix),
+                Stage::Arith { .. } => Some(CostOp::Arith),
+                Stage::Cmp { .. } => Some(CostOp::Cmp),
+                Stage::Filter { .. } => Some(CostOp::Filter),
                 _ => None,
             })
             .collect();
@@ -112,7 +128,13 @@ impl CostModel {
                         bytes /= 2;
                     }
                 }
-                CostOp::Radix => cost += bytes,
+                CostOp::Radix | CostOp::Arith | CostOp::Filter => cost += bytes,
+                CostOp::Cmp => {
+                    cost += bytes;
+                    // A comparison emits a marshaled boolean (tag +
+                    // payload) whatever went in.
+                    bytes = 2;
+                }
             }
         }
         self.memo = Some((elem_bytes, cost));
@@ -133,13 +155,46 @@ pub struct FusedChain {
     ops: Vec<StageFn>,
     cur: Vec<Value>,
     nxt: Vec<Value>,
-    /// Whether [`FusedChain::process_batch_columnar`] may apply: every
-    /// stage is vectorizable (aggregate / `streamof` / `take` /
-    /// `bandwidth` — none of which charge CPU cost, so skipping the
-    /// per-element cost walk cannot shift time or consume jitter
-    /// randomness) and the chain ends in an absorbing aggregate, so a
-    /// columnar pass never has to reconstruct leftover tuples.
+    /// Whether columnar admission may apply at all: every stage has a
+    /// whole-column kernel (aggregate / `streamof` / `take` /
+    /// `bandwidth` / `map` / `arith` / `cmp` / `filter`) and the chain
+    /// ends in an absorbing aggregate, so a columnar pass never has to
+    /// reconstruct leftover tuples. Per-batch typing is checked by
+    /// [`FusedChain::columnar_admit`].
     columnar_ok: bool,
+    /// Whether any stage charges modeled compute cost. Costly chains
+    /// only admit batches whose elements share one marshaled size, so
+    /// the runtime can charge the whole batch in bulk (same total, same
+    /// jitter draws as charging element by element).
+    costly: bool,
+}
+
+/// A batch cleared for whole-column execution by
+/// [`FusedChain::columnar_admit`]: the transposed columns plus the two
+/// facts the runtime needs to charge the chain's modeled compute cost
+/// in bulk *before* running the kernels, mirroring the per-element
+/// path's charge-then-process order.
+#[derive(Debug)]
+pub struct ColumnarAdmit {
+    cols: ColumnarBatch,
+    /// Number of elements in the admitted batch.
+    pub rows: usize,
+    /// Marshaled size shared by every element, or 0 when the chain
+    /// charges no compute cost (then no size is needed — the cost walk
+    /// is empty either way).
+    pub elem_bytes: u64,
+}
+
+/// Column type flowing between stages during the admission walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColType {
+    Int,
+    Float,
+    Bool,
+    Str,
+    Synthetic,
+    Metric,
+    Other,
 }
 
 impl FusedChain {
@@ -149,7 +204,14 @@ impl FusedChain {
         let vectorizable = |s: &Stage| {
             matches!(
                 s,
-                Stage::Agg(_) | Stage::StreamOf | Stage::Take { .. } | Stage::Bandwidth
+                Stage::Agg(_)
+                    | Stage::StreamOf
+                    | Stage::Take { .. }
+                    | Stage::Bandwidth
+                    | Stage::Map(_)
+                    | Stage::Arith { .. }
+                    | Stage::Cmp { .. }
+                    | Stage::Filter { .. }
             )
         };
         let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
@@ -161,6 +223,7 @@ impl FusedChain {
             cur: Vec::new(),
             nxt: Vec::new(),
             columnar_ok,
+            costly: !program.cost_ops.is_empty(),
         }
     }
 
@@ -218,66 +281,193 @@ impl FusedChain {
     /// failing element (only `bandwidth` over malformed samples can
     /// fail on a vectorizable shape).
     pub fn process_batch_columnar(&mut self, batch: &Batch) -> Result<bool, EngineError> {
+        match self.columnar_admit(batch) {
+            Some(admit) => {
+                self.process_admitted(admit)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Decides, without mutating anything, whether a delivered batch
+    /// qualifies for whole-column execution, and if so returns the
+    /// transposed columns plus the bulk cost-accounting facts.
+    ///
+    /// Admission runs the same type flow the kernels implement: the
+    /// batch transposes to a typed column (`Int`/`Float`/`Bool`/
+    /// `Str`/`Synthetic`, the three-column metric shape, or an opaque
+    /// fallback), and each stage must have a kernel for the type
+    /// flowing into it — `arith` needs a numeric column (an integer
+    /// column with a real constant widens to float, as the scalar stage
+    /// does), `cmp`/`filter` need a numeric column with a numeric
+    /// constant or a string column with a string constant, `map` needs
+    /// a synthetic column, aggregates other than `count` need a numeric
+    /// column, `bandwidth` needs the metric shape. `count` absorbs any
+    /// type. The walk stops at the first absorber; stages after it
+    /// never see elements mid-stream, only the end-of-stream flush.
+    ///
+    /// When any stage charges modeled compute cost the elements must
+    /// additionally share one marshaled size, so the runtime can charge
+    /// `rows × cost(elem_bytes)` in one bulk call — the same total the
+    /// per-element walk accrues. `None` means the caller must fall back
+    /// to the per-element path (which also reproduces type-error
+    /// semantics for ill-typed runs).
+    pub fn columnar_admit(&self, batch: &Batch) -> Option<ColumnarAdmit> {
         if !self.columnar_ok || batch.len() < 2 {
-            return Ok(false);
+            return None;
         }
         let cols = ColumnarBatch::from_batch(batch);
-
-        // Pre-check (no mutation): the first absorber must be able to
-        // consume the batch's column shape. `streamof`/`take` preserve
-        // the shape, so only the absorber's requirement matters.
-        enum Shape {
-            Int64,
-            Float64,
-            Metric,
-            Other,
-        }
-        let shape = if cols.width() == 3
+        let initial = if cols.width() == 3
             && METRIC_COLUMNS
                 .iter()
                 .zip(cols.columns())
                 .all(|(want, (name, _))| name == want)
         {
-            Shape::Metric
+            ColType::Metric
         } else {
             match cols.single() {
-                Some(c) if !c.all_valid() => Shape::Other,
-                Some(c) if c.as_i64().is_some() => Shape::Int64,
-                Some(c) if c.as_f64().is_some() => Shape::Float64,
-                _ => Shape::Other,
+                Some(c) if !c.all_valid() => ColType::Other,
+                Some(c) if c.as_i64().is_some() => ColType::Int,
+                Some(c) if c.as_f64().is_some() => ColType::Float,
+                Some(c) if c.as_bool().is_some() => ColType::Bool,
+                Some(c) if c.as_synthetic().is_some() => ColType::Synthetic,
+                Some(c) if c.as_utf8().is_some() => ColType::Str,
+                _ => ColType::Other,
             }
         };
-        let absorber = self
-            .chain
-            .stages
-            .iter()
-            .find(|s| matches!(s, StageState::Agg { .. } | StageState::Bandwidth { .. }))
-            .expect("columnar_ok implies an absorber");
-        let ok = match absorber {
-            StageState::Agg {
-                kind: AggKind::Count,
-                ..
-            } => true,
-            StageState::Agg { .. } => matches!(shape, Shape::Int64 | Shape::Float64),
-            StageState::Bandwidth { .. } => {
-                matches!(shape, Shape::Metric) && cols.columns().iter().all(|(_, c)| c.all_valid())
-            }
-            _ => unreachable!("absorber match above"),
-        };
-        if !ok {
-            return Ok(false);
-        }
 
-        // Execute: `take` trims the view, the absorber folds it.
-        let mut view = cols;
+        let mut ty = initial;
+        let mut admitted = false;
+        for state in &self.chain.stages {
+            match state {
+                StageState::StreamOf | StageState::Take { .. } => {}
+                StageState::Map(_) => {
+                    if ty != ColType::Synthetic {
+                        return None;
+                    }
+                }
+                StageState::Arith { rhs, .. } => {
+                    ty = match (ty, rhs) {
+                        (ColType::Int, Value::Integer(_)) => ColType::Int,
+                        (ColType::Int, Value::Real(_)) => ColType::Float,
+                        (ColType::Float, Value::Integer(_) | Value::Real(_)) => ColType::Float,
+                        _ => return None,
+                    };
+                }
+                StageState::Cmp { rhs, .. } | StageState::Filter { rhs, .. } => {
+                    let ok = matches!(
+                        (ty, rhs),
+                        (
+                            ColType::Int | ColType::Float,
+                            Value::Integer(_) | Value::Real(_)
+                        ) | (ColType::Str, Value::Str(_))
+                    );
+                    if !ok {
+                        return None;
+                    }
+                    if matches!(state, StageState::Cmp { .. }) {
+                        ty = ColType::Bool;
+                    }
+                }
+                StageState::Agg { kind, .. } => {
+                    if *kind != AggKind::Count && !matches!(ty, ColType::Int | ColType::Float) {
+                        return None;
+                    }
+                    admitted = true;
+                    break;
+                }
+                StageState::Bandwidth { .. } => {
+                    if ty != ColType::Metric || !cols.columns().iter().all(|(_, c)| c.all_valid()) {
+                        return None;
+                    }
+                    admitted = true;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+        if !admitted {
+            return None;
+        }
+        let elem_bytes = if self.costly {
+            uniform_elem_bytes(&cols, initial)?
+        } else {
+            0
+        };
+        Some(ColumnarAdmit {
+            rows: cols.rows(),
+            cols,
+            elem_bytes,
+        })
+    }
+
+    /// Runs an admitted batch through the chain as whole columns. The
+    /// caller must have charged the bulk compute cost already (the
+    /// per-element path charges each element before it enters the
+    /// chain, so charge-then-process keeps the orders aligned).
+    ///
+    /// Transform stages rewrite the column; `filter` narrows a
+    /// selection vector over the *original* row space instead of
+    /// gathering survivors, so a chain of filters is mask intersection
+    /// and the terminal fold visits survivors by index. Dense stages
+    /// after a filter keep operating on all rows — dead rows are
+    /// computed and never read, which is cheaper than gathering and
+    /// cannot fail on an admitted type.
+    ///
+    /// # Errors
+    ///
+    /// The same error the per-element path would raise on the first
+    /// failing element (only `bandwidth` over malformed samples can
+    /// fail on an admitted shape).
+    pub fn process_admitted(&mut self, admit: ColumnarAdmit) -> Result<(), EngineError> {
+        let cols = admit.cols;
+        if cols.width() != 1 {
+            return self.process_metric_columns(cols);
+        }
+        let mut cur: Column = cols.single().expect("width checked above");
+        let mut sel: Option<SelectionVector> = None;
         for state in &mut self.chain.stages {
             match state {
                 StageState::StreamOf => {}
-                StageState::Take { remaining } => {
-                    let k = (view.rows() as u64).min(*remaining);
-                    *remaining -= k;
-                    view = view.slice(0, k as usize);
+                StageState::Map(f) => {
+                    cur = columnar::map_synthetic(&cur, *f).expect("admitted: synthetic column");
                 }
+                StageState::Arith { op, rhs } => {
+                    cur = match rhs {
+                        Value::Integer(k) if cur.as_i64().is_some() => {
+                            columnar::arith_i64(&cur, *op, *k).expect("admitted: integer column")
+                        }
+                        _ => {
+                            let k = rhs.as_real().expect("admitted: numeric constant");
+                            columnar::arith_f64(&cur, *op, k).expect("admitted: numeric column")
+                        }
+                    };
+                }
+                StageState::Cmp { op, rhs } => {
+                    cur = cmp_mask(&cur, *op, rhs);
+                }
+                StageState::Filter { op, rhs } => {
+                    let mask = cmp_mask(&cur, *op, rhs);
+                    sel = Some(match sel.take() {
+                        Some(s) => columnar::intersect_selection(&mask, &s)
+                            .expect("cmp kernels produce Bool masks"),
+                        None => columnar::filter_to_selection(&mask)
+                            .expect("cmp kernels produce Bool masks"),
+                    });
+                }
+                StageState::Take { remaining } => match &mut sel {
+                    Some(s) => {
+                        let k = (s.len() as u64).min(*remaining);
+                        *remaining -= k;
+                        s.truncate(k as usize);
+                    }
+                    None => {
+                        let k = (cur.len() as u64).min(*remaining);
+                        *remaining -= k;
+                        cur = cur.slice(0, k as usize);
+                    }
+                },
                 StageState::Agg {
                     kind,
                     count,
@@ -287,38 +477,72 @@ impl FusedChain {
                     best,
                 } => {
                     match kind {
-                        AggKind::Count => *count += view.rows() as i64,
+                        AggKind::Count => {
+                            *count += sel.as_ref().map_or(cur.len(), SelectionVector::len) as i64;
+                        }
                         AggKind::Sum | AggKind::Avg => {
-                            let c = view.single().expect("pre-checked: single column");
-                            if let Some(xs) = c.as_i64() {
-                                columnar::fold_sum_i64(count, sum_int, xs);
+                            if let Some(xs) = cur.as_i64() {
+                                match &sel {
+                                    Some(s) => columnar::fold_sum_i64_sel(count, sum_int, xs, s),
+                                    None => columnar::fold_sum_i64(count, sum_int, xs),
+                                }
                             } else {
-                                let xs = c.as_f64().expect("pre-checked: numeric column");
-                                columnar::fold_sum_f64(count, sum_real, saw_real, xs);
+                                let xs = cur.as_f64().expect("admitted: numeric column");
+                                match &sel {
+                                    Some(s) => {
+                                        columnar::fold_sum_f64_sel(count, sum_real, saw_real, xs, s)
+                                    }
+                                    None => columnar::fold_sum_f64(count, sum_real, saw_real, xs),
+                                }
                             }
                         }
                         AggKind::Max | AggKind::Min => {
-                            let is_better: fn(f64, f64) -> bool = if *kind == AggKind::Max {
-                                |x, b| x > b
+                            let maximize = *kind == AggKind::Max;
+                            if let Some(xs) = cur.as_i64() {
+                                match &sel {
+                                    Some(s) => {
+                                        columnar::fold_best_i64_sel(count, best, xs, s, maximize)
+                                    }
+                                    None => columnar::fold_best_i64(count, best, xs, maximize),
+                                }
                             } else {
-                                |x, b| x < b
-                            };
-                            let c = view.single().expect("pre-checked: single column");
-                            if let Some(xs) = c.as_i64() {
-                                columnar::fold_best_i64(count, best, xs, is_better);
-                            } else {
-                                let xs = c.as_f64().expect("pre-checked: numeric column");
-                                columnar::fold_best_f64(count, best, xs, is_better);
+                                let xs = cur.as_f64().expect("admitted: numeric column");
+                                match &sel {
+                                    Some(s) => {
+                                        columnar::fold_best_f64_sel(count, best, xs, s, maximize)
+                                    }
+                                    None => columnar::fold_best_f64(count, best, xs, maximize),
+                                }
                             }
                         }
                     }
-                    return Ok(true);
+                    return Ok(());
+                }
+                _ => unreachable!("admission excludes non-vectorizable stages"),
+            }
+        }
+        unreachable!("admission implies an absorber terminates the walk")
+    }
+
+    /// The metric-shaped walk: three parallel `Int64` columns flow
+    /// untransformed (admission declines transform stages on metric
+    /// batches) into `bandwidth` or `count`.
+    fn process_metric_columns(&mut self, cols: ColumnarBatch) -> Result<(), EngineError> {
+        let mut view = cols;
+        for state in &mut self.chain.stages {
+            match state {
+                StageState::StreamOf => {}
+                StageState::Take { remaining } => {
+                    let k = (view.rows() as u64).min(*remaining);
+                    *remaining -= k;
+                    view = view.slice(0, k as usize);
+                }
+                StageState::Agg { count, .. } => {
+                    *count += view.rows() as i64;
+                    return Ok(());
                 }
                 StageState::Bandwidth { bytes, last_nanos } => {
-                    let col = |name| {
-                        view.column(name)
-                            .expect("pre-checked: metric columns present")
-                    };
+                    let col = |name| view.column(name).expect("admitted: metric columns present");
                     let (channel, time_ns, sample_bytes) = (
                         col(METRIC_COLUMNS[0]),
                         col(METRIC_COLUMNS[1]),
@@ -331,12 +555,12 @@ impl FusedChain {
                         time_ns.as_i64().expect("metric columns are Int64"),
                         sample_bytes.as_i64().expect("metric columns are Int64"),
                     )?;
-                    return Ok(true);
+                    return Ok(());
                 }
-                _ => unreachable!("columnar_ok excludes non-vectorizable stages"),
+                _ => unreachable!("admission excludes transforms on metric batches"),
             }
         }
-        unreachable!("columnar_ok implies an absorber terminates the walk")
+        unreachable!("admission implies an absorber terminates the walk")
     }
 
     /// Signals end of stream; aggregates flush. Delegates to the
@@ -363,6 +587,57 @@ impl FusedChain {
     }
 }
 
+/// Dispatches an admitted comparison to the kernel matching the scalar
+/// `cmp` stage's type arms: integer column against an integer constant
+/// compares exactly, strings compare lexicographically, every other
+/// admitted pair widens to IEEE `f64`.
+fn cmp_mask(cur: &Column, op: CmpOp, rhs: &Value) -> Column {
+    match rhs {
+        Value::Integer(k) if cur.as_i64().is_some() => {
+            columnar::cmp_mask_i64(cur, op, *k).expect("admitted: integer column")
+        }
+        Value::Str(s) => columnar::cmp_mask_utf8(cur, op, s).expect("admitted: string column"),
+        _ => {
+            let k = rhs.as_real().expect("admitted: numeric constant");
+            columnar::cmp_mask_f64(cur, op, k).expect("admitted: numeric column")
+        }
+    }
+}
+
+/// The marshaled size shared by every element of the batch, or `None`
+/// when sizes differ (then bulk cost charging would not equal the
+/// per-element walk and the batch is declined). Fixed-width kinds
+/// answer from the type; synthetic arrays and strings check the run.
+fn uniform_elem_bytes(cols: &ColumnarBatch, ty: ColType) -> Option<u64> {
+    match ty {
+        // Tag byte + 8-byte payload.
+        ColType::Int | ColType::Float => Some(9),
+        // Tag byte + 1-byte payload.
+        ColType::Bool => Some(2),
+        // A metric sample marshals as a 3-integer bag: tag + length
+        // prefix + three 9-byte integers.
+        ColType::Metric => Some(32),
+        ColType::Synthetic => {
+            let c = cols.single()?;
+            let xs = c.as_synthetic()?;
+            let &b = xs.first()?;
+            // Tag + length prefix + the array body.
+            xs.iter().all(|&x| x == b).then_some(9 + b)
+        }
+        ColType::Str => {
+            let c = cols.single()?;
+            let (offsets, _) = c.as_utf8()?;
+            let l = offsets.get(1)? - offsets.first()?;
+            // Tag + length prefix + the bytes.
+            offsets
+                .windows(2)
+                .all(|w| w[1] - w[0] == l)
+                .then_some(5 + u64::from(l))
+        }
+        ColType::Other => None,
+    }
+}
+
 /// Resolves one stage to its jump-table entry. Aggregates resolve per
 /// kind and maps per function, so no per-element `match` survives into
 /// the inner loop.
@@ -381,6 +656,9 @@ fn resolve(stage: &Stage) -> StageFn {
         Stage::Window(_) => step_window,
         Stage::Take { .. } => step_take,
         Stage::Bandwidth => step_bandwidth,
+        Stage::Arith { .. } => step_arith,
+        Stage::Cmp { .. } => step_cmp,
+        Stage::Filter { .. } => step_filter,
     }
 }
 
@@ -567,6 +845,47 @@ fn step_bandwidth(
     crate::ops::bandwidth_accumulate(bytes, last_nanos, &value)
 }
 
+fn step_arith(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Arith { op, rhs } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    out.push(arith_apply(*op, value, rhs)?);
+    Ok(())
+}
+
+fn step_cmp(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Cmp { op, rhs } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    out.push(Value::Bool(cmp_apply(*op, &value, rhs)?));
+    Ok(())
+}
+
+fn step_filter(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Filter { op, rhs } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    if cmp_apply(*op, &value, rhs)? {
+        out.push(value);
+    }
+    Ok(())
+}
+
 /// The runtime's per-RP executor: the fused fast path by default, the
 /// interpreted chain as the `--fuse off` fallback.
 #[derive(Debug)]
@@ -603,15 +922,23 @@ impl ExecChain {
         }
     }
 
-    /// Attempts to absorb a whole delivered batch as columns. `Ok(true)`
-    /// means the batch is fully consumed; `Ok(false)` means the caller
-    /// must fall back to feeding elements one at a time (always the
-    /// case for the interpreted executor, which is the byte-identity
-    /// reference).
-    pub(crate) fn try_process_batch(&mut self, batch: &Batch) -> Result<bool, EngineError> {
+    /// Asks whether a delivered batch qualifies for whole-column
+    /// execution (never for the interpreted executor, which is the
+    /// byte-identity reference). The caller charges the bulk compute
+    /// cost from the returned facts, then hands the admission back to
+    /// [`ExecChain::process_admitted`].
+    pub(crate) fn columnar_admit(&self, batch: &Batch) -> Option<ColumnarAdmit> {
         match self {
-            ExecChain::Interpreted(_) => Ok(false),
-            ExecChain::Fused(f) => f.process_batch_columnar(batch),
+            ExecChain::Interpreted(_) => None,
+            ExecChain::Fused(f) => f.columnar_admit(batch),
+        }
+    }
+
+    /// Absorbs an admitted batch as whole columns.
+    pub(crate) fn process_admitted(&mut self, admit: ColumnarAdmit) -> Result<(), EngineError> {
+        match self {
+            ExecChain::Interpreted(_) => unreachable!("interpreted chains never admit batches"),
+            ExecChain::Fused(f) => f.process_admitted(admit),
         }
     }
 

@@ -77,6 +77,15 @@ pub struct QueryStats {
     pub coalesce: scsq_sim::CoalesceStats,
     /// Whether stage chains ran as fused programs (`RunOptions::fuse`).
     pub fused: bool,
+    /// Delivered batches absorbed by the columnar fast path (0 when
+    /// `RunOptions::columnar` was off or nothing qualified).
+    pub columnar_batches: u64,
+    /// Service-jitter factors drawn from the environment's RNG stream
+    /// over the run. Part of the determinism contract: any execution
+    /// strategy (interpreted, fused, columnar, coalesced) must consume
+    /// exactly as many draws, in the same order, or jittered replays
+    /// diverge.
+    pub jitter_draws: u64,
 }
 
 /// The outcome of executing one continuous query to completion.
@@ -226,6 +235,8 @@ mod tests {
                 rps: 4,
                 coalesce: scsq_sim::CoalesceStats::default(),
                 fused: true,
+                columnar_batches: 0,
+                jitter_draws: 0,
             },
         )
     }

@@ -103,6 +103,148 @@ impl AggKind {
     }
 }
 
+/// Elementwise arithmetic against a constant (`arith(s, op, k)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `'+'` — addition.
+    Add,
+    /// `'-'` — subtraction.
+    Sub,
+    /// `'*'` — multiplication.
+    Mul,
+}
+
+impl ArithOp {
+    /// Parses the query spelling of the operator.
+    pub fn parse(op: &str) -> Option<ArithOp> {
+        Some(match op {
+            "+" => ArithOp::Add,
+            "-" => ArithOp::Sub,
+            "*" => ArithOp::Mul,
+            _ => return None,
+        })
+    }
+
+    /// The query spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+        }
+    }
+}
+
+/// Elementwise comparison against a constant (`cmp` / `filter`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `'<'`.
+    Lt,
+    /// `'<='`.
+    Le,
+    /// `'>'`.
+    Gt,
+    /// `'>='`.
+    Ge,
+    /// `'='`.
+    Eq,
+    /// `'!='`.
+    Ne,
+}
+
+impl CmpOp {
+    /// Parses the query spelling of the operator.
+    pub fn parse(op: &str) -> Option<CmpOp> {
+        Some(match op {
+            "<" => CmpOp::Lt,
+            "<=" => CmpOp::Le,
+            ">" => CmpOp::Gt,
+            ">=" => CmpOp::Ge,
+            "=" | "==" => CmpOp::Eq,
+            "!=" | "<>" => CmpOp::Ne,
+            _ => return None,
+        })
+    }
+
+    /// The query spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    /// Applies the operator to a three-way ordering.
+    pub(crate) fn holds(self, ord: std::cmp::Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+        }
+    }
+}
+
+/// Applies `value op rhs`. Integer ⊕ integer stays integer (wrapping,
+/// like the column kernels); any real operand widens to real. The single
+/// source of truth shared by the interpreted chain, the fused step
+/// functions, and mirrored exactly by the columnar kernels.
+pub(crate) fn arith_apply(op: ArithOp, value: Value, rhs: &Value) -> Result<Value, EngineError> {
+    match (&value, rhs) {
+        (Value::Integer(a), Value::Integer(b)) => Ok(Value::Integer(match op {
+            ArithOp::Add => a.wrapping_add(*b),
+            ArithOp::Sub => a.wrapping_sub(*b),
+            ArithOp::Mul => a.wrapping_mul(*b),
+        })),
+        _ => {
+            let (Some(a), Some(b)) = (value.as_real(), rhs.as_real()) else {
+                return Err(EngineError::type_error("number", &value, "arith"));
+            };
+            Ok(Value::Real(match op {
+                ArithOp::Add => a + b,
+                ArithOp::Sub => a - b,
+                ArithOp::Mul => a * b,
+            }))
+        }
+    }
+}
+
+/// Evaluates `value op rhs` as a boolean. Integer/integer compares
+/// exactly; string/string compares lexicographically; any other numeric
+/// mix compares as f64. Shared by `cmp` and `filter` on every executor
+/// tier.
+pub(crate) fn cmp_apply(op: CmpOp, value: &Value, rhs: &Value) -> Result<bool, EngineError> {
+    match (value, rhs) {
+        (Value::Integer(a), Value::Integer(b)) => Ok(op.holds(a.cmp(b))),
+        (Value::Str(a), Value::Str(b)) => Ok(op.holds(a.as_str().cmp(b.as_str()))),
+        _ => {
+            let (Some(a), Some(b)) = (value.as_real(), rhs.as_real()) else {
+                return Err(EngineError::type_error("number", value, "cmp"));
+            };
+            Ok(cmp_f64(op, a, b))
+        }
+    }
+}
+
+/// IEEE comparison of two reals (NaN compares false everywhere except
+/// `!=`, exactly like the raw f64 operators the column kernels use).
+pub(crate) fn cmp_f64(op: CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
 /// One pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stage {
@@ -136,6 +278,29 @@ pub enum Stage {
     /// stream: total delivered bytes / time of the last sample, emitted
     /// as one real (bytes/second) at end of stream.
     Bandwidth,
+    /// `arith(s, op, k)` — elementwise arithmetic against a constant.
+    Arith {
+        /// The operator.
+        op: ArithOp,
+        /// The constant right-hand operand.
+        rhs: Value,
+    },
+    /// `cmp(s, op, k)` — elementwise comparison against a constant;
+    /// emits one boolean per element.
+    Cmp {
+        /// The operator.
+        op: CmpOp,
+        /// The constant right-hand operand.
+        rhs: Value,
+    },
+    /// `filter(s, op, k)` — pass the elements for which the comparison
+    /// holds, drop the rest.
+    Filter {
+        /// The predicate operator.
+        op: CmpOp,
+        /// The constant right-hand operand.
+        rhs: Value,
+    },
 }
 
 /// A compiled SQEP.
@@ -198,6 +363,18 @@ pub(crate) enum StageState {
         bytes: u64,
         /// Timestamp (ns) of the latest sample.
         last_nanos: u64,
+    },
+    Arith {
+        op: ArithOp,
+        rhs: Value,
+    },
+    Cmp {
+        op: CmpOp,
+        rhs: Value,
+    },
+    Filter {
+        op: CmpOp,
+        rhs: Value,
     },
 }
 
@@ -278,6 +455,18 @@ impl StageChain {
                 Stage::Bandwidth => StageState::Bandwidth {
                     bytes: 0,
                     last_nanos: 0,
+                },
+                Stage::Arith { op, rhs } => StageState::Arith {
+                    op: *op,
+                    rhs: rhs.clone(),
+                },
+                Stage::Cmp { op, rhs } => StageState::Cmp {
+                    op: *op,
+                    rhs: rhs.clone(),
+                },
+                Stage::Filter { op, rhs } => StageState::Filter {
+                    op: *op,
+                    rhs: rhs.clone(),
                 },
             })
             .collect();
@@ -387,6 +576,15 @@ impl StageChain {
                 bandwidth_accumulate(bytes, last_nanos, &value)?;
                 Vec::new()
             }
+            StageState::Arith { op, rhs } => vec![arith_apply(*op, value, rhs)?],
+            StageState::Cmp { op, rhs } => vec![Value::Bool(cmp_apply(*op, &value, rhs)?)],
+            StageState::Filter { op, rhs } => {
+                if cmp_apply(*op, &value, rhs)? {
+                    vec![value]
+                } else {
+                    Vec::new()
+                }
+            }
         };
         let next = idx + 1;
         let _ = rest;
@@ -466,6 +664,23 @@ impl StageChain {
                     // scale rather than shift it, so hash it as shape —
                     // a changing value then simply blocks the jump.
                     p.shape(*last_nanos);
+                }
+                // The compute stages are stateless: op + constant are
+                // fixed at compile time, so shape alone pins them.
+                StageState::Arith { op, rhs } => {
+                    p.shape(8);
+                    p.shape(*op as u64);
+                    probe_value(rhs, p);
+                }
+                StageState::Cmp { op, rhs } => {
+                    p.shape(9);
+                    p.shape(*op as u64);
+                    probe_value(rhs, p);
+                }
+                StageState::Filter { op, rhs } => {
+                    p.shape(10);
+                    p.shape(*op as u64);
+                    probe_value(rhs, p);
                 }
             }
         }

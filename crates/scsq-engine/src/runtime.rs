@@ -142,6 +142,8 @@ pub(crate) struct World {
     /// Whether `deliver` may hand whole batches to the columnar fast
     /// path (`RunOptions::columnar`, gated on fusion being on).
     columnar: bool,
+    /// Delivered batches the columnar fast path absorbed.
+    columnar_batches: u64,
 }
 
 pub(crate) type Sim = TypedSimulator<World, Ev>;
@@ -303,7 +305,9 @@ impl World {
             // option.
             observers: _,
             columnar: _,
+            columnar_batches,
         } = self;
+        p.num(columnar_batches);
         // UDP drop decisions depend on I/O-node backlog; tell the
         // environment to guard it while any UDP channel is still live.
         let udp_active = channels
@@ -525,6 +529,7 @@ pub fn run_graph(
         scratch: Vec::new(),
         observers,
         columnar: options.columnar && options.fuse,
+        columnar_batches: 0,
     };
     // Pending-event population is bounded by the graph shape (each RP
     // has at most one self-scheduled tick; each channel a handful of
@@ -608,6 +613,8 @@ pub fn run_graph(
             rps: world.rps.len(),
             coalesce,
             fused: options.fuse,
+            columnar_batches: world.columnar_batches,
+            jitter_draws: world.env.jitter_draws(),
         },
     ))
 }
@@ -840,25 +847,27 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
         }
     }
     // Columnar fast path: absorb the whole batch with one dispatch per
-    // typed column instead of one per element. Only chains whose stages
-    // charge no compute cost qualify (`FusedChain::process_batch_columnar`),
-    // so skipping the per-element cost walk and `env.compute` calls —
-    // which return immediately at zero cost without drawing jitter —
-    // cannot shift simulated time or perturb the RNG streams.
+    // typed column instead of one per element. Admission
+    // (`FusedChain::columnar_admit`) guarantees the batch's elements
+    // share one marshaled size whenever the chain charges compute cost,
+    // so the per-element charge loop collapses to one bulk call that
+    // serves the same total and draws the jitter stream exactly as many
+    // times — simulated time and RNG positions stay byte-identical to
+    // the per-element walk (`Environment::compute_bulk`).
     if world.columnar && batch.len() > 1 {
-        match world.rps[dst].chain.try_process_batch(&batch) {
-            Ok(true) => {
-                // An absorbed batch emits nothing before end of stream;
-                // only the monitoring counter needs the per-element
-                // accounting.
-                world.rps[dst].elements_in += batch.len() as u64;
-                return;
-            }
-            Ok(false) => {}
-            Err(e) => {
+        if let Some(admit) = world.rps[dst].chain.columnar_admit(&batch) {
+            let n = admit.rows as u64;
+            let cost = world.rps[dst].cost.cost(admit.elem_bytes);
+            let node = world.rps[dst].node;
+            world.env.compute_bulk(node, cost, n, now);
+            // An absorbed batch emits nothing before end of stream;
+            // only the monitoring counters need per-element accounting.
+            world.rps[dst].elements_in += n;
+            world.columnar_batches += 1;
+            if let Err(e) = world.rps[dst].chain.process_admitted(admit) {
                 world.error = Some(e);
-                return;
             }
+            return;
         }
     }
     // Consuming iteration: a single inline tuple is handed over without

@@ -1,0 +1,140 @@
+//! The columnar bulk-accounting contract, end to end.
+//!
+//! The columnar fast path replaces N per-element `compute` charges with
+//! one `compute_bulk` per delivered batch. Its contract is stronger
+//! than "same answer": on a jittered run the bulk charge must draw
+//! exactly as many RNG factors, in the same order, and schedule the
+//! same total service time as the per-element path — otherwise every
+//! event after the first absorbed batch lands at a different simulated
+//! instant and jittered replays diverge. These tests run the same
+//! filter-heavy pipeline through all three execution tiers and compare
+//! the books, plus a proptest over jitter amplitudes and stage
+//! constants.
+
+use proptest::prelude::*;
+use scsq_cluster::Environment;
+use scsq_engine::{run_graph, QueryBuilder, QueryResult, RunOptions};
+use scsq_ql::{parse_statement, Catalog};
+
+fn run(src: &str, options: &RunOptions) -> QueryResult {
+    let mut env = Environment::lofar();
+    let catalog = Catalog::new();
+    let stmt = parse_statement(src).expect("parses");
+    let graph = QueryBuilder::new(&mut env, &catalog, options.placement, options)
+        .build(&stmt, &[])
+        .expect("builds");
+    run_graph(env, &graph, options).expect("runs")
+}
+
+/// A filter-heavy pipeline over a dense integer stream: arithmetic,
+/// a selection-producing filter, a comparison and a terminal count —
+/// every cost-bearing stage kind the columnar path bulk-charges.
+fn filter_query(n: u64, mul: i64, threshold: i64) -> String {
+    format!(
+        "select extract(b) from sp a, sp b \
+         where b=sp(streamof(count(cmp(filter(arith(extract(a), '*', {mul}), '>', {threshold}), '<', {cap}))), 'bg', 0) \
+         and a=sp(streamof(iota(1,{n})),'bg',1);",
+        cap = mul * n as i64 + 1,
+    )
+}
+
+fn options(jitter: f64, fuse: bool, columnar: bool) -> RunOptions {
+    RunOptions {
+        service_jitter: jitter,
+        coalesce: false,
+        mpi_buffer: 2_000,
+        fuse,
+        columnar,
+        ..RunOptions::default()
+    }
+}
+
+/// Asserts the three tiers agree on the answer, the completion time
+/// and the RNG draw count, and returns the columnar run's batch count.
+fn assert_books_match(src: &str, jitter: f64) -> u64 {
+    let interpreted = run(src, &options(jitter, false, false));
+    let scalar = run(src, &options(jitter, true, false));
+    let columnar = run(src, &options(jitter, true, true));
+
+    assert_eq!(interpreted.values(), scalar.values(), "scalar answer");
+    assert_eq!(scalar.values(), columnar.values(), "columnar answer");
+    assert_eq!(
+        interpreted.finished(),
+        scalar.finished(),
+        "scalar completion time"
+    );
+    assert_eq!(
+        scalar.finished(),
+        columnar.finished(),
+        "columnar completion time"
+    );
+    assert_eq!(
+        interpreted.stats().jitter_draws,
+        scalar.stats().jitter_draws,
+        "scalar RNG stream position"
+    );
+    assert_eq!(
+        scalar.stats().jitter_draws,
+        columnar.stats().jitter_draws,
+        "columnar RNG stream position"
+    );
+
+    assert_eq!(interpreted.stats().columnar_batches, 0);
+    assert_eq!(scalar.stats().columnar_batches, 0);
+    columnar.stats().columnar_batches
+}
+
+/// The headline check: a jittered filter-heavy pipeline takes the
+/// columnar path (batches are actually absorbed) with byte-identical
+/// values, completion time and RNG stream position across all tiers.
+#[test]
+fn filter_pipeline_books_balance_across_tiers() {
+    let src = filter_query(4_000, 3, 6_000);
+    let absorbed = assert_books_match(&src, 0.05);
+    assert!(
+        absorbed > 0,
+        "the filter pipeline must actually ride the columnar path"
+    );
+}
+
+/// Jitter off: the bulk charge takes its closed-form fast path (no
+/// RNG at all); the books must still balance.
+#[test]
+fn books_balance_without_jitter() {
+    let src = filter_query(4_000, 3, 6_000);
+    let absorbed = assert_books_match(&src, 0.0);
+    assert!(absorbed > 0);
+    let r = run(&src, &options(0.0, true, true));
+    assert_eq!(r.stats().jitter_draws, 0, "no draws when jitter is off");
+}
+
+/// A costless absorber chain (`count` alone has no cost-bearing
+/// stages) bulk-charges zero bytes, which must consume zero draws —
+/// the scalar path's `compute(0)` early-out, mirrored in bulk.
+#[test]
+fn costless_chains_draw_nothing_at_the_receiver() {
+    let src = "select extract(b) from sp a, sp b \
+               where b=sp(streamof(count(extract(a))), 'bg', 0) \
+               and a=sp(streamof(iota(1,3000)),'bg',1);";
+    let absorbed = assert_books_match(src, 0.05);
+    assert!(absorbed > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The accounting contract holds over random jitter amplitudes and
+    /// stage constants, including thresholds that keep everything or
+    /// nothing (empty / full selection vectors at the fold).
+    #[test]
+    fn books_balance_over_random_workloads(
+        jitter in prop_oneof![Just(0.0), 0.01f64..0.2],
+        mul in 1i64..5,
+        threshold in prop_oneof![Just(0i64), Just(i64::MAX / 2), 1i64..10_000],
+        n in 500u64..2_500,
+    ) {
+        let src = filter_query(n, mul, threshold);
+        let absorbed = assert_books_match(&src, jitter);
+        prop_assert!(absorbed > 0);
+    }
+}

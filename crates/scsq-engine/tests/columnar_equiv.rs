@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use scsq_engine::ops::{AggKind, MapFunc, Pipeline, Stage, StageChain};
-use scsq_engine::{FusedChain, FusedProgram};
+use scsq_engine::{ArithOp, CmpOp, FusedChain, FusedProgram};
 use scsq_ql::{Batch, Value};
 
 fn agg() -> impl Strategy<Value = AggKind> {
@@ -24,6 +24,33 @@ fn agg() -> impl Strategy<Value = AggKind> {
         Just(AggKind::Max),
         Just(AggKind::Min),
         Just(AggKind::Avg),
+    ]
+}
+
+fn arith_op() -> impl Strategy<Value = ArithOp> {
+    prop_oneof![Just(ArithOp::Add), Just(ArithOp::Sub), Just(ArithOp::Mul)]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+/// Constants for arith/cmp/filter stages. String constants are legal
+/// for comparisons against string columns, make arithmetic fail (an
+/// error-path probe), and force the columnar admission walk to decline
+/// numeric columns compared against strings.
+fn rhs() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-10i64..10).prop_map(Value::Integer),
+        (-10.0f64..10.0).prop_map(Value::Real),
+        Just(Value::Str("m".to_string())),
     ]
 }
 
@@ -37,6 +64,9 @@ fn stage() -> impl Strategy<Value = Stage> {
         (0u64..8).prop_map(|limit| Stage::Take { limit }),
         Just(Stage::Bandwidth),
         Just(Stage::Map(MapFunc::Power)),
+        (arith_op(), rhs()).prop_map(|(op, rhs)| Stage::Arith { op, rhs }),
+        (cmp_op(), rhs()).prop_map(|(op, rhs)| Stage::Cmp { op, rhs }),
+        (cmp_op(), rhs()).prop_map(|(op, rhs)| Stage::Filter { op, rhs }),
     ]
 }
 
@@ -65,12 +95,22 @@ fn mixed_value() -> impl Strategy<Value = Value> {
     ]
 }
 
-/// One delivered batch: homogeneous integer / float / metric runs (the
-/// shapes the columnar pass accepts) plus mixed runs it must decline.
+/// Short strings straddling the `rhs()` comparison constant `"m"` in
+/// both order and length, so string cmp/filter kernels see every
+/// outcome; same-length runs additionally qualify for bulk cost
+/// accounting (uniform marshaled stride).
+fn word() -> impl Strategy<Value = Value> {
+    prop_oneof![Just("a"), Just("m"), Just("mm"), Just("z")].prop_map(|s| Value::Str(s.to_string()))
+}
+
+/// One delivered batch: homogeneous integer / float / string / metric
+/// runs (the shapes the columnar pass accepts) plus mixed runs it must
+/// decline.
 fn batch_values() -> impl Strategy<Value = Vec<Value>> {
     prop_oneof![
         proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 0..10),
         proptest::collection::vec((-100.0f64..100.0).prop_map(Value::Real), 0..10),
+        proptest::collection::vec(word(), 0..10),
         proptest::collection::vec(metric(), 0..10),
         proptest::collection::vec(mixed_value(), 0..10),
     ]

@@ -94,6 +94,17 @@ pub enum Builtin {
     /// total delivered bytes divided by the time of the last sample, in
     /// bytes/second (the Fig. 6 quotient, computed inside the query).
     Bandwidth,
+    /// `arith(s, op, k)` — elementwise arithmetic against a constant:
+    /// `op` is one of `'+'`, `'-'`, `'*'`; integer ⊕ integer stays
+    /// integer (wrapping), any real operand widens to real.
+    Arith,
+    /// `cmp(s, op, k)` — elementwise comparison against a constant:
+    /// `op` is one of `'<'`, `'<='`, `'>'`, `'>='`, `'='`, `'!='`;
+    /// emits one boolean per element.
+    Cmp,
+    /// `filter(s, op, k)` — keep the elements for which `cmp(op, k)`
+    /// holds, drop the rest (a selection over the stream).
+    Filter,
 }
 
 impl Builtin {
@@ -129,6 +140,9 @@ impl Builtin {
             "nodes" => Builtin::Nodes,
             "metrics" => Builtin::Metrics,
             "bandwidth" => Builtin::Bandwidth,
+            "arith" => Builtin::Arith,
+            "cmp" => Builtin::Cmp,
+            "filter" => Builtin::Filter,
             _ => return None,
         })
     }
@@ -158,6 +172,7 @@ impl Builtin {
             | Builtin::Bandwidth
             | Builtin::Filename => (1, 1),
             Builtin::Iota | Builtin::GenArray | Builtin::Grep | Builtin::Take => (2, 2),
+            Builtin::Arith | Builtin::Cmp | Builtin::Filter => (3, 3),
             Builtin::PsetRr => (0, 0),
             Builtin::WindowAgg => (4, 4),
         }

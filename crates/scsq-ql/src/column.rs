@@ -103,7 +103,10 @@ impl ValidityBitmap {
         self.words[row / 64] &= !(1 << (row % 64));
     }
 
-    /// Number of valid rows in `start..end`.
+    /// Number of valid rows in `start..end`, by word popcounts (the
+    /// all-valid form answers in O(1), materialized bitmaps in
+    /// O(words) — this backs every `all_valid` check on the columnar
+    /// hot path, so it must not walk bits).
     ///
     /// # Panics
     ///
@@ -113,7 +116,20 @@ impl ValidityBitmap {
         if self.words.is_empty() {
             return end - start;
         }
-        (start..end).filter(|&i| self.is_valid(i)).count()
+        if start == end {
+            return 0;
+        }
+        let (sw, ew) = (start / 64, (end - 1) / 64);
+        let head = u64::MAX << (start % 64);
+        let tail = u64::MAX >> (63 - (end - 1) % 64);
+        if sw == ew {
+            return (self.words[sw] & head & tail).count_ones() as usize;
+        }
+        let mut n = (self.words[sw] & head).count_ones() as usize;
+        for w in &self.words[sw + 1..ew] {
+            n += w.count_ones() as usize;
+        }
+        n + (self.words[ew] & tail).count_ones() as usize
     }
 }
 
@@ -302,6 +318,20 @@ impl Column {
         }
     }
 
+    /// The viewed rows as raw UTF-8 storage — `(offsets, bytes)` with
+    /// `offsets.len() == self.len() + 1` and row `i` spanning
+    /// `bytes[offsets[i] as usize..offsets[i + 1] as usize]` — when
+    /// backed by [`ColumnData::Utf8`]. This is the flat form string
+    /// kernels iterate without per-row dispatch.
+    pub fn as_utf8(&self) -> Option<(&[u32], &[u8])> {
+        match &*self.data {
+            ColumnData::Utf8 { offsets, bytes } => {
+                Some((&offsets[self.start..=self.end], bytes.as_slice()))
+            }
+            _ => None,
+        }
+    }
+
     /// The string at view-relative row `row`, when backed by
     /// [`ColumnData::Utf8`].
     ///
@@ -389,6 +419,12 @@ impl SelectionVector {
             "selection rows must be strictly ascending"
         );
         self.rows.push(row);
+    }
+
+    /// Keeps only the first `n` selected rows (no-op when `n >= len` —
+    /// how `take` caps a filtered run without re-validating order).
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
     }
 
     /// The selected row indices, ascending.

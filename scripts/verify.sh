@@ -20,8 +20,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> perfstat (byte-identity across execution tiers + columnar gate)"
 # perfstat exits non-zero if any execution tier (coalesced, parallel,
 # jittered, fused-scalar, columnar) deviates from the interpreted
-# reference series, or if the columnar batch pass fails to beat the
-# interpreted per-element chain (columnar_speedup < 1.0).
+# reference series, if the batch passes' accounting (answer, finished
+# time, RNG draws, absorbed batches) diverges across tiers, or if a
+# batch pass drops below its speedup floor (take-sum < 1.3,
+# filter-heavy < 2.0).
 ./target/release/perfstat --out /tmp/perfstat-verify.json
 rm -f /tmp/perfstat-verify.json
 

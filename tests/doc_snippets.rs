@@ -70,7 +70,20 @@ fn check_doc(rel: &str, expect_at_least: usize) {
 
 #[test]
 fn scsql_reference_snippets_run() {
-    check_doc("docs/scsql_reference.md", 3);
+    check_doc("docs/scsql_reference.md", 4);
+}
+
+/// The filter-heavy columnar example embeds its query as one plain
+/// string literal; run that SCSQL through the shell too, so the
+/// example's query cannot rot even when the example binary itself is
+/// not built.
+#[test]
+fn columnar_filter_example_query_runs() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/columnar_filter.rs");
+    let text = std::fs::read_to_string(&path).expect("read example");
+    let start = text.find("\"select").expect("example embeds a query") + 1;
+    let end = start + text[start..].find(";\"").expect("query terminator") + 1;
+    run_snippet("examples/columnar_filter.rs", 0, &text[start..end]);
 }
 
 #[test]
