@@ -2,7 +2,8 @@
 //! throughput, batch hand-off cost (Arc-backed [`Batch`] slicing vs
 //! cloning the underlying tuples), the whole-column compute kernels
 //! (map / filter+gather / aggregate at 64, 4k, and 64k rows), the
-//! Figure 6 inner loop in both execution modes (per-event vs
+//! cross-SP relay hand-off against the marshal round trip at the same
+//! sizes, the Figure 6 inner loop in both execution modes (per-event vs
 //! train-coalesced), the fused stage programs against the interpreted
 //! fallback, and route-table lookups against fresh dimension-ordered
 //! route computation.
@@ -13,7 +14,7 @@ use scsq_core::HardwareSpec;
 use scsq_engine::columnar;
 use scsq_net::{TorusDims, TorusNet, TorusParams};
 use scsq_ql::batch::Batch;
-use scsq_ql::column::{Column, ColumnData};
+use scsq_ql::column::{ColRow, Column, ColumnData, ColumnarBatch};
 use scsq_ql::value::Value;
 use scsq_sim::{EventQueue, SimTime};
 use std::hint::black_box;
@@ -145,6 +146,48 @@ fn bench_column_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cross-SP relay hand-off against the marshal round trip it
+/// replaces. The relay forwards each surviving row as an `Arc`-backed
+/// [`ColRow`] handle and the receiver reassembles a contiguous
+/// same-view run with a zero-copy slice; the scalar path materializes
+/// every row as an owned `Value` on the way out and the columnar
+/// admission on the far side transposes the values back into columns.
+fn bench_relay_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_handoff");
+    for n in [64usize, 4_096, 65_536] {
+        let batch =
+            ColumnarBatch::from_values(&(0..n as i64).map(Value::Integer).collect::<Vec<_>>());
+        group.bench_with_input(BenchmarkId::new("col_handles", n), &batch, |b, batch| {
+            b.iter(|| {
+                // Sender side: one handle per surviving row.
+                let handles: Vec<ColRow> = (0..batch.rows() as u32)
+                    .map(|row| ColRow {
+                        batch: batch.clone(),
+                        row,
+                    })
+                    .collect();
+                // Receiver side: a contiguous same-view run reassembles
+                // without touching the payload.
+                let first = handles[0].row as usize;
+                let last = handles[handles.len() - 1].row as usize;
+                black_box(handles[0].batch.slice(first, last + 1))
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("marshal_roundtrip", n),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut vals = Vec::with_capacity(batch.rows());
+                    batch.to_values_into(&mut vals);
+                    black_box(ColumnarBatch::from_values(&vals))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The Figure 6 inner loop at a coalescing-friendly point (paper-size
 /// arrays, small MPI buffer => long periodic trains), in both modes.
 fn bench_fig6_inner(c: &mut Criterion) {
@@ -237,6 +280,7 @@ criterion_group!(
     bench_event_queue,
     bench_batch_handoff,
     bench_column_kernels,
+    bench_relay_handoff,
     bench_fig6_inner,
     bench_fused_vs_interpreted,
     bench_route_cache

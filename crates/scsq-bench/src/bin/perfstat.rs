@@ -4,7 +4,7 @@
 //! n-sweep), verifies that all paths produce bit-identical series, and
 //! emits a machine-readable JSON report.
 //!
-//! Usage: `perfstat [--jobs N] [--out PATH] [--metrics PATH]`
+//! Usage: `perfstat [--jobs N] [--out PATH] [--metrics PATH] [--smoke]`
 //!
 //! `--jobs` sets the parallel worker count (default: available
 //! parallelism); the sequential references always run at 1. `--out`
@@ -12,6 +12,9 @@
 //! `--metrics` additionally writes the aggregated metrics-hub snapshot;
 //! the hub stays enabled only for the warm-up pass so the timed passes
 //! are never perturbed (while disabled, recording is one atomic load).
+//! `--smoke` shrinks every workload (fewer arrays, shorter element
+//! streams) so the full pass structure — including every identity and
+//! speedup gate — finishes in CI time; the report records the mode.
 //!
 //! Timed passes:
 //!
@@ -46,8 +49,16 @@
 //!    integers), where the columnar path runs selection-vector kernels
 //!    instead of per-element dispatch. `filter_speedup` must stay
 //!    ≥ 2.0 against the interpreted reference.
+//! 7. **relay batch** — a *two-SP* pipeline: the upstream receiver
+//!    re-emits (`arith('*',3) → filter('>', 3n/2)`) into a downstream
+//!    `sum` fold. With the columnar pass on, the upstream SP relays
+//!    survivor rows as shared column handles across the stream channel
+//!    (one decomposition at the source, zero-copy hand-off at the far
+//!    end). `relay_speedup` is gated ≥ 1.3 against the **fused
+//!    scalar** leg — fusion already removed interpretation overhead, so
+//!    the ratio isolates what the cross-SP relay adds.
 //!
-//! Both batch passes additionally take one untimed *accounting* run per
+//! The batch passes additionally take one untimed *accounting* run per
 //! leg and record the query answer, completion time, RNG jitter-draw
 //! count and columnar batch count in the report. All three legs of a
 //! pass must agree on answer, completion time and draw count (the
@@ -70,20 +81,22 @@ const JITTER: f64 = 0.05;
 /// The workload scale: paper-size (3 MB) arrays — the regime the
 /// coalescer targets, where a single array spans thousands of buffer
 /// periods — and enough of them that the sequential per-event pass
-/// stays above two seconds of wall clock.
-fn perf_scale() -> Scale {
+/// stays above two seconds of wall clock. `--smoke` keeps the array
+/// size (the coalescing regime) but cuts the count so CI finishes the
+/// whole report in well under a minute.
+fn perf_scale(smoke: bool) -> Scale {
     Scale {
         array_bytes: 3_000_000,
-        arrays: 60,
+        arrays: if smoke { 8 } else { 60 },
         ..Scale::quick()
     }
 }
 
 /// The fixed workload: every Figure 6 buffer point plus the Figure 15
 /// n-sweep.
-fn workload(jobs: usize, mode: ExecMode) -> Result<Vec<Series>, ScsqError> {
+fn workload(jobs: usize, mode: ExecMode, smoke: bool) -> Result<Vec<Series>, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = perf_scale();
+    let scale = perf_scale(smoke);
     let mut series = fig6::run_with_jobs(&spec, scale, &buffer_sweep(), jobs, mode)?;
     series.extend(fig15::run_with_jobs(
         &spec,
@@ -128,9 +141,9 @@ fn jittered_points(
 }
 
 /// Runs the jittered grid and returns its bandwidth series.
-fn jittered_workload(jobs: usize, coalesce: bool) -> Result<Vec<Series>, ScsqError> {
+fn jittered_workload(jobs: usize, coalesce: bool, smoke: bool) -> Result<Vec<Series>, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = perf_scale();
+    let scale = perf_scale(smoke);
     let mut scsq = Scsq::with_spec(spec.clone());
     let points = jittered_points(&mut scsq, &spec, scale, coalesce)?;
     sweep(
@@ -218,6 +231,39 @@ fn filter_query(scale: Scale) -> String {
         half = 3 * n / 2,
         cap = 7 * n,
     )
+}
+
+/// The relay-pass query: a two-SP pipeline whose *upstream* receiver
+/// re-emits — `arith('*',3) → filter('>', 3n/2)` keeps roughly half the
+/// stream — feeding a downstream `sum` fold. With the columnar pass on,
+/// the upstream SP relays survivor rows as shared column handles across
+/// the b→c stream channel: one decomposition at the source, zero-copy
+/// hand-off at the far end, and the downstream fold absorbs the
+/// delivered column views without re-marshaling.
+fn relay_query(scale: Scale) -> String {
+    let n = scale.arrays;
+    format!(
+        "select extract(c) \
+         from sp a, sp b1, sp c \
+         where c=sp(streamof(sum(extract(b1))), 'bg', 0) \
+         and b1=sp(filter(arith(extract(a), '*', 3), '>', {half}), 'bg', 2) \
+         and a=sp(streamof(iota(1,{n})),'bg',1);",
+        half = 3 * n as i64 / 2,
+    )
+}
+
+/// The commit the report was produced from, for traceability of
+/// archived sweeps; `"unknown"` outside a git work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Prepares a batch-pass pipeline at the element-dense scale for one
@@ -376,9 +422,9 @@ fn pass_accounting(label: &str, query: fn(Scale) -> String, arrays: u64) -> (Leg
 
 /// Counts the simulated events the jittered grid executes, by re-running
 /// it with an event-count metric.
-fn jittered_events(jobs: usize) -> Result<f64, ScsqError> {
+fn jittered_events(jobs: usize, smoke: bool) -> Result<f64, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = perf_scale();
+    let scale = perf_scale(smoke);
     let mut scsq = Scsq::with_spec(spec.clone());
     let points = jittered_points(&mut scsq, &spec, scale, false)?;
     let counts = sweep(
@@ -395,9 +441,9 @@ fn jittered_events(jobs: usize) -> Result<f64, ScsqError> {
 /// for every `jobs` value and both coalescing modes — the coalescer
 /// counts analytically skipped events as executed), by re-running the
 /// same grid with an event-count metric.
-fn workload_events(jobs: usize) -> Result<f64, ScsqError> {
+fn workload_events(jobs: usize, smoke: bool) -> Result<f64, ScsqError> {
     let spec = HardwareSpec::lofar();
-    let scale = perf_scale();
+    let scale = perf_scale(smoke);
     let mut total = 0.0;
 
     let mut scsq = Scsq::with_spec(spec.clone());
@@ -450,6 +496,7 @@ fn workload_events(jobs: usize) -> Result<f64, ScsqError> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let jobs = parse_jobs(&args);
+    let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -465,7 +512,7 @@ fn main() {
     if metrics.is_some() {
         scsq_core::metrics::hub().enable(true);
     }
-    workload(jobs, ExecMode::default()).unwrap_or_else(|e| fail(e));
+    workload(jobs, ExecMode::default(), smoke).unwrap_or_else(|e| fail(e));
     if let Some(path) = &metrics {
         scsq_core::metrics::hub().enable(false);
         write_hub_metrics(path).unwrap_or_else(|e| {
@@ -479,24 +526,24 @@ fn main() {
         ..ExecMode::default()
     };
     let t0 = Instant::now();
-    let per_event = workload(1, per_event_mode).unwrap_or_else(|e| fail(e));
+    let per_event = workload(1, per_event_mode, smoke).unwrap_or_else(|e| fail(e));
     let per_event_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let coalesced = workload(1, ExecMode::default()).unwrap_or_else(|e| fail(e));
+    let coalesced = workload(1, ExecMode::default(), smoke).unwrap_or_else(|e| fail(e));
     let coalesced_s = t1.elapsed().as_secs_f64();
 
     let t2 = Instant::now();
-    let parallel = workload(jobs, ExecMode::default()).unwrap_or_else(|e| fail(e));
+    let parallel = workload(jobs, ExecMode::default(), smoke).unwrap_or_else(|e| fail(e));
     let parallel_s = t2.elapsed().as_secs_f64();
 
     // The jittered pass: every element takes the fused per-event path.
     let t3 = Instant::now();
-    let jittered = jittered_workload(1, false).unwrap_or_else(|e| fail(e));
+    let jittered = jittered_workload(1, false, smoke).unwrap_or_else(|e| fail(e));
     let jittered_s = t3.elapsed().as_secs_f64();
     // Control: coalescing enabled must change nothing, because jitter
     // makes every period digest unique.
-    let jittered_control = jittered_workload(1, true).unwrap_or_else(|e| fail(e));
+    let jittered_control = jittered_workload(1, true, smoke).unwrap_or_else(|e| fail(e));
 
     // The batch passes: element-dense batches through the interpreted
     // per-element reference, the fused per-element scalar path, and the
@@ -504,19 +551,23 @@ fn main() {
     // once over the filter-heavy pipeline. A short untimed run of each
     // pipeline first, so the first timed leg does not absorb the pass's
     // first-touch costs and skew the ratios.
-    const COLUMNAR_ARRAYS: u64 = 1_000_000;
-    const COLUMNAR_REPS: usize = 3;
-    for query in [columnar_query as fn(Scale) -> String, filter_query] {
+    let columnar_arrays: u64 = if smoke { 150_000 } else { 1_000_000 };
+    let columnar_reps: usize = 3;
+    for query in [
+        columnar_query as fn(Scale) -> String,
+        filter_query,
+        relay_query,
+    ] {
         let (scale, points) =
-            batch_points(query, COLUMNAR_ARRAYS / 10, true, true).unwrap_or_else(|e| fail(e));
+            batch_points(query, columnar_arrays / 10, true, true).unwrap_or_else(|e| fail(e));
         batch_run("warm-up", scale, &points).unwrap_or_else(|e| fail(e));
     }
     let take_sum = |fuse, columnar| {
         timed_leg(
             "take-sum columnar",
             columnar_query,
-            COLUMNAR_ARRAYS,
-            COLUMNAR_REPS,
+            columnar_arrays,
+            columnar_reps,
             fuse,
             columnar,
         )
@@ -534,8 +585,8 @@ fn main() {
         timed_leg(
             "filter columnar",
             filter_query,
-            COLUMNAR_ARRAYS,
-            COLUMNAR_REPS,
+            columnar_arrays,
+            columnar_reps,
             fuse,
             columnar,
         )
@@ -545,12 +596,33 @@ fn main() {
     let (filter_on_s, filter_on) = filter_heavy(true, true);
     let filter_speedup = filter_ref_s / filter_on_s;
 
+    // The relay pass: a two-SP pipeline whose upstream chain re-emits
+    // survivor rows as column handles across the stream channel, folded
+    // downstream. Its gate is against the fused *scalar* leg — the
+    // relay's gain must come from the columnar hand-off itself, not
+    // from fusion.
+    let relay = |fuse, columnar| {
+        timed_leg(
+            "relay columnar",
+            relay_query,
+            columnar_arrays,
+            columnar_reps,
+            fuse,
+            columnar,
+        )
+    };
+    let (relay_ref_s, relay_ref) = relay(false, false);
+    let (relay_scalar_s, relay_scalar) = relay(true, false);
+    let (relay_on_s, relay_on) = relay(true, true);
+    let relay_speedup = relay_scalar_s / relay_on_s;
+
     // Accounting runs: one untimed execution per leg, proving the RNG
     // and simulated-time contract and counting absorbed batches.
     let (columnar_acct, columnar_acct_ok) =
-        pass_accounting("take-sum", columnar_query, COLUMNAR_ARRAYS);
-    let (filter_acct, filter_acct_ok) = pass_accounting("filter", filter_query, COLUMNAR_ARRAYS);
-    let accounting_ok = columnar_acct_ok && filter_acct_ok;
+        pass_accounting("take-sum", columnar_query, columnar_arrays);
+    let (filter_acct, filter_acct_ok) = pass_accounting("filter", filter_query, columnar_arrays);
+    let (relay_acct, relay_acct_ok) = pass_accounting("relay", relay_query, columnar_arrays);
+    let accounting_ok = columnar_acct_ok && filter_acct_ok && relay_acct_ok;
 
     let identical = per_event == coalesced
         && coalesced == parallel
@@ -558,7 +630,9 @@ fn main() {
         && columnar_ref == columnar_scalar
         && columnar_scalar == columnar_on
         && filter_ref == filter_scalar
-        && filter_scalar == filter_on;
+        && filter_scalar == filter_on
+        && relay_ref == relay_scalar
+        && relay_scalar == relay_on;
     if !identical {
         eprintln!(
             "ERROR: coalesced/parallel/jittered/columnar/filter series differ from their \
@@ -577,9 +651,15 @@ fn main() {
              interpreted vs {filter_on_s:.3}s columnar)"
         );
     }
+    if relay_speedup < 1.3 {
+        eprintln!(
+            "ERROR: relay columnar pass fell below its 1.3x floor ({relay_scalar_s:.3}s \
+             fused scalar vs {relay_on_s:.3}s columnar)"
+        );
+    }
 
-    let events = workload_events(jobs).unwrap_or_else(|e| fail(e));
-    let jit_events = jittered_events(jobs).unwrap_or_else(|e| fail(e));
+    let events = workload_events(jobs, smoke).unwrap_or_else(|e| fail(e));
+    let jit_events = jittered_events(jobs, smoke).unwrap_or_else(|e| fail(e));
     let coalesce_speedup = per_event_s / coalesced_s;
 
     // The true machine parallelism, straight from the OS (the --jobs
@@ -601,8 +681,12 @@ fn main() {
     };
 
     let per_event_eps = jit_events / jittered_s;
+    let commit = git_commit();
+    let sweep_arrays = perf_scale(smoke).arrays;
     let json = format!(
-        "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, 3 MB arrays x60\",\n  \
+        "{{\n  \"workload\": \"fig6 buffer sweep + fig15 n-sweep, 3 MB arrays x{sweep_arrays}\",\n  \
+         \"git_commit\": \"{commit}\",\n  \
+         \"smoke\": {smoke},\n  \
          \"host_parallelism\": {host},\n  \
          \"jobs\": {jobs},\n  \
          \"series_identical\": {identical},\n  \
@@ -611,14 +695,16 @@ fn main() {
          \"sequential_coalesced\": {{ \"wall_s\": {coalesced_s:.4}, \"events_per_s\": {co_eps:.0} }},\n  \
          \"parallel_coalesced\": {{ \"wall_s\": {parallel_s:.4}, \"events_per_s\": {pa_eps:.0} }},\n  \
          \"jittered_per_event\": {{ \"wall_s\": {jittered_s:.4}, \"events\": {jit_events}, \"events_per_s\": {per_event_eps:.0} }},\n  \
-         \"columnar_batch\": {{ \"workload\": {{ \"pipeline\": \"take-sum\", \"elements\": {COLUMNAR_ARRAYS}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {COLUMNAR_REPS}\" }}, \"wall_interpreted_s\": {columnar_ref_s:.4}, \"wall_fused_scalar_s\": {columnar_scalar_s:.4}, \"wall_columnar_s\": {columnar_on_s:.4}, \"finished_ns\": {c_fin}, \"jitter_draws\": {c_draws}, \"columnar_batches\": {c_batches} }},\n  \
+         \"columnar_batch\": {{ \"workload\": {{ \"pipeline\": \"take-sum\", \"elements\": {columnar_arrays}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {columnar_reps}\" }}, \"wall_interpreted_s\": {columnar_ref_s:.4}, \"wall_fused_scalar_s\": {columnar_scalar_s:.4}, \"wall_columnar_s\": {columnar_on_s:.4}, \"finished_ns\": {c_fin}, \"jitter_draws\": {c_draws}, \"columnar_batches\": {c_batches} }},\n  \
          \"columnar_speedup\": {columnar_speedup:.3},\n  \
-         \"filter_batch\": {{ \"workload\": {{ \"pipeline\": \"arith x3, filter, arith, cmp, count\", \"elements\": {COLUMNAR_ARRAYS}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {COLUMNAR_REPS}\" }}, \"wall_interpreted_s\": {filter_ref_s:.4}, \"wall_fused_scalar_s\": {filter_scalar_s:.4}, \"wall_columnar_s\": {filter_on_s:.4}, \"finished_ns\": {f_fin}, \"jitter_draws\": {f_draws}, \"columnar_batches\": {f_batches} }},\n  \
+         \"filter_batch\": {{ \"workload\": {{ \"pipeline\": \"arith x3, filter, arith, cmp, count\", \"elements\": {columnar_arrays}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {columnar_reps}\" }}, \"wall_interpreted_s\": {filter_ref_s:.4}, \"wall_fused_scalar_s\": {filter_scalar_s:.4}, \"wall_columnar_s\": {filter_on_s:.4}, \"finished_ns\": {f_fin}, \"jitter_draws\": {f_draws}, \"columnar_batches\": {f_batches} }},\n  \
          \"filter_speedup\": {filter_speedup:.3},\n  \
+         \"relay_batch\": {{ \"workload\": {{ \"pipeline\": \"arith-filter relay -> sum\", \"elements\": {columnar_arrays}, \"elem_marshaled_bytes\": 9, \"mpi_buffer\": 50000, \"service_jitter\": {JITTER}, \"reps\": \"min of {columnar_reps}\" }}, \"wall_interpreted_s\": {relay_ref_s:.4}, \"wall_fused_scalar_s\": {relay_scalar_s:.4}, \"wall_columnar_s\": {relay_on_s:.4}, \"finished_ns\": {r_fin}, \"jitter_draws\": {r_draws}, \"columnar_batches\": {r_batches} }},\n  \
+         \"relay_speedup\": {relay_speedup:.3},\n  \
          \"accounting_identical\": {accounting_ok},\n  \
          \"per_event_events_per_s\": {per_event_eps:.0},\n  \
          \"coalesce_speedup\": {coalesce_speedup:.3},\n  \
-         \"coalesce_workload\": {{ \"sweep\": \"fig6 buffers x2 + fig15 n=1..4\", \"array_bytes\": 3000000, \"arrays\": 60, \"service_jitter\": 0.0 }},\n  \
+         \"coalesce_workload\": {{ \"sweep\": \"fig6 buffers x2 + fig15 n=1..4\", \"array_bytes\": 3000000, \"arrays\": {sweep_arrays}, \"service_jitter\": 0.0 }},\n  \
          \"parallel_speedup\": {parallel_speedup}{parallel_note}\n}}\n",
         pe_eps = events / per_event_s,
         co_eps = events / coalesced_s,
@@ -629,6 +715,9 @@ fn main() {
         f_fin = filter_acct.finished_ns,
         f_draws = filter_acct.jitter_draws,
         f_batches = filter_acct.columnar_batches,
+        r_fin = relay_acct.finished_ns,
+        r_draws = relay_acct.jitter_draws,
+        r_batches = relay_acct.columnar_batches,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -636,7 +725,12 @@ fn main() {
     }
     print!("{json}");
     eprintln!("wrote {out_path}");
-    if !identical || !accounting_ok || columnar_speedup < 1.3 || filter_speedup < 2.0 {
+    if !identical
+        || !accounting_ok
+        || columnar_speedup < 1.3
+        || filter_speedup < 2.0
+        || relay_speedup < 1.3
+    {
         std::process::exit(1);
     }
 }

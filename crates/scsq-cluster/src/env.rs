@@ -400,6 +400,41 @@ impl Environment {
         server.serve(ready, total).finish
     }
 
+    /// Per-element form of [`Environment::compute_bulk`] that reports
+    /// each element's individual finish time into `out` (cleared first).
+    /// Call-for-call identical to `count` successive
+    /// [`Environment::compute`] calls at the same `ready` — same serve
+    /// sequence, same jitter-draw positions — so a relay that forwards
+    /// each survivor at its own compute-finish time stays byte-identical
+    /// to the scalar walk while resolving the service rate once.
+    /// `bytes_equiv == 0` fills `out` with `ready` without drawing,
+    /// matching the per-element fast path.
+    pub fn compute_each(
+        &mut self,
+        node: NodeId,
+        bytes_equiv: u64,
+        count: u64,
+        ready: SimTime,
+        out: &mut Vec<SimTime>,
+    ) {
+        out.clear();
+        if bytes_equiv == 0 {
+            out.resize(count as usize, ready);
+            return;
+        }
+        let rate = match node.cluster {
+            ClusterName::BlueGene => self.spec.cn_marshal.bytes_per_sec(),
+            _ => self.spec.linux_marshal.bytes_per_sec(),
+        };
+        let base = SimDur::for_bytes(bytes_equiv, rate);
+        for _ in 0..count {
+            let factor = self.jitter_factor();
+            let service = if factor == 1.0 { base } else { base * factor };
+            let (server, _) = self.tx_server(node, false);
+            out.push(server.serve(ready, service).finish);
+        }
+    }
+
     /// Charges de-marshaling CPU time (§2.3 step v) on `node` for a
     /// buffer of `flow` received over `carrier`; BlueGene compute nodes
     /// pay a switch penalty when alternating between flows, and TCP
@@ -820,6 +855,29 @@ mod tests {
         let b = env.place(ClusterName::BlueGene, &AllocSeq::Any).unwrap();
         assert_eq!(a, NodeId::bg(0));
         assert_eq!(b, NodeId::bg(1));
+    }
+
+    #[test]
+    fn compute_each_matches_successive_computes() {
+        // The relay charges a batch with one `compute_each` call; it
+        // must be call-for-call identical to n scalar `compute` calls —
+        // same serve sequence, same jitter-draw positions — under
+        // jitter and without.
+        for amp in [0.0, 0.05] {
+            let ready = SimTime::from_micros(3);
+            let scalar = {
+                let mut env = Environment::lofar();
+                env.set_service_jitter(amp);
+                (0..7)
+                    .map(|_| env.compute(NodeId::bg(2), 9, ready))
+                    .collect::<Vec<_>>()
+            };
+            let mut env = Environment::lofar();
+            env.set_service_jitter(amp);
+            let mut each = Vec::new();
+            env.compute_each(NodeId::bg(2), 9, 7, ready, &mut each);
+            assert_eq!(each, scalar, "jitter amplitude {amp}");
+        }
     }
 
     #[test]

@@ -630,6 +630,62 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_and_selection_survive_non_word_lengths() {
+        // 127 rows straddle the validity bitmap's 64-bit words;
+        // invalidate rows on both sides of the word boundary and at the
+        // tail, and check every kernel that consults validity.
+        let n = 127usize;
+        let xs: Vec<i64> = (0..n as i64).collect();
+        let dead = [0usize, 63, 64, 65, 126];
+        let mut validity = ValidityBitmap::new_valid(n);
+        for &i in &dead {
+            validity.set_invalid(i);
+        }
+        let c = Column::with_validity(ColumnData::Int64(xs.clone()), validity);
+        assert_eq!(count(&c), n - dead.len());
+        let expected: i64 = (0..n as i64)
+            .filter(|i| !dead.contains(&(*i as usize)))
+            .sum();
+        assert_eq!(sum_i64(&c), Some(expected));
+        // An all-true mask over the same validity keeps exactly the
+        // valid rows, in order.
+        let mask = cmp_lt_i64(&c, n as i64).unwrap();
+        let sel = filter_to_selection(&mask).unwrap();
+        assert_eq!(sel.rows().len(), n - dead.len());
+        assert!(dead.iter().all(|&d| !sel.rows().contains(&(d as u32))));
+        let gathered = take(&c, &sel);
+        assert!(gathered.all_valid());
+        assert_eq!(sum_i64(&gathered), Some(expected));
+        // Narrowing by a second mask at the word boundary composes.
+        let second = cmp_lt_i64(&c, 64).unwrap();
+        let narrowed = intersect_selection(&second, &sel).unwrap();
+        assert_eq!(
+            narrowed.rows().len(),
+            (0..64).filter(|i| !dead.contains(i)).count()
+        );
+    }
+
+    #[test]
+    fn empty_selection_batches_flow_through_kernels() {
+        // 70 rows (not a word multiple), nothing survives the filter:
+        // the empty selection must compose and gather to empty without
+        // touching fold state.
+        let c = ints(&(0..70).collect::<Vec<i64>>());
+        let mask = cmp_lt_i64(&c, 0).unwrap();
+        let sel = filter_to_selection(&mask).unwrap();
+        assert!(sel.rows().is_empty());
+        let taken = take(&c, &sel);
+        assert_eq!(taken.len(), 0);
+        assert_eq!(count(&taken), 0);
+        assert_eq!(sum_i64(&taken), Some(0));
+        let narrowed = intersect_selection(&mask, &sel).unwrap();
+        assert!(narrowed.rows().is_empty());
+        let (mut cnt, mut sum) = (7i64, 40i64);
+        fold_sum_i64(&mut cnt, &mut sum, taken.as_i64().unwrap());
+        assert_eq!((cnt, sum), (7, 40));
+    }
+
+    #[test]
     fn aggregate_kernels_match_scalar_folds() {
         let c = ints(&[3, -1, 4]);
         assert_eq!(count(&c), 3);

@@ -28,6 +28,7 @@ pub fn explain_graph(graph: &QueryGraph) -> String {
             sp.node.to_string(),
             describe_pipeline(&sp.pipeline)
         );
+        write_verdicts(&mut out, &sp.pipeline);
     }
     let _ = writeln!(
         out,
@@ -35,6 +36,7 @@ pub fn explain_graph(graph: &QueryGraph) -> String {
         graph.client_node.to_string(),
         describe_pipeline(&graph.client)
     );
+    write_verdicts(&mut out, &graph.client);
     let mut streams = Vec::new();
     let mut collect = |producers: &[SpHandle], dst: String, dst_cluster: ClusterName| {
         for p in producers {
@@ -75,6 +77,17 @@ pub fn explain_graph(graph: &QueryGraph) -> String {
     out
 }
 
+/// Appends one indented line per stage with its static
+/// columnar-admission verdict (`columnar` / `columnar (relay)` /
+/// `scalar: <reason>`), so rejected shapes are diagnosable from the
+/// set-up report alone.
+fn write_verdicts(out: &mut String, p: &Pipeline) {
+    let verdicts = crate::fused::admission_verdicts(&p.stages);
+    for (stage, verdict) in p.stages.iter().zip(&verdicts) {
+        let _ = writeln!(out, "      {:<20} {}", describe_stage(stage), verdict);
+    }
+}
+
 /// One-line description of a compiled SQEP.
 pub fn describe_pipeline(p: &Pipeline) -> String {
     let mut s = match &p.input {
@@ -99,24 +112,27 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
     };
     for stage in &p.stages {
         s.push_str(" | ");
-        s.push_str(&match stage {
-            Stage::Map(f) => format!("{f:?}").to_lowercase(),
-            Stage::Agg(k) => format!("{k:?}").to_lowercase(),
-            Stage::StreamOf => "streamof".to_string(),
-            Stage::RadixCombine { first, second } => {
-                format!("radixcombine(sp#{}, sp#{})", first.0, second.0)
-            }
-            Stage::Window(w) => {
-                format!("winagg({}, {}, {:?})", w.size, w.slide, w.agg).to_lowercase()
-            }
-            Stage::Take { limit } => format!("take({limit})"),
-            Stage::Bandwidth => "bandwidth".to_string(),
-            Stage::Arith { op, rhs } => format!("arith({} {rhs})", op.symbol()),
-            Stage::Cmp { op, rhs } => format!("cmp({} {rhs})", op.symbol()),
-            Stage::Filter { op, rhs } => format!("filter({} {rhs})", op.symbol()),
-        });
+        s.push_str(&describe_stage(stage));
     }
     s
+}
+
+/// One-token description of a single SQEP stage.
+fn describe_stage(stage: &Stage) -> String {
+    match stage {
+        Stage::Map(f) => format!("{f:?}").to_lowercase(),
+        Stage::Agg(k) => format!("{k:?}").to_lowercase(),
+        Stage::StreamOf => "streamof".to_string(),
+        Stage::RadixCombine { first, second } => {
+            format!("radixcombine(sp#{}, sp#{})", first.0, second.0)
+        }
+        Stage::Window(w) => format!("winagg({}, {}, {:?})", w.size, w.slide, w.agg).to_lowercase(),
+        Stage::Take { limit } => format!("take({limit})"),
+        Stage::Bandwidth => "bandwidth".to_string(),
+        Stage::Arith { op, rhs } => format!("arith({} {rhs})", op.symbol()),
+        Stage::Cmp { op, rhs } => format!("cmp({} {rhs})", op.symbol()),
+        Stage::Filter { op, rhs } => format!("filter({} {rhs})", op.symbol()),
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +198,62 @@ mod tests {
         );
         assert!(text.contains("metrics[sp#0]"), "{text}");
         assert!(text.contains("| bandwidth | streamof"), "{text}");
+    }
+
+    #[test]
+    fn annotates_absorbing_chains_with_columnar_verdicts() {
+        let text = explain(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(3000000,100),'bg',1);",
+        );
+        // count absorbs columnar; streamof only ever sees the flush.
+        assert!(text.contains("count                columnar"), "{text}");
+        assert!(
+            text.contains("streamof             scalar: after the absorber (sees only the flush)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn annotates_relay_chains_and_blocked_chains() {
+        let text = explain(
+            "select extract(b) from sp a, sp b
+             where b=sp(filter(arith(extract(a), '*', 3), '>', 10), 'bg', 0)
+             and a=sp(streamof(iota(1,100)),'bg',1);",
+        );
+        assert!(
+            text.contains("arith(* 3)           columnar (relay)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("filter(> 10)         columnar (relay)"),
+            "{text}"
+        );
+
+        let text = explain(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(winagg(extract(a), 2, 2, 'count')), 'bg', 0)
+             and a=sp(gen_array(10000,6),'bg',1);",
+        );
+        assert!(
+            text.contains("winagg(2, 2, count)  scalar: no whole-column kernel"),
+            "{text}"
+        );
+        assert!(
+            text.contains("streamof             scalar: chain blocked by a non-vectorizable stage"),
+            "{text}"
+        );
+
+        let text = explain(
+            "select extract(b) from sp a, sp b
+             where b=sp(take(extract(a), 3), 'bg', 0)
+             and a=sp(gen_array(10000,9),'bg',1);",
+        );
+        assert!(
+            text.contains("take(3)              scalar: chain neither absorbs nor transforms"),
+            "{text}"
+        );
     }
 
     #[test]

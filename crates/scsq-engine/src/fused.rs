@@ -162,6 +162,14 @@ pub struct FusedChain {
     /// reconstruct leftover tuples. Per-batch typing is checked by
     /// [`FusedChain::columnar_admit`].
     columnar_ok: bool,
+    /// Whether relay admission may apply: no absorber, every stage is a
+    /// re-emitting vectorizable stage (`streamof` / `take` / `arith` /
+    /// `cmp` / `filter`), and at least one actually transforms or
+    /// filters — the chain then rewrites a column and re-emits it
+    /// downstream as shared column rows instead of reconstructing
+    /// tuples. Per-batch typing is checked by
+    /// [`FusedChain::relay_admit_cols`].
+    relay_ok: bool,
     /// Whether any stage charges modeled compute cost. Costly chains
     /// only admit batches whose elements share one marshaled size, so
     /// the runtime can charge the whole batch in bulk (same total, same
@@ -185,6 +193,20 @@ pub struct ColumnarAdmit {
     pub elem_bytes: u64,
 }
 
+/// A batch cleared for relay execution by
+/// [`FusedChain::relay_admit_cols`]: a typed single-column view the
+/// chain will rewrite and re-emit downstream, plus the bulk
+/// cost-accounting facts (relay chains always contain a cost op, so
+/// the uniform-stride requirement always applies).
+#[derive(Debug)]
+pub struct RelayAdmit {
+    cols: ColumnarBatch,
+    /// Number of elements in the admitted batch.
+    pub rows: usize,
+    /// Marshaled size shared by every input element.
+    pub elem_bytes: u64,
+}
+
 /// Column type flowing between stages during the admission walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ColType {
@@ -194,7 +216,78 @@ enum ColType {
     Str,
     Synthetic,
     Metric,
+    /// A non-metric multi-column batch: tuples flowing as parallel
+    /// typed columns. Pass-through and counting stages admit it;
+    /// elementwise transforms and numeric folds decline.
+    Record,
     Other,
+}
+
+/// The type a batch presents to the first stage: the three-column
+/// metric shape, a multi-column record, a typed single column, or the
+/// opaque fallback (which only `count` absorbs). Columns with invalid
+/// rows are opaque — scalar semantics have no notion of a masked row
+/// entering a chain.
+fn batch_col_type(cols: &ColumnarBatch) -> ColType {
+    if cols.width() == 3
+        && METRIC_COLUMNS
+            .iter()
+            .zip(cols.columns())
+            .all(|(want, (name, _))| name == want)
+    {
+        return ColType::Metric;
+    }
+    if cols.width() > 1 {
+        return if cols.columns().iter().all(|(_, c)| c.all_valid()) {
+            ColType::Record
+        } else {
+            ColType::Other
+        };
+    }
+    match cols.single() {
+        Some(c) if !c.all_valid() => ColType::Other,
+        Some(c) if c.as_i64().is_some() => ColType::Int,
+        Some(c) if c.as_f64().is_some() => ColType::Float,
+        Some(c) if c.as_bool().is_some() => ColType::Bool,
+        Some(c) if c.as_synthetic().is_some() => ColType::Synthetic,
+        Some(c) if c.as_utf8().is_some() => ColType::Str,
+        _ => ColType::Other,
+    }
+}
+
+/// One step of the admission type flow for a non-absorbing stage:
+/// the column type a stage emits given the type flowing into it, or
+/// `None` when the stage has no kernel for that type (the batch then
+/// falls back to the per-element path). Shared by the absorber and
+/// relay admission walks so the two lattices cannot drift apart.
+fn transform_type(state: &StageState, ty: ColType) -> Option<ColType> {
+    match state {
+        StageState::StreamOf | StageState::Take { .. } => Some(ty),
+        StageState::Map(_) => (ty == ColType::Synthetic).then_some(ty),
+        StageState::Arith { rhs, .. } => match (ty, rhs) {
+            (ColType::Int, Value::Integer(_)) => Some(ColType::Int),
+            (ColType::Int, Value::Real(_)) => Some(ColType::Float),
+            (ColType::Float, Value::Integer(_) | Value::Real(_)) => Some(ColType::Float),
+            _ => None,
+        },
+        StageState::Cmp { rhs, .. } | StageState::Filter { rhs, .. } => {
+            let ok = matches!(
+                (ty, rhs),
+                (
+                    ColType::Int | ColType::Float,
+                    Value::Integer(_) | Value::Real(_)
+                ) | (ColType::Str, Value::Str(_))
+            );
+            if !ok {
+                None
+            } else if matches!(state, StageState::Cmp { .. }) {
+                Some(ColType::Bool)
+            } else {
+                Some(ty)
+            }
+        }
+        _ => None,
+    }
 }
 
 impl FusedChain {
@@ -217,12 +310,30 @@ impl FusedChain {
         let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
         let columnar_ok =
             program.stages.iter().all(vectorizable) && program.stages.iter().any(absorber);
+        let relayable = |s: &Stage| {
+            matches!(
+                s,
+                Stage::StreamOf
+                    | Stage::Take { .. }
+                    | Stage::Arith { .. }
+                    | Stage::Cmp { .. }
+                    | Stage::Filter { .. }
+            )
+        };
+        let transform = |s: &Stage| {
+            matches!(
+                s,
+                Stage::Arith { .. } | Stage::Cmp { .. } | Stage::Filter { .. }
+            )
+        };
+        let relay_ok = program.stages.iter().all(relayable) && program.stages.iter().any(transform);
         FusedChain {
             chain: StageChain::from_stages(&program.stages),
             ops,
             cur: Vec::new(),
             nxt: Vec::new(),
             columnar_ok,
+            relay_ok,
             costly: !program.cost_ops.is_empty(),
         }
     }
@@ -317,59 +428,22 @@ impl FusedChain {
         if !self.columnar_ok || batch.len() < 2 {
             return None;
         }
-        let cols = ColumnarBatch::from_batch(batch);
-        let initial = if cols.width() == 3
-            && METRIC_COLUMNS
-                .iter()
-                .zip(cols.columns())
-                .all(|(want, (name, _))| name == want)
-        {
-            ColType::Metric
-        } else {
-            match cols.single() {
-                Some(c) if !c.all_valid() => ColType::Other,
-                Some(c) if c.as_i64().is_some() => ColType::Int,
-                Some(c) if c.as_f64().is_some() => ColType::Float,
-                Some(c) if c.as_bool().is_some() => ColType::Bool,
-                Some(c) if c.as_synthetic().is_some() => ColType::Synthetic,
-                Some(c) if c.as_utf8().is_some() => ColType::Str,
-                _ => ColType::Other,
-            }
-        };
+        self.columnar_admit_cols(&ColumnarBatch::from_batch(batch))
+    }
 
+    /// [`FusedChain::columnar_admit`] over an already-transposed batch
+    /// — the entry the runtime uses for relayed columns, where the
+    /// columns arrive shared from the upstream chain and transposing
+    /// again would waste the hand-off.
+    pub fn columnar_admit_cols(&self, cols: &ColumnarBatch) -> Option<ColumnarAdmit> {
+        if !self.columnar_ok || cols.is_empty() {
+            return None;
+        }
+        let initial = batch_col_type(cols);
         let mut ty = initial;
         let mut admitted = false;
         for state in &self.chain.stages {
             match state {
-                StageState::StreamOf | StageState::Take { .. } => {}
-                StageState::Map(_) => {
-                    if ty != ColType::Synthetic {
-                        return None;
-                    }
-                }
-                StageState::Arith { rhs, .. } => {
-                    ty = match (ty, rhs) {
-                        (ColType::Int, Value::Integer(_)) => ColType::Int,
-                        (ColType::Int, Value::Real(_)) => ColType::Float,
-                        (ColType::Float, Value::Integer(_) | Value::Real(_)) => ColType::Float,
-                        _ => return None,
-                    };
-                }
-                StageState::Cmp { rhs, .. } | StageState::Filter { rhs, .. } => {
-                    let ok = matches!(
-                        (ty, rhs),
-                        (
-                            ColType::Int | ColType::Float,
-                            Value::Integer(_) | Value::Real(_)
-                        ) | (ColType::Str, Value::Str(_))
-                    );
-                    if !ok {
-                        return None;
-                    }
-                    if matches!(state, StageState::Cmp { .. }) {
-                        ty = ColType::Bool;
-                    }
-                }
                 StageState::Agg { kind, .. } => {
                     if *kind != AggKind::Count && !matches!(ty, ColType::Int | ColType::Float) {
                         return None;
@@ -384,22 +458,124 @@ impl FusedChain {
                     admitted = true;
                     break;
                 }
-                _ => return None,
+                other => ty = transform_type(other, ty)?,
             }
         }
         if !admitted {
             return None;
         }
         let elem_bytes = if self.costly {
-            uniform_elem_bytes(&cols, initial)?
+            uniform_elem_bytes(cols, initial)?
         } else {
             0
         };
         Some(ColumnarAdmit {
             rows: cols.rows(),
-            cols,
+            cols: cols.clone(),
             elem_bytes,
         })
+    }
+
+    /// Decides, without mutating anything, whether an already-transposed
+    /// batch qualifies for relay execution: the chain re-emits (no
+    /// absorber, [`relay_ok`](FusedChain) shape), the batch is one
+    /// all-valid typed column, the type flow clears every stage, and the
+    /// elements share one marshaled stride (relay chains always charge
+    /// compute cost, so bulk accounting needs it). The admitted batch
+    /// runs through [`FusedChain::process_relayed`].
+    pub fn relay_admit_cols(&self, cols: &ColumnarBatch) -> Option<RelayAdmit> {
+        if !self.relay_ok || cols.is_empty() {
+            return None;
+        }
+        let initial = batch_col_type(cols);
+        if !matches!(
+            initial,
+            ColType::Int | ColType::Float | ColType::Bool | ColType::Str | ColType::Synthetic
+        ) {
+            return None;
+        }
+        let mut ty = initial;
+        for state in &self.chain.stages {
+            ty = transform_type(state, ty)?;
+        }
+        let elem_bytes = uniform_elem_bytes(cols, initial)?;
+        Some(RelayAdmit {
+            rows: cols.rows(),
+            cols: cols.clone(),
+            elem_bytes,
+        })
+    }
+
+    /// Runs a relay-admitted batch through the chain as whole columns
+    /// and returns the surviving rows as a fresh single-column batch
+    /// (named `"v"`), ready to travel downstream as shared column rows.
+    ///
+    /// The second return value maps output rows to input rows: `None`
+    /// means the output is a prefix of the input (only dense stages and
+    /// `take` ran), `Some(sel)` means output row `j` came from input
+    /// row `sel.rows()[j]` (a filter ran). The caller needs the mapping
+    /// to emit each survivor at the finish time of the *input* element
+    /// that produced it, exactly as the per-element path does.
+    ///
+    /// The caller must have charged the per-element compute cost
+    /// already (charge-then-process, as everywhere else).
+    pub fn process_relayed(
+        &mut self,
+        admit: RelayAdmit,
+    ) -> (ColumnarBatch, Option<SelectionVector>) {
+        let mut cur: Column = admit.cols.single().expect("relay admits single column");
+        let mut sel: Option<SelectionVector> = None;
+        for state in &mut self.chain.stages {
+            match state {
+                StageState::StreamOf => {}
+                StageState::Map(f) => {
+                    cur = columnar::map_synthetic(&cur, *f).expect("admitted: synthetic column");
+                }
+                StageState::Arith { op, rhs } => {
+                    cur = match rhs {
+                        Value::Integer(k) if cur.as_i64().is_some() => {
+                            columnar::arith_i64(&cur, *op, *k).expect("admitted: integer column")
+                        }
+                        _ => {
+                            let k = rhs.as_real().expect("admitted: numeric constant");
+                            columnar::arith_f64(&cur, *op, k).expect("admitted: numeric column")
+                        }
+                    };
+                }
+                StageState::Cmp { op, rhs } => {
+                    cur = cmp_mask(&cur, *op, rhs);
+                }
+                StageState::Filter { op, rhs } => {
+                    let mask = cmp_mask(&cur, *op, rhs);
+                    sel = Some(match sel.take() {
+                        Some(s) => columnar::intersect_selection(&mask, &s)
+                            .expect("cmp kernels produce Bool masks"),
+                        None => columnar::filter_to_selection(&mask)
+                            .expect("cmp kernels produce Bool masks"),
+                    });
+                }
+                StageState::Take { remaining } => match &mut sel {
+                    Some(s) => {
+                        let k = (s.len() as u64).min(*remaining);
+                        *remaining -= k;
+                        s.truncate(k as usize);
+                    }
+                    None => {
+                        let k = (cur.len() as u64).min(*remaining);
+                        *remaining -= k;
+                        cur = cur.slice(0, k as usize);
+                    }
+                },
+                _ => unreachable!("relay admission excludes absorbing and stateful stages"),
+            }
+        }
+        let out = match &sel {
+            // Compact survivors once at the end: dense stages upstream
+            // computed dead rows but never materialized them.
+            Some(s) => columnar::take(&cur, s),
+            None => cur,
+        };
+        (ColumnarBatch::new(vec![("v".to_string(), out)]), sel)
     }
 
     /// Runs an admitted batch through the chain as whole columns. The
@@ -423,7 +599,7 @@ impl FusedChain {
     pub fn process_admitted(&mut self, admit: ColumnarAdmit) -> Result<(), EngineError> {
         let cols = admit.cols;
         if cols.width() != 1 {
-            return self.process_metric_columns(cols);
+            return self.process_multi_columns(cols);
         }
         let mut cur: Column = cols.single().expect("width checked above");
         let mut sel: Option<SelectionVector> = None;
@@ -524,10 +700,11 @@ impl FusedChain {
         unreachable!("admission implies an absorber terminates the walk")
     }
 
-    /// The metric-shaped walk: three parallel `Int64` columns flow
-    /// untransformed (admission declines transform stages on metric
-    /// batches) into `bandwidth` or `count`.
-    fn process_metric_columns(&mut self, cols: ColumnarBatch) -> Result<(), EngineError> {
+    /// The multi-column walk: parallel columns — the metric triple or a
+    /// record batch — flow untransformed (admission declines transform
+    /// stages on multi-column batches) through pass-through stages into
+    /// `bandwidth` or `count`.
+    fn process_multi_columns(&mut self, cols: ColumnarBatch) -> Result<(), EngineError> {
         let mut view = cols;
         for state in &mut self.chain.stages {
             match state {
@@ -617,6 +794,19 @@ fn uniform_elem_bytes(cols: &ColumnarBatch, ty: ColType) -> Option<u64> {
         // A metric sample marshals as a 3-integer bag: tag + length
         // prefix + three 9-byte integers.
         ColType::Metric => Some(32),
+        // A record marshals as a bag of its cells: tag + length prefix
+        // + each cell. Only all-fixed-stride records qualify.
+        ColType::Record => {
+            let mut total = 5u64;
+            for (_, c) in cols.columns() {
+                total += match (c.as_i64(), c.as_f64(), c.as_bool()) {
+                    (Some(_), _, _) | (_, Some(_), _) => 9,
+                    (_, _, Some(_)) => 2,
+                    _ => return None,
+                };
+            }
+            Some(total)
+        }
         ColType::Synthetic => {
             let c = cols.single()?;
             let xs = c.as_synthetic()?;
@@ -636,6 +826,80 @@ fn uniform_elem_bytes(cols: &ColumnarBatch, ty: ColType) -> Option<u64> {
         }
         ColType::Other => None,
     }
+}
+
+/// The static columnar-admission verdict for each stage of a chain —
+/// what `explain` prints so rejected shapes are diagnosable without
+/// reading `columnar_admit`. `"columnar"` marks stages the absorbing
+/// columnar pass can drive, `"columnar (relay)"` marks stages of a
+/// re-emitting relay chain, and `"scalar: <reason>"` explains why a
+/// stage forces the per-element path. Verdicts are shape-level:
+/// per-batch typing (a string column into `sum`, mixed runs) can still
+/// demote an admitted shape at delivery time.
+pub fn admission_verdicts(stages: &[Stage]) -> Vec<String> {
+    let vectorizable = |s: &Stage| {
+        matches!(
+            s,
+            Stage::Agg(_)
+                | Stage::StreamOf
+                | Stage::Take { .. }
+                | Stage::Bandwidth
+                | Stage::Map(_)
+                | Stage::Arith { .. }
+                | Stage::Cmp { .. }
+                | Stage::Filter { .. }
+        )
+    };
+    let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
+    let transform = |s: &Stage| {
+        matches!(
+            s,
+            Stage::Arith { .. } | Stage::Cmp { .. } | Stage::Filter { .. }
+        )
+    };
+    let all_vectorizable = stages.iter().all(vectorizable);
+    if all_vectorizable && stages.iter().any(absorber) {
+        let mut absorbed = false;
+        return stages
+            .iter()
+            .map(|s| {
+                if absorbed {
+                    "scalar: after the absorber (sees only the flush)".to_string()
+                } else {
+                    absorbed = absorber(s);
+                    "columnar".to_string()
+                }
+            })
+            .collect();
+    }
+    let relayable = |s: &Stage| {
+        matches!(
+            s,
+            Stage::StreamOf
+                | Stage::Take { .. }
+                | Stage::Arith { .. }
+                | Stage::Cmp { .. }
+                | Stage::Filter { .. }
+        )
+    };
+    if stages.iter().all(relayable) && stages.iter().any(transform) {
+        return stages
+            .iter()
+            .map(|_| "columnar (relay)".to_string())
+            .collect();
+    }
+    stages
+        .iter()
+        .map(|s| {
+            if !vectorizable(s) {
+                "scalar: no whole-column kernel".to_string()
+            } else if all_vectorizable {
+                "scalar: chain neither absorbs nor transforms".to_string()
+            } else {
+                "scalar: chain blocked by a non-vectorizable stage".to_string()
+            }
+        })
+        .collect()
 }
 
 /// Resolves one stage to its jump-table entry. Aggregates resolve per
@@ -922,15 +1186,31 @@ impl ExecChain {
         }
     }
 
-    /// Asks whether a delivered batch qualifies for whole-column
-    /// execution (never for the interpreted executor, which is the
-    /// byte-identity reference). The caller charges the bulk compute
-    /// cost from the returned facts, then hands the admission back to
-    /// [`ExecChain::process_admitted`].
-    pub(crate) fn columnar_admit(&self, batch: &Batch) -> Option<ColumnarAdmit> {
+    /// Whether the executor could use *any* columnar pass (absorbing or
+    /// relay) on some batch shape. The runtime consults this before
+    /// transposing a delivered run, so chains that can never admit —
+    /// and the interpreted reference, always — skip the decomposition
+    /// work entirely.
+    pub(crate) fn wants_columnar(&self) -> bool {
+        match self {
+            ExecChain::Interpreted(_) => false,
+            ExecChain::Fused(f) => f.columnar_ok || f.relay_ok,
+        }
+    }
+
+    /// Absorber admission over an already-transposed batch.
+    pub(crate) fn columnar_admit_cols(&self, cols: &ColumnarBatch) -> Option<ColumnarAdmit> {
         match self {
             ExecChain::Interpreted(_) => None,
-            ExecChain::Fused(f) => f.columnar_admit(batch),
+            ExecChain::Fused(f) => f.columnar_admit_cols(cols),
+        }
+    }
+
+    /// Relay admission over an already-transposed batch.
+    pub(crate) fn relay_admit_cols(&self, cols: &ColumnarBatch) -> Option<RelayAdmit> {
+        match self {
+            ExecChain::Interpreted(_) => None,
+            ExecChain::Fused(f) => f.relay_admit_cols(cols),
         }
     }
 
@@ -939,6 +1219,18 @@ impl ExecChain {
         match self {
             ExecChain::Interpreted(_) => unreachable!("interpreted chains never admit batches"),
             ExecChain::Fused(f) => f.process_admitted(admit),
+        }
+    }
+
+    /// Runs a relay-admitted batch, returning the surviving column and
+    /// the output-row → input-row mapping.
+    pub(crate) fn process_relayed(
+        &mut self,
+        admit: RelayAdmit,
+    ) -> (ColumnarBatch, Option<SelectionVector>) {
+        match self {
+            ExecChain::Interpreted(_) => unreachable!("interpreted chains never admit batches"),
+            ExecChain::Fused(f) => f.process_relayed(admit),
         }
     }
 

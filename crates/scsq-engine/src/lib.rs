@@ -52,7 +52,9 @@ pub use builder::{QueryBuilder, QueryGraph, SpSpec};
 pub use coordinator::{ClientManager, Coordinator, PreparedQuery};
 pub use error::EngineError;
 pub use explain::{describe_pipeline, explain_graph};
-pub use fused::{ColumnarAdmit, CostModel, FusedChain, FusedProgram};
+pub use fused::{
+    admission_verdicts, ColumnarAdmit, CostModel, FusedChain, FusedProgram, RelayAdmit,
+};
 pub use introspect::{ChannelMetrics, MetricsSnapshot};
 pub use measure::{ChannelReport, QueryResult, QueryStats, RpReport};
 pub use ops::{AggKind, ArithOp, CmpOp, InputKind, MapFunc, Pipeline, Stage};

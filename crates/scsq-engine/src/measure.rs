@@ -77,9 +77,13 @@ pub struct QueryStats {
     pub coalesce: scsq_sim::CoalesceStats,
     /// Whether stage chains ran as fused programs (`RunOptions::fuse`).
     pub fused: bool,
-    /// Delivered batches absorbed by the columnar fast path (0 when
-    /// `RunOptions::columnar` was off or nothing qualified).
+    /// Delivered batches absorbed or relayed by the columnar fast path
+    /// (0 when `RunOptions::columnar` was off or nothing qualified).
     pub columnar_batches: u64,
+    /// Value-run → column decompositions performed at delivery. Zero
+    /// whenever `RunOptions::columnar` is off: the runtime must not
+    /// even speculatively transpose when the fast path is disabled.
+    pub columnar_transposes: u64,
     /// Service-jitter factors drawn from the environment's RNG stream
     /// over the run. Part of the determinism contract: any execution
     /// strategy (interpreted, fused, columnar, coalesced) must consume
@@ -236,6 +240,7 @@ mod tests {
                 coalesce: scsq_sim::CoalesceStats::default(),
                 fused: true,
                 columnar_batches: 0,
+                columnar_transposes: 0,
                 jitter_draws: 0,
             },
         )

@@ -20,7 +20,7 @@ use crate::measure::{ChannelReport, QueryResult, QueryStats};
 use crate::ops::{InputKind, Pipeline};
 use scsq_cluster::{ClusterName, Environment, NodeId};
 use scsq_net::FlowId;
-use scsq_ql::{Batch, SpHandle, Value};
+use scsq_ql::{ColRow, ColumnarBatch, SelectionVector, SpHandle, Value};
 use scsq_sim::{typed::Event, SimTime, StateProbe, TypedSimulator};
 use scsq_transport::{Carrier, ChannelConfig, StreamChannel};
 use std::collections::HashMap;
@@ -116,8 +116,52 @@ struct RpState {
     elements_out: u64,
 }
 
+/// One element riding a stream channel: either an owned scalar value or
+/// a zero-copy row of an Arc-backed columnar batch (a relay survivor).
+/// Column rows travel the channel without materializing a `Value`; the
+/// simulated byte accounting uses the row's marshaled size, so channel
+/// timing is identical either way. Consecutive rows of one batch are
+/// never `PartialEq`-equal (rows differ), so column trains never merge —
+/// safe, because train merging only affects equal-payload runs and
+/// channel timing depends only on `(bytes, ready)`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Elem {
+    /// An owned scalar element (the classic path).
+    Val(Value),
+    /// One row of a shared columnar batch, handed across zero-copy.
+    Col(ColRow),
+}
+
+impl Elem {
+    /// Simulated marshaled size — byte-identical to marshaling the
+    /// materialized value ([`ColumnarBatch::row_marshaled_size`] is
+    /// proven against `Value::marshaled_size`).
+    fn marshaled_size(&self) -> u64 {
+        match self {
+            Elem::Val(v) => v.marshaled_size(),
+            Elem::Col(c) => c.batch.row_marshaled_size(c.row as usize),
+        }
+    }
+}
+
+/// Hashes a channel element's full contents into a coalescing probe.
+/// Column rows hash their *materialized* value behind a distinct tag —
+/// never the Arc pointer, which would be nondeterministic across runs.
+pub(crate) fn elem_shape(e: &Elem, p: &mut StateProbe<'_>) {
+    match e {
+        Elem::Val(v) => value_shape(v, p),
+        Elem::Col(c) => {
+            p.shape(11);
+            match c.batch.value_at(c.row as usize) {
+                Some(v) => value_shape(&v, p),
+                None => p.shape(0),
+            }
+        }
+    }
+}
+
 struct ChannelRt {
-    chan: StreamChannel<Value>,
+    chan: StreamChannel<Elem>,
     src_sp: SpHandle,
     dst_rp: usize,
 }
@@ -142,8 +186,17 @@ pub(crate) struct World {
     /// Whether `deliver` may hand whole batches to the columnar fast
     /// path (`RunOptions::columnar`, gated on fusion being on).
     columnar: bool,
-    /// Delivered batches the columnar fast path absorbed.
+    /// Delivered batches the columnar fast path absorbed or relayed.
     columnar_batches: u64,
+    /// Value→column decompositions performed (`--columnar off` must
+    /// keep this at zero: no speculative transposes).
+    columnar_transposes: u64,
+    /// Reusable gather buffer for a delivered run of scalar values —
+    /// one move per element, the same cost the consuming per-element
+    /// iteration already paid.
+    val_scratch: Vec<Value>,
+    /// Reusable per-element compute-finish times for the relay path.
+    ready_scratch: Vec<SimTime>,
 }
 
 pub(crate) type Sim = TypedSimulator<World, Ev>;
@@ -161,9 +214,11 @@ pub(crate) enum Ev {
     FinishRp(usize),
     /// One stream-channel buffer cycle.
     Cycle(usize),
-    /// A buffer's elements become visible at the subscriber, as one
-    /// shared zero-copy batch.
-    Deliver { ci: usize, batch: Batch },
+    /// A buffer's elements become visible at the subscriber. Column
+    /// rows arrive as `Elem::Col` and reassemble into batch views
+    /// zero-copy; scalar runs are gathered and processed per element or
+    /// transposed for the columnar fast path.
+    Deliver { ci: usize, batch: Vec<Elem> },
     /// End-of-stream control message arrives at the subscriber.
     Eos(usize),
 }
@@ -189,8 +244,8 @@ impl Ev {
         p.shape(self.key());
         if let Ev::Deliver { batch, .. } = self {
             p.shape(batch.len() as u64);
-            for v in batch.iter() {
-                value_shape(v, p);
+            for e in batch.iter() {
+                elem_shape(e, p);
             }
         }
     }
@@ -306,8 +361,12 @@ impl World {
             observers: _,
             columnar: _,
             columnar_batches,
+            columnar_transposes,
+            val_scratch: _,
+            ready_scratch: _,
         } = self;
         p.num(columnar_batches);
+        p.num(columnar_transposes);
         // UDP drop decisions depend on I/O-node backlog; tell the
         // environment to guard it while any UDP channel is still live.
         let udp_active = channels
@@ -318,7 +377,7 @@ impl World {
             rp.probe(p);
         }
         for c in channels.iter_mut() {
-            c.chan.probe(env, p, value_shape);
+            c.chan.probe(env, p, elem_shape);
         }
         // The client's result sink is append-only and never read back by
         // the model: its length alone gates jumps.
@@ -530,6 +589,9 @@ pub fn run_graph(
         observers,
         columnar: options.columnar && options.fuse,
         columnar_batches: 0,
+        columnar_transposes: 0,
+        val_scratch: Vec::new(),
+        ready_scratch: Vec::new(),
     };
     // Pending-event population is bounded by the graph shape (each RP
     // has at most one self-scheduled tick; each channel a handful of
@@ -614,6 +676,7 @@ pub fn run_graph(
             coalesce,
             fused: options.fuse,
             columnar_batches: world.columnar_batches,
+            columnar_transposes: world.columnar_transposes,
             jitter_draws: world.env.jitter_draws(),
         },
     ))
@@ -743,33 +806,35 @@ fn emit(world: &mut World, sim: &mut Sim, idx: usize, out: &mut Vec<Value>, at: 
                     .clone()
             };
             let size = item.marshaled_size();
-            let chan = &mut world.channels[ci].chan;
-            // Only schedule a buffer cycle when this enqueue completes
-            // another full buffer's worth of pending bytes. Under the
-            // schedule-per-enqueue baseline, the cycles that actually
-            // transmit are exactly the ones running at these crossing
-            // times: a cycle event transmits at most one buffer, needs
-            // a full buffer pending to do it, and the self-sustaining
-            // `next_cycle` chain never fires before the crossing (it
-            // schedules at `ready.max(constraint)`). Cycles between
-            // crossings only shuffle bytes from the queue into the
-            // filling buffer — work the next transmitting cycle does
-            // anyway, with identical results, because transmit times
-            // derive from the data's own ready times, never from when
-            // the cycle runs. Scheduling one cycle per crossing (not
-            // just on the 0→1 edge) therefore reproduces the baseline's
-            // transmit call times and order exactly — which matters
-            // because `env.marshal` runs a stateful per-node server
-            // whose serve() call order is part of the simulated
-            // schedule — while keeping the event count O(transmits)
-            // instead of O(enqueues). The end-of-stream flush is driven
-            // by `finish_rp` and the cycle's own `next_cycle` chain.
-            let before = chan.pending_buffers(&world.env);
-            let when = chan.enqueue(item, size, at);
-            if chan.pending_buffers(&world.env) > before {
-                sim.schedule_at(when.max(sim.now()), Ev::Cycle(ci));
-            }
+            enqueue_elem(world, sim, ci, Elem::Val(item), size, at);
         }
+    }
+}
+
+/// Enqueues one element on a channel, scheduling a buffer cycle only
+/// when the enqueue completes another full buffer's worth of pending
+/// bytes. Under the schedule-per-enqueue baseline, the cycles that
+/// actually transmit are exactly the ones running at these crossing
+/// times: a cycle event transmits at most one buffer, needs a full
+/// buffer pending to do it, and the self-sustaining `next_cycle` chain
+/// never fires before the crossing (it schedules at
+/// `ready.max(constraint)`). Cycles between crossings only shuffle
+/// bytes from the queue into the filling buffer — work the next
+/// transmitting cycle does anyway, with identical results, because
+/// transmit times derive from the data's own ready times, never from
+/// when the cycle runs. Scheduling one cycle per crossing (not just on
+/// the 0→1 edge) therefore reproduces the baseline's transmit call
+/// times and order exactly — which matters because `env.marshal` runs a
+/// stateful per-node server whose serve() call order is part of the
+/// simulated schedule — while keeping the event count O(transmits)
+/// instead of O(enqueues). The end-of-stream flush is driven by
+/// `finish_rp` and the cycle's own `next_cycle` chain.
+fn enqueue_elem(world: &mut World, sim: &mut Sim, ci: usize, item: Elem, size: u64, at: SimTime) {
+    let chan = &mut world.channels[ci].chan;
+    let before = chan.pending_buffers(&world.env);
+    let when = chan.enqueue(item, size, at);
+    if chan.pending_buffers(&world.env) > before {
+        sim.schedule_at(when.max(sim.now()), Ev::Cycle(ci));
     }
 }
 
@@ -811,7 +876,7 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
         ch.chan.cycle(&mut world.env, sim.now())
     };
     if let Some(t) = out.delivered_at {
-        let batch = Batch::new(out.delivered);
+        let batch = out.delivered;
         sim.schedule_at(t.max(sim.now()), Ev::Deliver { ci, batch });
     }
     if let Some(t) = out.next_cycle {
@@ -823,7 +888,16 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
 }
 
 /// Elements of one buffer become visible at the subscriber.
-fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
+///
+/// The delivered run is partitioned in order: consecutive `Elem::Val`s
+/// form scalar runs (gathered into a reusable buffer, then transposed
+/// for the columnar fast path or walked per element); consecutive
+/// `Elem::Col`s sharing one backing batch with contiguous ascending
+/// rows reassemble the upstream columnar view **zero-copy** — no
+/// re-marshaling, no per-row materialization — before the same
+/// absorb/relay/fallback ladder. Processing order is exactly delivery
+/// order either way.
+fn deliver(world: &mut World, sim: &mut Sim, ci: usize, mut batch: Vec<Elem>) {
     if world.error.is_some() {
         return;
     }
@@ -835,7 +909,7 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
     // delivered buffer. The whole block is one `is_empty()` branch for
     // queries without observers.
     if !world.observers.is_empty() && !world.observers[ci].is_empty() {
-        let bytes: u64 = batch.iter().map(Value::marshaled_size).sum();
+        let bytes: u64 = batch.iter().map(Elem::marshaled_size).sum();
         let n = world.observers[ci].len();
         for k in 0..n {
             let o = world.observers[ci][k];
@@ -846,37 +920,275 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, batch: Batch) {
             }
         }
     }
-    // Columnar fast path: absorb the whole batch with one dispatch per
-    // typed column instead of one per element. Admission
-    // (`FusedChain::columnar_admit`) guarantees the batch's elements
-    // share one marshaled size whenever the chain charges compute cost,
-    // so the per-element charge loop collapses to one bulk call that
-    // serves the same total and draws the jitter stream exactly as many
-    // times — simulated time and RNG positions stay byte-identical to
-    // the per-element walk (`Environment::compute_bulk`).
-    if world.columnar && batch.len() > 1 {
-        if let Some(admit) = world.rps[dst].chain.columnar_admit(&batch) {
-            let n = admit.rows as u64;
-            let cost = world.rps[dst].cost.cost(admit.elem_bytes);
-            let node = world.rps[dst].node;
-            world.env.compute_bulk(node, cost, n, now);
-            // An absorbed batch emits nothing before end of stream;
-            // only the monitoring counters need per-element accounting.
-            world.rps[dst].elements_in += n;
-            world.columnar_batches += 1;
-            if let Err(e) = world.rps[dst].chain.process_admitted(admit) {
-                world.error = Some(e);
+    let mut vals = std::mem::take(&mut world.val_scratch);
+    vals.clear();
+    // A pending column group: (backing view, first row, length).
+    let mut cols: Option<(ColumnarBatch, u32, u32)> = None;
+    for e in batch.drain(..) {
+        match e {
+            Elem::Val(v) => {
+                if let Some(g) = cols.take() {
+                    deliver_col_group(world, sim, dst, from, g, now);
+                    if world.error.is_some() {
+                        world.val_scratch = vals;
+                        return;
+                    }
+                }
+                vals.push(v);
             }
+            Elem::Col(c) => {
+                if !vals.is_empty() {
+                    deliver_value_run(world, sim, dst, from, &mut vals, now);
+                    if world.error.is_some() {
+                        world.val_scratch = vals;
+                        return;
+                    }
+                }
+                cols = Some(match cols.take() {
+                    Some((b, first, len)) if c.batch.same_view(&b) && c.row == first + len => {
+                        (b, first, len + 1)
+                    }
+                    Some(g) => {
+                        deliver_col_group(world, sim, dst, from, g, now);
+                        if world.error.is_some() {
+                            world.val_scratch = vals;
+                            return;
+                        }
+                        (c.batch, c.row, 1)
+                    }
+                    None => (c.batch, c.row, 1),
+                });
+            }
+        }
+    }
+    if let Some(g) = cols.take() {
+        deliver_col_group(world, sim, dst, from, g, now);
+    }
+    if !vals.is_empty() && world.error.is_none() {
+        deliver_value_run(world, sim, dst, from, &mut vals, now);
+    }
+    world.val_scratch = vals;
+    // Hand the drained delivery vector's capacity back to the channel
+    // for its next transmit (error paths above simply drop it).
+    world.channels[ci].chan.recycle(batch);
+}
+
+/// Processes one run of scalar values delivered back-to-back: transpose
+/// and try the columnar ladder when the destination chain can use
+/// columns at all (`--columnar off`, an interpreted chain, or a
+/// non-qualifying chain skips the decomposition entirely), else walk
+/// the run per element.
+fn deliver_value_run(
+    world: &mut World,
+    sim: &mut Sim,
+    dst: usize,
+    from: SpHandle,
+    run: &mut Vec<Value>,
+    now: SimTime,
+) {
+    if world.columnar && run.len() > 1 && world.rps[dst].chain.wants_columnar() {
+        let cols = ColumnarBatch::from_values(run);
+        world.columnar_transposes += 1;
+        if absorb_columns(world, dst, &cols, now) || relay_columns(world, sim, dst, &cols, now) {
+            run.clear();
             return;
         }
     }
-    // Consuming iteration: a single inline tuple is handed over without
-    // materializing a `Vec`.
-    for v in batch {
+    for v in run.drain(..) {
         process_and_emit(world, sim, dst, v, Some(from), now);
         if world.error.is_some() {
             return;
         }
+    }
+}
+
+/// Processes one reassembled column group: the delivered rows form a
+/// contiguous slice of the upstream batch, so the view is shared
+/// storage — the zero-copy hand-off. Falls back to materializing each
+/// row as a `Value` when the chain declines columns.
+fn deliver_col_group(
+    world: &mut World,
+    sim: &mut Sim,
+    dst: usize,
+    from: SpHandle,
+    (batch, first, len): (ColumnarBatch, u32, u32),
+    now: SimTime,
+) {
+    let view = batch.slice(first as usize, (first + len) as usize);
+    if absorb_columns(world, dst, &view, now) || relay_columns(world, sim, dst, &view, now) {
+        return;
+    }
+    for row in 0..view.rows() {
+        let Some(v) = view.value_at(row) else {
+            continue;
+        };
+        process_and_emit(world, sim, dst, v, Some(from), now);
+        if world.error.is_some() {
+            return;
+        }
+    }
+}
+
+/// Columnar absorption: the whole batch feeds an absorbing chain with
+/// one dispatch per typed column instead of one per element. Admission
+/// (`FusedChain::columnar_admit_cols`) guarantees the batch's elements
+/// share one marshaled size whenever the chain charges compute cost, so
+/// the per-element charge loop collapses to one bulk call that serves
+/// the same total and draws the jitter stream exactly as many times —
+/// simulated time and RNG positions stay byte-identical to the
+/// per-element walk (`Environment::compute_bulk`).
+fn absorb_columns(world: &mut World, dst: usize, cols: &ColumnarBatch, now: SimTime) -> bool {
+    let Some(admit) = world.rps[dst].chain.columnar_admit_cols(cols) else {
+        return false;
+    };
+    let n = admit.rows as u64;
+    let cost = world.rps[dst].cost.cost(admit.elem_bytes);
+    let node = world.rps[dst].node;
+    world.env.compute_bulk(node, cost, n, now);
+    // An absorbed batch emits nothing before end of stream; only the
+    // monitoring counters need per-element accounting.
+    world.rps[dst].elements_in += n;
+    world.columnar_batches += 1;
+    if let Err(e) = world.rps[dst].chain.process_admitted(admit) {
+        world.error = Some(e);
+    }
+    true
+}
+
+/// Columnar relay: a re-emitting chain (transforms + take, no absorber)
+/// processes the whole batch with column kernels and forwards the
+/// surviving rows as `Elem::Col` handles to the shared output batch —
+/// the cross-SP column relay. Byte-identity with the scalar walk:
+/// the environment's compute server and the channels are disjoint
+/// state, and `pending_buffers` reads only configuration-derived
+/// bounds, so charging all elements first
+/// (`Environment::compute_each`, draw-for-draw identical to n scalar
+/// `compute` calls at one `ready`) and then enqueueing all survivors —
+/// each at its source element's own finish time, in element order, in
+/// channel order — reproduces the interleaved schedule exactly.
+fn relay_columns(
+    world: &mut World,
+    sim: &mut Sim,
+    dst: usize,
+    cols: &ColumnarBatch,
+    now: SimTime,
+) -> bool {
+    if world.rps[dst].is_client {
+        // The client sink records owned values; relaying column handles
+        // into the result set would only defer the materialization.
+        return false;
+    }
+    let Some(admit) = world.rps[dst].chain.relay_admit_cols(cols) else {
+        return false;
+    };
+    let n = admit.rows;
+    let cost = world.rps[dst].cost.cost(admit.elem_bytes);
+    let node = world.rps[dst].node;
+    let mut readies = std::mem::take(&mut world.ready_scratch);
+    world
+        .env
+        .compute_each(node, cost, n as u64, now, &mut readies);
+    world.rps[dst].elements_in += n as u64;
+    world.columnar_batches += 1;
+    let (out, sel) = world.rps[dst].chain.process_relayed(admit);
+    let m = out.rows();
+    world.rps[dst].elements_out += m as u64;
+    let n_out = world.rps[dst].outputs.len();
+    if m > 0 && n_out > 0 {
+        if let Some(size) = out.uniform_row_size() {
+            relay_pack(world, sim, dst, &out, sel.as_ref(), &readies, size, now);
+            world.ready_scratch = readies;
+            return true;
+        }
+    }
+    for j in 0..m {
+        // Output row j came from input row sel[j] (or j itself when the
+        // output is a prefix): forward at that element's compute-finish
+        // time, exactly like the scalar emit.
+        let src_row = sel.as_ref().map_or(j, |s| s.rows()[j] as usize);
+        let at = readies[src_row];
+        let size = out.row_marshaled_size(j);
+        for oi in 0..n_out {
+            let ci = world.rps[dst].outputs[oi];
+            let item = Elem::Col(ColRow {
+                batch: out.clone(),
+                row: j as u32,
+            });
+            enqueue_elem(world, sim, ci, item, size, at);
+        }
+    }
+    world.ready_scratch = readies;
+    true
+}
+
+/// Forward a relayed batch's survivors as one send-queue pack per
+/// output channel instead of `m` per-element enqueues.
+///
+/// Byte-identity with the per-element loop: the pack carries each
+/// survivor's own ready time and the shared uniform marshaled size, so
+/// packing, buffer boundaries, delivery grouping, and corruption all
+/// still happen per element inside the channel. The only other effect
+/// of the per-element loop is its buffer-crossing `Ev::Cycle`
+/// schedules, which this reproduces arithmetically: with every element
+/// `size` bytes, the element whose enqueue first crosses the `k`-th
+/// boundary past `base` pending bytes is
+/// `r = ceil((k*B - base%B) / size) - 1`, and the per-element path
+/// schedules that crossing at `readies[r].max(now)`. An element wider
+/// than a whole buffer crosses several boundaries with one enqueue but
+/// still schedules one cycle, hence the consecutive-`r` dedup. Emitting
+/// the schedules sorted by (element, channel) reproduces the
+/// interleaved loop's insertion order, which matters for
+/// equal-timestamp events feeding the shared per-node marshal server.
+#[allow(clippy::too_many_arguments)]
+fn relay_pack(
+    world: &mut World,
+    sim: &mut Sim,
+    dst: usize,
+    out: &ColumnarBatch,
+    sel: Option<&SelectionVector>,
+    readies: &[SimTime],
+    size: u64,
+    now: SimTime,
+) {
+    let m = out.rows();
+    // Survivor ready times in output-row order: nondecreasing, because
+    // selections ascend and the compute server finishes in FIFO order.
+    let survivor_readies: Vec<SimTime> = match sel {
+        Some(s) => s.rows().iter().map(|&r| readies[r as usize]).collect(),
+        None => readies[..m].to_vec(),
+    };
+    let n_out = world.rps[dst].outputs.len();
+    let mut crossings: Vec<(usize, usize)> = Vec::new();
+    for oi in 0..n_out {
+        let ci = world.rps[dst].outputs[oi];
+        let chan = &mut world.channels[ci].chan;
+        let bsize = chan.buffer_bytes(&world.env);
+        let base = chan.pending_bytes();
+        let before = base / bsize;
+        let after = (base + size * m as u64) / bsize;
+        let mut last_r = usize::MAX;
+        for k in 1..=(after - before) {
+            let target = (before + k) * bsize;
+            let r = ((target - base).div_ceil(size) - 1) as usize;
+            if r != last_r {
+                crossings.push((r, oi));
+                last_r = r;
+            }
+        }
+        let items: Vec<Elem> = (0..m)
+            .map(|j| {
+                Elem::Col(ColRow {
+                    batch: out.clone(),
+                    row: j as u32,
+                })
+            })
+            .collect();
+        chan.enqueue_pack(items, size, survivor_readies.clone());
+    }
+    crossings.sort_unstable();
+    for (r, oi) in crossings {
+        let ci = world.rps[dst].outputs[oi];
+        sim.schedule_at(survivor_readies[r].max(now), Ev::Cycle(ci));
     }
 }
 
@@ -1326,6 +1638,67 @@ mod tests {
         assert!(mpi.buffers_sent > 0);
         assert_eq!(mpi.bytes_enqueued, mpi.bytes, "MPI loses nothing");
         assert_eq!(mpi.buffers_dropped, 0);
+    }
+
+    #[test]
+    fn columnar_off_skips_decomposition_entirely() {
+        // `--columnar off` must not even speculatively transpose a
+        // delivered run into columns: the skip is observable through
+        // the transpose counter, not just the admission counter.
+        let q = "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(streamof(iota(1,100)),'bg',1);";
+        let on = run(q).unwrap();
+        assert!(on.stats().columnar_transposes > 0, "{:?}", on.stats());
+        assert!(on.stats().columnar_batches > 0);
+        let off = run_opts(
+            q,
+            &RunOptions {
+                columnar: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(off.stats().columnar_transposes, 0);
+        assert_eq!(off.stats().columnar_batches, 0);
+        assert_eq!(on.values(), off.values());
+        assert_eq!(on.finished(), off.finished());
+    }
+
+    #[test]
+    fn relay_chains_forward_columns_across_sps() {
+        // Two-SP pipeline: the middle SP's chain re-emits (arith +
+        // filter), so the columnar pass relays survivor rows as shared
+        // column handles to the downstream absorber — and the books
+        // must match the per-element reference exactly.
+        let q = "select extract(c) from sp a, sp b, sp c
+             where c=sp(streamof(sum(extract(b))), 'bg', 0)
+             and b=sp(filter(arith(extract(a), '*', 3), '>', 150), 'bg', 2)
+             and a=sp(streamof(iota(1,100)),'bg',1);";
+        let on = run(q).unwrap();
+        // sum of 3i for i in 51..=100.
+        assert_eq!(on.values(), &[Value::Integer(11325)]);
+        assert!(on.stats().columnar_batches > 0, "{:?}", on.stats());
+        let off = run_opts(
+            q,
+            &RunOptions {
+                columnar: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(on.values(), off.values());
+        assert_eq!(on.finished(), off.finished());
+        let interp = run_opts(
+            q,
+            &RunOptions {
+                fuse: false,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(on.values(), interp.values());
+        assert_eq!(on.finished(), interp.finished());
     }
 
     #[test]

@@ -81,7 +81,24 @@ fn assert_books_match(src: &str, jitter: f64) -> u64 {
 
     assert_eq!(interpreted.stats().columnar_batches, 0);
     assert_eq!(scalar.stats().columnar_batches, 0);
+    // `--columnar off` must not even transpose: the decomposition is
+    // guarded, not merely the admission.
+    assert_eq!(interpreted.stats().columnar_transposes, 0);
+    assert_eq!(scalar.stats().columnar_transposes, 0);
     columnar.stats().columnar_batches
+}
+
+/// A two-SP relay pipeline: the upstream SP's chain re-emits (arith +
+/// filter feeding a downstream fold), so the columnar pass forwards
+/// survivor rows as shared column handles across the stream channel —
+/// the cross-SP column relay whose books must balance.
+fn relay_query(n: u64, mul: i64, threshold: i64) -> String {
+    format!(
+        "select extract(c) from sp a, sp b, sp c \
+         where c=sp(streamof(sum(extract(b))), 'bg', 0) \
+         and b=sp(filter(arith(extract(a), '*', {mul}), '>', {threshold}), 'bg', 2) \
+         and a=sp(streamof(iota(1,{n})),'bg',1);"
+    )
 }
 
 /// The headline check: a jittered filter-heavy pipeline takes the
@@ -120,6 +137,32 @@ fn costless_chains_draw_nothing_at_the_receiver() {
     assert!(absorbed > 0);
 }
 
+/// The relay headline: a jittered two-SP relay pipeline rides the
+/// columnar path end to end (relayed upstream, absorbed downstream)
+/// with byte-identical values, completion time and RNG stream position
+/// across all three tiers — the strongest form of the zero-copy
+/// hand-off being accounting-neutral.
+#[test]
+fn relayed_pipeline_books_balance_across_tiers() {
+    let src = relay_query(4_000, 3, 6_000);
+    let absorbed = assert_books_match(&src, 0.05);
+    assert!(
+        absorbed > 1,
+        "both the relay and the downstream absorber must ride the columnar path"
+    );
+}
+
+/// Relay books with jitter off: the per-element charge loop collapses
+/// to the no-draw fast paths on both SPs.
+#[test]
+fn relayed_books_balance_without_jitter() {
+    let src = relay_query(4_000, 3, 6_000);
+    let absorbed = assert_books_match(&src, 0.0);
+    assert!(absorbed > 1);
+    let r = run(&src, &options(0.0, true, true));
+    assert_eq!(r.stats().jitter_draws, 0, "no draws when jitter is off");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -134,6 +177,23 @@ proptest! {
         n in 500u64..2_500,
     ) {
         let src = filter_query(n, mul, threshold);
+        let absorbed = assert_books_match(&src, jitter);
+        prop_assert!(absorbed > 0);
+    }
+
+    /// The same contract for relayed chains: random jitter, transform
+    /// constants and thresholds — including drop-everything filters
+    /// (empty selections crossing the channel as nothing at all) and
+    /// keep-everything filters (prefix relays with no selection
+    /// vector) — leave the two-SP books identical across tiers.
+    #[test]
+    fn relay_books_balance_over_random_workloads(
+        jitter in prop_oneof![Just(0.0), 0.01f64..0.2],
+        mul in 1i64..5,
+        threshold in prop_oneof![Just(0i64), Just(i64::MAX / 2), 1i64..10_000],
+        n in 500u64..2_500,
+    ) {
+        let src = relay_query(n, mul, threshold);
         let absorbed = assert_books_match(&src, jitter);
         prop_assert!(absorbed > 0);
     }

@@ -103,15 +103,25 @@ fn word() -> impl Strategy<Value = Value> {
     prop_oneof![Just("a"), Just("m"), Just("mm"), Just("z")].prop_map(|s| Value::Str(s.to_string()))
 }
 
-/// One delivered batch: homogeneous integer / float / string / metric
-/// runs (the shapes the columnar pass accepts) plus mixed runs it must
-/// decline.
+/// A two-column record (non-metric multi-column shape): decomposes into
+/// parallel `c0`/`c1` columns at admission.
+fn record() -> impl Strategy<Value = Value> {
+    ((-100i64..100), (-10.0f64..10.0))
+        .prop_map(|(a, b)| Value::Bag(vec![Value::Integer(a), Value::Real(b)]))
+}
+
+/// One delivered batch: homogeneous integer / float / string / metric /
+/// record runs (the shapes the columnar pass accepts) plus mixed runs
+/// it must decline. One variant spans the 64-row validity-word boundary
+/// so bitmap edge cases are continuously exercised.
 fn batch_values() -> impl Strategy<Value = Vec<Value>> {
     prop_oneof![
         proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 0..10),
+        proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 60..70),
         proptest::collection::vec((-100.0f64..100.0).prop_map(Value::Real), 0..10),
         proptest::collection::vec(word(), 0..10),
         proptest::collection::vec(metric(), 0..10),
+        proptest::collection::vec(record(), 0..10),
         proptest::collection::vec(mixed_value(), 0..10),
     ]
 }
@@ -199,6 +209,121 @@ fn assert_equivalent(stages: Vec<Stage>, batches: Vec<Vec<Value>>) -> Result<(),
     Ok(())
 }
 
+/// Stages legal in a relay chain (re-emitting: no absorber).
+fn relay_extra() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::StreamOf),
+        (0u64..80).prop_map(|limit| Stage::Take { limit }),
+        relay_transform(),
+    ]
+}
+
+/// A transform stage with constants that sometimes eliminate every row
+/// (an empty selection) and sometimes keep them all.
+fn relay_rhs() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-10i64..10).prop_map(Value::Integer),
+        Just(Value::Integer(1000)),
+        (-10.0f64..10.0).prop_map(Value::Real),
+    ]
+}
+
+fn relay_transform() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        (arith_op(), relay_rhs()).prop_map(|(op, rhs)| Stage::Arith { op, rhs }),
+        (cmp_op(), relay_rhs()).prop_map(|(op, rhs)| Stage::Cmp { op, rhs }),
+        (cmp_op(), relay_rhs()).prop_map(|(op, rhs)| Stage::Filter { op, rhs }),
+    ]
+}
+
+/// One relayable batch: numeric runs, including lengths straddling the
+/// 64-row validity word.
+fn relay_batch() -> impl Strategy<Value = Vec<Value>> {
+    prop_oneof![
+        proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 0..10),
+        proptest::collection::vec((-100i64..100).prop_map(Value::Integer), 60..70),
+        proptest::collection::vec((-100.0f64..100.0).prop_map(Value::Real), 0..10),
+    ]
+}
+
+/// Drives the relay admission path the way `World::deliver` drives it:
+/// relay when admitted (materializing the forwarded column rows for
+/// comparison), per-element fused fallback when declined; the
+/// interpreter is the byte-identity reference throughout.
+fn assert_relay_equivalent(
+    stages: Vec<Stage>,
+    batches: Vec<Vec<Value>>,
+) -> Result<(), TestCaseError> {
+    let pipeline = Pipeline {
+        input: scsq_engine::InputKind::Const { values: Vec::new() },
+        stages,
+    };
+    let mut interpreted = StageChain::new(&pipeline);
+    let mut fused = FusedChain::new(&FusedProgram::compile(&pipeline));
+
+    for values in batches {
+        let mut ref_out = Vec::new();
+        let mut ref_err = None;
+        for v in &values {
+            match interpreted.process(v.clone(), None) {
+                Ok(mut o) => ref_out.append(&mut o),
+                Err(e) => {
+                    ref_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        let cols = scsq_ql::ColumnarBatch::from_values(&values);
+        if let Some(admit) = fused.relay_admit_cols(&cols) {
+            let (out, sel) = fused.process_relayed(admit);
+            prop_assert!(
+                ref_err.is_none(),
+                "interpreter failed, the relay pass did not"
+            );
+            if let Some(s) = &sel {
+                prop_assert_eq!(s.rows().len(), out.rows(), "selection covers the output");
+            }
+            let got: Vec<Value> = (0..out.rows())
+                .map(|j| out.value_at(j).expect("relay outputs are valid"))
+                .collect();
+            prop_assert_eq!(&ref_out, &got, "relayed rows");
+        } else {
+            let mut out = Vec::new();
+            let mut err = None;
+            for v in &values {
+                if let Err(e) = fused.process_into(v.clone(), None, &mut out) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            match (ref_err, err) {
+                (None, None) => prop_assert_eq!(&ref_out, &out, "per-element outputs"),
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string(), "error messages");
+                    return Ok(());
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "one path failed, the other did not: {a:?} vs {b:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    match (interpreted.finish(), fused.finish()) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "end-of-stream flush"),
+        (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string(), "flush errors"),
+        (a, b) => {
+            return Err(TestCaseError::fail(format!(
+                "flush disagreement: {a:?} vs {b:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -211,6 +336,24 @@ proptest! {
         batches in proptest::collection::vec(batch_values(), 0..5),
     ) {
         assert_equivalent(stages, batches)?;
+    }
+
+    /// Relay chains (transforms + take, no absorber) produce — via
+    /// column kernels, selection vectors, and one survivor gather —
+    /// exactly the interpreter's per-element outputs, including batch
+    /// lengths straddling the 64-row validity word and filters that
+    /// leave an empty selection.
+    #[test]
+    fn relayed_equals_interpreted(
+        before in proptest::collection::vec(relay_extra(), 0..2),
+        transform in relay_transform(),
+        after in proptest::collection::vec(relay_extra(), 0..2),
+        batches in proptest::collection::vec(relay_batch(), 0..4),
+    ) {
+        let mut stages = before;
+        stages.push(transform);
+        stages.extend(after);
+        assert_relay_equivalent(stages, batches)?;
     }
 }
 

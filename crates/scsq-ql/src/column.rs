@@ -485,9 +485,11 @@ impl ColumnarBatch {
     /// Transposes a run of row values into columns.
     ///
     /// A non-empty run in which every row is a metric-sample bag (a
-    /// three-integer `Bag`) becomes the three [`METRIC_COLUMNS`]; any
-    /// other run becomes one column named `"v"` via
-    /// [`Column::from_values`].
+    /// three-integer `Bag`) becomes the three [`METRIC_COLUMNS`]; a run
+    /// of *record* bags — every row a `Bag` of the same non-zero arity
+    /// `m` — becomes `m` parallel columns named `"c0".."c{m-1}"`, each
+    /// in its narrowest typed layout; any other run becomes one column
+    /// named `"v"` via [`Column::from_values`].
     pub fn from_values(values: &[Value]) -> Self {
         if !values.is_empty() && values.iter().all(is_metric_sample) {
             let mut channel = Vec::with_capacity(values.len());
@@ -513,6 +515,22 @@ impl ColumnarBatch {
                     Column::new(ColumnData::Int64(bytes)),
                 ),
             ]);
+        }
+        if let Some(width) = uniform_record_width(values) {
+            let mut cells: Vec<Vec<Value>> = vec![Vec::with_capacity(values.len()); width];
+            for v in values {
+                let items = v.as_bag().expect("checked: record bag");
+                for (col, cell) in cells.iter_mut().zip(items) {
+                    col.push(cell.clone());
+                }
+            }
+            return ColumnarBatch::new(
+                cells
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, col)| (format!("c{i}"), Column::from_values(&col)))
+                    .collect(),
+            );
         }
         ColumnarBatch::new(vec![("v".to_string(), Column::from_values(values))])
     }
@@ -556,6 +574,58 @@ impl ColumnarBatch {
         match &self.columns[..] {
             [(_, c)] => Some(c.slice(self.start, self.end)),
             _ => None,
+        }
+    }
+
+    /// Whether `other` is a view of the *same* backing column set (by
+    /// `Arc` identity) with identical view bounds. This is the equality
+    /// notion the transport uses for relayed column rows: two views are
+    /// interchangeable only when they share storage, so value-equal but
+    /// separately built batches compare unequal on purpose.
+    pub fn same_view(&self, other: &ColumnarBatch) -> bool {
+        Arc::ptr_eq(&self.columns, &other.columns)
+            && self.start == other.start
+            && self.end == other.end
+    }
+
+    /// The marshaled wire size of view-relative row `row`, mirroring
+    /// [`Value::marshaled_size`] on the reassembled value without
+    /// materializing it: single-column rows charge the cell alone,
+    /// multi-column rows charge the enclosing bag header plus each cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()` or the row is invalid.
+    pub fn row_marshaled_size(&self, row: usize) -> u64 {
+        assert!(row < self.rows(), "batch row out of range");
+        let i = self.start + row;
+        match &self.columns[..] {
+            [(_, c)] => cell_marshaled_size(c, i),
+            cols => {
+                5 + cols
+                    .iter()
+                    .map(|(_, c)| cell_marshaled_size(c, i))
+                    .sum::<u64>()
+            }
+        }
+    }
+
+    /// The shared marshaled wire size of every row, or `None` when row
+    /// sizes can differ. Decided from column layouts alone in O(width):
+    /// fixed-width layouts (integers, reals, booleans) marshal every
+    /// row identically, while byte-buffer and boxed layouts vary per
+    /// row. A `Some` answer equals [`ColumnarBatch::row_marshaled_size`]
+    /// of every row without walking any of them.
+    pub fn uniform_row_size(&self) -> Option<u64> {
+        let cell = |c: &Column| match &*c.data {
+            ColumnData::Int64(_) | ColumnData::Float64(_) => Some(9),
+            ColumnData::Bool(_) => Some(2),
+            ColumnData::Utf8 { .. } | ColumnData::Synthetic(_) | ColumnData::Values(_) => None,
+        };
+        match &self.columns[..] {
+            [] => None,
+            [(_, c)] => cell(c),
+            cols => cols.iter().try_fold(5, |acc, (_, c)| Some(acc + cell(c)?)),
         }
     }
 
@@ -616,6 +686,55 @@ impl ColumnarBatch {
         self.to_values_into(&mut out);
         crate::Batch::new(out)
     }
+}
+
+/// One row of a shared [`ColumnarBatch`], cheap to clone (two `Arc`
+/// bumps) — the unit a relayed column travels as through a stream
+/// channel. Consumers that receive consecutive `ColRow`s of the same
+/// view reassemble the original batch without copying any column data.
+#[derive(Debug, Clone)]
+pub struct ColRow {
+    /// The shared batch view the row belongs to.
+    pub batch: ColumnarBatch,
+    /// View-relative row index into `batch`.
+    pub row: u32,
+}
+
+impl PartialEq for ColRow {
+    /// Identity-based equality: same backing storage (by `Arc`
+    /// pointer), same view, same row. Consecutive rows of one batch
+    /// always compare unequal, so channel train coalescing — which only
+    /// merges *equal* items — never merges relayed column rows; channel
+    /// timing is unaffected because it depends only on each item's
+    /// `(bytes, ready)` pair.
+    fn eq(&self, other: &Self) -> bool {
+        self.row == other.row && self.batch.same_view(&other.batch)
+    }
+}
+
+/// Marshaled size of absolute backing row `i` of `c` (not
+/// view-relative), mirroring [`Value::marshaled_size`] per layout.
+fn cell_marshaled_size(c: &Column, i: usize) -> u64 {
+    match &*c.data {
+        ColumnData::Int64(_) | ColumnData::Float64(_) => 9,
+        ColumnData::Bool(_) => 2,
+        ColumnData::Utf8 { offsets, .. } => 5 + u64::from(offsets[i + 1] - offsets[i]),
+        ColumnData::Synthetic(v) => 9 + v[i],
+        ColumnData::Values(v) => v[i].marshaled_size(),
+    }
+}
+
+/// The shared record arity when every row of a non-empty run is a
+/// `Bag` of the same non-zero length, `None` otherwise.
+fn uniform_record_width(values: &[Value]) -> Option<usize> {
+    let width = values.first()?.as_bag()?.len();
+    if width == 0 {
+        return None;
+    }
+    values
+        .iter()
+        .all(|v| v.as_bag().is_some_and(|b| b.len() == width))
+        .then_some(width)
 }
 
 /// Whether `v` is a metric-sample bag: `{channel, time_ns, bytes}` as
@@ -838,6 +957,79 @@ mod tests {
         );
         assert_eq!(b.value_at(1), Some(metric(1, 200, 2000)));
         assert_eq!(b.to_batch().values(), &run[..]);
+    }
+
+    #[test]
+    fn record_runs_decompose_into_parallel_columns() {
+        let rec = |i: i64, f: f64| Value::Bag(vec![Value::Integer(i), Value::Real(f)]);
+        let run = vec![rec(1, 0.5), rec(2, 1.5), rec(3, 2.5)];
+        let b = ColumnarBatch::from_values(&run);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.column("c0").unwrap().as_i64(), Some(&[1i64, 2, 3][..]));
+        assert_eq!(
+            b.column("c1").unwrap().as_f64(),
+            Some(&[0.5f64, 1.5, 2.5][..])
+        );
+        assert_eq!(b.value_at(1), Some(rec(2, 1.5)));
+        assert_eq!(b.to_batch().values(), &run[..]);
+        // Per-position fallback: a heterogeneous cell position still
+        // decomposes, via the Values layout.
+        let odd = vec![
+            Value::Bag(vec![Value::Integer(1), Value::from("x")]),
+            Value::Bag(vec![Value::Real(2.0), Value::from("y")]),
+        ];
+        let b = ColumnarBatch::from_values(&odd);
+        assert_eq!(b.width(), 2);
+        assert!(b.column("c0").unwrap().as_values().is_some());
+        assert_eq!(b.to_batch().values(), &odd[..]);
+        // Empty bags and mixed-arity runs keep the single-column form.
+        assert_eq!(ColumnarBatch::from_values(&[Value::Bag(vec![])]).width(), 1);
+        let ragged = vec![Value::Bag(vec![Value::Integer(1)]), Value::Bag(vec![])];
+        assert_eq!(ColumnarBatch::from_values(&ragged).width(), 1);
+    }
+
+    #[test]
+    fn col_rows_compare_by_storage_identity() {
+        let vals: Vec<Value> = (0..4).map(Value::Integer).collect();
+        let b = ColumnarBatch::from_values(&vals);
+        let twin = ColumnarBatch::from_values(&vals);
+        let row = |batch: &ColumnarBatch, row| ColRow {
+            batch: batch.clone(),
+            row,
+        };
+        assert_eq!(row(&b, 2), row(&b, 2));
+        assert_ne!(row(&b, 1), row(&b, 2), "consecutive rows never merge");
+        assert_ne!(row(&b, 2), row(&twin, 2), "value-equal twins are distinct");
+        assert_ne!(row(&b.slice(1, 4), 0), row(&b, 0), "views must match");
+        assert!(b.slice(1, 4).same_view(&b.slice(1, 4)));
+    }
+
+    #[test]
+    fn row_marshaled_size_matches_the_value_codec() {
+        let runs: Vec<Vec<Value>> = vec![
+            (0..3).map(Value::Integer).collect(),
+            vec![Value::Real(1.5), Value::Real(f64::NAN)],
+            vec![Value::Bool(true), Value::Bool(false)],
+            vec![Value::from("ab"), Value::from(""), Value::from("xyz")],
+            vec![Value::synthetic_array(8), Value::synthetic_array(16)],
+            vec![metric(0, 1, 2), metric(3, 4, 5)],
+            vec![
+                Value::Bag(vec![Value::Integer(1), Value::from("x")]),
+                Value::Bag(vec![Value::Integer(2), Value::from("yy")]),
+            ],
+            vec![Value::Integer(1), Value::from("x")], // mixed: Values layout
+        ];
+        for run in runs {
+            let b = ColumnarBatch::from_values(&run);
+            for (row, v) in run.iter().enumerate() {
+                assert_eq!(b.row_marshaled_size(row), v.marshaled_size(), "{v:?}");
+            }
+            // View slicing preserves per-row sizes.
+            if run.len() > 1 {
+                let s = b.slice(1, run.len());
+                assert_eq!(s.row_marshaled_size(0), run[1].marshaled_size());
+            }
+        }
     }
 
     #[test]

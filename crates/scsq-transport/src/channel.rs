@@ -113,10 +113,12 @@ impl ChannelStats {
 /// its growth visible to the coalescer as a plain counter. A train of one
 /// is exactly the old per-element representation.
 ///
-/// Trains are a transport-side encoding only: delivery hands the receiver
-/// a materialized batch per buffer, and any columnar conversion of that
-/// batch happens inside the engine's `deliver` step, after transport —
-/// neither trains nor the coalescer ever see columns.
+/// Trains (and their sibling, [`Pack`]) are a transport-side encoding
+/// only: delivery hands the receiver a materialized batch per buffer.
+/// The payload type is opaque here — a relayed column row travels as
+/// just another element whose bytes and ready time drive packing; any
+/// columnar reassembly of a delivered batch happens inside the
+/// engine's `deliver` step, after transport.
 #[derive(Debug)]
 struct Train<T> {
     /// The element every copy materializes as. `None` only transiently
@@ -142,6 +144,51 @@ impl<T> Train<T> {
     fn tail_ready(&self) -> SimTime {
         self.head_ready + SimDur::from_nanos(self.step.as_nanos() * (self.copies - 1))
     }
+}
+
+/// A pack of *distinct* elements sharing one marshaled size, enqueued
+/// in a single call ([`StreamChannel::enqueue_pack`]) with an explicit
+/// nondecreasing ready time per element — the complement of [`Train`],
+/// which compresses *identical* elements on an arithmetic ready
+/// progression. A relayed column batch is the motivating producer:
+/// thousands of same-sized, pairwise-distinct rows become ready at
+/// jittered (so non-arithmetic) times within one event, and storing
+/// them as one queue node instead of one train each keeps the send
+/// queue short. Packing and delivery treat each element exactly as if
+/// it had been enqueued individually.
+#[derive(Debug)]
+struct Pack<T> {
+    /// The elements, consumed front to back from `next`.
+    items: Vec<T>,
+    /// Per-element ready times; same length as `items`, nondecreasing.
+    readies: Vec<SimTime>,
+    /// Index of the head element.
+    next: usize,
+    /// Marshaled size of each element.
+    bytes_each: u64,
+    /// Unpacked bytes of the head element.
+    head_bytes_left: u64,
+    /// Some of the head element's bytes rode a dropped datagram.
+    head_corrupted: bool,
+}
+
+impl<T> Pack<T> {
+    /// Elements not yet fully packed, including the head.
+    fn remaining(&self) -> usize {
+        self.items.len() - self.next
+    }
+
+    /// Bytes not yet packed into buffers.
+    fn bytes_left(&self) -> u64 {
+        self.head_bytes_left + (self.remaining() as u64 - 1) * self.bytes_each
+    }
+}
+
+/// One send-queue node: a run-length-encoded train or an explicit pack.
+#[derive(Debug)]
+enum Node<T> {
+    Train(Train<T>),
+    Pack(Pack<T>),
 }
 
 /// What one [`StreamChannel::cycle`] call produced.
@@ -179,7 +226,7 @@ impl<T> Default for CycleOutput<T> {
 #[derive(Debug)]
 pub struct StreamChannel<T> {
     cfg: ChannelConfig,
-    queue: VecDeque<Train<T>>,
+    queue: VecDeque<Node<T>>,
     /// Bytes already packed into the currently-filling buffer.
     fill: u64,
     /// Latest ready-time of the bytes in the filling buffer.
@@ -194,6 +241,10 @@ pub struct StreamChannel<T> {
     pending_bytes: u64,
     /// Send-completion times of recent buffers, at most `window` entries.
     inflight: VecDeque<SimTime>,
+    /// An empty delivery vector donated back by the consumer
+    /// ([`Self::recycle`]); the next transmitting cycle reuses its
+    /// capacity instead of growing a fresh allocation per buffer.
+    spare: Vec<T>,
     eos_queued: bool,
     eos_reported: bool,
     stats: ChannelStats,
@@ -224,6 +275,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             fill_items: Vec::new(),
             pending_bytes: 0,
             inflight: VecDeque::new(),
+            spare: Vec::new(),
             eos_queued: false,
             eos_reported: false,
             stats: ChannelStats::default(),
@@ -268,7 +320,7 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
         assert!(bytes > 0, "elements must have positive marshaled size");
         self.stats.bytes_enqueued += bytes;
         self.pending_bytes += bytes;
-        if let Some(tail) = self.queue.back_mut() {
+        if let Some(Node::Train(tail)) = self.queue.back_mut() {
             if tail.bytes_each == bytes && tail.item.as_ref() == Some(&item) {
                 if tail.copies == 1 && ready >= tail.head_ready {
                     // Second copy fixes the train's spacing.
@@ -282,7 +334,16 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
                 }
             }
         }
-        self.queue.push_back(Train {
+        // A fast producer can back the queue up by millions of trains
+        // (jittered ready times defeat coalescing entirely). VecDeque's
+        // doubling growth then re-copies the whole backlog at every
+        // step; quadrupling past the first page keeps the amortized
+        // copy volume a third of that while wasting at most 3x the
+        // peak footprint — simulation state is unaffected either way.
+        if self.queue.len() == self.queue.capacity() && self.queue.len() >= 4096 {
+            self.queue.reserve(3 * self.queue.len());
+        }
+        self.queue.push_back(Node::Train(Train {
             item: Some(item),
             copies: 1,
             bytes_each: bytes,
@@ -290,12 +351,70 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             head_ready: ready,
             step: SimDur::ZERO,
             head_corrupted: false,
-        });
+        }));
         let depth = self.queue.len() as u64;
         if depth > self.stats.queue_peak_trains {
             self.stats.queue_peak_trains = depth;
         }
         ready
+    }
+
+    /// Enqueues `items.len()` distinct elements of `bytes_each`
+    /// marshaled bytes as one queue node, element `i` ready at
+    /// `readies[i]`. Byte-for-byte and instant-for-instant equivalent
+    /// to calling [`StreamChannel::enqueue`] once per element in order —
+    /// packing, buffer boundaries, delivery grouping and corruption all
+    /// treat pack elements individually — but the send queue grows by
+    /// one node instead of `items.len()` trains (distinct elements
+    /// never coalesce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`StreamChannel::finish`], with zero
+    /// `bytes_each`, with empty `items`, or with mismatched lengths.
+    /// Ready times must be nondecreasing (debug-asserted): the producer
+    /// generates them with one FIFO compute server, whose finish times
+    /// are monotone.
+    pub fn enqueue_pack(&mut self, items: Vec<T>, bytes_each: u64, readies: Vec<SimTime>) {
+        assert!(
+            !self.eos_queued,
+            "enqueue after finish on flow {:?}",
+            self.cfg.flow
+        );
+        assert!(bytes_each > 0, "elements must have positive marshaled size");
+        assert!(!items.is_empty(), "a pack must hold at least one element");
+        assert_eq!(items.len(), readies.len(), "one ready time per element");
+        debug_assert!(
+            readies.windows(2).all(|w| w[0] <= w[1]),
+            "pack ready times must be nondecreasing"
+        );
+        let bytes = bytes_each * items.len() as u64;
+        self.stats.bytes_enqueued += bytes;
+        self.pending_bytes += bytes;
+        self.queue.push_back(Node::Pack(Pack {
+            items,
+            readies,
+            next: 0,
+            bytes_each,
+            head_bytes_left: bytes_each,
+            head_corrupted: false,
+        }));
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.queue_peak_trains {
+            self.stats.queue_peak_trains = depth;
+        }
+    }
+
+    /// Bytes accepted but not yet handed to the carrier. Together with
+    /// [`Self::buffer_bytes`] this lets a producer compute which
+    /// elements of a prospective pack will complete send buffers.
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
+    /// The send-buffer size currently in effect.
+    pub fn buffer_bytes(&self, env: &Environment) -> u64 {
+        self.buffer_size(env)
     }
 
     /// Marks the stream finite: remaining data (and a final partial
@@ -331,34 +450,72 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
         }
     }
 
+    /// Donates an empty vector (typically a processed delivery batch)
+    /// whose capacity the next transmitting cycle reuses for its
+    /// [`CycleOutput::delivered`] — one warm allocation per channel
+    /// instead of a fresh buffer-sized growth per transmit.
+    pub fn recycle(&mut self, mut spare: Vec<T>) {
+        spare.clear();
+        if spare.capacity() > self.spare.capacity() {
+            self.spare = spare;
+        }
+    }
+
     /// Processes at most one send buffer. See [`CycleOutput`].
     pub fn cycle(&mut self, env: &mut Environment, now: SimTime) -> CycleOutput<T> {
-        let mut out = CycleOutput::default();
+        let mut out = CycleOutput {
+            delivered: std::mem::take(&mut self.spare),
+            ..CycleOutput::default()
+        };
         let buffer_size = self.buffer_size(env);
 
         // Pack bytes from the queue into the filling buffer, recording
         // completed elements straight into the fill roster.
         while self.fill < buffer_size {
-            let Some(front) = self.queue.front_mut() else {
+            let Some(node) = self.queue.front_mut() else {
                 break;
             };
             let space = buffer_size - self.fill;
-            let take = space.min(front.head_bytes_left);
-            front.head_bytes_left -= take;
-            self.fill += take;
-            self.fill_ready = self.fill_ready.max(front.head_ready);
-            if front.head_bytes_left == 0 {
-                let corrupted = std::mem::replace(&mut front.head_corrupted, false);
-                if front.copies == 1 {
-                    let item = front.item.take().expect("item present until consumed");
-                    self.fill_items.push((item, corrupted));
-                    self.queue.pop_front();
-                } else {
-                    let item = front.item.clone().expect("item present until consumed");
-                    self.fill_items.push((item, corrupted));
-                    front.copies -= 1;
-                    front.head_bytes_left = front.bytes_each;
-                    front.head_ready += front.step;
+            match node {
+                Node::Train(front) => {
+                    let take = space.min(front.head_bytes_left);
+                    front.head_bytes_left -= take;
+                    self.fill += take;
+                    self.fill_ready = self.fill_ready.max(front.head_ready);
+                    if front.head_bytes_left == 0 {
+                        let corrupted = std::mem::replace(&mut front.head_corrupted, false);
+                        if front.copies == 1 {
+                            let item = front.item.take().expect("item present until consumed");
+                            self.fill_items.push((item, corrupted));
+                            self.queue.pop_front();
+                        } else {
+                            let item = front.item.clone().expect("item present until consumed");
+                            self.fill_items.push((item, corrupted));
+                            front.copies -= 1;
+                            front.head_bytes_left = front.bytes_each;
+                            front.head_ready += front.step;
+                        }
+                    }
+                }
+                Node::Pack(front) => {
+                    let take = space.min(front.head_bytes_left);
+                    front.head_bytes_left -= take;
+                    self.fill += take;
+                    self.fill_ready = self.fill_ready.max(front.readies[front.next]);
+                    if front.head_bytes_left == 0 {
+                        let corrupted = std::mem::replace(&mut front.head_corrupted, false);
+                        // Cheap clone by construction: pack producers
+                        // relay shared column handles (two pointer-sized
+                        // fields and a reference-count bump).
+                        let item = front.items[front.next].clone();
+                        self.fill_items.push((item, corrupted));
+                        front.next += 1;
+                        if front.next == front.items.len() {
+                            self.queue.pop_front();
+                        } else {
+                            front.head_bytes_left = front.bytes_each;
+                        }
+                    }
                 }
             }
         }
@@ -407,9 +564,17 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
                     self.stats.buffers_dropped += 1;
                     self.stats.elements_lost += self.fill_items.len() as u64;
                     self.fill_items.clear();
-                    if let Some(front) = self.queue.front_mut() {
-                        if front.head_bytes_left > 0 && front.item.is_some() && self.fill > 0 {
-                            front.head_corrupted = true;
+                    if self.fill > 0 {
+                        match self.queue.front_mut() {
+                            Some(Node::Train(front))
+                                if front.head_bytes_left > 0 && front.item.is_some() =>
+                            {
+                                front.head_corrupted = true;
+                            }
+                            Some(Node::Pack(front)) if front.head_bytes_left > 0 => {
+                                front.head_corrupted = true;
+                            }
+                            _ => {}
                         }
                     }
                 }
@@ -438,6 +603,12 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             out.eos_at = Some(self.stats.last_delivery.max(now));
             self.teardown(env);
         }
+        if out.delivered.is_empty() {
+            // Nothing was delivered: keep the warm capacity for the
+            // next transmitting cycle instead of handing back an empty
+            // vector the consumer would drop.
+            self.spare = std::mem::take(&mut out.delivered);
+        }
         out
     }
 
@@ -449,20 +620,43 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
     fn next_buffer_ready(&self, buffer_size: u64) -> Option<SimTime> {
         let mut acc = self.fill;
         let mut ready = self.fill_ready;
-        for t in &self.queue {
-            ready = ready.max(t.head_ready);
-            acc += t.head_bytes_left;
-            if acc >= buffer_size {
-                return Some(ready);
-            }
-            if t.copies > 1 {
-                // Later copies are ready at head_ready + k*step; only as
-                // many as the buffer still needs contribute.
-                let k = (buffer_size - acc).div_ceil(t.bytes_each).min(t.copies - 1);
-                acc += k * t.bytes_each;
-                ready = ready.max(t.head_ready + SimDur::from_nanos(t.step.as_nanos() * k));
-                if acc >= buffer_size {
-                    return Some(ready);
+        for node in &self.queue {
+            match node {
+                Node::Train(t) => {
+                    ready = ready.max(t.head_ready);
+                    acc += t.head_bytes_left;
+                    if acc >= buffer_size {
+                        return Some(ready);
+                    }
+                    if t.copies > 1 {
+                        // Later copies are ready at head_ready + k*step;
+                        // only as many as the buffer still needs
+                        // contribute.
+                        let k = (buffer_size - acc).div_ceil(t.bytes_each).min(t.copies - 1);
+                        acc += k * t.bytes_each;
+                        ready = ready.max(t.head_ready + SimDur::from_nanos(t.step.as_nanos() * k));
+                        if acc >= buffer_size {
+                            return Some(ready);
+                        }
+                    }
+                }
+                Node::Pack(p) => {
+                    ready = ready.max(p.readies[p.next]);
+                    acc += p.head_bytes_left;
+                    if acc >= buffer_size {
+                        return Some(ready);
+                    }
+                    let left = (p.remaining() - 1) as u64;
+                    if left > 0 {
+                        // Ready times are nondecreasing, so the k-th
+                        // further element bounds the prefix max.
+                        let k = (buffer_size - acc).div_ceil(p.bytes_each).min(left);
+                        acc += k * p.bytes_each;
+                        ready = ready.max(p.readies[p.next + k as usize]);
+                        if acc >= buffer_size {
+                            return Some(ready);
+                        }
+                    }
                 }
             }
         }
@@ -512,16 +706,32 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
     ) {
         let buffer_size = self.buffer_size(env);
         p.shape(self.queue.len() as u64);
-        for t in &mut self.queue {
-            p.num(&mut t.copies);
-            p.shape(t.bytes_each);
-            p.num(&mut t.head_bytes_left);
-            p.time(&mut t.head_ready);
-            p.dur(&mut t.step);
-            p.shape(t.head_corrupted as u64);
-            p.shape(t.item.is_some() as u64);
-            if let Some(item) = &t.item {
-                probe_item(item, p);
+        for node in &mut self.queue {
+            match node {
+                Node::Train(t) => {
+                    p.shape(0);
+                    p.num(&mut t.copies);
+                    p.shape(t.bytes_each);
+                    p.num(&mut t.head_bytes_left);
+                    p.time(&mut t.head_ready);
+                    p.dur(&mut t.step);
+                    p.shape(t.head_corrupted as u64);
+                    p.shape(t.item.is_some() as u64);
+                    if let Some(item) = &t.item {
+                        probe_item(item, p);
+                    }
+                }
+                Node::Pack(pk) => {
+                    p.shape(1);
+                    p.shape(pk.remaining() as u64);
+                    p.shape(pk.bytes_each);
+                    p.num(&mut pk.head_bytes_left);
+                    p.shape(pk.head_corrupted as u64);
+                    for i in pk.next..pk.items.len() {
+                        p.time(&mut pk.readies[i]);
+                        probe_item(&pk.items[i], p);
+                    }
+                }
             }
         }
         p.bounded(&mut self.fill, buffer_size);
@@ -561,7 +771,10 @@ impl<T: Clone + PartialEq> StreamChannel<T> {
             + self
                 .queue
                 .iter()
-                .map(|t| t.head_bytes_left + (t.copies - 1) * t.bytes_each)
+                .map(|node| match node {
+                    Node::Train(t) => t.head_bytes_left + (t.copies - 1) * t.bytes_each,
+                    Node::Pack(pk) => pk.bytes_left(),
+                })
                 .sum::<u64>();
     }
 }
@@ -813,7 +1026,10 @@ mod tests {
             ch.enqueue("x", 250, SimTime::ZERO);
         }
         assert_eq!(ch.queue.len(), 1, "identical elements form one train");
-        assert_eq!(ch.queue[0].copies, 100);
+        let Node::Train(t) = &ch.queue[0] else {
+            panic!("coalesced elements stay a train");
+        };
+        assert_eq!(t.copies, 100);
         ch.finish(SimTime::ZERO);
         let (deliveries, _) = drain(&mut ch, &mut env);
         assert_eq!(deliveries.len(), 100);
@@ -828,7 +1044,10 @@ mod tests {
             ch.enqueue("x", 500, SimTime::from_micros(i * 10));
         }
         assert_eq!(ch.queue.len(), 1);
-        assert_eq!(ch.queue[0].step, SimDur::from_micros(10));
+        let Node::Train(t) = &ch.queue[0] else {
+            panic!("arithmetic run stays a train");
+        };
+        assert_eq!(t.step, SimDur::from_micros(10));
         // Breaking the progression starts a new train.
         ch.enqueue("x", 500, SimTime::from_millis(10));
         assert_eq!(ch.queue.len(), 2);
@@ -857,6 +1076,41 @@ mod tests {
         let (t_distinct, eos_distinct) = run(true);
         assert_eq!(t_merged, t_distinct);
         assert_eq!(eos_merged, eos_distinct);
+    }
+
+    #[test]
+    fn pack_matches_per_element_enqueues() {
+        // The relay hand-off's pack node: the same workload — distinct
+        // same-sized elements with nondecreasing per-element ready
+        // times — enqueued one node at a time vs. as a single pack
+        // must produce identical delivery batches, delivery times, and
+        // byte accounting. (Only the queue high-water mark may differ:
+        // a pack is one node.)
+        let n = 500u64;
+        let readies: Vec<SimTime> = (0..n)
+            .map(|i| SimTime::from_nanos(i * i * 17)) // uneven, jitter-like gaps
+            .collect();
+        let run = |packed: bool| {
+            let mut env = Environment::lofar();
+            let mut ch = StreamChannel::new(mpi_cfg(1000, true), &mut env);
+            if packed {
+                ch.enqueue_pack((0..n).collect(), 300, readies.clone());
+            } else {
+                for i in 0..n {
+                    ch.enqueue(i, 300, readies[i as usize]);
+                }
+            }
+            ch.finish(SimTime::from_millis(5));
+            let (deliveries, eos) = drain(&mut ch, &mut env);
+            let mut stats = *ch.stats();
+            stats.queue_peak_trains = 0;
+            (deliveries, eos, stats)
+        };
+        let (d_each, eos_each, s_each) = run(false);
+        let (d_pack, eos_pack, s_pack) = run(true);
+        assert_eq!(d_each, d_pack);
+        assert_eq!(eos_each, eos_pack);
+        assert_eq!(s_each, s_pack);
     }
 
     #[test]

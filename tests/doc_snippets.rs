@@ -70,7 +70,7 @@ fn check_doc(rel: &str, expect_at_least: usize) {
 
 #[test]
 fn scsql_reference_snippets_run() {
-    check_doc("docs/scsql_reference.md", 4);
+    check_doc("docs/scsql_reference.md", 5);
 }
 
 /// The filter-heavy columnar example embeds its query as one plain
