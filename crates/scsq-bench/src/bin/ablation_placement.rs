@@ -1,11 +1,15 @@
 //! Ablation: naïve vs topology-aware node selection on an unconstrained
 //! inbound workload (the §5 future-work refinement).
 //!
-//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
+//! Usage: `ablation_placement [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH] [--profile] [--trace PATH]`
+//!
+//! `--profile` prints the explain-analyze per-stage table of one
+//! representative run; `--trace PATH` writes that run's spans in
+//! Chrome trace-event format.
 
 use scsq_bench::{
-    ablation, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, print_figure,
-    series_to_csv, write_hub_metrics, Scale,
+    ablation, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, parse_profile,
+    parse_trace, print_figure, profile_representative, series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -15,6 +19,8 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
     let metrics = parse_metrics(&args);
+    let profile = parse_profile(&args);
+    let trace = parse_trace(&args);
     if metrics.is_some() {
         scsq_core::metrics::hub().enable(true);
     }
@@ -39,6 +45,16 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
+    }
+    if profile || trace.is_some() {
+        profile_representative(
+            &spec,
+            &ablation::query(scale),
+            &[],
+            mode,
+            profile,
+            trace.as_deref(),
+        );
     }
     if csv {
         print!("{}", series_to_csv(&series));

@@ -2,11 +2,15 @@
 //! Compares a single-node FFT pipeline with the paper's radix2
 //! distribution over the array-size sweep.
 //!
-//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
+//! Usage: `expensive_functions [--quick] [--csv] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH] [--profile] [--trace PATH]`
+//!
+//! `--profile` prints the explain-analyze per-stage table of one
+//! representative run (the distributed radix2 plan at 1 MB arrays);
+//! `--trace PATH` writes that run's spans in Chrome trace-event format.
 
 use scsq_bench::{
-    expensive, parse_coalesce, parse_columnar, parse_fuse, parse_metrics, print_figure,
-    series_to_csv, write_hub_metrics, Scale,
+    expensive, parse_coalesce, parse_columnar, parse_fuse, parse_metrics, parse_profile,
+    parse_trace, print_figure, profile_representative, series_to_csv, write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -15,6 +19,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let csv = args.iter().any(|a| a == "--csv");
     let metrics = parse_metrics(&args);
+    let profile = parse_profile(&args);
+    let trace = parse_trace(&args);
     if metrics.is_some() {
         scsq_core::metrics::hub().enable(true);
     }
@@ -42,6 +48,16 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
+    }
+    if profile || trace.is_some() {
+        profile_representative(
+            &spec,
+            &expensive::radix2_query(1_000_000, scale.arrays),
+            &[],
+            mode,
+            profile,
+            trace.as_deref(),
+        );
     }
     if csv {
         print!("{}", series_to_csv(&series));

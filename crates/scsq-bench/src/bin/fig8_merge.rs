@@ -1,11 +1,16 @@
 //! Regenerates paper Figure 8: intra-BlueGene stream-merging bandwidth
 //! for the sequential (Fig 7A) vs balanced (Fig 7B) node selections.
 //!
-//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
+//! Usage: `fig8_merge [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH] [--profile] [--trace PATH]`
+//!
+//! `--profile` prints the explain-analyze per-stage table of one
+//! representative run (the balanced selection); `--trace PATH` writes
+//! that run's spans in Chrome trace-event format.
 
 use scsq_bench::{
     buffer_sweep, fig8, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics,
-    print_figure, series_to_csv, write_hub_metrics, Scale,
+    parse_profile, parse_trace, print_figure, profile_representative, series_to_csv,
+    write_hub_metrics, Scale,
 };
 use scsq_core::HardwareSpec;
 
@@ -15,6 +20,8 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
     let metrics = parse_metrics(&args);
+    let profile = parse_profile(&args);
+    let trace = parse_trace(&args);
     if metrics.is_some() {
         scsq_core::metrics::hub().enable(true);
     }
@@ -39,6 +46,16 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
+    }
+    if profile || trace.is_some() {
+        profile_representative(
+            &spec,
+            &fig8::query(scale, fig8::Selection::Balanced),
+            &[],
+            mode,
+            profile,
+            trace.as_deref(),
+        );
     }
     if csv {
         print!("{}", series_to_csv(&series));

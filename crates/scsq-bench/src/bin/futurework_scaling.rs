@@ -3,11 +3,16 @@
 //! plus the sender-host sweep that quantifies "co-locate back-end RPs
 //! until saturation".
 //!
-//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH]`
+//! Usage: `futurework_scaling [--quick] [--csv] [--jobs N] [--coalesce on|off] [--fuse on|off] [--columnar on|off] [--metrics PATH] [--profile] [--trace PATH]`
+//!
+//! `--profile` prints the explain-analyze per-stage table of one
+//! representative run (the co-located strategy on the paper partition);
+//! `--trace PATH` writes that run's spans in Chrome trace-event format.
 
 use scsq_bench::{
-    parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, print_figure, scaling,
-    series_to_csv, write_hub_metrics, Scale,
+    parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics, parse_profile,
+    parse_trace, print_figure, profile_representative, scaling, series_to_csv, write_hub_metrics,
+    Scale,
 };
 
 fn main() {
@@ -16,6 +21,8 @@ fn main() {
     let csv = args.iter().any(|a| a == "--csv");
     let jobs = parse_jobs(&args);
     let metrics = parse_metrics(&args);
+    let profile = parse_profile(&args);
+    let trace = parse_trace(&args);
     if metrics.is_some() {
         scsq_core::metrics::hub().enable(true);
     }
@@ -45,6 +52,17 @@ fn main() {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });
+    }
+    if profile || trace.is_some() {
+        let (_, spec) = &scaling::partitions()[0];
+        profile_representative(
+            spec,
+            &scaling::inbound_query(scale, "1"),
+            &[],
+            mode,
+            profile,
+            trace.as_deref(),
+        );
     }
 
     if csv {

@@ -29,9 +29,9 @@ pub mod scaling;
 
 pub use pool::{
     default_jobs, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics,
-    run_indexed,
+    parse_profile, parse_trace, run_indexed,
 };
-pub use report::{print_figure, series_to_csv, write_hub_metrics};
+pub use report::{print_figure, series_to_csv, write_hub_metrics, write_hub_metrics_tagged};
 
 use scsq_core::{HardwareSpec, PreparedQuery, QueryResult, RunOptions, Scsq, ScsqError, Value};
 use scsq_sim::{RunningStats, Series};
@@ -229,6 +229,68 @@ pub fn mean_metric(
         mean: stats.mean(),
         std_dev: stats.sample_std_dev(),
     })
+}
+
+/// The `--profile`/`--trace` hook shared by every figure binary: runs
+/// **one representative execution** of `query` under the explain-analyze
+/// profiler and reports what the sweep's timings cannot show — where
+/// each stage's calls, elements, simulated busy time and wall time went.
+///
+/// The run happens on the calling thread (the flight-recorder span ring
+/// is thread-local, so a trace must be drained where it was filled) and
+/// is separate from the figure sweep itself: profiling a representative
+/// point keeps the swept measurements unperturbed. With `show_profile`
+/// the per-stage table is printed to stdout; with `trace` the whole
+/// observability layer is switched on for the run and its simulated-
+/// timeline spans are written to the path in Chrome trace-event format
+/// (loadable in `chrome://tracing` / Perfetto).
+///
+/// Exits the process on query or I/O errors, matching the figure
+/// binaries' handling of their own sweeps.
+pub fn profile_representative(
+    spec: &HardwareSpec,
+    query: &str,
+    bindings: &[(&str, Value)],
+    mode: ExecMode,
+    show_profile: bool,
+    trace: Option<&str>,
+) {
+    let fail = |e: ScsqError| -> ! {
+        eprintln!("representative profiled run failed: {e}");
+        std::process::exit(1);
+    };
+    let mut scsq = Scsq::with_spec(spec.clone());
+    *scsq.options_mut() = mode.apply(RunOptions::default());
+    let plan = scsq
+        .prepare_with(query, bindings)
+        .unwrap_or_else(|e| fail(e));
+    let options = mode.apply(RunOptions::default());
+    if trace.is_some() {
+        // Flip the hub *and* the span gate together, and discard any
+        // spans a prior pass of this binary left in the ring.
+        scsq_core::metrics::set_observability(true);
+        let _ = scsq_sim::obs::take_spans();
+    }
+    let (_, profile) = plan
+        .explain_analyze(spec, &options)
+        .unwrap_or_else(|e| fail(e));
+    if show_profile {
+        print!("{}", profile.render());
+    }
+    if let Some(path) = trace {
+        scsq_core::metrics::set_observability(false);
+        let drain = scsq_sim::obs::take_spans();
+        let json = scsq_sim::obs::chrome_trace_json(&drain.spans);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "trace: {} spans ({} overwritten) -> {path}",
+            drain.spans.len(),
+            drain.dropped
+        );
+    }
 }
 
 /// The buffer-size sweep used by Figures 6 and 8.

@@ -76,6 +76,41 @@ pub fn parse_metrics(args: &[String]) -> Option<String> {
     None
 }
 
+/// Parses the `--profile` presence flag: when given, the binary runs
+/// one representative execution of its workload under the
+/// explain-analyze profiler and prints the per-stage table
+/// ([`crate::profile_representative`]). Off by default — the sweeps
+/// themselves are never profiled, so the figures stay unperturbed.
+pub fn parse_profile(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--profile")
+}
+
+/// Parses a `--trace PATH` / `--trace=PATH` command-line flag: where to
+/// write the representative run's flight-recorder spans in Chrome
+/// trace-event format (`None` when absent — the span gate then stays
+/// off and costs one relaxed atomic load per site). An empty path
+/// aborts with a usage message.
+pub fn parse_trace(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--trace" {
+            it.next().map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--trace=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        return match value {
+            Some(path) if !path.is_empty() => Some(path.to_string()),
+            _ => {
+                eprintln!("--trace expects an output path (e.g. --trace trace.json)");
+                std::process::exit(2);
+            }
+        };
+    }
+    None
+}
+
 /// Parses a `--coalesce on|off` / `--coalesce=on|off` command-line
 /// flag, defaulting to `true` (coalescing on) when absent. Anything
 /// other than `on` or `off` aborts with a usage message.
@@ -276,5 +311,21 @@ mod tests {
         assert_eq!(parse_jobs(&to_args(&["--quick", "--jobs", "4"])), 4);
         assert_eq!(parse_jobs(&to_args(&["--jobs=7", "--csv"])), 7);
         assert_eq!(parse_jobs(&to_args(&["--quick"])), default_jobs());
+    }
+
+    #[test]
+    fn parse_profile_and_trace_read_their_flags() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_profile(&to_args(&["--quick", "--profile"])));
+        assert!(!parse_profile(&to_args(&["--quick"])));
+        assert_eq!(
+            parse_trace(&to_args(&["--trace", "out.json"])).as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(
+            parse_trace(&to_args(&["--trace=t.json", "--csv"])).as_deref(),
+            Some("t.json")
+        );
+        assert_eq!(parse_trace(&to_args(&["--quick"])), None);
     }
 }

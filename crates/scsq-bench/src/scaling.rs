@@ -45,7 +45,11 @@ pub fn partitions() -> Vec<(&'static str, HardwareSpec)> {
     ]
 }
 
-fn inbound_query(scale: Scale, be_alloc: &str) -> String {
+/// The inbound query both strategies run: `n` back-end generators
+/// (placed per `be_alloc`) streaming into pset-spread BlueGene
+/// receivers, summed at a collector. Public so the binary can hand a
+/// representative instance to [`crate::profile_representative`].
+pub fn inbound_query(scale: Scale, be_alloc: &str) -> String {
     format!(
         "select extract(c) from \
          bag of sp a, bag of sp b, sp c, \

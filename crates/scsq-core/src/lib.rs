@@ -33,11 +33,11 @@ pub mod service;
 
 pub use scsq_cluster::{AllocSeq, ClusterName, Environment, HardwareSpec, NodeId};
 pub use scsq_engine::{
-    ChannelReport, EngineError as ScsqError, PlacementPolicy, PreparedQuery, QueryResult,
-    QueryStats, RpReport, RunOptions,
+    ChannelReport, EngineError as ScsqError, PlacementPolicy, PreparedQuery, ProfileReport,
+    QueryResult, QueryStats, RpReport, RunOptions, StageProfile,
 };
 pub use scsq_ql::{ArrayData, Catalog, SpHandle, Value};
-pub use scsq_sim::{SimDur, SimTime};
+pub use scsq_sim::{LatencyHistogram, SimDur, SimTime, Span};
 pub use service::ScsqService;
 
 use scsq_engine::ClientManager;

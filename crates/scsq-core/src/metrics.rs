@@ -237,6 +237,21 @@ pub fn hub() -> &'static MetricsHub {
     HUB.get_or_init(MetricsHub::new)
 }
 
+/// Turns the whole observability layer on or off in one call: the
+/// process-wide [`hub`]'s recording gate *and* the simulator's
+/// flight-recorder span gate (`scsq_sim::obs`). Benchmark binaries call
+/// this for `--metrics`/`--trace`; with both gates off (the default)
+/// the per-event hot path pays one relaxed atomic load per gated site.
+///
+/// Deliberately a free function rather than a `MetricsHub` method: the
+/// span gate is process-global, and flipping it from per-instance hubs
+/// (as unit tests create) would let parallel tests perturb each other's
+/// flight recorders.
+pub fn set_observability(on: bool) {
+    hub().enable(on);
+    scsq_sim::obs::set_enabled(on);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -775,6 +775,28 @@ impl<'a> QueryBuilder<'a> {
                 p.stages.push(Stage::Bandwidth);
                 Ok(p)
             }
+            Builtin::Latency => {
+                let v = self.eval(&args[0], bindings)?;
+                let targets = sp_handles(&v, "latency()")?;
+                Ok(Pipeline {
+                    input: InputKind::Latency { targets },
+                    stages: Vec::new(),
+                })
+            }
+            Builtin::Quantile => {
+                let mut p = self.compile_stream(&args[0], bindings)?;
+                let qv = self.eval(&args[1], bindings)?;
+                let q = qv
+                    .as_real()
+                    .ok_or_else(|| EngineError::type_error("number", &qv, "quantile level"))?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(EngineError::bind(format!(
+                        "quantile level must be in [0, 1], got {q}"
+                    )));
+                }
+                p.stages.push(Stage::Quantile { q });
+                Ok(p)
+            }
             Builtin::Arith => {
                 let mut p = self.compile_stream(&args[0], bindings)?;
                 let spelled = self.eval_string(&args[1], bindings, "arith operator")?;

@@ -21,9 +21,10 @@
 //! this against random pipelines.
 
 use crate::error::EngineError;
-use crate::ops::{bandwidth_accumulate, ArithOp, CmpOp, MapFunc};
+use crate::ops::{bandwidth_accumulate, quantile_accumulate, ArithOp, CmpOp, MapFunc};
 use scsq_ql::column::{Column, ColumnData, SelectionVector, ValidityBitmap};
 use scsq_ql::Value;
+use scsq_sim::LatencyHistogram;
 
 /// Lane count of the chunked fold kernels: wide enough to fill a
 /// 512-bit vector of `i64`/`f64`, small enough that the scalar drain of
@@ -502,6 +503,48 @@ pub(crate) fn fold_bandwidth(
     Ok(())
 }
 
+/// Folds a whole `Int64` column into a quantile histogram exactly as
+/// the interpreter would. Bucket counts are order-independent, but the
+/// fold still walks in element order so an error (a negative value)
+/// leaves exactly the partial state the per-element path would.
+///
+/// # Errors
+///
+/// A negative value reproduces the interpreter's "non-negative number"
+/// type error for that element.
+pub(crate) fn fold_quantile_i64(
+    hist: &mut LatencyHistogram,
+    xs: &[i64],
+) -> Result<(), EngineError> {
+    for &x in xs {
+        if x < 0 {
+            return quantile_accumulate(hist, &Value::Integer(x));
+        }
+        hist.record(x as u64);
+    }
+    Ok(())
+}
+
+/// [`fold_quantile_i64`] over a `Float64` column: finite non-negative
+/// reals truncate toward zero, exactly as the scalar accumulate does.
+///
+/// # Errors
+///
+/// A negative, NaN or infinite value reproduces the interpreter's
+/// "non-negative number" type error for that element.
+pub(crate) fn fold_quantile_f64(
+    hist: &mut LatencyHistogram,
+    xs: &[f64],
+) -> Result<(), EngineError> {
+    for &x in xs {
+        if !(x.is_finite() && x >= 0.0) {
+            return quantile_accumulate(hist, &Value::Real(x));
+        }
+        hist.record(x as u64);
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Selection-aware folds: same accumulators, but only the rows a filter
 // stage kept. These replay the interpreter walk index by index — the
@@ -582,6 +625,38 @@ pub(crate) fn fold_best_f64_sel(
     if let Some(x) = cur_raw {
         *best = Some(Value::Real(x));
     }
+}
+
+/// [`fold_quantile_i64`] restricted to the selected rows.
+pub(crate) fn fold_quantile_i64_sel(
+    hist: &mut LatencyHistogram,
+    xs: &[i64],
+    sel: &SelectionVector,
+) -> Result<(), EngineError> {
+    for &r in sel.rows() {
+        let x = xs[r as usize];
+        if x < 0 {
+            return quantile_accumulate(hist, &Value::Integer(x));
+        }
+        hist.record(x as u64);
+    }
+    Ok(())
+}
+
+/// [`fold_quantile_f64`] restricted to the selected rows.
+pub(crate) fn fold_quantile_f64_sel(
+    hist: &mut LatencyHistogram,
+    xs: &[f64],
+    sel: &SelectionVector,
+) -> Result<(), EngineError> {
+    for &r in sel.rows() {
+        let x = xs[r as usize];
+        if !(x.is_finite() && x >= 0.0) {
+            return quantile_accumulate(hist, &Value::Real(x));
+        }
+        hist.record(x as u64);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -116,6 +116,34 @@ impl PreparedQuery {
         run_graph(env, &self.graph, options)
     }
 
+    /// Executes the plan with explain-analyze profiling forced on and
+    /// returns the per-stage profile alongside the result.
+    ///
+    /// Runs exactly like [`PreparedQuery::run`] with
+    /// `options.profile = true`: tallies are exact per-stage counts
+    /// from whichever executor tier ran, and the query result is
+    /// byte-identical to an unprofiled run.
+    ///
+    /// # Errors
+    ///
+    /// Runtime errors only; the query is already compiled.
+    pub fn explain_analyze(
+        &self,
+        spec: &HardwareSpec,
+        options: &RunOptions,
+    ) -> Result<(QueryResult, crate::profile::ProfileReport), EngineError> {
+        let mut opts = options.clone();
+        opts.profile = true;
+        let env = Environment::new(spec.clone());
+        let result = run_graph(env, &self.graph, &opts)?;
+        let profile = result
+            .stats()
+            .profile
+            .clone()
+            .expect("profiled run carries a profile");
+        Ok((result, profile))
+    }
+
     /// The plan's set-up picture (same rendering as
     /// [`ClientManager::explain`]).
     pub fn explain(&self) -> String {

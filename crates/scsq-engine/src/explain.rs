@@ -90,7 +90,17 @@ fn write_verdicts(out: &mut String, p: &Pipeline) {
 
 /// One-line description of a compiled SQEP.
 pub fn describe_pipeline(p: &Pipeline) -> String {
-    let mut s = match &p.input {
+    let mut s = describe_input(&p.input);
+    for stage in &p.stages {
+        s.push_str(" | ");
+        s.push_str(&describe_stage(stage));
+    }
+    s
+}
+
+/// One-token description of a SQEP source.
+pub(crate) fn describe_input(input: &InputKind) -> String {
+    match input {
         InputKind::Gen { bytes, count } => format!("gen_array({bytes} B x {count})"),
         InputKind::Receive { producers } => {
             let ids: Vec<String> = producers.iter().map(|h| format!("sp#{}", h.0)).collect();
@@ -109,16 +119,15 @@ pub fn describe_pipeline(p: &Pipeline) -> String {
             let ids: Vec<String> = targets.iter().map(|h| format!("sp#{}", h.0)).collect();
             format!("metrics[{}]", ids.join(", "))
         }
-    };
-    for stage in &p.stages {
-        s.push_str(" | ");
-        s.push_str(&describe_stage(stage));
+        InputKind::Latency { targets } => {
+            let ids: Vec<String> = targets.iter().map(|h| format!("sp#{}", h.0)).collect();
+            format!("latency[{}]", ids.join(", "))
+        }
     }
-    s
 }
 
 /// One-token description of a single SQEP stage.
-fn describe_stage(stage: &Stage) -> String {
+pub(crate) fn describe_stage(stage: &Stage) -> String {
     match stage {
         Stage::Map(f) => format!("{f:?}").to_lowercase(),
         Stage::Agg(k) => format!("{k:?}").to_lowercase(),
@@ -129,6 +138,7 @@ fn describe_stage(stage: &Stage) -> String {
         Stage::Window(w) => format!("winagg({}, {}, {:?})", w.size, w.slide, w.agg).to_lowercase(),
         Stage::Take { limit } => format!("take({limit})"),
         Stage::Bandwidth => "bandwidth".to_string(),
+        Stage::Quantile { q } => format!("quantile({q})"),
         Stage::Arith { op, rhs } => format!("arith({} {rhs})", op.symbol()),
         Stage::Cmp { op, rhs } => format!("cmp({} {rhs})", op.symbol()),
         Stage::Filter { op, rhs } => format!("filter({} {rhs})", op.symbol()),

@@ -301,13 +301,15 @@ impl FusedChain {
                     | Stage::StreamOf
                     | Stage::Take { .. }
                     | Stage::Bandwidth
+                    | Stage::Quantile { .. }
                     | Stage::Map(_)
                     | Stage::Arith { .. }
                     | Stage::Cmp { .. }
                     | Stage::Filter { .. }
             )
         };
-        let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
+        let absorber =
+            |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth | Stage::Quantile { .. });
         let columnar_ok =
             program.stages.iter().all(vectorizable) && program.stages.iter().any(absorber);
         let relayable = |s: &Stage| {
@@ -364,8 +366,14 @@ impl FusedChain {
                 return Ok(());
             }
             self.nxt.clear();
+            let n_in = self.cur.len() as u64;
             for v in self.cur.drain(..) {
                 op(&mut self.chain.stages[i], v, from, &mut self.nxt)?;
+            }
+            if let Some(t) = self.chain.tally.get_mut(i) {
+                t.calls += n_in;
+                t.elems_in += n_in;
+                t.elems_out += self.nxt.len() as u64;
             }
             std::mem::swap(&mut self.cur, &mut self.nxt);
         }
@@ -458,6 +466,13 @@ impl FusedChain {
                     admitted = true;
                     break;
                 }
+                StageState::Quantile { .. } => {
+                    if !matches!(ty, ColType::Int | ColType::Float) {
+                        return None;
+                    }
+                    admitted = true;
+                    break;
+                }
                 other => ty = transform_type(other, ty)?,
             }
         }
@@ -525,7 +540,9 @@ impl FusedChain {
     ) -> (ColumnarBatch, Option<SelectionVector>) {
         let mut cur: Column = admit.cols.single().expect("relay admits single column");
         let mut sel: Option<SelectionVector> = None;
-        for state in &mut self.chain.stages {
+        let StageChain { stages, tally, .. } = &mut self.chain;
+        for (si, state) in stages.iter_mut().enumerate() {
+            let live_in = sel.as_ref().map_or(cur.len(), SelectionVector::len) as u64;
             match state {
                 StageState::StreamOf => {}
                 StageState::Map(f) => {
@@ -568,6 +585,12 @@ impl FusedChain {
                 },
                 _ => unreachable!("relay admission excludes absorbing and stateful stages"),
             }
+            if let Some(t) = tally.get_mut(si) {
+                let live_out = sel.as_ref().map_or(cur.len(), SelectionVector::len) as u64;
+                t.calls += 1;
+                t.elems_in += live_in;
+                t.elems_out += live_out;
+            }
         }
         let out = match &sel {
             // Compact survivors once at the end: dense stages upstream
@@ -594,8 +617,8 @@ impl FusedChain {
     /// # Errors
     ///
     /// The same error the per-element path would raise on the first
-    /// failing element (only `bandwidth` over malformed samples can
-    /// fail on an admitted shape).
+    /// failing element (`bandwidth` over malformed samples or
+    /// `quantile` over negative values on an admitted shape).
     pub fn process_admitted(&mut self, admit: ColumnarAdmit) -> Result<(), EngineError> {
         let cols = admit.cols;
         if cols.width() != 1 {
@@ -603,7 +626,12 @@ impl FusedChain {
         }
         let mut cur: Column = cols.single().expect("width checked above");
         let mut sel: Option<SelectionVector> = None;
-        for state in &mut self.chain.stages {
+        let StageChain { stages, tally, .. } = &mut self.chain;
+        for (si, state) in stages.iter_mut().enumerate() {
+            // Semantic element counts for explain-analyze: what the
+            // per-element path would have fed this stage (survivors of
+            // the selection so far).
+            let live_in = sel.as_ref().map_or(cur.len(), SelectionVector::len) as u64;
             match state {
                 StageState::StreamOf => {}
                 StageState::Map(f) => {
@@ -692,9 +720,38 @@ impl FusedChain {
                             }
                         }
                     }
+                    if let Some(t) = tally.get_mut(si) {
+                        t.calls += 1;
+                        t.elems_in += live_in;
+                    }
+                    return Ok(());
+                }
+                StageState::Quantile { hist, .. } => {
+                    if let Some(xs) = cur.as_i64() {
+                        match &sel {
+                            Some(s) => columnar::fold_quantile_i64_sel(hist, xs, s)?,
+                            None => columnar::fold_quantile_i64(hist, xs)?,
+                        }
+                    } else {
+                        let xs = cur.as_f64().expect("admitted: numeric column");
+                        match &sel {
+                            Some(s) => columnar::fold_quantile_f64_sel(hist, xs, s)?,
+                            None => columnar::fold_quantile_f64(hist, xs)?,
+                        }
+                    }
+                    if let Some(t) = tally.get_mut(si) {
+                        t.calls += 1;
+                        t.elems_in += live_in;
+                    }
                     return Ok(());
                 }
                 _ => unreachable!("admission excludes non-vectorizable stages"),
+            }
+            if let Some(t) = tally.get_mut(si) {
+                let live_out = sel.as_ref().map_or(cur.len(), SelectionVector::len) as u64;
+                t.calls += 1;
+                t.elems_in += live_in;
+                t.elems_out += live_out;
             }
         }
         unreachable!("admission implies an absorber terminates the walk")
@@ -706,7 +763,9 @@ impl FusedChain {
     /// `bandwidth` or `count`.
     fn process_multi_columns(&mut self, cols: ColumnarBatch) -> Result<(), EngineError> {
         let mut view = cols;
-        for state in &mut self.chain.stages {
+        let StageChain { stages, tally, .. } = &mut self.chain;
+        for (si, state) in stages.iter_mut().enumerate() {
+            let live_in = view.rows() as u64;
             match state {
                 StageState::StreamOf => {}
                 StageState::Take { remaining } => {
@@ -716,6 +775,10 @@ impl FusedChain {
                 }
                 StageState::Agg { count, .. } => {
                     *count += view.rows() as i64;
+                    if let Some(t) = tally.get_mut(si) {
+                        t.calls += 1;
+                        t.elems_in += live_in;
+                    }
                     return Ok(());
                 }
                 StageState::Bandwidth { bytes, last_nanos } => {
@@ -732,9 +795,18 @@ impl FusedChain {
                         time_ns.as_i64().expect("metric columns are Int64"),
                         sample_bytes.as_i64().expect("metric columns are Int64"),
                     )?;
+                    if let Some(t) = tally.get_mut(si) {
+                        t.calls += 1;
+                        t.elems_in += live_in;
+                    }
                     return Ok(());
                 }
                 _ => unreachable!("admission excludes transforms on metric batches"),
+            }
+            if let Some(t) = tally.get_mut(si) {
+                t.calls += 1;
+                t.elems_in += live_in;
+                t.elems_out += view.rows() as u64;
             }
         }
         unreachable!("admission implies an absorber terminates the walk")
@@ -844,13 +916,15 @@ pub fn admission_verdicts(stages: &[Stage]) -> Vec<String> {
                 | Stage::StreamOf
                 | Stage::Take { .. }
                 | Stage::Bandwidth
+                | Stage::Quantile { .. }
                 | Stage::Map(_)
                 | Stage::Arith { .. }
                 | Stage::Cmp { .. }
                 | Stage::Filter { .. }
         )
     };
-    let absorber = |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth);
+    let absorber =
+        |s: &Stage| matches!(s, Stage::Agg(_) | Stage::Bandwidth | Stage::Quantile { .. });
     let transform = |s: &Stage| {
         matches!(
             s,
@@ -920,6 +994,7 @@ fn resolve(stage: &Stage) -> StageFn {
         Stage::Window(_) => step_window,
         Stage::Take { .. } => step_take,
         Stage::Bandwidth => step_bandwidth,
+        Stage::Quantile { .. } => step_quantile,
         Stage::Arith { .. } => step_arith,
         Stage::Cmp { .. } => step_cmp,
         Stage::Filter { .. } => step_filter,
@@ -1109,6 +1184,18 @@ fn step_bandwidth(
     crate::ops::bandwidth_accumulate(bytes, last_nanos, &value)
 }
 
+fn step_quantile(
+    s: &mut StageState,
+    value: Value,
+    _from: Option<SpHandle>,
+    _out: &mut Vec<Value>,
+) -> Result<(), EngineError> {
+    let StageState::Quantile { hist, .. } = s else {
+        unreachable!("fused program and stage states built from the same stage list")
+    };
+    crate::ops::quantile_accumulate(hist, &value)
+}
+
 fn step_arith(
     s: &mut StageState,
     value: Value,
@@ -1251,6 +1338,24 @@ impl ExecChain {
         match self {
             ExecChain::Interpreted(c) => c.probe(p, probe_value),
             ExecChain::Fused(f) => f.probe(p, probe_value),
+        }
+    }
+
+    /// Allocates explain-analyze tally slots (one per stage). Before
+    /// this call the tally slice is empty and every update is a no-op
+    /// bounds check.
+    pub(crate) fn enable_profiling(&mut self) {
+        match self {
+            ExecChain::Interpreted(c) => c.enable_profiling(),
+            ExecChain::Fused(f) => f.chain.enable_profiling(),
+        }
+    }
+
+    /// The per-stage tallies (empty unless profiling is enabled).
+    pub(crate) fn tally(&self) -> &[crate::profile::StageTally] {
+        match self {
+            ExecChain::Interpreted(c) => &c.tally,
+            ExecChain::Fused(f) => &f.chain.tally,
         }
     }
 }

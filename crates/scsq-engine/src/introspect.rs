@@ -50,6 +50,20 @@ pub struct ChannelMetrics {
     /// Mean delivered bandwidth in bytes/s over the channel's active
     /// window (first send to last delivery); `0.0` for idle channels.
     pub bandwidth: f64,
+    /// Elements with a closed ingress→delivery latency measurement
+    /// (0 unless the run tracked latency: a `latency(p)` observer
+    /// watched the channel or `RunOptions::observe_latency` was set).
+    pub lat_count: u64,
+    /// Median ingress→delivery latency in simulated nanoseconds
+    /// (log-bucket upper bound; 0 when untracked).
+    pub lat_p50_ns: u64,
+    /// 95th-percentile latency in simulated nanoseconds.
+    pub lat_p95_ns: u64,
+    /// 99th-percentile latency in simulated nanoseconds.
+    pub lat_p99_ns: u64,
+    /// Maximum observed latency in simulated nanoseconds (exact, not
+    /// bucketed).
+    pub lat_max_ns: u64,
 }
 
 /// A structured, serialisable summary of one query execution.
@@ -107,6 +121,11 @@ impl MetricsSnapshot {
                     } else {
                         0.0
                     },
+                    lat_count: c.latency.count(),
+                    lat_p50_ns: c.latency.quantile(0.50),
+                    lat_p95_ns: c.latency.quantile(0.95),
+                    lat_p99_ns: c.latency.quantile(0.99),
+                    lat_max_ns: c.latency.max(),
                 }
             })
             .collect();
@@ -160,7 +179,9 @@ impl MetricsSnapshot {
                 "    {{\"src\": \"{}\", \"dst\": \"{}\", \"carrier\": \"{}\", \
                  \"bytes\": {}, \"bytes_enqueued\": {}, \"buffers_sent\": {}, \
                  \"buffers_dropped\": {}, \"elements_lost\": {}, \
-                 \"queue_peak_trains\": {}, \"bandwidth\": {}}}{comma}",
+                 \"queue_peak_trains\": {}, \"bandwidth\": {}, \
+                 \"lat_count\": {}, \"lat_p50_ns\": {}, \"lat_p95_ns\": {}, \
+                 \"lat_p99_ns\": {}, \"lat_max_ns\": {}}}{comma}",
                 c.src,
                 c.dst,
                 c.carrier,
@@ -171,6 +192,11 @@ impl MetricsSnapshot {
                 c.elements_lost,
                 c.queue_peak_trains,
                 c.bandwidth,
+                c.lat_count,
+                c.lat_p50_ns,
+                c.lat_p95_ns,
+                c.lat_p99_ns,
+                c.lat_max_ns,
             );
         }
         let _ = writeln!(out, "  ]");

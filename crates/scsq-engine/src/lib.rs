@@ -44,6 +44,7 @@ pub mod introspect;
 pub mod measure;
 pub mod ops;
 pub mod placement;
+pub mod profile;
 pub mod runtime;
 mod train;
 pub mod window;
@@ -59,4 +60,5 @@ pub use introspect::{ChannelMetrics, MetricsSnapshot};
 pub use measure::{ChannelReport, QueryResult, QueryStats, RpReport};
 pub use ops::{AggKind, ArithOp, CmpOp, InputKind, MapFunc, Pipeline, Stage};
 pub use placement::PlacementPolicy;
+pub use profile::{ProfileReport, RpProfile, StageProfile, StageTally};
 pub use runtime::{run_graph, RunOptions};

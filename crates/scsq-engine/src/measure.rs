@@ -38,6 +38,11 @@ pub struct ChannelReport {
     pub first_send: Option<SimTime>,
     /// When the last buffer finished de-marshaling.
     pub last_delivery: SimTime,
+    /// Ingress→delivery latency distribution of the channel's elements,
+    /// in simulated nanoseconds. Empty unless the channel was tracked
+    /// (a `latency(p)` observer watched it, or
+    /// `RunOptions::observe_latency` was set).
+    pub latency: scsq_sim::LatencyHistogram,
 }
 
 /// One running process's execution monitor (§2.3: an RP is responsible
@@ -90,6 +95,8 @@ pub struct QueryStats {
     /// exactly as many draws, in the same order, or jittered replays
     /// diverge.
     pub jitter_draws: u64,
+    /// The explain-analyze profile (`Some` iff `RunOptions::profile`).
+    pub profile: Option<crate::profile::ProfileReport>,
 }
 
 /// The outcome of executing one continuous query to completion.
@@ -213,6 +220,7 @@ mod tests {
             queue_peak_trains: 1,
             first_send: Some(SimTime::ZERO),
             last_delivery: SimTime::from_secs(1),
+            latency: scsq_sim::LatencyHistogram::default(),
         }
     }
 
@@ -242,6 +250,7 @@ mod tests {
                 columnar_batches: 0,
                 columnar_transposes: 0,
                 jitter_draws: 0,
+                profile: None,
             },
         )
     }

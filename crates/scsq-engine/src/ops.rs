@@ -11,7 +11,7 @@ use crate::error::EngineError;
 use crate::funcs;
 use crate::window::{WindowSpec, WindowState};
 use scsq_ql::{SpHandle, Value};
-use scsq_sim::StateProbe;
+use scsq_sim::{LatencyHistogram, StateProbe};
 use std::collections::VecDeque;
 
 /// Where a pipeline's elements come from.
@@ -63,6 +63,17 @@ pub enum InputKind {
     /// producers to pull from, so the observed query's channels are
     /// not re-routed through the observer.
     Metrics {
+        /// The SPs whose outbound channels are observed.
+        targets: Vec<SpHandle>,
+    },
+    /// `latency(p)` — the latency self-measurement source: one integer
+    /// per element delivered on any channel leaving a target SP, the
+    /// element's ingress→egress latency in simulated nanoseconds
+    /// (enqueue at the producer to visibility at the subscriber). Like
+    /// [`InputKind::Metrics`], the runtime synthesizes the samples as
+    /// deliveries happen and the observer never perturbs the observed
+    /// channels.
+    Latency {
         /// The SPs whose outbound channels are observed.
         targets: Vec<SpHandle>,
     },
@@ -301,6 +312,13 @@ pub enum Stage {
         /// The constant right-hand operand.
         rhs: Value,
     },
+    /// `quantile(s, q)` — terminal aggregate: log-bucketed histogram of
+    /// the (non-negative numeric) elements, emitting the value at
+    /// quantile `q` as one integer at end of stream.
+    Quantile {
+        /// The quantile in `[0, 1]`.
+        q: f64,
+    },
 }
 
 /// A compiled SQEP.
@@ -376,6 +394,13 @@ pub(crate) enum StageState {
         op: CmpOp,
         rhs: Value,
     },
+    Quantile {
+        q: f64,
+        /// Boxed: the 64-bucket histogram would otherwise quadruple
+        /// every `StageState` — the enum sits in every stage of every
+        /// chain, quantile or not.
+        hist: Box<LatencyHistogram>,
+    },
 }
 
 /// Builds one `metrics(p)` delivery sample: a bag `{channel, time_ns,
@@ -417,10 +442,40 @@ pub(crate) fn bandwidth_accumulate(
     Ok(())
 }
 
+/// Converts a quantile-stage element to the nanosecond value it
+/// records: a non-negative integer, or a finite non-negative real
+/// truncated to an integer (exactly what the columnar fold kernels
+/// do, so the histograms match bit for bit across tiers).
+pub(crate) fn quantile_value(value: &Value) -> Result<u64, EngineError> {
+    match value {
+        Value::Integer(i) if *i >= 0 => Ok(*i as u64),
+        Value::Real(r) if r.is_finite() && *r >= 0.0 => Ok(*r as u64),
+        _ => Err(EngineError::type_error(
+            "non-negative number",
+            value,
+            "quantile",
+        )),
+    }
+}
+
+/// Folds one element into a [`StageState::Quantile`] histogram.
+/// Shared by the interpreted and fused executors.
+pub(crate) fn quantile_accumulate(
+    hist: &mut LatencyHistogram,
+    value: &Value,
+) -> Result<(), EngineError> {
+    hist.record(quantile_value(value)?);
+    Ok(())
+}
+
 /// Runtime interpreter for a [`Pipeline`]'s stage chain.
 #[derive(Debug)]
 pub struct StageChain {
     pub(crate) stages: Vec<StageState>,
+    /// Explain-analyze counters, one per stage. Empty unless profiling
+    /// is enabled (`StageChain::enable_profiling`), so the per-element
+    /// cost of the disabled path is a single bounds check.
+    pub(crate) tally: Vec<crate::profile::StageTally>,
 }
 
 impl StageChain {
@@ -468,9 +523,22 @@ impl StageChain {
                     op: *op,
                     rhs: rhs.clone(),
                 },
+                Stage::Quantile { q } => StageState::Quantile {
+                    q: *q,
+                    hist: Box::new(LatencyHistogram::new()),
+                },
             })
             .collect();
-        StageChain { stages }
+        StageChain {
+            stages,
+            tally: Vec::new(),
+        }
+    }
+
+    /// Allocates the explain-analyze counters. Called once at RP set-up
+    /// when the run is profiled; never on the hot path.
+    pub(crate) fn enable_profiling(&mut self) {
+        self.tally = vec![crate::profile::StageTally::default(); self.stages.len()];
     }
 
     /// Feeds one element (from producer `from`, if any) through the
@@ -485,11 +553,12 @@ impl StageChain {
         value: Value,
         from: Option<SpHandle>,
     ) -> Result<Vec<Value>, EngineError> {
-        Self::feed(&mut self.stages, 0, value, from)
+        Self::feed(&mut self.stages, &mut self.tally, 0, value, from)
     }
 
     fn feed(
         stages: &mut [StageState],
+        tally: &mut [crate::profile::StageTally],
         idx: usize,
         value: Value,
         from: Option<SpHandle>,
@@ -585,12 +654,21 @@ impl StageChain {
                     Vec::new()
                 }
             }
+            StageState::Quantile { hist, .. } => {
+                quantile_accumulate(hist, &value)?;
+                Vec::new()
+            }
         };
+        if let Some(t) = tally.get_mut(idx) {
+            t.calls += 1;
+            t.elems_in += 1;
+            t.elems_out += outputs.len() as u64;
+        }
         let next = idx + 1;
         let _ = rest;
         let mut result = Vec::new();
         for v in outputs {
-            result.extend(Self::feed(stages, next, v, from)?);
+            result.extend(Self::feed(stages, tally, next, v, from)?);
         }
         Ok(result)
     }
@@ -682,7 +760,21 @@ impl StageChain {
                     p.shape(*op as u64);
                     probe_value(rhs, p);
                 }
+                StageState::Quantile { q, hist } => {
+                    p.shape(11);
+                    p.shape(q.to_bits());
+                    hist.probe(p);
+                }
             }
+        }
+        // Explain-analyze counters advance by a constant per period in a
+        // steady phase, so a coalesce jump extrapolates them — profiled
+        // runs still count every analytically-skipped element.
+        p.shape(self.tally.len() as u64);
+        for t in &mut self.tally {
+            p.num(&mut t.calls);
+            p.num(&mut t.elems_in);
+            p.num(&mut t.elems_out);
         }
     }
 
@@ -734,10 +826,23 @@ impl StageChain {
                         Vec::new()
                     }
                 }
+                StageState::Quantile { q, hist } => {
+                    if hist.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![Value::Integer(hist.quantile(*q) as i64)]
+                    }
+                }
                 _ => Vec::new(),
             };
             for v in flushed {
-                result.extend(Self::feed(&mut self.stages, idx + 1, v, None)?);
+                result.extend(Self::feed(
+                    &mut self.stages,
+                    &mut self.tally,
+                    idx + 1,
+                    v,
+                    None,
+                )?);
             }
         }
         Ok(result)
@@ -906,5 +1011,36 @@ mod tests {
         let mut c = chain(vec![Stage::Bandwidth]);
         let err = c.process(Value::Integer(5), None).unwrap_err();
         assert!(err.to_string().contains("metric sample"));
+    }
+
+    #[test]
+    fn quantile_emits_histogram_quantile_at_eos() {
+        let mut c = chain(vec![Stage::Quantile { q: 0.5 }]);
+        for v in 1..=1000i64 {
+            assert!(c.process(Value::Integer(v), None).unwrap().is_empty());
+        }
+        // p50 of 1..=1000 lands in the [256, 512) bucket: upper bound 511.
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(511)]);
+    }
+
+    #[test]
+    fn quantile_truncates_reals_and_clamps_to_max() {
+        let mut c = chain(vec![Stage::Quantile { q: 1.0 }]);
+        c.process(Value::Real(5.9), None).unwrap();
+        c.process(Value::Real(6.2), None).unwrap();
+        assert_eq!(c.finish().unwrap(), vec![Value::Integer(6)]);
+    }
+
+    #[test]
+    fn quantile_over_empty_stream_emits_nothing() {
+        let mut c = chain(vec![Stage::Quantile { q: 0.99 }]);
+        assert!(c.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn quantile_rejects_negative_and_non_numeric() {
+        let mut c = chain(vec![Stage::Quantile { q: 0.5 }]);
+        assert!(c.process(Value::Integer(-1), None).is_err());
+        assert!(c.process(Value::from("x"), None).is_err());
     }
 }

@@ -1,0 +1,214 @@
+//! Query-level explain-analyze: per-stage execution profiles.
+//!
+//! `explain` (see [`crate::explain`]) describes what a plan *would* do;
+//! the profiler reports what a run *did*: for every stage of every RP,
+//! how many times it was invoked, how many elements flowed in and out,
+//! and — per RP — the simulated CPU busy time and the real (wall-clock)
+//! time spent inside the stage chain. Counts are maintained by the
+//! executors themselves ([`StageTally`] slots inside the stage chain),
+//! so they are exact for all three tiers: the interpreted recursion
+//! counts per element, the fused jump table per scratch pass, and the
+//! columnar folds per admitted batch (with semantic element counts —
+//! a filter's output is its selection length, a `take`'s the rows it
+//! kept).
+//!
+//! Cost discipline: tallies are allocated only when
+//! [`RunOptions::profile`](crate::runtime::RunOptions) is set; with
+//! profiling off the executors consult an empty slice and the
+//! per-element overhead is one bounds check. Wall time is sampled with
+//! [`std::time::Instant`] only when profiling — it is observational
+//! (never probed by the coalescer, never feeds simulated time), so a
+//! profiled run still produces byte-identical query results.
+
+use scsq_cluster::NodeId;
+use scsq_sim::SimDur;
+use std::fmt::Write;
+
+/// Per-stage invocation and element counters, updated by whichever
+/// executor tier drives the stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTally {
+    /// Executor invocations: one per element on the per-element tiers,
+    /// one per admitted batch on the columnar tier.
+    pub calls: u64,
+    /// Elements that entered the stage.
+    pub elems_in: u64,
+    /// Elements the stage emitted downstream.
+    pub elems_out: u64,
+}
+
+/// One stage's row of the explain-analyze table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageProfile {
+    /// The stage, rendered like `explain` renders it (`"filter(> 150)"`).
+    pub stage: String,
+    /// Executor invocations (elements or batches; see [`StageTally`]).
+    pub calls: u64,
+    /// Elements in.
+    pub elems_in: u64,
+    /// Elements out.
+    pub elems_out: u64,
+}
+
+/// One RP's section of the explain-analyze report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpProfile {
+    /// RP index in creation order (the client last).
+    pub rp: usize,
+    /// Where the RP ran.
+    pub node: NodeId,
+    /// Whether this is the client manager's RP.
+    pub is_client: bool,
+    /// The RP's input, rendered like `explain` renders it.
+    pub input: String,
+    /// Elements that entered the RP's SQEP.
+    pub elements_in: u64,
+    /// Elements the SQEP emitted.
+    pub elements_out: u64,
+    /// Simulated CPU busy time on the RP's node (shared by co-located
+    /// RPs on Linux nodes).
+    pub sim_busy: SimDur,
+    /// Real time spent inside the RP's stage chain (scoped spans around
+    /// chain execution; excludes channel and simulator bookkeeping).
+    pub wall_ns: u64,
+    /// Per-stage rows, in chain order.
+    pub stages: Vec<StageProfile>,
+}
+
+/// The full explain-analyze report for one profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Per-RP sections, in RP creation order.
+    pub rps: Vec<RpProfile>,
+}
+
+impl ProfileReport {
+    /// Total wall time across all RPs' chains (the denominator of the
+    /// per-RP wall share).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.rps.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let total_wall = self.total_wall_ns().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>12} {:>12} {:>12} {:>14} {:>8}",
+            "stage", "calls", "elems_in", "elems_out", "sim_busy", "wall%"
+        );
+        for rp in &self.rps {
+            let who = if rp.is_client {
+                format!("rp#{} client @ {}", rp.rp, rp.node)
+            } else {
+                format!("rp#{} @ {}", rp.rp, rp.node)
+            };
+            let _ = writeln!(
+                out,
+                "{who}: {} | in {} out {}",
+                rp.input, rp.elements_in, rp.elements_out
+            );
+            let _ = writeln!(
+                out,
+                "{:<26} {:>12} {:>12} {:>12} {:>14.6} {:>7.2}%",
+                "  (chain)",
+                "",
+                "",
+                "",
+                rp.sim_busy.as_secs_f64(),
+                rp.wall_ns as f64 * 100.0 / total_wall as f64,
+            );
+            for s in &rp.stages {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>12} {:>12} {:>12}",
+                    s.stage, s.calls, s.elems_in, s.elems_out
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the report as a JSON array (hand-formatted, like every
+    /// other serialisation in the workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("[\n");
+        for (i, rp) in self.rps.iter().enumerate() {
+            let comma = if i + 1 < self.rps.len() { "," } else { "" };
+            let _ = write!(
+                out,
+                "  {{\"rp\": {}, \"node\": \"{}\", \"is_client\": {}, \
+                 \"input\": \"{}\", \"elements_in\": {}, \"elements_out\": {}, \
+                 \"sim_busy_s\": {}, \"wall_ns\": {}, \"stages\": [",
+                rp.rp,
+                rp.node,
+                rp.is_client,
+                rp.input.replace('"', "\\\""),
+                rp.elements_in,
+                rp.elements_out,
+                rp.sim_busy.as_secs_f64(),
+                rp.wall_ns,
+            );
+            for (j, s) in rp.stages.iter().enumerate() {
+                let sc = if j + 1 < rp.stages.len() { "," } else { "" };
+                let _ = write!(
+                    out,
+                    "{{\"stage\": \"{}\", \"calls\": {}, \"elems_in\": {}, \"elems_out\": {}}}{sc}",
+                    s.stage.replace('"', "\\\""),
+                    s.calls,
+                    s.elems_in,
+                    s.elems_out
+                );
+            }
+            let _ = writeln!(out, "]}}{comma}");
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfileReport {
+        ProfileReport {
+            rps: vec![RpProfile {
+                rp: 0,
+                node: NodeId::bg(1),
+                is_client: false,
+                input: "gen_array(1000 B x 10)".to_string(),
+                elements_in: 10,
+                elements_out: 1,
+                sim_busy: SimDur::from_millis(2),
+                wall_ns: 5_000,
+                stages: vec![StageProfile {
+                    stage: "count".to_string(),
+                    calls: 10,
+                    elems_in: 10,
+                    elems_out: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_shows_every_stage_row() {
+        let r = sample();
+        let text = r.render();
+        assert!(text.contains("rp#0 @ bg:1"), "{text}");
+        assert!(text.contains("count"), "{text}");
+        assert!(text.contains("gen_array"), "{text}");
+        assert_eq!(r.total_wall_ns(), 5_000);
+    }
+
+    #[test]
+    fn json_is_balanced() {
+        let json = sample().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"elements_in\": 10"));
+    }
+}

@@ -68,6 +68,18 @@ pub struct RunOptions {
     /// period unique, so train coalescing provably cannot fire — the
     /// knob behind the per-event benchmark pass.
     pub service_jitter: f64,
+    /// Track per-channel ingress→delivery latency histograms even when
+    /// no `latency(p)` observer asks for them, so every
+    /// [`ChannelReport`] carries its latency distribution. Channels
+    /// watched by a `latency(p)` RP are tracked regardless of this
+    /// flag. Off by default: an untracked channel pays nothing.
+    pub observe_latency: bool,
+    /// Collect the explain-analyze profile: per-stage call and element
+    /// tallies in every executor tier, plus per-RP wall time scoped
+    /// around chain execution. Off by default — with profiling off the
+    /// tally slices are empty and the per-element cost is one bounds
+    /// check. Profiling never changes query results or simulated time.
+    pub profile: bool,
 }
 
 impl Default for RunOptions {
@@ -84,6 +96,8 @@ impl Default for RunOptions {
             fuse: true,
             columnar: true,
             service_jitter: 0.0,
+            observe_latency: false,
+            profile: false,
         }
     }
 }
@@ -114,6 +128,10 @@ struct RpState {
     /// Monitoring counters (§2.3 step v).
     elements_in: u64,
     elements_out: u64,
+    /// Real time spent inside the stage chain (explain-analyze only;
+    /// stays 0 unless `RunOptions::profile`). Observational — never
+    /// probed, never feeds simulated time.
+    wall_ns: u64,
 }
 
 /// One element riding a stream channel: either an owned scalar value or
@@ -160,10 +178,59 @@ pub(crate) fn elem_shape(e: &Elem, p: &mut StateProbe<'_>) {
     }
 }
 
+/// Per-channel ingress→delivery latency tracking. An element is stamped
+/// with simulated time when it enters the channel (`enqueue_elem` /
+/// `relay_pack`) and its stamp is closed into the histogram when the
+/// element becomes visible at the subscriber (`deliver`). Channels are
+/// FIFO, so the stamps form a queue: the front stamps belong to buffers
+/// already transmitted (counted by `in_flight`) and deliver next; a UDP
+/// drop loses the buffer *behind* those, so loss reconciliation removes
+/// stamps at index `in_flight`.
+struct LatTrack {
+    /// Enqueue times of elements not yet delivered or lost, oldest
+    /// first.
+    ingress: std::collections::VecDeque<SimTime>,
+    /// How many front stamps belong to transmitted, not-yet-delivered
+    /// buffers.
+    in_flight: usize,
+    /// The channel's `elements_lost` at the last reconciliation.
+    last_lost: u64,
+    /// Closed ingress→delivery latencies.
+    hist: scsq_sim::LatencyHistogram,
+}
+
+impl LatTrack {
+    fn new() -> LatTrack {
+        LatTrack {
+            ingress: std::collections::VecDeque::new(),
+            in_flight: 0,
+            last_lost: 0,
+            hist: scsq_sim::LatencyHistogram::default(),
+        }
+    }
+
+    /// Latency state is result-affecting whenever a `latency(p)` RP
+    /// consumes the samples, so the coalescer must track all of it:
+    /// stamps extrapolate like any pending time, the counters like
+    /// per-period deltas.
+    fn probe(&mut self, p: &mut StateProbe<'_>) {
+        p.shape(self.ingress.len() as u64);
+        for t in self.ingress.iter_mut() {
+            p.time(t);
+        }
+        p.num_usize(&mut self.in_flight);
+        p.num(&mut self.last_lost);
+        self.hist.probe(p);
+    }
+}
+
 struct ChannelRt {
     chan: StreamChannel<Elem>,
     src_sp: SpHandle,
     dst_rp: usize,
+    /// `Some` when this channel's latency is tracked: a `latency(p)` RP
+    /// watches it, or `RunOptions::observe_latency` is set.
+    lat: Option<LatTrack>,
 }
 
 pub(crate) struct World {
@@ -183,6 +250,13 @@ pub(crate) struct World {
     /// empty when the query has no observers, so the per-delivery check
     /// is a single `is_empty()`. Immutable after set-up.
     observers: Vec<Vec<usize>>,
+    /// Per-channel latency-stream observers (`latency(p)` RPs consuming
+    /// one sample per delivered element), indexed by channel. Same
+    /// emptiness discipline as `observers`. Immutable after set-up.
+    lat_observers: Vec<Vec<usize>>,
+    /// Whether explain-analyze wall-time sampling is on
+    /// (`RunOptions::profile`).
+    profile: bool,
     /// Whether `deliver` may hand whole batches to the columnar fast
     /// path (`RunOptions::columnar`, gated on fusion being on).
     columnar: bool,
@@ -356,9 +430,11 @@ impl World {
             scratch: _,
             // Immutable after set-up: the per-channel observer lists are
             // fixed by the query graph, so they carry no mutable state
-            // for the coalescer to track; the columnar flag is a run
-            // option.
+            // for the coalescer to track; the columnar and profile flags
+            // are run options.
             observers: _,
+            lat_observers: _,
+            profile: _,
             columnar: _,
             columnar_batches,
             columnar_transposes,
@@ -378,6 +454,10 @@ impl World {
         }
         for c in channels.iter_mut() {
             c.chan.probe(env, p, elem_shape);
+            p.shape(c.lat.is_some() as u64);
+            if let Some(lat) = &mut c.lat {
+                lat.probe(p);
+            }
         }
         // The client's result sink is append-only and never read back by
         // the model: its length alone gates jumps.
@@ -468,6 +548,7 @@ pub fn run_graph(
                 chan: StreamChannel::new(cfg, env),
                 src_sp: p,
                 dst_rp,
+                lat: None,
             });
         }
         let (gen, source_items) = match &pipeline.input {
@@ -502,11 +583,15 @@ pub fn run_graph(
             InputKind::Receive { .. } => (None, Vec::new()),
             // Observers subscribe to nothing: their samples are
             // synthesized by `deliver` as observed channels deliver.
-            InputKind::Metrics { .. } => (None, Vec::new()),
+            InputKind::Metrics { .. } | InputKind::Latency { .. } => (None, Vec::new()),
         };
+        let mut chain = ExecChain::new(program, options.fuse);
+        if options.profile {
+            chain.enable_profiling();
+        }
         Ok(RpState {
             node,
-            chain: ExecChain::new(program, options.fuse),
+            chain,
             cost: program.cost_model(),
             outputs: Vec::new(),
             eos_remaining: producers.len(),
@@ -516,6 +601,7 @@ pub fn run_graph(
             finished: false,
             elements_in: 0,
             elements_out: 0,
+            wall_ns: 0,
         })
     };
 
@@ -550,31 +636,44 @@ pub fn run_graph(
         rps[src_rp].outputs.push(ci);
     }
 
-    // Wire metric-stream observers: a `metrics(p)` RP watches every
-    // channel whose producer is one of its targets, and its stream ends
-    // when the last watched channel delivers EOS. Channels are all
-    // created by now, so the watch lists are final.
+    // Wire stream observers: a `metrics(p)` or `latency(p)` RP watches
+    // every channel whose producer is one of its targets, and its
+    // stream ends when the last watched channel delivers EOS. Channels
+    // are all created by now, so the watch lists are final.
     let mut observers: Vec<Vec<usize>> = Vec::new();
+    let mut lat_observers: Vec<Vec<usize>> = Vec::new();
     for (i, rp) in rps.iter_mut().enumerate() {
         let input = if i < graph.sps.len() {
             &graph.sps[i].pipeline.input
         } else {
             &graph.client.input
         };
-        let InputKind::Metrics { targets } = input else {
-            continue;
+        let (targets, lists) = match input {
+            InputKind::Metrics { targets } => (targets, &mut observers),
+            InputKind::Latency { targets } => (targets, &mut lat_observers),
+            _ => continue,
         };
-        if observers.is_empty() {
-            observers = vec![Vec::new(); channels.len()];
+        if lists.is_empty() {
+            *lists = vec![Vec::new(); channels.len()];
         }
         let mut watched = 0;
         for (ci, ch) in channels.iter().enumerate() {
             if targets.contains(&ch.src_sp) {
-                observers[ci].push(i);
+                lists[ci].push(i);
                 watched += 1;
             }
         }
         rp.eos_remaining = watched;
+    }
+    // Install latency tracking where it is consumed: on every channel a
+    // `latency(p)` RP watches, and on all channels when the run asks
+    // for channel-report histograms. Untracked channels keep `None` and
+    // pay nothing per element.
+    for (ci, ch) in channels.iter_mut().enumerate() {
+        let watched = lat_observers.get(ci).is_some_and(|l| !l.is_empty());
+        if watched || options.observe_latency {
+            ch.lat = Some(LatTrack::new());
+        }
     }
 
     let world = World {
@@ -587,6 +686,8 @@ pub fn run_graph(
         error: None,
         scratch: Vec::new(),
         observers,
+        lat_observers,
+        profile: options.profile,
         columnar: options.columnar && options.fuse,
         columnar_batches: 0,
         columnar_transposes: 0,
@@ -649,6 +750,7 @@ pub fn run_graph(
                 queue_peak_trains: stats.queue_peak_trains,
                 first_send: stats.first_send,
                 last_delivery: stats.last_delivery,
+                latency: c.lat.as_ref().map(|l| l.hist).unwrap_or_default(),
             }
         })
         .collect();
@@ -663,6 +765,44 @@ pub fn run_graph(
             is_client: rp.is_client,
         })
         .collect();
+    let profile = options.profile.then(|| {
+        let rp_profiles = world
+            .rps
+            .iter()
+            .enumerate()
+            .map(|(i, rp)| {
+                let pipeline = if i < graph.sps.len() {
+                    &graph.sps[i].pipeline
+                } else {
+                    &graph.client
+                };
+                let stages = rp
+                    .chain
+                    .tally()
+                    .iter()
+                    .zip(&pipeline.stages)
+                    .map(|(t, s)| crate::profile::StageProfile {
+                        stage: crate::explain::describe_stage(s),
+                        calls: t.calls,
+                        elems_in: t.elems_in,
+                        elems_out: t.elems_out,
+                    })
+                    .collect();
+                crate::profile::RpProfile {
+                    rp: i,
+                    node: rp.node,
+                    is_client: rp.is_client,
+                    input: crate::explain::describe_input(&pipeline.input),
+                    elements_in: rp.elements_in,
+                    elements_out: rp.elements_out,
+                    sim_busy: world.env.cpu_busy(rp.node),
+                    wall_ns: rp.wall_ns,
+                    stages,
+                }
+            })
+            .collect();
+        crate::profile::ProfileReport { rps: rp_profiles }
+    });
     Ok(QueryResult::new(
         world.results,
         world.first_result_at,
@@ -678,6 +818,7 @@ pub fn run_graph(
             columnar_batches: world.columnar_batches,
             columnar_transposes: world.columnar_transposes,
             jitter_draws: world.env.jitter_draws(),
+            profile,
         },
     ))
 }
@@ -769,7 +910,12 @@ fn process_and_emit(
     // `Vec` on the hot path.
     let mut out = std::mem::take(&mut world.scratch);
     out.clear();
-    if let Err(e) = world.rps[idx].chain.process_into(value, from, &mut out) {
+    let t0 = world.profile.then(std::time::Instant::now);
+    let res = world.rps[idx].chain.process_into(value, from, &mut out);
+    if let Some(t0) = t0 {
+        world.rps[idx].wall_ns += t0.elapsed().as_nanos() as u64;
+    }
+    if let Err(e) = res {
         world.error = Some(e);
         world.scratch = out;
         return;
@@ -830,6 +976,9 @@ fn emit(world: &mut World, sim: &mut Sim, idx: usize, out: &mut Vec<Value>, at: 
 /// instead of O(enqueues). The end-of-stream flush is driven by
 /// `finish_rp` and the cycle's own `next_cycle` chain.
 fn enqueue_elem(world: &mut World, sim: &mut Sim, ci: usize, item: Elem, size: u64, at: SimTime) {
+    if let Some(lat) = &mut world.channels[ci].lat {
+        lat.ingress.push_back(at);
+    }
     let chan = &mut world.channels[ci].chan;
     let before = chan.pending_buffers(&world.env);
     let when = chan.enqueue(item, size, at);
@@ -844,7 +993,12 @@ fn finish_rp(world: &mut World, sim: &mut Sim, idx: usize) {
         return;
     }
     world.rps[idx].finished = true;
-    let mut finals = match world.rps[idx].chain.finish() {
+    let t0 = world.profile.then(std::time::Instant::now);
+    let finals = world.rps[idx].chain.finish();
+    if let Some(t0) = t0 {
+        world.rps[idx].wall_ns += t0.elapsed().as_nanos() as u64;
+    }
+    let mut finals = match finals {
         Ok(f) => f,
         Err(e) => {
             world.error = Some(e);
@@ -873,9 +1027,36 @@ fn cycle(world: &mut World, sim: &mut Sim, ci: usize) {
     }
     let out = {
         let ch = &mut world.channels[ci];
-        ch.chan.cycle(&mut world.env, sim.now())
+        let out = ch.chan.cycle(&mut world.env, sim.now());
+        if let Some(lat) = &mut ch.lat {
+            // Reconcile losses first: a dropped buffer's elements sit
+            // behind the already-transmitted (in-flight) stamps, so
+            // their removal point is `in_flight`. Then a transmitted
+            // buffer moves its elements into flight; one cycle
+            // transmits at most one buffer, so drop and deliver are
+            // exclusive but the order below is safe either way.
+            let lost_total = ch.chan.stats().elements_lost;
+            for _ in lat.last_lost..lost_total {
+                lat.ingress.remove(lat.in_flight);
+            }
+            lat.last_lost = lost_total;
+            if out.delivered_at.is_some() {
+                lat.in_flight += out.delivered.len();
+            }
+        }
+        out
     };
     if let Some(t) = out.delivered_at {
+        if scsq_sim::obs::enabled() {
+            let now = sim.now();
+            scsq_sim::obs::record_span(scsq_sim::Span {
+                name: "transmit",
+                cat: "channel",
+                tid: 2000 + ci as u64,
+                ts_ns: now.as_nanos(),
+                dur_ns: t.max(now).since(now).as_nanos(),
+            });
+        }
         let batch = out.delivered;
         sim.schedule_at(t.max(sim.now()), Ev::Deliver { ci, batch });
     }
@@ -904,6 +1085,7 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, mut batch: Vec<Elem>) {
     let dst = world.channels[ci].dst_rp;
     let from = world.channels[ci].src_sp;
     let now = sim.now();
+    let span_busy0 = scsq_sim::obs::enabled().then(|| world.env.cpu_busy(world.rps[dst].node));
     // Self-measurement (the paper's premise: stream queries over the
     // system itself): observers of this channel get one sample per
     // delivered buffer. The whole block is one `is_empty()` branch for
@@ -917,6 +1099,40 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, mut batch: Vec<Elem>) {
             process_and_emit(world, sim, o, sample, None, now);
             if world.error.is_some() {
                 return;
+            }
+        }
+    }
+    // Latency egress: the delivered elements close the channel's oldest
+    // in-flight ingress stamps, in FIFO order. One `is_some()` branch
+    // for untracked channels.
+    if world.channels[ci].lat.is_some() {
+        let has_obs = !world.lat_observers.is_empty() && !world.lat_observers[ci].is_empty();
+        let n = batch.len();
+        let lat = world.channels[ci].lat.as_mut().expect("checked above");
+        let mut samples: Vec<u64> = Vec::new();
+        for _ in 0..n {
+            let Some(t) = lat.ingress.pop_front() else {
+                break;
+            };
+            lat.in_flight = lat.in_flight.saturating_sub(1);
+            let d = now.since(t).as_nanos();
+            lat.hist.record(d);
+            if has_obs {
+                samples.push(d);
+            }
+        }
+        if has_obs {
+            // One sample per delivered element to every `latency(p)`
+            // observer of this channel, in delivery order.
+            let m = world.lat_observers[ci].len();
+            for k in 0..m {
+                let o = world.lat_observers[ci][k];
+                for &s in &samples {
+                    process_and_emit(world, sim, o, Value::Integer(s as i64), None, now);
+                    if world.error.is_some() {
+                        return;
+                    }
+                }
             }
         }
     }
@@ -968,6 +1184,18 @@ fn deliver(world: &mut World, sim: &mut Sim, ci: usize, mut batch: Vec<Elem>) {
         deliver_value_run(world, sim, dst, from, &mut vals, now);
     }
     world.val_scratch = vals;
+    if let Some(busy0) = span_busy0 {
+        // The RP's processing of this buffer, as simulated CPU time it
+        // accrued while handling the delivery.
+        let busy1 = world.env.cpu_busy(world.rps[dst].node);
+        scsq_sim::obs::record_span(scsq_sim::Span {
+            name: "deliver",
+            cat: "sp",
+            tid: 1000 + dst as u64,
+            ts_ns: now.as_nanos(),
+            dur_ns: busy1.saturating_sub(busy0).as_nanos(),
+        });
+    }
     // Hand the drained delivery vector's capacity back to the channel
     // for its next transmit (error paths above simply drop it).
     world.channels[ci].chan.recycle(batch);
@@ -1044,13 +1272,28 @@ fn absorb_columns(world: &mut World, dst: usize, cols: &ColumnarBatch, now: SimT
     let n = admit.rows as u64;
     let cost = world.rps[dst].cost.cost(admit.elem_bytes);
     let node = world.rps[dst].node;
+    let span_busy0 = scsq_sim::obs::enabled().then(|| world.env.cpu_busy(node));
     world.env.compute_bulk(node, cost, n, now);
     // An absorbed batch emits nothing before end of stream; only the
     // monitoring counters need per-element accounting.
     world.rps[dst].elements_in += n;
     world.columnar_batches += 1;
+    let t0 = world.profile.then(std::time::Instant::now);
     if let Err(e) = world.rps[dst].chain.process_admitted(admit) {
         world.error = Some(e);
+    }
+    if let Some(t0) = t0 {
+        world.rps[dst].wall_ns += t0.elapsed().as_nanos() as u64;
+    }
+    if let Some(busy0) = span_busy0 {
+        let busy1 = world.env.cpu_busy(node);
+        scsq_sim::obs::record_span(scsq_sim::Span {
+            name: "absorb",
+            cat: "columnar",
+            tid: 3000 + dst as u64,
+            ts_ns: now.as_nanos(),
+            dur_ns: busy1.saturating_sub(busy0).as_nanos(),
+        });
     }
     true
 }
@@ -1090,7 +1333,11 @@ fn relay_columns(
         .compute_each(node, cost, n as u64, now, &mut readies);
     world.rps[dst].elements_in += n as u64;
     world.columnar_batches += 1;
+    let t0 = world.profile.then(std::time::Instant::now);
     let (out, sel) = world.rps[dst].chain.process_relayed(admit);
+    if let Some(t0) = t0 {
+        world.rps[dst].wall_ns += t0.elapsed().as_nanos() as u64;
+    }
     let m = out.rows();
     world.rps[dst].elements_out += m as u64;
     let n_out = world.rps[dst].outputs.len();
@@ -1184,6 +1431,11 @@ fn relay_pack(
             })
             .collect();
         chan.enqueue_pack(items, size, survivor_readies.clone());
+        if let Some(lat) = &mut world.channels[ci].lat {
+            // Ingress stamps: each survivor enters the channel at its
+            // own compute-finish time, same as the per-element loop.
+            lat.ingress.extend(survivor_readies.iter().copied());
+        }
     }
     crossings.sort_unstable();
     for (r, oi) in crossings {
@@ -1212,6 +1464,23 @@ fn eos(world: &mut World, sim: &mut Sim, ci: usize) {
             let o = world.observers[ci][k];
             let orp = &mut world.rps[o];
             assert!(orp.eos_remaining > 0, "duplicate observer EOS on {ci}");
+            orp.eos_remaining -= 1;
+            if orp.eos_remaining == 0 {
+                finish_rp(world, sim, o);
+            }
+        }
+    }
+    // Same for latency observers: this channel delivers no further
+    // elements, so no further latency samples.
+    if !world.lat_observers.is_empty() {
+        let n = world.lat_observers[ci].len();
+        for k in 0..n {
+            let o = world.lat_observers[ci][k];
+            let orp = &mut world.rps[o];
+            assert!(
+                orp.eos_remaining > 0,
+                "duplicate latency-observer EOS on {ci}"
+            );
             orp.eos_remaining -= 1;
             if orp.eos_remaining == 0 {
                 finish_rp(world, sim, o);

@@ -30,9 +30,23 @@ pub(crate) fn run_coalesced(sim: &mut Sim) -> (SimTime, CoalesceStats) {
             let mut p = StateProbe::digest();
             sim.probe_state(&mut p, Ev::probe, World::probe);
             if let Some(plan) = co.observe(p.finish()) {
+                let t0 = sim.now();
                 let mut adv = StateProbe::advance(&plan.deltas, plan.periods);
                 sim.probe_state(&mut adv, Ev::probe, World::probe);
                 co.after_jump(&plan);
+                // Flight recorder: the advance probe moved simulated
+                // time across the whole coalesced train — record the
+                // skipped interval as one span.
+                if scsq_sim::obs::enabled() {
+                    let t1 = sim.now();
+                    scsq_sim::obs::record_span(scsq_sim::Span {
+                        name: "coalesce-jump",
+                        cat: "coalesce",
+                        tid: 4000,
+                        ts_ns: t0.as_nanos(),
+                        dur_ns: t1.since(t0).as_nanos(),
+                    });
+                }
             }
         }
         if !sim.step() {

@@ -105,6 +105,17 @@ pub enum Builtin {
     /// `filter(s, op, k)` — keep the elements for which `cmp(op, k)`
     /// holds, drop the rest (a selection over the stream).
     Filter,
+    /// `latency(p)` — the latency self-measurement source: a stream of
+    /// per-element ingress→egress latencies, in simulated nanoseconds,
+    /// for every channel leaving SP `p` (or any SP of a bag). One
+    /// integer is emitted per delivered element when its receive
+    /// buffer becomes visible to the subscriber, extending the paper's
+    /// self-measurement premise from throughput to the time dimension.
+    Latency,
+    /// `quantile(s, q)` — terminal aggregate over a numeric stream:
+    /// the value at quantile `q` (in `[0, 1]`) of a log-bucketed
+    /// histogram of the elements, emitted at end of stream.
+    Quantile,
 }
 
 impl Builtin {
@@ -143,6 +154,8 @@ impl Builtin {
             "arith" => Builtin::Arith,
             "cmp" => Builtin::Cmp,
             "filter" => Builtin::Filter,
+            "latency" => Builtin::Latency,
+            "quantile" => Builtin::Quantile,
             _ => return None,
         })
     }
@@ -170,8 +183,13 @@ impl Builtin {
             | Builtin::Nodes
             | Builtin::Metrics
             | Builtin::Bandwidth
+            | Builtin::Latency
             | Builtin::Filename => (1, 1),
-            Builtin::Iota | Builtin::GenArray | Builtin::Grep | Builtin::Take => (2, 2),
+            Builtin::Iota
+            | Builtin::GenArray
+            | Builtin::Grep
+            | Builtin::Take
+            | Builtin::Quantile => (2, 2),
             Builtin::Arith | Builtin::Cmp | Builtin::Filter => (3, 3),
             Builtin::PsetRr => (0, 0),
             Builtin::WindowAgg => (4, 4),

@@ -31,6 +31,8 @@
 //! ```
 
 pub mod coalesce;
+pub mod hist;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod server;
@@ -39,6 +41,8 @@ pub mod time;
 pub mod typed;
 
 pub use coalesce::{CoalesceStats, Coalescer, JumpPlan, Snapshot, StateProbe};
+pub use hist::{LatencyHistogram, LATENCY_BUCKETS};
+pub use obs::{Span, SpanDrain};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::{FifoServer, SwitchingServer};

@@ -23,7 +23,8 @@ echo "==> perfstat (byte-identity across execution tiers + columnar gate)"
 # reference series, if the batch passes' accounting (answer, finished
 # time, RNG draws, absorbed batches) diverges across tiers, or if a
 # batch pass drops below its speedup floor (take-sum < 1.3,
-# filter-heavy < 2.0).
+# filter-heavy < 1.9, relay < 1.3), or if the everything-on
+# observability pass regresses the jittered grid by 2% or more.
 ./target/release/perfstat --out /tmp/perfstat-verify.json
 rm -f /tmp/perfstat-verify.json
 

@@ -272,3 +272,262 @@ fn topology_aware_placement_beats_naive() {
     let aware = series[1].y_at(4.0).unwrap();
     assert!(aware > 2.0 * naive, "aware={aware:.0} naive={naive:.0}");
 }
+
+// ---------- latency self-measurement -----------------------------------
+
+/// The query whose a→b channel the latency tests observe.
+fn latency_quantile_query(q: f64) -> String {
+    format!(
+        "select extract(l) from sp a, sp b, sp l
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,50),'bg',1)
+         and l=sp(streamof(quantile(latency(a), {q})), 'bg', 2);"
+    )
+}
+
+#[test]
+fn latency_quantiles_match_the_tracked_histogram_across_all_tiers() {
+    // The paper's self-measurement claim, extended to latency: a
+    // `quantile(latency(a), q)` observer must report exactly the value
+    // computed externally from the watched channel's ingress→delivery
+    // histogram — and all three executor tiers (interpreted, fused,
+    // columnar) must agree byte for byte.
+    for q in [0.5, 0.99] {
+        let query = latency_quantile_query(q);
+        let mut measured_by_tier = Vec::new();
+        for (fuse, columnar) in [(false, false), (true, false), (true, true)] {
+            let mut scsq = Scsq::lofar();
+            scsq.options_mut().fuse = fuse;
+            scsq.options_mut().columnar = columnar;
+            let r = scsq.run(&query).unwrap();
+            let measured = match r.values() {
+                [Value::Integer(x)] => *x,
+                other => panic!("expected one integer latency quantile, got {other:?}"),
+            };
+            let tracked: Vec<_> = r
+                .stats()
+                .channels
+                .iter()
+                .filter(|c| c.latency.count() > 0)
+                .collect();
+            assert_eq!(
+                tracked.len(),
+                1,
+                "exactly the watched a->b channel tracks latency"
+            );
+            let external = tracked[0].latency.quantile(q) as i64;
+            assert_eq!(
+                measured, external,
+                "fuse={fuse} columnar={columnar} q={q}: self-measured vs external"
+            );
+            measured_by_tier.push(measured);
+        }
+        assert!(
+            measured_by_tier.windows(2).all(|w| w[0] == w[1]),
+            "tiers disagree at q={q}: {measured_by_tier:?}"
+        );
+    }
+}
+
+#[test]
+fn forwarded_latency_quantile_survives_columnar_batching() {
+    // Latency samples forwarded over a stream channel to a downstream
+    // quantile SP — the topology where delivered samples arrive in
+    // multi-row batches and the columnar fold can absorb them. The fold
+    // must change nothing: columnar and per-element runs agree bit for
+    // bit, and both match the watched channel's own histogram.
+    let query = "select extract(w) from sp a, sp b, sp m, sp w
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,50),'bg',1)
+         and m=sp(streamof(latency(a)), 'bg', 2)
+         and w=sp(streamof(quantile(extract(m), 0.99)), 'bg', 3);";
+    let mut scsq = Scsq::lofar();
+    let quantile_of = |scsq: &mut Scsq, columnar: bool| {
+        scsq.options_mut().columnar = columnar;
+        let r = scsq.run(query).unwrap();
+        let measured = match r.values() {
+            [Value::Integer(x)] => *x,
+            other => panic!("expected one integer latency quantile, got {other:?}"),
+        };
+        let external = r
+            .stats()
+            .channels
+            .iter()
+            .find(|c| c.latency.count() > 0)
+            .expect("the watched a->b channel tracks latency")
+            .latency
+            .quantile(0.99) as i64;
+        (measured, external)
+    };
+    let (columnar, columnar_ext) = quantile_of(&mut scsq, true);
+    let (per_element, per_element_ext) = quantile_of(&mut scsq, false);
+    assert_eq!(columnar, per_element, "columnar fold must change nothing");
+    assert_eq!(columnar, columnar_ext);
+    assert_eq!(per_element, per_element_ext);
+}
+
+#[test]
+fn latency_observation_never_perturbs_the_channel() {
+    // Observability may never change results: a run with per-channel
+    // latency tracking on must be indistinguishable from the plain run
+    // in every result-affecting respect.
+    let query = "select extract(b) from sp a, sp b
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,30),'bg',1);";
+    let mut scsq = Scsq::lofar();
+    let plain = scsq.run(query).unwrap();
+    scsq.options_mut().observe_latency = true;
+    let observed = scsq.run(query).unwrap();
+    assert_eq!(plain.values(), observed.values());
+    assert_eq!(plain.finished().as_nanos(), observed.finished().as_nanos());
+    assert_eq!(plain.stats().events, observed.stats().events);
+    let pairs = plain
+        .stats()
+        .channels
+        .iter()
+        .zip(observed.stats().channels.iter());
+    let mut tracked = 0;
+    for (p, o) in pairs {
+        assert_eq!(p.bytes, o.bytes);
+        assert_eq!(p.bytes_enqueued, o.bytes_enqueued);
+        assert_eq!(p.buffers_sent, o.buffers_sent);
+        assert_eq!(p.queue_peak_trains, o.queue_peak_trains);
+        assert_eq!(p.latency.count(), 0, "plain run tracks nothing");
+        tracked += u64::from(o.latency.count() > 0);
+    }
+    assert!(tracked > 0, "observed run tracked at least one channel");
+}
+
+#[test]
+fn metrics_snapshot_carries_the_latency_summary() {
+    let query = "select extract(b) from sp a, sp b
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,30),'bg',1);";
+    let mut scsq = Scsq::lofar();
+    scsq.options_mut().observe_latency = true;
+    let r = scsq.run(query).unwrap();
+    let snap = scsq_engine::MetricsSnapshot::from_result(&r);
+    let c = snap
+        .channels
+        .iter()
+        .find(|c| c.lat_count > 0)
+        .expect("a tracked channel reports a latency summary");
+    assert!(c.lat_p50_ns > 0);
+    assert!(c.lat_p50_ns <= c.lat_p95_ns);
+    assert!(c.lat_p95_ns <= c.lat_p99_ns);
+    assert!(c.lat_p99_ns <= c.lat_max_ns);
+    let json = snap.to_json();
+    for key in [
+        "lat_count",
+        "lat_p50_ns",
+        "lat_p95_ns",
+        "lat_p99_ns",
+        "lat_max_ns",
+    ] {
+        assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+    }
+}
+
+// ---------- observability contracts ------------------------------------
+
+/// Every JSON object key in `json` (a quoted string followed by `:`).
+fn json_keys(json: &str) -> std::collections::BTreeSet<String> {
+    let parts: Vec<&str> = json.split('"').collect();
+    let mut keys = std::collections::BTreeSet::new();
+    for i in (1..parts.len()).step_by(2) {
+        if parts
+            .get(i + 1)
+            .is_some_and(|rest| rest.trim_start().starts_with(':'))
+        {
+            keys.insert(parts[i].to_string());
+        }
+    }
+    keys
+}
+
+#[test]
+fn metric_catalog_doc_matches_snapshot_json_keys() {
+    // Doc-drift guard: the metric-catalog table in docs/observability.md
+    // must list exactly the keys `MetricsSnapshot::to_json` emits — a
+    // row per key, no stale rows, no undocumented keys.
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/docs/observability.md"
+    ))
+    .expect("docs/observability.md exists");
+    let section = doc
+        .split("## Metric catalog")
+        .nth(1)
+        .expect("docs/observability.md has a '## Metric catalog' section");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in section.lines() {
+        if line.starts_with('#') {
+            break; // next heading ends the catalog
+        }
+        if let Some(rest) = line.strip_prefix("| `") {
+            let name = rest.split('`').next().expect("closing backtick");
+            documented.insert(name.to_string());
+        }
+    }
+    let mut scsq = Scsq::lofar();
+    scsq.options_mut().observe_latency = true;
+    let r = scsq
+        .run(
+            "select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(1000,2),'bg',1);",
+        )
+        .unwrap();
+    let emitted = json_keys(&scsq_engine::MetricsSnapshot::from_result(&r).to_json());
+    let undocumented: Vec<_> = emitted.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&emitted).collect();
+    assert!(
+        undocumented.is_empty() && stale.is_empty(),
+        "metric catalog drifted from MetricsSnapshot::to_json — \
+         undocumented: {undocumented:?}, stale rows: {stale:?}"
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    // The flight recorder's Chrome-trace export must load in a trace
+    // viewer: monotone non-decreasing `ts`, every span a matched B/E
+    // pair, balanced JSON. The span gate is global and observational
+    // only (the ring is thread-local), so flipping it here cannot
+    // affect other tests' results.
+    scsq_sim::obs::set_enabled(true);
+    let _ = scsq_sim::obs::take_spans();
+    let mut scsq = Scsq::lofar();
+    scsq.run(
+        "select extract(b) from sp a, sp b
+         where b=sp(streamof(count(extract(a))), 'bg', 0)
+         and a=sp(gen_array(100000,10),'bg',1);",
+    )
+    .unwrap();
+    scsq_sim::obs::set_enabled(false);
+    let drain = scsq_sim::obs::take_spans();
+    assert!(!drain.spans.is_empty(), "the traced run recorded spans");
+    assert_eq!(drain.dropped, 0, "a short run fits the ring");
+    let json = scsq_sim::obs::chrome_trace_json(&drain.spans);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert_eq!(
+        json.matches("\"ph\":\"B\"").count(),
+        drain.spans.len(),
+        "one begin event per span"
+    );
+    assert_eq!(
+        json.matches("\"ph\":\"E\"").count(),
+        drain.spans.len(),
+        "one end event per span"
+    );
+    let ts: Vec<f64> = json
+        .split("\"ts\":")
+        .skip(1)
+        .map(|s| s.split(',').next().unwrap().parse::<f64>().unwrap())
+        .collect();
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "trace timestamps must be globally non-decreasing"
+    );
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
