@@ -1,0 +1,73 @@
+//! `scsqc` — command-line client for a running `scsqd`.
+//!
+//! Connects over TCP (`host:port`) or a Unix-domain socket
+//! (`unix:/path/to.sock`), feeds an SCSQL script (file argument or
+//! stdin) with the `scsql` shell's line discipline, and prints the
+//! served transcript: rows and `-- …` summaries on stdout, errors as
+//! `error: …` on stderr. The transcript of a served script is
+//! byte-identical to running the same script locally with `scsql`:
+//!
+//! ```text
+//! $ scsqd --listen 127.0.0.1:4545 &
+//! LISTEN 127.0.0.1:4545
+//! $ scsqc 127.0.0.1:4545 queries.scsql > served.out
+//! $ scsql queries.scsql > local.out
+//! $ diff served.out local.out && echo identical
+//! identical
+//! ```
+//!
+//! Protocol reference: `docs/server.md`.
+
+use scsq_bench::serve::run_script;
+use scsq_core::wire::Client;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: scsqc <host:port | unix:PATH> [script.scsql]");
+        std::process::exit(2);
+    };
+
+    let mut client = match connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scsqc: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let script = match args.get(1) {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scsqc: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            let mut text = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+                eprintln!("scsqc: cannot read stdin: {e}");
+                std::process::exit(1);
+            }
+            text
+        }
+    };
+
+    let mut out = std::io::stdout();
+    let mut err = std::io::stderr();
+    if let Err(e) = run_script(&mut client, &script, &mut out, &mut err) {
+        eprintln!("scsqc: {e}");
+        std::process::exit(1);
+    }
+    let _ = client.bye();
+}
+
+fn connect(addr: &str) -> std::io::Result<Client> {
+    #[cfg(unix)]
+    if let Some(path) = addr.strip_prefix("unix:") {
+        return Client::connect_unix(path);
+    }
+    Client::connect_tcp(addr)
+}

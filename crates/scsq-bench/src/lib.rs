@@ -26,6 +26,7 @@ pub mod fig8;
 pub mod pool;
 pub mod report;
 pub mod scaling;
+pub mod serve;
 
 pub use pool::{
     default_jobs, parse_coalesce, parse_columnar, parse_fuse, parse_jobs, parse_metrics,

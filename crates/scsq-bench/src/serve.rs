@@ -1,0 +1,145 @@
+//! Client-side helpers for driving a running `scsqd`.
+//!
+//! [`run_script`] feeds an SCSQL script to a server connection with
+//! exactly the `scsql` shell's line discipline — accumulate lines,
+//! execute at each `;`, dispatch `.`-prefixed lines as meta-commands —
+//! and renders the reply frames the way the shell prints local results:
+//! rows and `-- …` summaries to stdout, errors as `error: …` to stderr.
+//! A script served through here therefore produces a transcript that
+//! diffs clean against `scsql <script>` run locally, which
+//! `scripts/verify.sh`'s server smoke leg and `tests/server.rs` both
+//! exploit.
+
+use scsq_core::wire::{Client, Frame, FrameKind};
+use std::io::{self, Write};
+
+/// Feeds a whole script to the server, shell-style. Returns early (and
+/// sends `BYE`) on a `.quit`/`.exit` line.
+///
+/// # Errors
+///
+/// I/O errors talking to the server or writing the transcript.
+pub fn run_script(
+    client: &mut Client,
+    script: &str,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> io::Result<()> {
+    let mut buffer = String::new();
+    for line in script.lines() {
+        if !feed_line(client, line, &mut buffer, out, err)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Processes one input line with the shell's discipline; returns
+/// `false` once the session said goodbye (`.quit`/`.exit`).
+///
+/// # Errors
+///
+/// See [`run_script`].
+pub fn feed_line(
+    client: &mut Client,
+    line: &str,
+    buffer: &mut String,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> io::Result<bool> {
+    let trimmed = line.trim();
+    if buffer.trim().is_empty() && trimmed.starts_with('.') {
+        if trimmed == ".quit" || trimmed == ".exit" {
+            client.bye()?;
+            return Ok(false);
+        }
+        meta(client, trimmed, out, err)?;
+        return Ok(true);
+    }
+    buffer.push_str(line);
+    buffer.push('\n');
+    while let Some(pos) = buffer.find(';') {
+        let stmt: String = buffer[..=pos].to_string();
+        buffer.replace_range(..=pos, "");
+        let text = stmt.trim().to_string();
+        if !text.is_empty() {
+            statement(client, &text, out, err)?;
+        }
+    }
+    Ok(true)
+}
+
+/// Sends one SCSQL statement and prints its reply frames like the local
+/// shell would print the same statement's output.
+///
+/// # Errors
+///
+/// See [`run_script`].
+pub fn statement(
+    client: &mut Client,
+    text: &str,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> io::Result<()> {
+    for frame in client.statement(text)? {
+        render(&frame, true, out, err)?;
+    }
+    Ok(())
+}
+
+/// Sends a meta-command. Success acknowledgements (`OK`) are
+/// suppressed — the shell's option metas print nothing — while `INFO`
+/// payloads (`.server` stats, `.explain` text) go to stdout verbatim
+/// and errors to stderr.
+///
+/// # Errors
+///
+/// See [`run_script`].
+pub fn meta(
+    client: &mut Client,
+    text: &str,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> io::Result<()> {
+    for frame in client.statement(text)? {
+        render(&frame, false, out, err)?;
+    }
+    Ok(())
+}
+
+/// Prints one frame. `summaries` controls whether `OK` payloads (the
+/// `-- …` lines) appear — on for statements, off for meta-commands.
+fn render(
+    frame: &Frame,
+    summaries: bool,
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> io::Result<()> {
+    match frame.kind {
+        FrameKind::Row => writeln!(out, "{}", frame.payload),
+        FrameKind::Ok => {
+            if summaries {
+                writeln!(out, "{}", frame.payload)
+            } else {
+                Ok(())
+            }
+        }
+        FrameKind::Info | FrameKind::Metrics | FrameKind::Profile => {
+            out.write_all(frame.payload.as_bytes())?;
+            if !frame.payload.ends_with('\n') {
+                writeln!(out)?;
+            }
+            Ok(())
+        }
+        FrameKind::Err => {
+            if summaries {
+                writeln!(err, "error: {}", frame.payload)
+            } else {
+                writeln!(err, "{}", frame.payload)
+            }
+        }
+        // Client-direction frames never arrive here; HELLO is consumed
+        // by the connect handshake.
+        FrameKind::Hello | FrameKind::Stmt | FrameKind::Bye => Ok(()),
+    }
+}

@@ -29,16 +29,21 @@
 //! a background thread and accepts queries from any number of threads.
 
 pub mod metrics;
+pub mod server;
 pub mod service;
+pub mod wire;
 
 pub use scsq_cluster::{AllocSeq, ClusterName, Environment, HardwareSpec, NodeId};
 pub use scsq_engine::{
-    ChannelReport, EngineError as ScsqError, PlacementPolicy, PreparedQuery, ProfileReport,
-    QueryResult, QueryStats, RpReport, RunOptions, StageProfile,
+    CatalogEntry, ChannelReport, EngineError as ScsqError, MetricsSnapshot, PlacementPolicy,
+    PreparedQuery, ProfileReport, QueryResult, QueryStats, RpReport, RunOptions, Session,
+    SessionHub, SessionReply, StageProfile,
 };
 pub use scsq_ql::{ArrayData, Catalog, SpHandle, Value};
 pub use scsq_sim::{LatencyHistogram, SimDur, SimTime, Span};
+pub use server::ScsqdServer;
 pub use service::ScsqService;
+pub use wire::{read_frame, write_frame, Client, Frame, FrameKind};
 
 use scsq_engine::ClientManager;
 

@@ -76,6 +76,12 @@ pub struct HubSnapshot {
     pub sim_time_nanos: u64,
     /// Events skipped analytically by the train coalescer.
     pub coalesce_events_skipped: u64,
+    /// Served sessions opened (`scsqd` connections).
+    pub sessions: u64,
+    /// Statements executed by served sessions.
+    pub statements: u64,
+    /// Prepared-plan cache hits across served sessions.
+    pub plan_cache_hits: u64,
 }
 
 impl HubSnapshot {
@@ -96,7 +102,8 @@ impl HubSnapshot {
             "{{\n  \"queries\": {},\n  \"events\": {},\n  \"bytes_delivered\": {},\n  \
              \"values\": {},\n  \"buffers_sent\": {},\n  \"buffers_dropped\": {},\n  \
              \"events_pending_hwm\": {},\n  \"sim_time_nanos\": {},\n  \
-             \"coalesce_events_skipped\": {},\n  \"mean_bandwidth\": {}\n}}\n",
+             \"coalesce_events_skipped\": {},\n  \"sessions\": {},\n  \"statements\": {},\n  \
+             \"plan_cache_hits\": {},\n  \"mean_bandwidth\": {}\n}}\n",
             self.queries,
             self.events,
             self.bytes_delivered,
@@ -106,6 +113,9 @@ impl HubSnapshot {
             self.events_pending_hwm,
             self.sim_time_nanos,
             self.coalesce_events_skipped,
+            self.sessions,
+            self.statements,
+            self.plan_cache_hits,
             self.mean_bandwidth(),
         )
     }
@@ -125,6 +135,9 @@ pub struct MetricsHub {
     events_pending_hwm: AtomicU64,
     sim_time_nanos: AtomicU64,
     coalesce_events_skipped: AtomicU64,
+    sessions: AtomicU64,
+    statements: AtomicU64,
+    plan_cache_hits: AtomicU64,
     subscribers: Mutex<Vec<Box<dyn MetricsSubscriber>>>,
 }
 
@@ -186,6 +199,30 @@ impl MetricsHub {
         }
     }
 
+    /// Counts a served session opening (one `scsqd` connection). A
+    /// no-op while the hub is disabled, like [`MetricsHub::record`].
+    pub fn record_session(&self) {
+        if self.is_enabled() {
+            self.sessions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one statement executed by a served session. A no-op
+    /// while the hub is disabled.
+    pub fn record_statement(&self) {
+        if self.is_enabled() {
+            self.statements.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts prepared-plan cache hits observed by the server. A no-op
+    /// while the hub is disabled.
+    pub fn record_plan_cache_hits(&self, hits: u64) {
+        if self.is_enabled() && hits > 0 {
+            self.plan_cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+    }
+
     /// Registers a subscriber; it stays registered until
     /// [`MetricsHub::reset`].
     pub fn subscribe(&self, sub: Box<dyn MetricsSubscriber>) {
@@ -207,6 +244,9 @@ impl MetricsHub {
             events_pending_hwm: self.events_pending_hwm.load(Ordering::Relaxed),
             sim_time_nanos: self.sim_time_nanos.load(Ordering::Relaxed),
             coalesce_events_skipped: self.coalesce_events_skipped.load(Ordering::Relaxed),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -222,6 +262,9 @@ impl MetricsHub {
         self.events_pending_hwm.store(0, Ordering::Relaxed);
         self.sim_time_nanos.store(0, Ordering::Relaxed);
         self.coalesce_events_skipped.store(0, Ordering::Relaxed);
+        self.sessions.store(0, Ordering::Relaxed);
+        self.statements.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
         self.subscribers
             .lock()
             .expect("metrics hub poisoned")
@@ -299,6 +342,33 @@ mod tests {
         hub.reset();
         assert_eq!(hub.snapshot(), HubSnapshot::default());
         assert!(hub.is_enabled(), "reset keeps the gate");
+    }
+
+    #[test]
+    fn server_counters_are_gated_and_reset() {
+        let hub = MetricsHub::new();
+        hub.record_session();
+        hub.record_statement();
+        hub.record_plan_cache_hits(3);
+        assert_eq!(
+            hub.snapshot(),
+            HubSnapshot::default(),
+            "disabled hub ignores"
+        );
+        hub.enable(true);
+        hub.record_session();
+        hub.record_statement();
+        hub.record_statement();
+        hub.record_plan_cache_hits(2);
+        let snap = hub.snapshot();
+        assert_eq!(snap.sessions, 1);
+        assert_eq!(snap.statements, 2);
+        assert_eq!(snap.plan_cache_hits, 2);
+        let json = snap.to_json();
+        assert!(json.contains("\"sessions\": 1"));
+        assert!(json.contains("\"plan_cache_hits\": 2"));
+        hub.reset();
+        assert_eq!(hub.snapshot(), HubSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! The `scsqd` wire protocol: length-prefixed, newline-framed frames.
+//!
+//! One frame on the wire is
+//!
+//! ```text
+//! TYPE LEN\n
+//! <LEN payload bytes>\n
+//! ```
+//!
+//! — a human-readable header (frame type tag, one space, payload byte
+//! count in decimal), the payload verbatim, and a closing newline. The
+//! length prefix makes payloads with embedded newlines (multi-line
+//! metrics JSON, profile tables) unambiguous, while the newline framing
+//! keeps transcripts readable with `nc`/`socat`.
+//!
+//! Frame types:
+//!
+//! | tag       | direction        | payload                               |
+//! |-----------|------------------|---------------------------------------|
+//! | `HELLO`   | server → client  | server banner (`scsqd <version>`)     |
+//! | `STMT`    | client → server  | SCSQL text or a `.meta` command       |
+//! | `BYE`     | client → server  | empty; close the session              |
+//! | `ROW`     | server → client  | one result value / catalog row        |
+//! | `OK`      | server → client  | statement done; the `-- …` summary    |
+//! | `ERR`     | server → client  | error text (shell prints `error: …`)  |
+//! | `INFO`    | server → client  | out-of-band text (`.server`, explain) |
+//! | `METRICS` | server → client  | per-query [`MetricsSnapshot`] JSON    |
+//! | `PROFILE` | server → client  | explain-analyze profile rendering     |
+//!
+//! Every statement's reply stream terminates with exactly one `OK` or
+//! `ERR`, so a client can pipeline statements and still attribute
+//! frames. See `docs/server.md` for the full protocol reference.
+//!
+//! [`MetricsSnapshot`]: scsq_engine::MetricsSnapshot
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+/// Upper bound on a single frame payload (16 MiB): a malformed header
+/// cannot make a reader allocate unbounded memory.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// The frame types of the `scsqd` protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Server banner, sent once on connect.
+    Hello,
+    /// A statement (SCSQL text or `.meta` command) from the client.
+    Stmt,
+    /// Client is done; the server closes the session.
+    Bye,
+    /// One output row (result value or catalog entry).
+    Row,
+    /// Statement completed; payload is the `-- …` summary line.
+    Ok,
+    /// Statement failed; payload is the error text.
+    Err,
+    /// Out-of-band server text (`.server` stats, `.explain` output).
+    Info,
+    /// Per-query metrics JSON (when the session turned `.metrics on`).
+    Metrics,
+    /// Explain-analyze profile (when the session turned `.profile on`).
+    Profile,
+}
+
+impl FrameKind {
+    /// The tag written on the wire.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FrameKind::Hello => "HELLO",
+            FrameKind::Stmt => "STMT",
+            FrameKind::Bye => "BYE",
+            FrameKind::Row => "ROW",
+            FrameKind::Ok => "OK",
+            FrameKind::Err => "ERR",
+            FrameKind::Info => "INFO",
+            FrameKind::Metrics => "METRICS",
+            FrameKind::Profile => "PROFILE",
+        }
+    }
+
+    /// Parses a wire tag (exact match, case-sensitive).
+    pub fn from_tag(tag: &str) -> Option<FrameKind> {
+        Some(match tag {
+            "HELLO" => FrameKind::Hello,
+            "STMT" => FrameKind::Stmt,
+            "BYE" => FrameKind::Bye,
+            "ROW" => FrameKind::Row,
+            "OK" => FrameKind::Ok,
+            "ERR" => FrameKind::Err,
+            "INFO" => FrameKind::Info,
+            "METRICS" => FrameKind::Metrics,
+            "PROFILE" => FrameKind::Profile,
+            _ => return None,
+        })
+    }
+
+    /// Whether this frame terminates a statement's reply stream.
+    pub fn ends_statement(self) -> bool {
+        matches!(self, FrameKind::Ok | FrameKind::Err)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The payload text (UTF-8; may be empty or multi-line).
+    pub payload: String,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one frame and flushes.
+///
+/// # Errors
+///
+/// I/O errors from the underlying writer.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &str) -> io::Result<()> {
+    writeln!(w, "{} {}", kind.tag(), payload.len())?;
+    w.write_all(payload.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean end-of-stream (EOF before a
+/// header byte).
+///
+/// # Errors
+///
+/// I/O errors, malformed headers, oversized or non-UTF-8 payloads, EOF
+/// mid-frame.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<Frame>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let header = header.trim_end_matches(['\r', '\n']);
+    let (tag, len) = header
+        .split_once(' ')
+        .ok_or_else(|| bad(format!("malformed frame header `{header}`")))?;
+    let kind =
+        FrameKind::from_tag(tag).ok_or_else(|| bad(format!("unknown frame type `{tag}`")))?;
+    let len: usize = len
+        .parse()
+        .map_err(|_| bad(format!("bad frame length `{len}`")))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad(format!("frame of {len} bytes exceeds {MAX_FRAME_LEN}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut nl = [0u8; 1];
+    r.read_exact(&mut nl)?;
+    if nl[0] != b'\n' {
+        return Err(bad("frame payload not newline-terminated"));
+    }
+    let payload = String::from_utf8(payload).map_err(|_| bad("frame payload is not UTF-8"))?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// A client connection to a running `scsqd`, over TCP or (on Unix) a
+/// Unix-domain socket.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    /// The server's `HELLO` banner.
+    banner: String,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("banner", &self.banner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`) and consumes the `HELLO` frame.
+    ///
+    /// # Errors
+    ///
+    /// Connection or protocol errors (a peer that does not greet with
+    /// `HELLO` is rejected).
+    pub fn connect_tcp(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let read = stream.try_clone()?;
+        Client::handshake(Box::new(read), Box::new(stream))
+    }
+
+    /// Connects over a Unix-domain socket and consumes the `HELLO`
+    /// frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::connect_tcp`].
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let read = stream.try_clone()?;
+        Client::handshake(Box::new(read), Box::new(stream))
+    }
+
+    fn handshake(read: Box<dyn Read + Send>, write: Box<dyn Write + Send>) -> io::Result<Client> {
+        let mut client = Client {
+            reader: BufReader::new(read),
+            writer: write,
+            banner: String::new(),
+        };
+        match read_frame(&mut client.reader)? {
+            Some(Frame {
+                kind: FrameKind::Hello,
+                payload,
+            }) => client.banner = payload,
+            other => return Err(bad(format!("expected HELLO, got {other:?}"))),
+        }
+        Ok(client)
+    }
+
+    /// The server's greeting (e.g. `scsqd 0.7.0`).
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn send(&mut self, kind: FrameKind, payload: &str) -> io::Result<()> {
+        write_frame(&mut self.writer, kind, payload)
+    }
+
+    /// Receives one frame; `Ok(None)` when the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O or framing errors.
+    pub fn recv(&mut self) -> io::Result<Option<Frame>> {
+        read_frame(&mut self.reader)
+    }
+
+    /// Sends one statement and collects its reply frames, up to and
+    /// including the terminating `OK`/`ERR`. Intended for payloads
+    /// holding a single statement (the shell's `;`-split discipline);
+    /// a multi-statement payload gets one terminator per statement, so
+    /// call [`Client::recv`] directly for those.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or an unexpected-EOF error if the server closes the
+    /// connection before terminating the statement.
+    pub fn statement(&mut self, text: &str) -> io::Result<Vec<Frame>> {
+        self.send(FrameKind::Stmt, text)?;
+        let mut frames = Vec::new();
+        loop {
+            let frame = self.recv()?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-statement")
+            })?;
+            let done = frame.kind.ends_statement();
+            frames.push(frame);
+            if done {
+                return Ok(frames);
+            }
+        }
+    }
+
+    /// Sends `BYE`, telling the server to close the session.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors.
+    pub fn bye(&mut self) -> io::Result<()> {
+        self.send(FrameKind::Bye, "")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Stmt, "merge({});").unwrap();
+        write_frame(&mut buf, FrameKind::Ok, "-- 0 values in 1ms\nwith newline").unwrap();
+        write_frame(&mut buf, FrameKind::Bye, "").unwrap();
+        let mut r = Cursor::new(buf);
+        let a = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(a.kind, FrameKind::Stmt);
+        assert_eq!(a.payload, "merge({});");
+        let b = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(b.kind, FrameKind::Ok);
+        assert_eq!(b.payload, "-- 0 values in 1ms\nwith newline");
+        let c = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(c.kind, FrameKind::Bye);
+        assert_eq!(c.payload, "");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::Stmt,
+            FrameKind::Bye,
+            FrameKind::Row,
+            FrameKind::Ok,
+            FrameKind::Err,
+            FrameKind::Info,
+            FrameKind::Metrics,
+            FrameKind::Profile,
+        ] {
+            assert_eq!(FrameKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_tag("NOPE"), None);
+        assert_eq!(FrameKind::from_tag("ok"), None, "tags are case-sensitive");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let mut r = Cursor::new(b"NOPE 3\nabc\n".to_vec());
+        assert!(read_frame(&mut r).is_err(), "unknown tag");
+        let mut r = Cursor::new(b"ROW x\nabc\n".to_vec());
+        assert!(read_frame(&mut r).is_err(), "non-numeric length");
+        let mut r = Cursor::new(b"ROW\n".to_vec());
+        assert!(read_frame(&mut r).is_err(), "missing length");
+        let mut r = Cursor::new(b"ROW 10\nabc\n".to_vec());
+        assert!(read_frame(&mut r).is_err(), "EOF mid-payload");
+        let mut r = Cursor::new(b"ROW 3\nabcX".to_vec());
+        assert!(
+            read_frame(&mut r).is_err(),
+            "payload not newline-terminated"
+        );
+        let mut r = Cursor::new(format!("ROW {}\n", MAX_FRAME_LEN + 1).into_bytes());
+        assert!(read_frame(&mut r).is_err(), "oversized frame refused");
+    }
+
+    #[test]
+    fn ends_statement_flags_terminators() {
+        assert!(FrameKind::Ok.ends_statement());
+        assert!(FrameKind::Err.ends_statement());
+        assert!(!FrameKind::Row.ends_statement());
+        assert!(!FrameKind::Metrics.ends_statement());
+    }
+}

@@ -134,6 +134,18 @@ impl<'a> QueryBuilder<'a> {
                     def.name
                 )))
             }
+            Statement::Prepare { body, .. } => return self.build(body, prebound),
+            Statement::Run(name) => {
+                return Err(EngineError::bind(format!(
+                    "`run {name}` needs a session catalog; execute it through a `Session`"
+                )))
+            }
+            Statement::ShowCatalog => {
+                return Err(EngineError::bind(
+                    "`show catalog` needs a session catalog; execute it through a `Session`"
+                        .to_string(),
+                ))
+            }
         };
         let client_node = self
             .coordinators

@@ -8,8 +8,8 @@
 //! holds those loops: public map/filter/aggregate kernels over
 //! [`Column`]s (the substrate the micro-benches measure), plus the
 //! `pub(crate)` folds the fused chain uses to absorb a whole
-//! [`ColumnarBatch`] into a [`StageState`](crate::ops::StageState)
-//! accumulator.
+//! [`ColumnarBatch`](scsq_ql::column::ColumnarBatch) into a
+//! (crate-private) `StageState` accumulator.
 //!
 //! Correctness bar: every fold mutates the interpreter's own
 //! `StageState` fields by replaying the interpreter's per-element

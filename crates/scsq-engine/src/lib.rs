@@ -46,6 +46,7 @@ pub mod ops;
 pub mod placement;
 pub mod profile;
 pub mod runtime;
+pub mod session;
 mod train;
 pub mod window;
 
@@ -62,3 +63,4 @@ pub use ops::{AggKind, ArithOp, CmpOp, InputKind, MapFunc, Pipeline, Stage};
 pub use placement::PlacementPolicy;
 pub use profile::{ProfileReport, RpProfile, StageProfile, StageTally};
 pub use runtime::{run_graph, RunOptions};
+pub use session::{CatalogEntry, NamedPlan, Session, SessionHub, SessionReply};

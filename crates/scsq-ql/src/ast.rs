@@ -214,6 +214,22 @@ pub enum Statement {
     /// A bare expression query (like the paper's
     /// `merge(spv(select grep(...) ...));`).
     Expr(Expr),
+    /// `prepare name as <query>` — compile the query once and register
+    /// it under `name` in the session catalog (served sessions share
+    /// the compilation across clients).
+    Prepare {
+        /// The catalog name the compiled plan registers under.
+        name: String,
+        /// The query being prepared (a select query or a bare
+        /// expression query; never another session statement).
+        body: Box<Statement>,
+    },
+    /// `run name` — execute a previously prepared query from the
+    /// session catalog.
+    Run(String),
+    /// `show catalog` — list the session's named prepared queries and
+    /// the registered query functions.
+    ShowCatalog,
 }
 
 #[cfg(test)]

@@ -266,6 +266,14 @@ impl Catalog {
         Err(QlError::Catalog(format!("unknown function `{name}`")))
     }
 
+    /// The user-defined functions, sorted by name (a deterministic
+    /// listing for `show catalog`).
+    pub fn definitions(&self) -> Vec<&FunctionDef> {
+        let mut defs: Vec<&FunctionDef> = self.functions.values().collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
     /// Number of user-defined functions.
     pub fn len(&self) -> usize {
         self.functions.len()

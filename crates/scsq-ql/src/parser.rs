@@ -103,12 +103,62 @@ impl Parser {
         }
     }
 
+    /// The token kind `n` positions ahead (saturating at end of input).
+    fn kind_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    /// Whether the token `n` ahead is the identifier `word`
+    /// (case-insensitive, like the reserved keywords).
+    fn word_at(&self, n: usize, word: &str) -> bool {
+        matches!(self.kind_at(n), TokenKind::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+
     fn statement(&mut self) -> Result<Statement, QlError> {
+        // The session statements keep `prepare`, `run`, and `show`
+        // unreserved: they are ordinary identifiers everywhere except in
+        // the exact statement-initial shapes below, none of which parsed
+        // before (so no existing program changes meaning).
+        if self.word_at(0, "prepare")
+            && matches!(self.kind_at(1), TokenKind::Ident(_))
+            && self.kind_at(2) == &TokenKind::As
+        {
+            return self.prepare_statement();
+        }
+        if self.word_at(0, "run")
+            && matches!(self.kind_at(1), TokenKind::Ident(_))
+            && matches!(self.kind_at(2), TokenKind::Semi | TokenKind::Eof)
+        {
+            self.bump();
+            return Ok(Statement::Run(self.ident()?));
+        }
+        if self.word_at(0, "show") && self.word_at(1, "catalog") {
+            self.bump();
+            self.bump();
+            return Ok(Statement::ShowCatalog);
+        }
         match self.peek().kind {
             TokenKind::Create => self.create_function().map(Statement::CreateFunction),
             TokenKind::Select => self.select_query().map(Statement::Select),
             _ => self.expr().map(Statement::Expr),
         }
+    }
+
+    fn prepare_statement(&mut self) -> Result<Statement, QlError> {
+        self.bump(); // `prepare`
+        let name = self.ident()?;
+        self.expect(TokenKind::As)?;
+        let body = if self.at(&TokenKind::Select) {
+            Statement::Select(self.select_query()?)
+        } else if self.at(&TokenKind::Create) {
+            return Err(self.err("`prepare` takes a query, not a function definition"));
+        } else {
+            Statement::Expr(self.expr()?)
+        };
+        Ok(Statement::Prepare {
+            name,
+            body: Box::new(body),
+        })
     }
 
     fn create_function(&mut self) -> Result<FunctionDef, QlError> {
@@ -480,6 +530,80 @@ mod tests {
     #[test]
     fn trailing_garbage_is_rejected() {
         assert!(parse_statement("select x from sp a; garbage").is_err());
+    }
+
+    #[test]
+    fn parses_prepare_statement() {
+        let stmt = parse_statement(
+            "prepare p2p as select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(3000000,100),'bg',1);",
+        )
+        .unwrap();
+        let Statement::Prepare { name, body } = stmt else {
+            panic!("expected prepare");
+        };
+        assert_eq!(name, "p2p");
+        assert!(matches!(*body, Statement::Select(_)));
+    }
+
+    #[test]
+    fn parses_prepare_of_bare_expression() {
+        let stmt = parse_statement("prepare g as merge({});").unwrap();
+        let Statement::Prepare { name, body } = stmt else {
+            panic!("expected prepare");
+        };
+        assert_eq!(name, "g");
+        assert!(matches!(*body, Statement::Expr(_)));
+    }
+
+    #[test]
+    fn prepare_rejects_function_definitions() {
+        let err = parse_statement("prepare f as create function g() -> integer as streamof(1);")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("not a function definition"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_run_and_show_catalog() {
+        assert_eq!(
+            parse_statement("run p2p;").unwrap(),
+            Statement::Run("p2p".into())
+        );
+        assert_eq!(
+            parse_statement("SHOW CATALOG;").unwrap(),
+            Statement::ShowCatalog
+        );
+        assert_eq!(
+            parse_statement("Run p2p;").unwrap(),
+            Statement::Run("p2p".into()),
+            "session keywords are case-insensitive like the reserved ones"
+        );
+    }
+
+    #[test]
+    fn session_words_stay_ordinary_identifiers() {
+        // `run(...)` is still a function call, `prepare` without the
+        // `name as` shape is still a variable, `show` alone too.
+        assert_eq!(
+            parse_statement("run(1);").unwrap(),
+            Statement::Expr(Expr::call("run", vec![Expr::Literal(Value::Integer(1))]))
+        );
+        assert_eq!(
+            parse_statement("prepare;").unwrap(),
+            Statement::Expr(Expr::var("prepare"))
+        );
+        assert_eq!(
+            parse_statement("show;").unwrap(),
+            Statement::Expr(Expr::var("show"))
+        );
+        // A select head may use the words freely.
+        let stmt = parse_statement("select run from sp run;").unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        assert_eq!(q.head, vec![Expr::var("run")]);
     }
 
     #[test]

@@ -37,6 +37,19 @@ fn write_statement(f: &mut impl fmt::Write, stmt: &Statement) -> fmt::Result {
             write_function(f, def)?;
             f.write_str(";")
         }
+        Statement::Prepare { name, body } => {
+            write!(f, "prepare {name} as ")?;
+            match body.as_ref() {
+                Statement::Select(q) => write_select(f, q)?,
+                Statement::Expr(e) => write_expr(f, e)?,
+                // The parser only produces select/expr bodies; render
+                // degenerate hand-built trees recursively anyway.
+                other => write_statement(f, other)?,
+            }
+            f.write_str(";")
+        }
+        Statement::Run(name) => write!(f, "run {name};"),
+        Statement::ShowCatalog => f.write_str("show catalog;"),
     }
 }
 
@@ -190,6 +203,20 @@ mod tests {
              and b=sp(fft(even(extract(c))))
              and c=sp(receiver(s));",
         );
+    }
+
+    #[test]
+    fn session_statements_round_trip() {
+        round_trip(
+            "prepare p2p as select extract(b) from sp a, sp b
+             where b=sp(streamof(count(extract(a))), 'bg', 0)
+             and a=sp(gen_array(3000000,100),'bg',1);",
+        );
+        round_trip("prepare g as merge({});");
+        round_trip("run p2p;");
+        round_trip("show catalog;");
+        let stmt = parse_statement("SHOW  CATALOG ;").unwrap();
+        assert_eq!(statement_to_scsql(&stmt), "show catalog;");
     }
 
     #[test]

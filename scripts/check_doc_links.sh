@@ -5,6 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Reference docs other files link to by name must exist before the link
+# scan — a deleted doc would otherwise only be caught if something still
+# links to it.
+for required in docs/architecture.md docs/observability.md \
+    docs/scsql_reference.md docs/server.md; do
+    if [ ! -f "$required" ]; then
+        echo "MISSING: required doc $required"
+        exit 1
+    fi
+done
+
 broken=$(
     for doc in README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/*.md; do
         [ -f "$doc" ] || continue

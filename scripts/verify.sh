@@ -28,4 +28,40 @@ echo "==> perfstat (byte-identity across execution tiers + columnar gate)"
 ./target/release/perfstat --out /tmp/perfstat-verify.json
 rm -f /tmp/perfstat-verify.json
 
+echo "==> scsqd smoke (served transcript == local shell transcript)"
+# Start the daemon on an OS-assigned port, run a prepare/run/show-catalog
+# script through the scsqc client, and diff the served transcript against
+# the scsql shell running the same script locally: the deterministic
+# simulation backend makes the two byte-identical. Then ask the daemon to
+# shut itself down and check it exits cleanly.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cat > "$smoke_dir/smoke.scsql" <<'EOF'
+prepare p2p as select extract(b) from sp a, sp b
+where b=sp(streamof(count(extract(a))), 'bg', 0)
+and a=sp(gen_array(300000,10),'bg',1);
+run p2p;
+run p2p;
+show catalog;
+EOF
+./target/release/scsqd --listen 127.0.0.1:0 > "$smoke_dir/scsqd.out" &
+scsqd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^LISTEN //p' "$smoke_dir/scsqd.out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "scsqd never announced its listen address"
+    kill "$scsqd_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/scsqc "$addr" "$smoke_dir/smoke.scsql" > "$smoke_dir/served.out"
+./target/release/scsql "$smoke_dir/smoke.scsql" > "$smoke_dir/local.out"
+diff "$smoke_dir/served.out" "$smoke_dir/local.out"
+printf '.shutdown\n' | ./target/release/scsqc "$addr" > /dev/null
+wait "$scsqd_pid"
+echo "    served == local, daemon exited cleanly"
+
 echo "verify: OK"

@@ -1,0 +1,85 @@
+//! `scsqd` — the long-lived SCSQL server daemon.
+//!
+//! §2.1: "Users interact with SCSQ on a Linux front-end cluster" — SCSQ
+//! runs as a service that many users query at once. `scsqd` is that
+//! front door on the deterministic simulation backend: it listens on a
+//! TCP or Unix-domain socket, serves any number of concurrent sessions,
+//! and shares one compilation cache across all of them.
+//!
+//! ```text
+//! $ scsqd --listen 127.0.0.1:0
+//! LISTEN 127.0.0.1:43527
+//! ```
+//!
+//! The `LISTEN <addr>` line on stdout is machine-parseable: scripts (and
+//! `tests/server.rs`) read it to learn the OS-assigned port before
+//! connecting with `scsqc`. The daemon runs until a session issues the
+//! `.shutdown` meta-command.
+//!
+//! Flags:
+//!
+//! * `--listen ADDR` — TCP address to bind (default `127.0.0.1:0`)
+//! * `--unix PATH` — bind a Unix-domain socket instead (Unix only)
+//!
+//! Protocol reference: `docs/server.md`.
+
+use scsq::ScsqdServer;
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut listen = String::from("127.0.0.1:0");
+    let mut unix: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => die("scsqd: --listen needs an address"),
+            },
+            "--unix" => match args.next() {
+                Some(path) => unix = Some(path),
+                None => die("scsqd: --unix needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: scsqd [--listen ADDR | --unix PATH]");
+                println!("  --listen ADDR   TCP address to bind (default 127.0.0.1:0)");
+                println!("  --unix PATH     bind a Unix-domain socket instead");
+                return;
+            }
+            other => die(&format!("scsqd: unknown flag `{other}` (try --help)")),
+        }
+    }
+
+    let server = match unix {
+        Some(path) => bind_unix(&path),
+        None => match ScsqdServer::bind_tcp(&listen) {
+            Ok(s) => s,
+            Err(e) => {
+                die(&format!("scsqd: cannot bind {listen}: {e}"));
+            }
+        },
+    };
+    println!("LISTEN {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.serve() {
+        die(&format!("scsqd: {e}"));
+    }
+}
+
+#[cfg(unix)]
+fn bind_unix(path: &str) -> ScsqdServer {
+    match ScsqdServer::bind_unix(path) {
+        Ok(s) => s,
+        Err(e) => die(&format!("scsqd: cannot bind {path}: {e}")),
+    }
+}
+
+#[cfg(not(unix))]
+fn bind_unix(_path: &str) -> ScsqdServer {
+    die("scsqd: --unix is only available on Unix platforms");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}

@@ -17,13 +17,17 @@
 //! Meta-commands (not SCSQL): `.help`, `.stats on|off`, `.buffer <bytes>`,
 //! `.double on|off`, `.policy naive|aware`, `.quit`. A file argument runs
 //! a script instead of the prompt: `scsql queries.scsql`.
+//!
+//! The shell is a [`scsq::Session`] over a private hub, so the session
+//! statements (`prepare name as …`, `run name`, `show catalog`) work
+//! here exactly as they do against a served `scsqd` — same rows, same
+//! summary lines, byte for byte.
 
-use scsq::prelude::*;
-use scsq::PlacementPolicy;
+use scsq::{PlacementPolicy, Session, SessionReply};
 use std::io::{BufRead, IsTerminal, Write};
 
 struct Shell {
-    scsq: Scsq,
+    session: Session,
     show_stats: bool,
     interactive: bool,
 }
@@ -31,7 +35,7 @@ struct Shell {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut shell = Shell {
-        scsq: Scsq::lofar(),
+        session: Session::lofar(),
         show_stats: false,
         interactive: std::io::stdin().is_terminal() && args.is_empty(),
     };
@@ -89,7 +93,7 @@ impl Shell {
         let trimmed = line.trim();
         if buffer.trim().is_empty() && trimmed.starts_with('.') {
             if let Some(query) = trimmed.strip_prefix(".explain ") {
-                match self.scsq.explain(query) {
+                match self.session.explain(query) {
                     Ok(text) => print!("{text}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
@@ -111,44 +115,35 @@ impl Shell {
     }
 
     fn execute(&mut self, text: &str) {
-        // Statements are split at `;`, so each chunk is one statement;
-        // `create function` goes to the catalog, everything else runs.
-        if matches!(
-            scsq_ql::parse_statement(text),
-            Ok(scsq_ql::Statement::CreateFunction(_))
-        ) {
-            match self.scsq.define(text) {
-                Ok(()) => println!("-- function defined"),
-                Err(e) => eprintln!("error: {e}"),
-            }
-            return;
-        }
-        match self.scsq.run(text) {
-            Ok(result) => {
-                for v in result.values() {
-                    println!("{v}");
+        // Statements are split at `;`, so each chunk is one statement.
+        // The session routes it: `create function` to the catalog,
+        // `prepare`/`run`/`show catalog` to the session catalog,
+        // queries to the engine. Rows and summaries come from
+        // `SessionReply`, the same renderings `scsqd` frames on the
+        // wire — the transcripts diff clean.
+        match self.session.execute(text) {
+            Ok(reply) => {
+                for row in reply.rows() {
+                    println!("{row}");
                 }
-                println!(
-                    "-- {} value{} in {}",
-                    result.values().len(),
-                    if result.values().len() == 1 { "" } else { "s" },
-                    result.total_time()
-                );
+                println!("{}", reply.summary());
                 if self.show_stats {
-                    for ch in &result.stats().channels {
-                        println!(
-                            "--   {} -> {} [{}] {} bytes",
-                            ch.src, ch.dst, ch.carrier, ch.bytes
-                        );
-                    }
-                    for rp in &result.stats().rp_reports {
-                        println!(
-                            "--   rp@{} in={} out={}{}",
-                            rp.node,
-                            rp.elements_in,
-                            rp.elements_out,
-                            if rp.is_client { " (client)" } else { "" }
-                        );
+                    if let SessionReply::Result { result, .. } = &reply {
+                        for ch in &result.stats().channels {
+                            println!(
+                                "--   {} -> {} [{}] {} bytes",
+                                ch.src, ch.dst, ch.carrier, ch.bytes
+                            );
+                        }
+                        for rp in &result.stats().rp_reports {
+                            println!(
+                                "--   rp@{} in={} out={}{}",
+                                rp.node,
+                                rp.elements_in,
+                                rp.elements_out,
+                                if rp.is_client { " (client)" } else { "" }
+                            );
+                        }
                     }
                 }
             }
@@ -166,11 +161,11 @@ impl Shell {
                 println!(".stats on|off        per-channel / per-RP statistics");
                 println!(
                     ".buffer <bytes>      MPI stream buffer size (now {})",
-                    self.scsq.options().mpi_buffer
+                    self.session.options().mpi_buffer
                 );
                 println!(
                     ".double on|off       MPI double buffering (now {})",
-                    self.scsq.options().mpi_double
+                    self.session.options().mpi_double
                 );
                 println!(".policy naive|aware  node selection policy");
                 println!(".quit                leave");
@@ -181,17 +176,19 @@ impl Shell {
                 _ => eprintln!("usage: .stats on|off"),
             },
             ".buffer" => match parts.next().and_then(|s| s.parse::<u64>().ok()) {
-                Some(b) if b > 0 => self.scsq.options_mut().mpi_buffer = b,
+                Some(b) if b > 0 => self.session.options_mut().mpi_buffer = b,
                 _ => eprintln!("usage: .buffer <bytes>"),
             },
             ".double" => match parts.next() {
-                Some("on") => self.scsq.options_mut().mpi_double = true,
-                Some("off") => self.scsq.options_mut().mpi_double = false,
+                Some("on") => self.session.options_mut().mpi_double = true,
+                Some("off") => self.session.options_mut().mpi_double = false,
                 _ => eprintln!("usage: .double on|off"),
             },
             ".policy" => match parts.next() {
-                Some("naive") => self.scsq.options_mut().placement = PlacementPolicy::Naive,
-                Some("aware") => self.scsq.options_mut().placement = PlacementPolicy::TopologyAware,
+                Some("naive") => self.session.options_mut().placement = PlacementPolicy::Naive,
+                Some("aware") => {
+                    self.session.options_mut().placement = PlacementPolicy::TopologyAware
+                }
                 _ => eprintln!("usage: .policy naive|aware"),
             },
             other => eprintln!("unknown meta-command `{other}` (try .help)"),

@@ -70,7 +70,12 @@ fn check_doc(rel: &str, expect_at_least: usize) {
 
 #[test]
 fn scsql_reference_snippets_run() {
-    check_doc("docs/scsql_reference.md", 5);
+    check_doc("docs/scsql_reference.md", 7);
+}
+
+#[test]
+fn server_doc_snippets_run() {
+    check_doc("docs/server.md", 1);
 }
 
 /// The filter-heavy columnar example embeds its query as one plain
